@@ -1,0 +1,510 @@
+// Package npudvfs hosts the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation, each
+// regenerating the corresponding result on the simulated NPU and
+// reporting its headline metric. Run with:
+//
+//	go test -bench=. -benchmem
+package npudvfs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/perfmodel"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/workload"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchLabOnce.Do(func() { benchLab = experiments.NewLab() })
+	return benchLab
+}
+
+// BenchmarkFig3ThroughputCycles regenerates Fig. 3: Ld/St throughput
+// saturation and the cycle-frequency relation.
+func BenchmarkFig3ThroughputCycles(b *testing.B) {
+	l := lab()
+	var sat float64
+	for i := 0; i < b.N; i++ {
+		sat = l.Fig3().SaturationMHz
+	}
+	b.ReportMetric(sat, "saturation-MHz")
+}
+
+// BenchmarkFig4PiecewiseLinear regenerates Fig. 4: the convex
+// piecewise-linear cycle curve and its breakpoints.
+func BenchmarkFig4PiecewiseLinear(b *testing.B) {
+	l := lab()
+	var bps int
+	for i := 0; i < b.N; i++ {
+		bps = len(l.Fig4().BreakpointsMHz)
+	}
+	b.ReportMetric(float64(bps), "breakpoints")
+}
+
+// BenchmarkFig9VFCurve regenerates Fig. 9: the firmware V-F table.
+func BenchmarkFig9VFCurve(b *testing.B) {
+	l := lab()
+	var pts int
+	for i := 0; i < b.N; i++ {
+		pts = len(l.Fig9().Points)
+	}
+	b.ReportMetric(float64(pts), "points")
+}
+
+// BenchmarkFig10TempPower regenerates Fig. 10: the linear
+// temperature/SoC-power relation across operators.
+func BenchmarkFig10TempPower(b *testing.B) {
+	l := lab()
+	var k float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		k = r.FittedK
+	}
+	b.ReportMetric(k, "k-C-per-W")
+}
+
+// BenchmarkFig15PerfModelCDF regenerates Fig. 15: the error CDF of the
+// three fitting functions over >5,000 operator instances.
+func BenchmarkFig15PerfModelCDF(b *testing.B) {
+	l := lab()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = r.MeanError[experiments.Func2]
+	}
+	b.ReportMetric(mean*100, "func2-mean-err-%")
+}
+
+// BenchmarkFig16ExampleOperators regenerates Fig. 16: per-operator
+// predictions for the five representative operators.
+func BenchmarkFig16ExampleOperators(b *testing.B) {
+	l := lab()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range r.Rows {
+			if row.MeanErr[experiments.Func2] > worst {
+				worst = row.MeanErr[experiments.Func2]
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "func2-worst-err-%")
+}
+
+// BenchmarkFig17GAConvergence regenerates Fig. 17: full 200x600 GA
+// searches at five loss targets on GPT-3.
+func BenchmarkFig17GAConvergence(b *testing.B) {
+	l := lab()
+	var gens int
+	for i := 0; i < b.N; i++ {
+		r, err := l.Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens = r.Series[0].ConvergedAt(0.01)
+	}
+	b.ReportMetric(float64(gens), "gens-to-converge-2%")
+}
+
+// BenchmarkFig18Comparatives regenerates Fig. 18: the V100-delay and
+// coarse-FAI comparisons on GPT-3 training.
+func BenchmarkFig18Comparatives(b *testing.B) {
+	l := lab()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = r.Rows[0].CoreReduction - r.Rows[len(r.Rows)-1].CoreReduction
+	}
+	b.ReportMetric(spread*100, "fine-vs-coarse-core-%")
+}
+
+// BenchmarkTable2PowerModelError regenerates Table 2: the power-model
+// error distribution across seven validation workloads.
+func BenchmarkTable2PowerModelError(b *testing.B) {
+	l := lab()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = r.MeanErr
+	}
+	b.ReportMetric(mean*100, "mean-err-%")
+}
+
+// BenchmarkTable2TemperatureAblation reports the γ=0 ablation of
+// Sect. 7.3 alongside the temperature-aware error.
+func BenchmarkTable2TemperatureAblation(b *testing.B) {
+	l := lab()
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = r.AblationMeanErr - r.MeanErr
+	}
+	b.ReportMetric(delta*100, "ablation-penalty-%")
+}
+
+// BenchmarkTable3EndToEnd regenerates Table 3: end-to-end optimization
+// of GPT-3 at five loss targets plus BERT/ResNet-50/ResNet-152.
+func BenchmarkTable3EndToEnd(b *testing.B) {
+	l := lab()
+	var avgCore float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: average AICore reduction across the four 2%-target
+		// rows (paper: 13.44%).
+		sum, n := 0.0, 0
+		for _, row := range r.Rows {
+			if row.LossTarget == 0.02 {
+				sum += row.CoreReduction
+				n++
+			}
+		}
+		avgCore = sum / float64(n)
+	}
+	b.ReportMetric(avgCore*100, "avg-core-reduction-%")
+}
+
+// BenchmarkFitFunc1VsFunc2 regenerates the Sect. 4.3 fit-cost
+// comparison on ShuffleNetV2Plus.
+func BenchmarkFitFunc1VsFunc2(b *testing.B) {
+	l := lab()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.FitCost()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "func2-speedup-x")
+}
+
+// BenchmarkInferenceScenario regenerates the Sect. 8.4 host-bound
+// inference experiment.
+func BenchmarkInferenceScenario(b *testing.B) {
+	l := lab()
+	var core float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.Inference()
+		if err != nil {
+			b.Fatal(err)
+		}
+		core = r.CoreReduction
+	}
+	b.ReportMetric(core*100, "core-reduction-%")
+}
+
+// BenchmarkPolicyScoringThroughput regenerates the Sect. 8.1
+// model-based scoring-speed argument.
+func BenchmarkPolicyScoringThroughput(b *testing.B) {
+	l := lab()
+	var perEval float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.ScoringThroughput(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perEval = r.PerEvalMicros
+	}
+	b.ReportMetric(perEval, "us-per-policy")
+}
+
+// BenchmarkGAPriorSeeding is the DESIGN.md ablation: the GA with the
+// paper's baseline+prior seeds versus a purely random first
+// generation, on the BERT problem.
+func BenchmarkGAPriorSeeding(b *testing.B) {
+	l := lab()
+	ms, err := l.BuildModels(workload.BERT(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	strat, stages, _, err := core.Generate(ms.Input(l.Chip), core.Config{
+		FAIMicros:      cfg.FAIMicros,
+		PerfLossTarget: cfg.PerfLossTarget,
+		PriorLFCMHz:    cfg.PriorLFCMHz,
+		Guard:          cfg.Guard,
+		GA:             ga.Config{PopSize: 4, Generations: 1, MutationRate: 0.1, CrossoverRate: 0.5, Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = strat
+	ev, err := core.NewEvaluator(ms.Input(l.Chip), cfg, stages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gaCfg := ga.DefaultConfig()
+	gaCfg.PopSize = 60
+	gaCfg.Generations = 150
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		seeded, err := ga.Run(&evProblem{ev: ev, seeded: true}, gaCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unseeded, err := ga.Run(&evProblem{ev: ev}, gaCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = (seeded.BestScore - unseeded.BestScore) / unseeded.BestScore
+	}
+	b.ReportMetric(gap*100, "seeding-gain-%")
+}
+
+// evProblem adapts a core.Evaluator into a ga.Problem, optionally with
+// the paper's seed individuals.
+type evProblem struct {
+	ev     *core.Evaluator
+	seeded bool
+}
+
+func (p *evProblem) Genes() int              { return p.ev.Genes() }
+func (p *evProblem) Alleles() int            { return len(p.ev.Grid()) }
+func (p *evProblem) Score(ind []int) float64 { return p.ev.Score(ind) }
+func (p *evProblem) Seeds() [][]int {
+	if !p.seeded {
+		return nil
+	}
+	baseline := make([]int, p.ev.Genes())
+	for i := range baseline {
+		baseline[i] = p.ev.BaselineIndex()
+	}
+	return [][]int{baseline}
+}
+
+// BenchmarkFitFunc2Micro measures the raw cost of one direct Func. 2
+// solve, the inner loop of model construction.
+func BenchmarkFitFunc2Micro(b *testing.B) {
+	fs := []float64{1000, 1800}
+	ts := []float64{123.4, 98.7}
+	for i := 0; i < b.N; i++ {
+		if _, err := perfmodel.FitFunc2(fs, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileGPT3Iteration measures profiling one full GPT-3
+// iteration (~18,000 operators).
+func BenchmarkProfileGPT3Iteration(b *testing.B) {
+	m := workload.GPT3()
+	l := lab()
+	p := profiler.NewNoiseless(l.Chip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(m.Trace, 1800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreGPT3Policy measures one policy evaluation on the
+// GPT-3 stage problem (the unit of Sect. 8.1's argument).
+func BenchmarkScoreGPT3Policy(b *testing.B) {
+	l := lab()
+	r, err := l.ScoringThroughput(1) // builds and caches the evaluator path
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = r
+	ms, err := l.BuildModels(workload.BERT(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	_, stages, _, err := core.Generate(ms.Input(l.Chip), core.Config{
+		FAIMicros:      cfg.FAIMicros,
+		PerfLossTarget: cfg.PerfLossTarget,
+		PriorLFCMHz:    cfg.PriorLFCMHz,
+		Guard:          cfg.Guard,
+		GA:             ga.Config{PopSize: 4, Generations: 1, MutationRate: 0.1, CrossoverRate: 0.5, Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(ms.Input(l.Chip), cfg, stages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ind := make([]int, ev.Genes())
+	for i := range ind {
+		ind[i] = rng.Intn(len(ev.Grid()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Score(ind)
+	}
+}
+
+// BenchmarkCoarseGrainedBaseline contrasts whole-program DVFS (prior
+// work's granularity) with the fine-grained strategy on GPT-3.
+func BenchmarkCoarseGrainedBaseline(b *testing.B) {
+	l := lab()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.CoarseGrained()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.FineGrained.CoreReduction - r.BestFixed.CoreReduction
+	}
+	b.ReportMetric(gap*100, "fine-vs-fixed-core-%")
+}
+
+// BenchmarkModelFreeComparison regenerates the Sect. 8.1 equal-budget
+// search comparison.
+func BenchmarkModelFreeComparison(b *testing.B) {
+	l := lab()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.ModelFree(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.ModelBasedCoreRed - r.ModelFreeCoreRed
+	}
+	b.ReportMetric(gap*100, "modelbased-gain-%")
+}
+
+// BenchmarkUncoreDVFSWhatIf regenerates the Sect. 8.2 headroom study.
+func BenchmarkUncoreDVFSWhatIf(b *testing.B) {
+	l := lab()
+	var soc float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.UncoreDVFS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		soc = r.Rows[len(r.Rows)-1].SoCReduction
+	}
+	b.ReportMetric(soc*100, "combined-soc-reduction-%")
+}
+
+// BenchmarkDualDomainDVFS is the Sect. 8.2 future-work ablation: joint
+// core+uncore strategy search versus the identical machinery with the
+// uncore knob removed.
+func BenchmarkDualDomainDVFS(b *testing.B) {
+	l := lab()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.DualDomain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = r.DualSoC - r.CoreOnlySoC
+	}
+	b.ReportMetric(gain*100, "dual-extra-soc-%")
+}
+
+// BenchmarkFAISweep measures the savings-vs-granularity curve.
+func BenchmarkFAISweep(b *testing.B) {
+	l := lab()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.FAISweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = r.Rows[0].CoreReduction - r.Rows[len(r.Rows)-1].CoreReduction
+	}
+	b.ReportMetric(spread*100, "5ms-vs-1s-core-%")
+}
+
+// BenchmarkSeedsRobustness measures run-to-run spread of the headline
+// result.
+func BenchmarkSeedsRobustness(b *testing.B) {
+	l := lab()
+	var std float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.SeedsRobustness(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		std = r.StdCoreRed
+	}
+	b.ReportMetric(std*100, "core-red-std-%")
+}
+
+// BenchmarkAdaptiveGuard measures the closed-loop controller
+// converging an unguarded strategy under its target.
+func BenchmarkAdaptiveGuard(b *testing.B) {
+	l := lab()
+	var adj int
+	for i := 0; i < b.N; i++ {
+		r, err := l.Adaptive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		adj = r.Adjustments
+	}
+	b.ReportMetric(float64(adj), "adjustments")
+}
+
+// BenchmarkSensitivity regenerates the Sect. 6 operator trade-off
+// observation.
+func BenchmarkSensitivity(b *testing.B) {
+	l := lab()
+	var matmulRatio float64
+	for i := 0; i < b.N; i++ {
+		r := l.Sensitivity(1800, 1600)
+		matmulRatio = r.Rows[0].EfficiencyRatio
+	}
+	b.ReportMetric(matmulRatio, "matmul-gain-per-loss")
+}
+
+// BenchmarkSearchAblation compares the GA against greedy and random
+// search on the same evaluator and budget.
+func BenchmarkSearchAblation(b *testing.B) {
+	l := lab()
+	var gaMinusGreedy float64
+	for i := 0; i < b.N; i++ {
+		r, err := l.SearchAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ga, greedy float64
+		for _, row := range r.Rows {
+			switch row.Algorithm {
+			case "genetic":
+				ga = row.CoreReduction
+			case "greedy":
+				greedy = row.CoreReduction
+			}
+		}
+		gaMinusGreedy = ga - greedy
+	}
+	b.ReportMetric(gaMinusGreedy*100, "ga-vs-greedy-core-%")
+}

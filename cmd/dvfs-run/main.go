@@ -1,0 +1,137 @@
+// Command dvfs-run performs the full end-to-end energy optimization of
+// Fig. 1 for one workload on the simulated NPU: offline chip
+// calibration, profiling at the model-building frequencies,
+// performance and power model construction, genetic-algorithm strategy
+// generation, and measured execution of the resulting strategy against
+// the fixed-maximum-frequency baseline.
+//
+// Usage:
+//
+//	dvfs-run -model gpt3 -target 0.02
+//	dvfs-run -model bert -target 0.04 -fai 100 -pop 200 -gens 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/dualdvfs"
+	"npudvfs/internal/executor"
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/powermodel"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/preprocess"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "gpt3", "workload name ("+strings.Join(workload.Names(), ", ")+")")
+	target := flag.Float64("target", 0.02, "performance loss target (fraction)")
+	faiMs := flag.Float64("fai", 5, "frequency adjustment interval in ms")
+	pop := flag.Int("pop", 200, "GA population size")
+	gens := flag.Int("gens", 600, "GA generations")
+	seed := flag.Int64("seed", 1, "GA seed")
+	latencyMs := flag.Float64("latency", 1, "SetFreq actuation latency in ms")
+	dual := flag.Bool("dual", false, "search core+uncore pairs (two-domain extension)")
+	saveStrategy := flag.String("save-strategy", "", "write the generated strategy JSON to this path")
+	loadStrategy := flag.String("load-strategy", "", "skip the search and execute this strategy JSON")
+	flag.Parse()
+
+	m, err := workload.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	lab := experiments.NewLab()
+	var strat *core.Strategy
+	if *loadStrategy != "" {
+		strat, err = traceio.LoadStrategy(*loadStrategy)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded strategy %s: %d SetFreq per iteration\n", *loadStrategy, strat.Switches())
+	} else {
+		fmt.Printf("calibrating chip and modeling %s (profiles at 1000/1800 MHz)...\n", m.Name)
+		ms, err := lab.BuildModels(m, true)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.PerfLossTarget = *target
+		cfg.FAIMicros = *faiMs * 1000
+		cfg.GA.PopSize = *pop
+		cfg.GA.Generations = *gens
+		cfg.GA.Seed = *seed
+
+		var stages []preprocess.Stage
+		var gaRes *ga.Result
+		if *dual {
+			rig := &powermodel.Rig{
+				Chip:    lab.Chip,
+				Ground:  lab.Ground,
+				Sensor:  powersim.NewSensor(99),
+				Thermal: lab.Thermal,
+			}
+			dyn, err := dualdvfs.CalibrateUncore(rig, 0.8, 64)
+			if err != nil {
+				fatal(err)
+			}
+			dcfg := dualdvfs.DefaultConfig()
+			dcfg.PerfLossTarget = cfg.PerfLossTarget
+			dcfg.FAIMicros = cfg.FAIMicros
+			dcfg.GA = cfg.GA
+			strat, stages, gaRes, err = dualdvfs.Generate(dualdvfs.Input{
+				Chip: lab.Chip, Profile: ms.Baseline, Power: ms.Power, UncoreDynW: dyn,
+			}, dcfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("dual-domain search: uncore dyn %.1f W, %d uncore switches\n",
+				dyn, strat.UncoreSwitches())
+		} else {
+			strat, stages, gaRes, err = core.Generate(ms.Input(lab.Chip), cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("search: %d stages, %d evaluations, best score %.4g\n",
+			len(stages), gaRes.Evaluations, gaRes.BestScore)
+		fmt.Printf("strategy: %d SetFreq per iteration\n", strat.Switches())
+		if *saveStrategy != "" {
+			if err := traceio.SaveStrategy(*saveStrategy, strat); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("strategy written to %s\n", *saveStrategy)
+		}
+	}
+
+	base, err := lab.MeasureFixed(m, lab.Chip.Curve.Max())
+	if err != nil {
+		fatal(err)
+	}
+	opt := executor.DefaultOptions()
+	opt.SetFreqLatencyMicros = *latencyMs * 1000
+	dvfs, err := lab.MeasureStrategy(m, strat, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%-22s %12s %12s\n", "", "baseline", "DVFS")
+	fmt.Printf("%-22s %11.3fs %11.3fs  (%+.2f%%)\n", "iteration time",
+		base.TimeMicros/1e6, dvfs.TimeMicros/1e6, 100*(dvfs.TimeMicros/base.TimeMicros-1))
+	fmt.Printf("%-22s %11.2fW %11.2fW  (%+.2f%%)\n", "SoC power",
+		base.MeanSoCW, dvfs.MeanSoCW, 100*(dvfs.MeanSoCW/base.MeanSoCW-1))
+	fmt.Printf("%-22s %11.2fW %11.2fW  (%+.2f%%)\n", "AICore power",
+		base.MeanCoreW, dvfs.MeanCoreW, 100*(dvfs.MeanCoreW/base.MeanCoreW-1))
+	fmt.Printf("%-22s %11.2fJ %11.2fJ  (%+.2f%%)\n", "SoC energy/iteration",
+		base.EnergySoCJ, dvfs.EnergySoCJ, 100*(dvfs.EnergySoCJ/base.EnergySoCJ-1))
+	fmt.Printf("%-22s %11.1fC %11.1fC\n", "die temperature", base.EndTempC, dvfs.EndTempC)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvfs-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's tables and figures on
+// the simulated NPU.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3,fig9,table3
+//
+// Available experiments: fig3, fig4, fig9, fig10, fig15, fig16, fig17,
+// fig18, table2, table3, fitcost, inference, throughput, coarse,
+// modelfree, uncore, sensitivity, adaptive, dual, faisweep, seeds,
+// pareto, attribution, search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/plot"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment names, or 'all'")
+	outDir := flag.String("out", "", "also write each experiment's report to <out>/<name>.txt")
+	svgDir := flag.String("svg", "", "render SVG figures for chartable experiments into this directory")
+	flag.Parse()
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	lab := experiments.NewLab()
+	type experiment struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	exps := []experiment{
+		{"fig3", func() (fmt.Stringer, error) { return lab.Fig3(), nil }},
+		{"fig4", func() (fmt.Stringer, error) { return lab.Fig4(), nil }},
+		{"fig9", func() (fmt.Stringer, error) { return lab.Fig9(), nil }},
+		{"fig10", func() (fmt.Stringer, error) { return lab.Fig10() }},
+		{"fig15", func() (fmt.Stringer, error) { return lab.Fig15() }},
+		{"fig16", func() (fmt.Stringer, error) { return lab.Fig16() }},
+		{"fig17", func() (fmt.Stringer, error) { return lab.Fig17() }},
+		{"fig18", func() (fmt.Stringer, error) { return lab.Fig18() }},
+		{"table2", func() (fmt.Stringer, error) { return lab.Table2() }},
+		{"table3", func() (fmt.Stringer, error) { return lab.Table3() }},
+		{"fitcost", func() (fmt.Stringer, error) { return lab.FitCost() }},
+		{"inference", func() (fmt.Stringer, error) { return lab.Inference() }},
+		{"throughput", func() (fmt.Stringer, error) { return lab.ScoringThroughput(20000) }},
+		{"coarse", func() (fmt.Stringer, error) { return lab.CoarseGrained() }},
+		{"modelfree", func() (fmt.Stringer, error) { return lab.ModelFree(300) }},
+		{"uncore", func() (fmt.Stringer, error) { return lab.UncoreDVFS() }},
+		{"sensitivity", func() (fmt.Stringer, error) { return lab.Sensitivity(1800, 1600), nil }},
+		{"adaptive", func() (fmt.Stringer, error) { return lab.Adaptive() }},
+		{"dual", func() (fmt.Stringer, error) { return lab.DualDomain() }},
+		{"faisweep", func() (fmt.Stringer, error) { return lab.FAISweep() }},
+		{"seeds", func() (fmt.Stringer, error) { return lab.SeedsRobustness(5) }},
+		{"pareto", func() (fmt.Stringer, error) { return lab.Pareto() }},
+		{"attribution", func() (fmt.Stringer, error) { return lab.Attribution(0.10) }},
+		{"search", func() (fmt.Stringer, error) { return lab.SearchAblation() }},
+	}
+
+	want := map[string]bool{}
+	all := *run == "all"
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := 0
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		report := fmt.Sprintf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+		fmt.Print(report)
+		if *svgDir != "" {
+			if err := renderSVGs(*svgDir, e.name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.name+".txt")
+			if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *run)
+		os.Exit(2)
+	}
+}
+
+// chartable results expose a single figure.
+type chartable interface{ Chart() *plot.Chart }
+
+// multiChartable results expose several panels.
+type multiChartable interface{ Charts() []*plot.Chart }
+
+// renderSVGs writes any figures the result can draw.
+func renderSVGs(dir, name string, res fmt.Stringer) error {
+	switch r := res.(type) {
+	case multiChartable:
+		for i, c := range r.Charts() {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%d.svg", name, i+1))
+			if err := plot.Save(path, c); err != nil {
+				return err
+			}
+		}
+	case chartable:
+		return plot.Save(filepath.Join(dir, name+".svg"), r.Chart())
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Command npu-profile plays the role of the CANN profiler: it executes
+// a workload iteration on the simulated NPU at one or more core
+// frequencies and prints per-class and per-bottleneck summaries, the
+// LFC/HFC stage structure, and optionally a per-operator dump.
+//
+// Usage:
+//
+//	npu-profile -model gpt3 -freqs 1000,1800
+//	npu-profile -model bert -freqs 1800 -ops -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"npudvfs/internal/classify"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/preprocess"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "gpt3", "workload name ("+strings.Join(workload.Names(), ", ")+")")
+	freqArg := flag.String("freqs", "1800", "comma-separated core frequencies in MHz")
+	dumpOps := flag.Bool("ops", false, "dump every operator record")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	faiMs := flag.Float64("fai", 5, "frequency adjustment interval in ms for stage summary")
+	seed := flag.Int64("seed", 1, "measurement-noise seed")
+	saveTrace := flag.String("save-trace", "", "export the workload trace JSON to this path")
+	chromeTrace := flag.String("chrome-trace", "", "export a chrome://tracing timeline of the first profiled frequency")
+	flag.Parse()
+
+	m, err := workload.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveTrace != "" {
+		if err := traceio.SaveWorkload(*saveTrace, m); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *saveTrace)
+	}
+	var freqs []float64
+	for _, part := range strings.Split(*freqArg, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad frequency %q: %w", part, err))
+		}
+		freqs = append(freqs, f)
+	}
+	chip := npu.Default()
+	p := profiler.New(chip, *seed)
+	for i, f := range freqs {
+		prof, err := p.Run(m.Trace, f)
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 && *chromeTrace != "" {
+			if err := traceio.SaveChromeTrace(*chromeTrace, prof, nil); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "chrome trace written to %s\n", *chromeTrace)
+		}
+		if *asJSON {
+			emitJSON(prof, *dumpOps)
+			continue
+		}
+		report(m, prof, *faiMs*1000, *dumpOps)
+	}
+}
+
+func report(m *workload.Model, prof *profiler.Profile, faiMicros float64, dumpOps bool) {
+	fmt.Printf("== %s at %.0f MHz: %d operators, iteration %.3f ms\n",
+		m.Name, prof.FreqMHz, len(prof.Records), prof.TotalMicros/1000)
+	results := classify.Trace(prof)
+	timeBy := map[classify.Bottleneck]float64{}
+	countBy := classify.Histogram(results)
+	sensTime := 0.0
+	for i, r := range results {
+		timeBy[r.Bottleneck] += prof.Records[i].DurMicros
+		if r.Sensitive {
+			sensTime += prof.Records[i].DurMicros
+		}
+	}
+	fmt.Printf("   frequency-sensitive time: %.1f%%\n", 100*sensTime/prof.TotalMicros)
+	for b := classify.NoPipeline; b <= classify.IdleSlot; b++ {
+		if countBy[b] == 0 {
+			continue
+		}
+		fmt.Printf("   %-14s ops=%6d  time=%6.2f%%\n",
+			b, countBy[b], 100*timeBy[b]/prof.TotalMicros)
+	}
+	stages, err := preprocess.Stages(prof, results, faiMicros)
+	if err != nil {
+		fatal(err)
+	}
+	lfc := 0
+	for _, s := range stages {
+		if !s.Sensitive {
+			lfc++
+		}
+	}
+	fmt.Printf("   stages at %.0f ms FAI: %d (%d LFC, %d HFC)\n",
+		faiMicros/1000, len(stages), lfc, len(stages)-lfc)
+	if dumpOps {
+		for i := range prof.Records {
+			r := &prof.Records[i]
+			fmt.Printf("   #%05d %-28s %-13s %9.2f us  %v\n",
+				r.Index, r.Spec.Key(), r.Spec.Class, r.DurMicros, results[i].Bottleneck)
+		}
+	}
+}
+
+// jsonRecord is the stable JSON projection of a profiled operator.
+type jsonRecord struct {
+	Index  int     `json:"index"`
+	Key    string  `json:"key"`
+	Class  string  `json:"class"`
+	Start  float64 `json:"start_us"`
+	Dur    float64 `json:"dur_us"`
+	Bottle string  `json:"bottleneck"`
+}
+
+func emitJSON(prof *profiler.Profile, dumpOps bool) {
+	results := classify.Trace(prof)
+	out := struct {
+		FreqMHz     float64      `json:"freq_mhz"`
+		TotalMicros float64      `json:"total_us"`
+		Operators   int          `json:"operators"`
+		Records     []jsonRecord `json:"records,omitempty"`
+	}{
+		FreqMHz:     prof.FreqMHz,
+		TotalMicros: prof.TotalMicros,
+		Operators:   len(prof.Records),
+	}
+	if dumpOps {
+		for i := range prof.Records {
+			r := &prof.Records[i]
+			out.Records = append(out.Records, jsonRecord{
+				Index:  r.Index,
+				Key:    r.Spec.Key(),
+				Class:  r.Spec.Class.String(),
+				Start:  r.StartMicros,
+				Dur:    r.DurMicros,
+				Bottle: results[i].Bottleneck.String(),
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npu-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package npudvfs_test
+
+import (
+	"fmt"
+
+	"npudvfs"
+)
+
+// Fitting the production performance model from two profiled points:
+// the two parameters of T(f) = A·f + C/f are solved exactly, and the
+// model interpolates the whole DVFS range (Sect. 4.3).
+func ExampleFitPerfModel() {
+	freqs := []float64{1000, 1800}
+	times := []float64{120.0, 90.0} // µs measured at the two endpoints
+	m, err := npudvfs.FitPerfModel(freqs, times)
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range []float64{1000, 1400, 1800} {
+		fmt.Printf("%.0f MHz -> %.1f us\n", f, m.Micros(f))
+	}
+	// Output:
+	// 1000 MHz -> 120.0 us
+	// 1400 MHz -> 98.6 us
+	// 1800 MHz -> 90.0 us
+}
+
+// The firmware voltage-frequency curve of Fig. 9: flat below the
+// 1300 MHz knee, linear above it.
+func ExampleAscendVFCurve() {
+	curve := npudvfs.AscendVFCurve()
+	for _, f := range []float64{1000, 1300, 1800} {
+		fmt.Printf("%.0f MHz -> %.3f V\n", f, curve.Voltage(f))
+	}
+	// Output:
+	// 1000 MHz -> 0.750 V
+	// 1300 MHz -> 0.750 V
+	// 1800 MHz -> 0.830 V
+}
+
+// A strategy maps trace positions to frequencies; FreqAt answers what
+// an operator will run at.
+func ExampleStrategy_FreqAt() {
+	s := &npudvfs.Strategy{
+		BaselineMHz: 1800,
+		Points: []npudvfs.FreqPoint{
+			{OpIndex: 0, FreqMHz: 1800},
+			{OpIndex: 100, FreqMHz: 1100},
+			{OpIndex: 200, FreqMHz: 1800},
+		},
+	}
+	fmt.Println(s.FreqAt(50), s.FreqAt(150), s.FreqAt(250))
+	fmt.Println("switches:", s.Switches())
+	// Output:
+	// 1800 1100 1800
+	// switches: 2
+}
+
+// The white-box timeline model: a memory-bound operator's duration is
+// nearly frequency-insensitive above its uncore saturation point
+// (Eq. 4); the small residual comes from its non-overlapped core
+// computation.
+func ExampleChip() {
+	chip := npudvfs.DefaultChip()
+	gelu := npudvfs.OpSpec{
+		Name: "Gelu", Blocks: 6,
+		LoadBytes: 4 << 20, StoreBytes: 4 << 20, CoreCycles: 300,
+		CorePipe: 1 /* vector */, L2Hit: 0.1, PrePostTime: 2,
+	}
+	t1000 := chip.Time(&gelu, 1000)
+	t1800 := chip.Time(&gelu, 1800)
+	fmt.Printf("slowdown at 1000 vs 1800 MHz: %.1f%%\n", 100*(t1000/t1800-1))
+	// Output:
+	// slowdown at 1000 vs 1800 MHz: 3.3%
+}

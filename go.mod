@@ -1,0 +1,3 @@
+module npudvfs
+
+go 1.22

@@ -1,0 +1,138 @@
+// Package adaptive closes the loop around a generated DVFS strategy in
+// production: long-lived AI workloads repeat the same iteration, so a
+// controller can compare each iteration's measured duration against
+// the baseline and correct the strategy when model or actuation error
+// pushes the realized loss past the target.
+//
+// The paper deploys strategies open-loop after validating them
+// (Sect. 7.4); this package adds the guard a production deployment
+// wants on top: if the measured loss exceeds the target, every
+// below-maximum frequency in the strategy is raised one grid step
+// (ratcheting toward the provably compliant all-max strategy); once a
+// violation has been seen, the controller never lowers again, so it
+// cannot oscillate.
+package adaptive
+
+import (
+	"fmt"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/vf"
+)
+
+// Adjustment reports what an Observe call did.
+type Adjustment int
+
+const (
+	// None: the measured loss is inside the acceptance band.
+	None Adjustment = iota
+	// Raised: frequencies were stepped up to reduce loss.
+	Raised
+	// Lowered: frequencies were stepped down to reclaim savings
+	// (only before the first violation).
+	Lowered
+)
+
+func (a Adjustment) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Raised:
+		return "raised"
+	case Lowered:
+		return "lowered"
+	}
+	return fmt.Sprintf("Adjustment(%d)", int(a))
+}
+
+// Controller adapts a strategy from measured iteration durations.
+type Controller struct {
+	curve          *vf.Curve
+	strategy       *core.Strategy
+	baselineMicros float64
+	target         float64
+	// lowBand is the fraction of the target below which the
+	// controller may step down (before any violation).
+	lowBand float64
+	// ratcheted is set on the first violation; stepping down is then
+	// disabled permanently.
+	ratcheted bool
+	// adjustments counts strategy edits.
+	adjustments int
+}
+
+// New builds a controller around a generated strategy. baselineMicros
+// is the measured baseline iteration duration at maximum frequency;
+// target is the allowed relative loss (e.g. 0.02).
+func New(curve *vf.Curve, strategy *core.Strategy, baselineMicros, target float64) (*Controller, error) {
+	switch {
+	case curve == nil:
+		return nil, fmt.Errorf("adaptive: nil curve")
+	case strategy == nil || len(strategy.Points) == 0:
+		return nil, fmt.Errorf("adaptive: empty strategy")
+	case baselineMicros <= 0:
+		return nil, fmt.Errorf("adaptive: baseline duration %g", baselineMicros)
+	case target <= 0:
+		return nil, fmt.Errorf("adaptive: loss target %g", target)
+	}
+	// Work on a copy; callers keep their original.
+	cp := &core.Strategy{BaselineMHz: strategy.BaselineMHz}
+	cp.Points = append(cp.Points, strategy.Points...)
+	return &Controller{
+		curve:          curve,
+		strategy:       cp,
+		baselineMicros: baselineMicros,
+		target:         target,
+		lowBand:        0.5,
+	}, nil
+}
+
+// Strategy returns the controller's current strategy. The returned
+// value is shared; do not mutate.
+func (c *Controller) Strategy() *core.Strategy { return c.strategy }
+
+// Adjustments returns how many strategy edits have been applied.
+func (c *Controller) Adjustments() int { return c.adjustments }
+
+// Observe ingests one measured iteration duration and possibly adjusts
+// the strategy.
+func (c *Controller) Observe(iterMicros float64) Adjustment {
+	if iterMicros <= 0 {
+		return None
+	}
+	loss := iterMicros/c.baselineMicros - 1
+	switch {
+	case loss > c.target:
+		c.ratcheted = true
+		if c.step(+1) {
+			c.adjustments++
+			return Raised
+		}
+		return None
+	case !c.ratcheted && loss < c.target*c.lowBand:
+		if c.step(-1) {
+			c.adjustments++
+			return Lowered
+		}
+		return None
+	default:
+		return None
+	}
+}
+
+// step moves every adjustable point by dir grid steps; returns whether
+// anything changed. Raising skips points already at maximum; lowering
+// skips points already at minimum.
+func (c *Controller) step(dir float64) bool {
+	changed := false
+	stepMHz := c.curve.Step() * dir
+	for i := range c.strategy.Points {
+		p := &c.strategy.Points[i]
+		next := c.curve.Nearest(p.FreqMHz + stepMHz)
+		if next != p.FreqMHz {
+			p.FreqMHz = next
+			changed = true
+		}
+	}
+	return changed
+}

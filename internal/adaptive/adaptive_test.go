@@ -1,0 +1,163 @@
+package adaptive
+
+import (
+	"testing"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/executor"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/thermal"
+	"npudvfs/internal/vf"
+	"npudvfs/internal/workload"
+)
+
+func aggressiveStrategy(chip *npu.Chip, trace int) *core.Strategy {
+	// Alternate max and minimum frequency every few operators — an
+	// over-aggressive policy that will overshoot a tight loss target
+	// on a compute-heavy trace.
+	s := &core.Strategy{BaselineMHz: chip.Curve.Max()}
+	for i := 0; i < trace; i += 8 {
+		f := chip.Curve.Min()
+		if (i/8)%2 == 0 {
+			f = chip.Curve.Max()
+		}
+		s.Points = append(s.Points, core.FreqPoint{OpIndex: i, FreqMHz: f})
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	curve := vf.Ascend()
+	ok := executor.FixedStrategy(1800)
+	if _, err := New(nil, ok, 100, 0.02); err == nil {
+		t.Error("nil curve: want error")
+	}
+	if _, err := New(curve, nil, 100, 0.02); err == nil {
+		t.Error("nil strategy: want error")
+	}
+	if _, err := New(curve, ok, 0, 0.02); err == nil {
+		t.Error("zero baseline: want error")
+	}
+	if _, err := New(curve, ok, 100, 0); err == nil {
+		t.Error("zero target: want error")
+	}
+}
+
+func TestControllerCopiesStrategy(t *testing.T) {
+	orig := executor.FixedStrategy(1000)
+	c, err := New(vf.Ascend(), orig, 100, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(200) // 100% loss: raise
+	if orig.Points[0].FreqMHz != 1000 {
+		t.Error("controller mutated the caller's strategy")
+	}
+	if c.Strategy().Points[0].FreqMHz != 1100 {
+		t.Errorf("controller strategy not raised: %g", c.Strategy().Points[0].FreqMHz)
+	}
+}
+
+func TestObserveBands(t *testing.T) {
+	c, err := New(vf.Ascend(), executor.FixedStrategy(1400), 1000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the band: no change.
+	if adj := c.Observe(1015); adj != None {
+		t.Errorf("loss 1.5%%: adjustment %v, want none", adj)
+	}
+	// Far below the band: step down (no violation yet).
+	if adj := c.Observe(1002); adj != Lowered {
+		t.Errorf("loss 0.2%%: adjustment %v, want lowered", adj)
+	}
+	if got := c.Strategy().Points[0].FreqMHz; got != 1300 {
+		t.Errorf("frequency after lowering = %g, want 1300", got)
+	}
+	// Violation: raise and ratchet.
+	if adj := c.Observe(1050); adj != Raised {
+		t.Errorf("loss 5%%: adjustment %v, want raised", adj)
+	}
+	// After a violation, low readings no longer lower.
+	if adj := c.Observe(1001); adj != None {
+		t.Errorf("post-ratchet low loss: adjustment %v, want none", adj)
+	}
+}
+
+func TestRaiseSaturatesAtMax(t *testing.T) {
+	c, err := New(vf.Ascend(), executor.FixedStrategy(1700), 1000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj := c.Observe(1100); adj != Raised {
+		t.Fatalf("first raise: got %v", adj)
+	}
+	// Already at max: further violations change nothing.
+	if adj := c.Observe(1100); adj != None {
+		t.Errorf("raise at max: got %v, want none", adj)
+	}
+	if got := c.Strategy().Points[0].FreqMHz; got != 1800 {
+		t.Errorf("frequency = %g, want clamped 1800", got)
+	}
+}
+
+// Closed loop against the simulator: an over-aggressive strategy on a
+// compute-heavy trace must be ratcheted up until the measured loss
+// falls under the target, and stay there.
+func TestClosedLoopConvergesUnderTarget(t *testing.T) {
+	chip := npu.Default()
+	ground := powersim.Default(chip)
+	ex := executor.New(chip, ground)
+	reps := workload.RepresentativeOps()
+	// A conv-heavy trace: compute-bound, so frequency errors show up
+	// directly as loss.
+	m := workload.MicroOp(reps[3], 160) // Conv2D x160
+	th := thermal.NewState(thermal.Default())
+	base, err := ex.RunStable(m.Trace, executor.FixedStrategy(1800), th, executor.DefaultOptions(), 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 0.02
+	ctl, err := New(chip.Curve, aggressiveStrategy(chip, len(m.Trace)), base.TimeMicros, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastLoss float64
+	converged := false
+	for iter := 0; iter < 30; iter++ {
+		res, err := ex.Run(m.Trace, ctl.Strategy(), th, executor.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLoss = res.TimeMicros/base.TimeMicros - 1
+		if ctl.Observe(res.TimeMicros) == None && lastLoss <= target {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("controller did not converge: last loss %.4f", lastLoss)
+	}
+	if ctl.Adjustments() == 0 {
+		t.Error("expected at least one adjustment for an over-aggressive strategy")
+	}
+	// Stability: ten more iterations produce no further edits.
+	edits := ctl.Adjustments()
+	for iter := 0; iter < 10; iter++ {
+		res, err := ex.Run(m.Trace, ctl.Strategy(), th, executor.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl.Observe(res.TimeMicros)
+	}
+	if ctl.Adjustments() != edits {
+		t.Errorf("controller kept editing after convergence: %d -> %d", edits, ctl.Adjustments())
+	}
+}
+
+func TestAdjustmentString(t *testing.T) {
+	if None.String() != "none" || Raised.String() != "raised" || Lowered.String() != "lowered" {
+		t.Error("adjustment names wrong")
+	}
+}

@@ -1,0 +1,356 @@
+// Package dualdvfs implements the paper's stated future work
+// (Sect. 8.2): joint core + uncore DVFS strategy generation. The
+// measured Ascend platform can only tune the AICore domain, capping
+// SoC savings because the uncore (HBM, L2, bus) averages ~80% of chip
+// power; this package extends the search space so every candidate
+// stage carries a (core frequency, uncore scale) pair.
+//
+// Because per-operator fitted models only exist for the stock uncore,
+// stage timing under a scaled uncore is predicted with the white-box
+// analytical model of Sect. 4.2 (the operator timeline equations
+// evaluated on a bandwidth-scaled chip) — the derivation route the
+// paper notes as an alternative to fitting. Power under a scaled
+// uncore uses the stock power model minus the calibrated
+// clock-proportional share of uncore idle power.
+package dualdvfs
+
+import (
+	"fmt"
+
+	"npudvfs/internal/classify"
+	"npudvfs/internal/core"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/powermodel"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/preprocess"
+	"npudvfs/internal/profiler"
+)
+
+// Config tunes two-domain strategy generation.
+type Config struct {
+	// UncoreScales are the candidate uncore frequencies relative to
+	// nominal; 1.0 is added automatically if missing.
+	UncoreScales []float64
+	// FAIMicros, PerfLossTarget, Guard and GA mirror core.Config.
+	FAIMicros      float64
+	PerfLossTarget float64
+	Guard          float64
+	GA             ga.Config
+	// PriorLFCMHz seeds LFC stages of the prior individual at this
+	// core frequency (uncore at nominal: scaling the uncore down on a
+	// memory-bound stage costs time directly).
+	PriorLFCMHz float64
+	// PriorHFCScale seeds HFC stages at this uncore scale (core at
+	// maximum): compute-bound stages hide memory latency under the
+	// core computation, so their uncore can be downclocked nearly for
+	// free until the transfer time surfaces.
+	PriorHFCScale float64
+}
+
+// DefaultConfig mirrors the paper's production settings with a
+// conservative uncore candidate set.
+func DefaultConfig() Config {
+	return Config{
+		UncoreScales:   []float64{1.0, 0.95, 0.9, 0.85},
+		FAIMicros:      5000,
+		PerfLossTarget: 0.02,
+		Guard:          0.7,
+		GA:             ga.DefaultConfig(),
+		PriorLFCMHz:    1600,
+		PriorHFCScale:  0.95,
+	}
+}
+
+// Input bundles what generation consumes.
+type Input struct {
+	Chip *npu.Chip
+	// Profile is the stock baseline profile.
+	Profile *profiler.Profile
+	// Power is the stock power model.
+	Power *powermodel.Model
+	// UncoreDynW is the calibrated clock-proportional share of uncore
+	// idle power (watts at nominal; scales with s²).
+	UncoreDynW float64
+}
+
+// CalibrateUncore measures the clock-proportional uncore idle power by
+// reading cold idle SoC power at nominal and at a reduced uncore scale
+// — the extra offline measurement a platform with uncore DVFS would
+// provide.
+func CalibrateUncore(rig *powermodel.Rig, probeScale float64, samples int) (float64, error) {
+	if rig == nil || rig.Ground == nil || rig.Sensor == nil {
+		return 0, fmt.Errorf("dualdvfs: incomplete rig")
+	}
+	if probeScale <= 0 || probeScale >= 1 {
+		return 0, fmt.Errorf("dualdvfs: probe scale %g outside (0, 1)", probeScale)
+	}
+	if samples <= 0 {
+		samples = 64
+	}
+	const fMHz = 1500
+	read := func(g *powersim.Ground) float64 {
+		sum := 0.0
+		for i := 0; i < samples; i++ {
+			sum += rig.Sensor.Power(g.SoCPower(nil, fMHz, 0))
+		}
+		return sum / float64(samples)
+	}
+	stock := read(rig.Ground)
+	scaledGround := *rig.Ground
+	scaledGround.Chip = rig.Chip.WithUncoreScale(probeScale)
+	scaledGround.UncoreScale = probeScale
+	scaled := read(&scaledGround)
+	dyn := (stock - scaled) / (1 - probeScale*probeScale)
+	if dyn < 0 {
+		dyn = 0
+	}
+	return dyn, nil
+}
+
+// pair indexes the (core frequency, uncore scale) allele grid.
+type pair struct {
+	freqIdx, scaleIdx int
+}
+
+type problem struct {
+	grid   []float64
+	scales []float64
+	stages []preprocess.Stage
+
+	// Per stage, per pair-allele predictions.
+	stageTime  [][]float64
+	stageSocE  [][]float64
+	stageCoreE [][]float64
+	stageVT    [][]float64
+
+	k                float64
+	gammaSoC         float64
+	gammaCore        float64
+	temperatureAware bool
+
+	perBaseline float64
+	perLB       float64
+	baselineIdx int // allele of (f_max, scale 1)
+	priorLFCIdx int // prior allele for LFC stages
+	priorHFCIdx int // prior allele for HFC stages
+}
+
+func (p *problem) alleleOf(freqIdx, scaleIdx int) int { return freqIdx*len(p.scales) + scaleIdx }
+
+func (p *problem) pairOf(allele int) pair {
+	return pair{freqIdx: allele / len(p.scales), scaleIdx: allele % len(p.scales)}
+}
+
+func (p *problem) Genes() int   { return len(p.stages) }
+func (p *problem) Alleles() int { return len(p.grid) * len(p.scales) }
+
+func (p *problem) Seeds() [][]int {
+	baseline := make([]int, len(p.stages))
+	prior := make([]int, len(p.stages))
+	for i := range p.stages {
+		baseline[i] = p.baselineIdx
+		if p.stages[i].Sensitive {
+			prior[i] = p.priorHFCIdx
+		} else {
+			prior[i] = p.priorLFCIdx
+		}
+	}
+	return [][]int{baseline, prior}
+}
+
+func (p *problem) predict(ind []int) core.Prediction {
+	var t, socE, coreE, vt float64
+	for s, g := range ind {
+		t += p.stageTime[s][g]
+		socE += p.stageSocE[s][g]
+		coreE += p.stageCoreE[s][g]
+		vt += p.stageVT[s][g]
+	}
+	if t <= 0 {
+		return core.Prediction{}
+	}
+	soc0 := socE / t
+	vMean := vt / t
+	deltaT := 0.0
+	if p.temperatureAware {
+		deltaT, _ = powermodel.SolveDeltaT(p.k, func(dt float64) float64 {
+			return soc0 + p.gammaSoC*dt*vMean
+		})
+	}
+	return core.Prediction{
+		TimeMicros: t,
+		SoCWatts:   soc0 + p.gammaSoC*deltaT*vMean,
+		CoreWatts:  coreE/t + p.gammaCore*deltaT*vMean,
+		DeltaT:     deltaT,
+	}
+}
+
+func (p *problem) Score(ind []int) float64 {
+	pred := p.predict(ind)
+	if pred.TimeMicros <= 0 || pred.SoCWatts <= 0 {
+		return 0
+	}
+	per := 1 / pred.TimeMicros
+	score := p.perBaseline * p.perBaseline / pred.SoCWatts
+	if per >= p.perLB {
+		return 2 * score
+	}
+	rel := per / p.perLB
+	return score * rel * rel
+}
+
+// Generate searches (core frequency, uncore scale) pairs per stage.
+func Generate(in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Result, error) {
+	if in.Chip == nil || in.Profile == nil || len(in.Profile.Records) == 0 || in.Power == nil {
+		return nil, nil, nil, fmt.Errorf("dualdvfs: incomplete input")
+	}
+	results := classify.Trace(in.Profile)
+	stages, err := preprocess.Stages(in.Profile, results, cfg.FAIMicros)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prob, err := buildProblem(in, cfg, stages)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := ga.Run(prob, cfg.GA)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return prob.strategy(res.Best), stages, res, nil
+}
+
+func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, error) {
+	scales := append([]float64(nil), cfg.UncoreScales...)
+	hasOne := false
+	for _, s := range scales {
+		if s == 1 {
+			hasOne = true
+		}
+		if s <= 0 || s > 1 {
+			return nil, fmt.Errorf("dualdvfs: invalid uncore scale %g", s)
+		}
+	}
+	if !hasOne {
+		scales = append([]float64{1}, scales...)
+	}
+	grid := in.Chip.Curve.Grid()
+	p := &problem{
+		grid:             grid,
+		scales:           scales,
+		stages:           stages,
+		k:                in.Power.K,
+		temperatureAware: in.Power.TemperatureAware,
+	}
+	if p.temperatureAware {
+		p.gammaCore = in.Power.AICore.Gamma
+		p.gammaSoC = in.Power.SoC.Gamma
+	}
+	// Scaled chips for white-box timing.
+	chips := make([]*npu.Chip, len(scales))
+	for i, s := range scales {
+		if s == 1 {
+			chips[i] = in.Chip
+		} else {
+			chips[i] = in.Chip.WithUncoreScale(s)
+		}
+	}
+	// Locate baseline and prior alleles. The prior individual pairs
+	// LFC stages with a lower core frequency (nominal uncore) and HFC
+	// stages with a downclocked uncore (maximum core frequency).
+	one := indexOf(scales, 1)
+	p.baselineIdx = p.alleleOf(len(grid)-1, one)
+	priorF := len(grid) - 1
+	for i, f := range grid {
+		if f == cfg.PriorLFCMHz {
+			priorF = i
+		}
+	}
+	p.priorLFCIdx = p.alleleOf(priorF, one)
+	hfcScale := indexOf(scales, cfg.PriorHFCScale)
+	if hfcScale < 0 {
+		hfcScale = one
+	}
+	p.priorHFCIdx = p.alleleOf(len(grid)-1, hfcScale)
+
+	nAlleles := p.Alleles()
+	p.stageTime = make([][]float64, len(stages))
+	p.stageSocE = make([][]float64, len(stages))
+	p.stageCoreE = make([][]float64, len(stages))
+	p.stageVT = make([][]float64, len(stages))
+	for si, st := range stages {
+		p.stageTime[si] = make([]float64, nAlleles)
+		p.stageSocE[si] = make([]float64, nAlleles)
+		p.stageCoreE[si] = make([]float64, nAlleles)
+		p.stageVT[si] = make([]float64, nAlleles)
+		for fi, f := range grid {
+			v := in.Chip.Curve.Voltage(f)
+			for sc, scale := range scales {
+				allele := p.alleleOf(fi, sc)
+				dynSaving := in.UncoreDynW * (1 - scale*scale)
+				for i := st.OpStart; i < st.OpEnd; i++ {
+					rec := &in.Profile.Records[i]
+					dur := rec.DurMicros
+					if rec.Spec.Class == op.Compute {
+						// White-box timing on the scaled chip.
+						dur = chips[sc].Time(rec.Spec, f)
+					}
+					coreP, socP := in.Power.OpPowerAt(rec.Spec.Key(), f, 0)
+					socP -= dynSaving
+					p.stageTime[si][allele] += dur
+					p.stageSocE[si][allele] += socP * dur
+					p.stageCoreE[si][allele] += coreP * dur
+					p.stageVT[si][allele] += v * dur
+				}
+			}
+		}
+	}
+	baseline := make([]int, len(stages))
+	for i := range baseline {
+		baseline[i] = p.baselineIdx
+	}
+	basePred := p.predict(baseline)
+	if basePred.TimeMicros <= 0 {
+		return nil, fmt.Errorf("dualdvfs: degenerate baseline prediction")
+	}
+	guard := cfg.Guard
+	if guard <= 0 || guard > 1 {
+		guard = 1
+	}
+	p.perBaseline = 1 / basePred.TimeMicros
+	p.perLB = p.perBaseline * (1 - cfg.PerfLossTarget*guard)
+	return p, nil
+}
+
+func indexOf(xs []float64, want float64) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// strategy converts an assignment to a two-domain strategy.
+func (p *problem) strategy(ind []int) *core.Strategy {
+	s := &core.Strategy{BaselineMHz: p.grid[len(p.grid)-1]}
+	lastF, lastS := -1.0, -1.0
+	for si, allele := range ind {
+		pr := p.pairOf(allele)
+		f := p.grid[pr.freqIdx]
+		scale := p.scales[pr.scaleIdx]
+		if f == lastF && scale == lastS {
+			continue
+		}
+		s.Points = append(s.Points, core.FreqPoint{
+			OpIndex:     p.stages[si].OpStart,
+			TimeMicros:  p.stages[si].StartMicros,
+			FreqMHz:     f,
+			UncoreScale: scale,
+		})
+		lastF, lastS = f, scale
+	}
+	return s
+}

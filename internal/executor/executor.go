@@ -1,0 +1,340 @@
+// Package executor simulates executing a workload iteration under a
+// DVFS strategy with the SetFreq mechanism of Sect. 7.1 (Fig. 14).
+//
+// SetFreq operators are dispatched on a dedicated stream and take a
+// fixed actuation latency (1 ms on the Ascend NPU, ~15 ms on a V100)
+// to take effect. To make a frequency change land exactly at its
+// intended operator, the executor subtracts the latency from the
+// switch time and picks the last operator starting before that point
+// as the trigger: the SetFreq is dispatched when the trigger operator
+// starts, and Event Record/Wait synchronization optionally guarantees
+// the change completes before the target operator begins.
+//
+// The executor is the "hardware run" of the evaluation: it integrates
+// the ground-truth power model and thermal state over the actual
+// execution, so measured results can be compared against model
+// predictions and against the paper's trends.
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/thermal"
+)
+
+// Options controls actuation behaviour.
+type Options struct {
+	// SetFreqLatencyMicros is the actuation latency of the SetFreq
+	// operator (1000 µs on the Ascend platform).
+	SetFreqLatencyMicros float64
+	// ExtraDelayMicros postpones SetFreq deployment, simulating a
+	// slower platform: the Fig. 18 V100 comparison adds 14 ms.
+	ExtraDelayMicros float64
+	// DelayJitterMicros adds a uniform random extra delay in
+	// [0, DelayJitterMicros) per SetFreq, modeling the unstable
+	// actuation of platforms without a fast frequency-control path
+	// (the Ascend SetFreq has a "stable activation time", Sect. 7.1 —
+	// slower platforms do not). Jitter smears switch landings across
+	// stage boundaries, eroding the frequency/operator alignment that
+	// fine-grained DVFS relies on.
+	DelayJitterMicros float64
+	// JitterSeed drives the jitter sequence deterministically.
+	JitterSeed int64
+	// Sync enforces the Event Wait: the operator at a switch point
+	// stalls until the frequency change completes. The production
+	// configuration uses it; the delayed-deployment comparison does
+	// not (the change simply lands late).
+	Sync bool
+}
+
+// DefaultOptions returns the production Ascend configuration.
+func DefaultOptions() Options {
+	return Options{SetFreqLatencyMicros: 1000, Sync: true}
+}
+
+// Result is the measured outcome of one executed iteration.
+type Result struct {
+	// TimeMicros is the iteration wall time.
+	TimeMicros float64
+	// MeanSoCW and MeanCoreW are time-weighted mean powers.
+	MeanSoCW, MeanCoreW float64
+	// EnergySoCJ and EnergyCoreJ are the integrated energies in
+	// joules.
+	EnergySoCJ, EnergyCoreJ float64
+	// Switches counts frequency changes that took effect.
+	Switches int
+	// StallMicros is time spent waiting on Event Wait
+	// synchronization.
+	StallMicros float64
+	// EndTempC is the die temperature at iteration end.
+	EndTempC float64
+}
+
+// pendingSwitch is a scheduled frequency change.
+type pendingSwitch struct {
+	triggerOp int // dispatch SetFreq while this op runs
+	targetOp  int // the op that must see the new frequency
+	// offsetMicros is where within the trigger operator the dispatch
+	// happens, derived from the baseline timeline: the paper's
+	// executor subtracts the SetFreq latency from the switch time, so
+	// the dispatch lands latency-early rather than at an operator
+	// boundary (Fig. 14).
+	offsetMicros float64
+	freqMHz      float64
+	uncoreScale  float64 // 0 = leave at nominal
+	effectTime   float64 // filled at runtime: dispatch + latency
+	dispatched   bool
+	applied      bool
+}
+
+// Executor runs traces under strategies on the simulated chip.
+type Executor struct {
+	Chip   *npu.Chip
+	Ground *powersim.Ground
+
+	// scaled caches per-uncore-scale views of the chip and ground
+	// truth for the two-domain extension.
+	scaled map[float64]scaledView
+}
+
+type scaledView struct {
+	chip   *npu.Chip
+	ground *powersim.Ground
+}
+
+// New returns an executor for the chip with its ground-truth power.
+func New(chip *npu.Chip, ground *powersim.Ground) *Executor {
+	return &Executor{Chip: chip, Ground: ground}
+}
+
+// viewAt returns the chip and ground truth adjusted for an uncore
+// scale (cached; scale 1 or 0 is the stock view).
+func (e *Executor) viewAt(scale float64) scaledView {
+	if scale == 0 || scale == 1 {
+		return scaledView{chip: e.Chip, ground: e.Ground}
+	}
+	if v, ok := e.scaled[scale]; ok {
+		return v
+	}
+	if e.scaled == nil {
+		e.scaled = make(map[float64]scaledView)
+	}
+	chip := e.Chip.WithUncoreScale(scale)
+	g := *e.Ground
+	g.Chip = chip
+	g.UncoreScale = scale
+	v := scaledView{chip: chip, ground: &g}
+	e.scaled[scale] = v
+	return v
+}
+
+// planSwitches converts strategy points into trigger-anticipated
+// pending switches, per Fig. 14: the SetFreq latency is subtracted
+// from each frequency adjustment time point on the strategy's own
+// expected timeline (operators before a switch run at their assigned
+// frequency), so landings stay precise even when early low-frequency
+// stages stretch the schedule.
+func (e *Executor) planSwitches(trace []op.Spec, strat *core.Strategy, opt Options) []pendingSwitch {
+	starts := make([]float64, len(trace))
+	now := 0.0
+	for i := range trace {
+		starts[i] = now
+		view := e.viewAt(strat.UncoreScaleAt(i))
+		now += view.chip.Time(&trace[i], strat.FreqAt(i))
+	}
+	var plan []pendingSwitch
+	for _, pt := range strat.Points {
+		if pt.OpIndex == 0 {
+			continue // initial frequency, applied before execution
+		}
+		anticipated := starts[pt.OpIndex] - opt.SetFreqLatencyMicros
+		// The trigger is the last operator starting at or before the
+		// anticipated dispatch time.
+		trigger := sort.Search(len(starts), func(i int) bool { return starts[i] > anticipated }) - 1
+		if trigger < 0 {
+			trigger = 0
+		}
+		if trigger >= pt.OpIndex {
+			trigger = pt.OpIndex - 1
+		}
+		offset := anticipated - starts[trigger]
+		if offset < 0 {
+			offset = 0
+		}
+		plan = append(plan, pendingSwitch{
+			triggerOp:    trigger,
+			targetOp:     pt.OpIndex,
+			offsetMicros: offset,
+			freqMHz:      pt.FreqMHz,
+			uncoreScale:  pt.UncoreScale,
+		})
+	}
+	return plan
+}
+
+// Run executes one iteration of the trace under the strategy,
+// advancing the thermal state, and returns measured results. A nil
+// strategy runs the whole trace at fixed freqMHz given by baseline.
+func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State, opt Options) (*Result, error) {
+	if e.Chip == nil || e.Ground == nil {
+		return nil, fmt.Errorf("executor: incomplete executor")
+	}
+	if th == nil {
+		return nil, fmt.Errorf("executor: nil thermal state")
+	}
+	if strat == nil || len(strat.Points) == 0 {
+		return nil, fmt.Errorf("executor: nil or empty strategy")
+	}
+	if opt.SetFreqLatencyMicros < 0 || opt.ExtraDelayMicros < 0 || opt.DelayJitterMicros < 0 {
+		return nil, fmt.Errorf("executor: negative latency")
+	}
+	var jitter *rand.Rand
+	if opt.DelayJitterMicros > 0 {
+		jitter = rand.New(rand.NewSource(opt.JitterSeed))
+	}
+	plan := e.planSwitches(trace, strat, opt)
+	freq := strat.Points[0].FreqMHz
+	scale := strat.Points[0].UncoreScale
+	if strat.Points[0].OpIndex != 0 {
+		freq = strat.BaselineMHz
+		scale = 0
+	}
+	view := e.viewAt(scale)
+
+	res := &Result{}
+	now := 0.0
+	next := 0 // next plan entry to dispatch or apply
+	// advanceTo applies every pending effect up to time t.
+	applyEffects := func(t float64) {
+		for i := range plan {
+			p := &plan[i]
+			if p.dispatched && !p.applied && p.effectTime <= t {
+				if p.freqMHz != freq {
+					freq = p.freqMHz
+					res.Switches++
+				}
+				view = e.viewAt(p.uncoreScale)
+				p.applied = true
+			}
+		}
+	}
+	integrate := func(s *op.Spec, dur float64) {
+		if dur <= 0 {
+			return
+		}
+		deltaT := th.DeltaT()
+		soc := view.ground.SoCPower(s, freq, deltaT)
+		coreP := view.ground.AICorePower(s, freq, deltaT)
+		res.EnergySoCJ += soc * dur * 1e-6
+		res.EnergyCoreJ += coreP * dur * 1e-6
+		th.Step(dur, soc)
+	}
+
+	for i := range trace {
+		s := &trace[i]
+		// Dispatch SetFreq operators triggered by this op's start
+		// (plan entries are ordered by trigger).
+		for j := next; j < len(plan); j++ {
+			if plan[j].triggerOp > i {
+				break
+			}
+			if plan[j].triggerOp == i && !plan[j].dispatched {
+				plan[j].dispatched = true
+				plan[j].effectTime = now + plan[j].offsetMicros +
+					opt.SetFreqLatencyMicros + opt.ExtraDelayMicros
+				if jitter != nil {
+					plan[j].effectTime += jitter.Float64() * opt.DelayJitterMicros
+				}
+			}
+		}
+		// Event Wait: before the target op of a synchronized switch
+		// starts, its frequency change must have completed.
+		if opt.Sync {
+			for j := range plan {
+				p := &plan[j]
+				if p.targetOp == i && p.dispatched && !p.applied && p.effectTime > now {
+					stall := p.effectTime - now
+					integrate(nil, stall) // idle while stalled
+					res.StallMicros += stall
+					now = p.effectTime
+				}
+			}
+		}
+		applyEffects(now)
+
+		// Execute the operator, splitting at any mid-op frequency
+		// effect: the remaining work continues at the new frequency.
+		remaining := 1.0
+		for remaining > 1e-12 {
+			dur := view.chip.Time(s, freq) * remaining
+			if dur <= 0 {
+				break
+			}
+			// Find the earliest pending effect inside (now, now+dur).
+			cut := now + dur
+			found := false
+			for j := range plan {
+				p := &plan[j]
+				if p.dispatched && !p.applied && p.effectTime > now && p.effectTime < cut {
+					cut = p.effectTime
+					found = true
+				}
+			}
+			seg := cut - now
+			integrate(s, seg)
+			remaining -= remaining * (seg / dur)
+			now = cut
+			if found {
+				applyEffects(now)
+			} else {
+				break
+			}
+		}
+		for next < len(plan) && plan[next].applied {
+			next++
+		}
+	}
+	res.TimeMicros = now
+	if now > 0 {
+		res.MeanSoCW = res.EnergySoCJ * 1e6 / now
+		res.MeanCoreW = res.EnergyCoreJ * 1e6 / now
+	}
+	res.EndTempC = th.TempC()
+	return res, nil
+}
+
+// FixedStrategy returns a strategy that pins the whole iteration to
+// one frequency — the baseline configuration of the evaluation.
+func FixedStrategy(fMHz float64) *core.Strategy {
+	return &core.Strategy{
+		BaselineMHz: fMHz,
+		Points:      []core.FreqPoint{{OpIndex: 0, FreqMHz: fMHz}},
+	}
+}
+
+// RunStable repeats the iteration until the die temperature stabilizes
+// (like the paper's "collect once training is stable") and returns the
+// last iteration's measurements.
+func (e *Executor) RunStable(trace []op.Spec, strat *core.Strategy, th *thermal.State, opt Options, maxIters int, tolC float64) (*Result, error) {
+	var last *Result
+	for i := 0; i < maxIters; i++ {
+		res, err := e.Run(trace, strat, th, opt)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+		if diff := th.Equilibrium(res.MeanSoCW) - th.TempC(); diff < tolC && diff > -tolC {
+			break
+		}
+	}
+	if last == nil {
+		return nil, fmt.Errorf("executor: no iterations executed")
+	}
+	return last, nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"npudvfs/internal/plot"
+)
+
+// Chart builders turn experiment results into SVG-renderable figures,
+// matching the paper's plots. Results without a natural line-chart
+// form (the tables) have no Chart method.
+
+// Chart renders Fig. 3's two panels as one chart with normalized axes.
+func (r *Fig3Result) Chart() *plot.Chart {
+	tp := plot.Series{Name: "throughput (GB/s)"}
+	cyc := plot.Series{Name: "Ld cycles"}
+	for _, row := range r.Rows {
+		tp.X = append(tp.X, row.MHz)
+		tp.Y = append(tp.Y, row.ThroughputGBs)
+		cyc.X = append(cyc.X, row.MHz)
+		cyc.Y = append(cyc.Y, row.Cycles)
+	}
+	return &plot.Chart{
+		Title:  "Fig. 3 - Ld throughput and cycles vs core frequency",
+		XLabel: "core frequency (MHz)",
+		YLabel: "GB/s | cycles",
+		Series: []plot.Series{tp, cyc},
+	}
+}
+
+// Chart renders Fig. 4's piecewise-linear cycle curve.
+func (r *Fig4Result) Chart() *plot.Chart {
+	s := plot.Series{Name: "cycles", X: r.MHz, Y: r.Cycles}
+	return &plot.Chart{
+		Title:  "Fig. 4 - convex piecewise-linear cycle curve",
+		XLabel: "core frequency (MHz)",
+		YLabel: "cycles",
+		Series: []plot.Series{s},
+	}
+}
+
+// Chart renders the V-F curve of Fig. 9.
+func (r *Fig9Result) Chart() *plot.Chart {
+	s := plot.Series{Name: "voltage"}
+	for _, p := range r.Points {
+		s.X = append(s.X, p.MHz)
+		s.Y = append(s.Y, p.Volts)
+	}
+	return &plot.Chart{
+		Title:  "Fig. 9 - voltage vs frequency",
+		XLabel: "frequency (MHz)",
+		YLabel: "volts",
+		Series: []plot.Series{s},
+	}
+}
+
+// Chart renders the temperature/power lines of Fig. 10.
+func (r *Fig10Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Fig. 10 - temperature vs SoC power",
+		XLabel: "SoC power (W)",
+		YLabel: "temperature (C)",
+	}
+	for _, line := range r.Lines {
+		c.Series = append(c.Series, plot.Series{Name: line.Operator, X: line.PowerW, Y: line.TempC})
+	}
+	return c
+}
+
+// Chart renders the error CDFs of Fig. 15.
+func (r *Fig15Result) Chart() *plot.Chart {
+	thresholds := make([]float64, 0, 60)
+	for e := 0.0; e <= 0.30; e += 0.005 {
+		thresholds = append(thresholds, e)
+	}
+	c := &plot.Chart{
+		Title:  "Fig. 15 - performance-model error CDF",
+		XLabel: "relative error",
+		YLabel: "CDF",
+	}
+	for k := Func1; k <= Func3; k++ {
+		s := plot.Series{Name: k.String()}
+		for _, p := range r.CDF(k, thresholds) {
+			s.X = append(s.X, p.X)
+			s.Y = append(s.Y, p.Fraction)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Charts renders one panel per representative operator of Fig. 16.
+func (r *Fig16Result) Charts() []*plot.Chart {
+	var charts []*plot.Chart
+	for _, row := range r.Rows {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Fig. 16 - %s", row.Name),
+			XLabel: "frequency (MHz)",
+			YLabel: "time (us)",
+			Series: []plot.Series{
+				{Name: "measured", X: row.MHz, Y: row.RealUs},
+				{Name: "Func1", X: row.MHz, Y: row.PredUs[Func1]},
+				{Name: "Func2", X: row.MHz, Y: row.PredUs[Func2]},
+				{Name: "Func3", X: row.MHz, Y: row.PredUs[Func3]},
+			},
+		}
+		charts = append(charts, c)
+	}
+	return charts
+}
+
+// Chart renders the GA convergence histories of Fig. 17.
+func (r *Fig17Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Fig. 17 - best score during the search",
+		XLabel: "generation",
+		YLabel: "score",
+	}
+	for _, s := range r.Series {
+		line := plot.Series{Name: fmt.Sprintf("target %.0f%%", s.LossTarget*100)}
+		for g, v := range s.History {
+			line.X = append(line.X, float64(g))
+			line.Y = append(line.Y, v)
+		}
+		c.Series = append(c.Series, line)
+	}
+	return c
+}
+
+// Chart renders the FAI sweep curve.
+func (r *FAISweepResult) Chart() *plot.Chart {
+	core := plot.Series{Name: "AICore reduction (%)"}
+	soc := plot.Series{Name: "SoC reduction (%)"}
+	loss := plot.Series{Name: "perf loss (%)"}
+	for _, row := range r.Rows {
+		core.X = append(core.X, row.FAIMillis)
+		core.Y = append(core.Y, row.CoreReduction*100)
+		soc.X = append(soc.X, row.FAIMillis)
+		soc.Y = append(soc.Y, row.SoCReduction*100)
+		loss.X = append(loss.X, row.FAIMillis)
+		loss.Y = append(loss.Y, row.PerfLoss*100)
+	}
+	return &plot.Chart{
+		Title:  "Savings vs frequency adjustment interval (GPT-3)",
+		XLabel: "FAI (ms)",
+		YLabel: "percent",
+		Series: []plot.Series{core, soc, loss},
+	}
+}

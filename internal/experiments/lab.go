@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sect. 7) plus the discussion experiments of
+// Sect. 8 on the simulated NPU. Each experiment returns a typed result
+// with a text rendering, and is also wired to a benchmark in the
+// repository root so `go test -bench` reproduces the full evaluation.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/executor"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/perfmodel"
+	"npudvfs/internal/powermodel"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/thermal"
+	"npudvfs/internal/workload"
+)
+
+// FitFreqs are the two frequencies the power model is built from
+// (Sect. 7.3: data at 1000 and 1800 MHz builds the model).
+var FitFreqs = []float64{1000, 1800}
+
+// PerfFitFreqs are the frequencies per-operator performance models are
+// fitted from. Like the paper, Func. 2's two parameters are solved
+// exactly from the grid endpoints, which makes predictions exact at
+// the frequencies LFC stages most often land on; the guard band in
+// core.Config absorbs the model's mid-grid optimism.
+var PerfFitFreqs = []float64{1000, 1800}
+
+// EvalFreqs are the interior frequencies predictions are validated at.
+var EvalFreqs = []float64{1100, 1200, 1300, 1400, 1500, 1600, 1700}
+
+// Lab is the shared experimental setup: the simulated chip, its
+// ground-truth power, thermal constants, and the one-time offline
+// power calibration. All randomness is seeded for reproducibility.
+type Lab struct {
+	Chip    *npu.Chip
+	Ground  *powersim.Ground
+	Thermal thermal.Params
+	Seed    int64
+
+	calOnce sync.Once
+	offline *powermodel.Offline
+	calErr  error
+
+	gptOnce   sync.Once
+	gptModels *Models
+	gptErr    error
+}
+
+// NewLab returns the reference laboratory configuration.
+func NewLab() *Lab {
+	chip := npu.Default()
+	return NewLabFor(chip, powersim.Default(chip), thermal.Default(), 2025)
+}
+
+// NewLabFor builds a laboratory around a custom accelerator: its chip
+// parameters, ground-truth power and thermal constants. This is the
+// entry point for porting the methodology to other hardware
+// (Sect. 8.3).
+func NewLabFor(chip *npu.Chip, ground *powersim.Ground, th thermal.Params, seed int64) *Lab {
+	return &Lab{Chip: chip, Ground: ground, Thermal: th, Seed: seed}
+}
+
+func (l *Lab) sensor(offset int64) *powersim.Sensor {
+	return powersim.NewSensor(l.Seed + offset)
+}
+
+func (l *Lab) profiler(offset int64) *profiler.Profiler {
+	return &profiler.Profiler{Chip: l.Chip, Sensor: l.sensor(offset), TimeNoiseFrac: 0.01}
+}
+
+// Offline returns the chip's offline power calibration, computed once
+// per lab using a representative test load (Fig. 11, offline phase).
+func (l *Lab) Offline() (*powermodel.Offline, error) {
+	l.calOnce.Do(func() {
+		var load []op.Spec
+		reps := workload.RepresentativeOps()
+		for i := 0; i < 60; i++ {
+			load = append(load, reps...)
+		}
+		rig := &powermodel.Rig{
+			Chip:    l.Chip,
+			Ground:  l.Ground,
+			Sensor:  l.sensor(7001),
+			Thermal: l.Thermal,
+		}
+		l.offline, l.calErr = powermodel.Calibrate(rig, load, powermodel.DefaultCalibrateOptions())
+	})
+	return l.offline, l.calErr
+}
+
+// TimingProfiles profiles the model once per frequency (timing and
+// ratios only).
+func (l *Lab) TimingProfiles(m *workload.Model, freqs []float64) ([]*profiler.Profile, error) {
+	p := l.profiler(100)
+	var out []*profiler.Profile
+	for _, f := range freqs {
+		prof, err := p.Run(m.Trace, f)
+		if err != nil {
+			return nil, fmt.Errorf("profiling %s at %g MHz: %w", m.Name, f, err)
+		}
+		out = append(out, prof)
+	}
+	return out, nil
+}
+
+// PowerProfiles collects thermally stable power profiles of the model
+// at each frequency.
+func (l *Lab) PowerProfiles(m *workload.Model, freqs []float64) ([]*profiler.Profile, error) {
+	p := l.profiler(200)
+	var out []*profiler.Profile
+	for _, f := range freqs {
+		th := thermal.NewState(l.Thermal)
+		if _, err := p.WarmupIterations(m.Trace, f, l.Ground, th, 4000, 0.5); err != nil {
+			return nil, fmt.Errorf("warming %s at %g MHz: %w", m.Name, f, err)
+		}
+		prof, err := p.RunPower(m.Trace, f, l.Ground, th)
+		if err != nil {
+			return nil, fmt.Errorf("power-profiling %s at %g MHz: %w", m.Name, f, err)
+		}
+		out = append(out, prof)
+	}
+	return out, nil
+}
+
+// Models bundles everything needed to optimize one workload.
+type Models struct {
+	Workload *workload.Model
+	Baseline *profiler.Profile
+	Perf     map[string]perfmodel.Model
+	Power    *powermodel.Model
+}
+
+// BuildModels runs the full modeling pipeline of Fig. 1 for a
+// workload: power profiles at the fit frequencies feed both the
+// per-operator performance models and the online power model, and a
+// separate baseline profile anchors strategy generation.
+func (l *Lab) BuildModels(m *workload.Model, temperatureAware bool) (*Models, error) {
+	off, err := l.Offline()
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := l.PowerProfiles(m, FitFreqs)
+	if err != nil {
+		return nil, err
+	}
+	power, err := powermodel.Build(off, profiles, temperatureAware)
+	if err != nil {
+		return nil, err
+	}
+	// Performance fitting adds one timing-only profile at the middle
+	// frequency to the two power-profiled endpoints.
+	mid, err := l.TimingProfiles(m, []float64{1400})
+	if err != nil {
+		return nil, err
+	}
+	perf := perfmodel.FitSeries(seriesList(append(profiles, mid...)), PerfFitFreqs)
+	baseline, err := l.profiler(300).Run(m.Trace, l.Chip.Curve.Max())
+	if err != nil {
+		return nil, err
+	}
+	return &Models{Workload: m, Baseline: baseline, Perf: perf, Power: power}, nil
+}
+
+func seriesList(profiles []*profiler.Profile) []*profiler.Series {
+	bykey := profiler.BuildSeries(profiles)
+	out := make([]*profiler.Series, 0, len(bykey))
+	for _, s := range bykey {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Input converts Models into the strategy-generation input.
+func (ms *Models) Input(chip *npu.Chip) core.Input {
+	return core.Input{Chip: chip, Profile: ms.Baseline, Perf: ms.Perf, Power: ms.Power}
+}
+
+// MeasureFixed executes the workload at a fixed frequency until
+// thermally stable and returns the measured result.
+func (l *Lab) MeasureFixed(m *workload.Model, fMHz float64) (*executor.Result, error) {
+	ex := executor.New(l.Chip, l.Ground)
+	th := thermal.NewState(l.Thermal)
+	return ex.RunStable(m.Trace, executor.FixedStrategy(fMHz), th, executor.DefaultOptions(), 4000, 0.5)
+}
+
+// MeasureStrategy executes the workload under a strategy until
+// thermally stable.
+func (l *Lab) MeasureStrategy(m *workload.Model, strat *core.Strategy, opt executor.Options) (*executor.Result, error) {
+	ex := executor.New(l.Chip, l.Ground)
+	th := thermal.NewState(l.Thermal)
+	return ex.RunStable(m.Trace, strat, th, opt, 4000, 0.5)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/executor"
+)
+
+// FAISweepRow is one frequency-adjustment-interval measurement.
+type FAISweepRow struct {
+	FAIMillis     float64
+	Stages        int
+	SetFreq       int
+	PerfLoss      float64
+	SoCReduction  float64
+	CoreReduction float64
+}
+
+// FAISweepResult extends the Fig. 18 FAI comparison to a full curve:
+// savings versus control granularity, the quantitative version of the
+// paper's "with a larger frequency adjustment interval ... many
+// opportunities to reduce energy consumption are missed".
+type FAISweepResult struct {
+	Rows []FAISweepRow
+}
+
+// FAISweep generates and measures GPT-3 strategies across adjustment
+// intervals from 5 ms to 1 s.
+func (l *Lab) FAISweep() (*FAISweepResult, error) {
+	gpt, err := l.gpt3Models()
+	if err != nil {
+		return nil, err
+	}
+	base, err := l.MeasureFixed(gpt.Workload, l.Chip.Curve.Max())
+	if err != nil {
+		return nil, err
+	}
+	res := &FAISweepResult{}
+	for i, faiMs := range []float64{5, 10, 20, 50, 100, 250, 500, 1000} {
+		cfg := core.DefaultConfig()
+		cfg.FAIMicros = faiMs * 1000
+		cfg.GA.Seed = int64(820 + i)
+		strat, stages, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := l.MeasureStrategy(gpt.Workload, strat, executor.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, FAISweepRow{
+			FAIMillis:     faiMs,
+			Stages:        len(stages),
+			SetFreq:       strat.Switches(),
+			PerfLoss:      meas.TimeMicros/base.TimeMicros - 1,
+			SoCReduction:  1 - meas.MeanSoCW/base.MeanSoCW,
+			CoreReduction: 1 - meas.MeanCoreW/base.MeanCoreW,
+		})
+	}
+	return res, nil
+}
+
+func (r *FAISweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("FAI sweep on GPT-3 (2% loss target)\n")
+	fmt.Fprintf(&b, "  %8s %8s %8s %8s %8s %9s\n", "FAI", "stages", "SetFreq", "loss", "SoC-", "AICore-")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %6.0fms %8d %8d %7.2f%% %7.2f%% %8.2f%%\n",
+			row.FAIMillis, row.Stages, row.SetFreq,
+			row.PerfLoss*100, row.SoCReduction*100, row.CoreReduction*100)
+	}
+	return b.String()
+}
+
+// SeedsRow summarizes one seed's end-to-end outcome.
+type SeedsRow struct {
+	Seed          int64
+	PerfLoss      float64
+	CoreReduction float64
+}
+
+// SeedsResult reports the run-to-run spread of the headline GPT-3
+// result across GA seeds: the stochastic search must deliver stable
+// savings for the production claim to hold.
+type SeedsResult struct {
+	Rows                    []SeedsRow
+	MeanCoreRed, StdCoreRed float64
+	MeanLoss                float64
+}
+
+// SeedsRobustness repeats the 2%-target GPT-3 optimization with n GA
+// seeds.
+func (l *Lab) SeedsRobustness(n int) (*SeedsResult, error) {
+	if n < 2 {
+		n = 2
+	}
+	gpt, err := l.gpt3Models()
+	if err != nil {
+		return nil, err
+	}
+	base, err := l.MeasureFixed(gpt.Workload, l.Chip.Curve.Max())
+	if err != nil {
+		return nil, err
+	}
+	res := &SeedsResult{}
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig()
+		cfg.GA.Seed = int64(1000 + 17*i)
+		strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := l.MeasureStrategy(gpt.Workload, strat, executor.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, SeedsRow{
+			Seed:          cfg.GA.Seed,
+			PerfLoss:      meas.TimeMicros/base.TimeMicros - 1,
+			CoreReduction: 1 - meas.MeanCoreW/base.MeanCoreW,
+		})
+	}
+	var sum, sumSq, sumLoss float64
+	for _, row := range res.Rows {
+		sum += row.CoreReduction
+		sumLoss += row.PerfLoss
+	}
+	res.MeanCoreRed = sum / float64(len(res.Rows))
+	res.MeanLoss = sumLoss / float64(len(res.Rows))
+	for _, row := range res.Rows {
+		d := row.CoreReduction - res.MeanCoreRed
+		sumSq += d * d
+	}
+	res.StdCoreRed = math.Sqrt(sumSq / float64(len(res.Rows)))
+	return res, nil
+}
+
+func (r *SeedsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GA seed robustness on GPT-3 (2%% target, %d seeds)\n", len(r.Rows))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  seed %4d: loss %5.2f%%  AICore -%5.2f%%\n",
+			row.Seed, row.PerfLoss*100, row.CoreReduction*100)
+	}
+	fmt.Fprintf(&b, "  AICore reduction %.2f%% ± %.2f%%, mean loss %.2f%%\n",
+		r.MeanCoreRed*100, r.StdCoreRed*100, r.MeanLoss*100)
+	return b.String()
+}

@@ -1,0 +1,313 @@
+// Package ga implements the genetic-algorithm search used for DVFS
+// strategy generation (Sect. 6.3): individuals are integer gene
+// vectors (one frequency index per candidate stage), selection is
+// score-proportional, crossover swaps the last k genes of two parents,
+// and mutation rewrites a random gene with a random allele.
+//
+// Scoring is parallelized across a worker pool, mirroring the paper's
+// use of multiprocessing to evaluate tens of thousands of strategies
+// in minutes (Sect. 8.1). Problem implementations must therefore be
+// safe for concurrent Score calls.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Problem defines the search space and objective.
+type Problem interface {
+	// Genes returns the individual length (number of stages).
+	Genes() int
+	// Alleles returns the number of values a gene can take (number of
+	// supported frequency points).
+	Alleles() int
+	// Score returns the fitness of an individual; higher is better.
+	// Must be safe for concurrent calls.
+	Score(individual []int) float64
+	// Seeds returns individuals to include in the first generation
+	// (the paper seeds the baseline all-max-frequency individual and
+	// a prior LFC/HFC individual). May be nil.
+	Seeds() [][]int
+}
+
+// Selection picks the parent-selection scheme. All schemes are
+// score-based (selection likelihood increases with score, Sect. 6.3.3);
+// they differ in how much pressure they apply when score differences
+// are small.
+type Selection int
+
+const (
+	// RankSelection weights parents quadratically by rank. It is the
+	// default: the power-minimization objective leaves compliant
+	// individuals within fractions of a percent of each other, where
+	// raw proportional selection has almost no pressure.
+	RankSelection Selection = iota
+	// RouletteSelection weights parents proportionally to their
+	// (shifted) scores.
+	RouletteSelection
+	// TournamentSelection picks the best of three uniformly drawn
+	// candidates.
+	TournamentSelection
+)
+
+// Config tunes the search. The paper's production settings are
+// PopSize 200, Generations 600, MutationRate 0.15.
+type Config struct {
+	PopSize       int
+	Generations   int
+	MutationRate  float64
+	CrossoverRate float64
+	// Elitism is how many of the best individuals survive unchanged
+	// into the next generation, making the best score monotone.
+	Elitism int
+	// Seed drives all stochastic choices; equal seeds reproduce runs.
+	Seed int64
+	// Workers bounds scoring concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Selection picks the parent-selection scheme.
+	Selection Selection
+	// StaleLimit, when positive, stops the search early after this
+	// many consecutive generations without best-score improvement.
+	StaleLimit int
+}
+
+// DefaultConfig returns the paper's search settings.
+func DefaultConfig() Config {
+	return Config{
+		PopSize:       200,
+		Generations:   600,
+		MutationRate:  0.15,
+		CrossoverRate: 0.7,
+		Elitism:       2,
+		Seed:          1,
+	}
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Best is the fittest individual found.
+	Best []int
+	// BestScore is its fitness.
+	BestScore float64
+	// History records the best score after each generation — the
+	// convergence series of Fig. 17.
+	History []float64
+	// Evaluations counts Score calls.
+	Evaluations int
+}
+
+type scored struct {
+	genes []int
+	score float64
+}
+
+// Run executes the genetic search.
+func Run(p Problem, cfg Config) (*Result, error) {
+	n, alleles := p.Genes(), p.Alleles()
+	if n <= 0 {
+		return nil, fmt.Errorf("ga: problem has %d genes", n)
+	}
+	if alleles <= 0 {
+		return nil, fmt.Errorf("ga: problem has %d alleles", alleles)
+	}
+	if cfg.PopSize < 2 {
+		return nil, fmt.Errorf("ga: population size %d too small", cfg.PopSize)
+	}
+	if cfg.Generations <= 0 {
+		return nil, fmt.Errorf("ga: %d generations", cfg.Generations)
+	}
+	if cfg.Elitism < 0 || cfg.Elitism >= cfg.PopSize {
+		return nil, fmt.Errorf("ga: elitism %d incompatible with population %d", cfg.Elitism, cfg.PopSize)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// First generation: seeds plus random individuals.
+	pop := make([]scored, 0, cfg.PopSize)
+	for _, s := range p.Seeds() {
+		if len(s) != n {
+			return nil, fmt.Errorf("ga: seed of length %d, want %d", len(s), n)
+		}
+		pop = append(pop, scored{genes: append([]int(nil), s...)})
+		if len(pop) == cfg.PopSize {
+			break
+		}
+	}
+	for len(pop) < cfg.PopSize {
+		g := make([]int, n)
+		for i := range g {
+			g[i] = rng.Intn(alleles)
+		}
+		pop = append(pop, scored{genes: g})
+	}
+
+	res := &Result{}
+	scoreAll(p, pop, workers)
+	res.Evaluations += len(pop)
+
+	stale := 0
+	for gen := 0; gen < cfg.Generations; gen++ {
+		sortByScore(pop)
+		res.History = append(res.History, pop[0].score)
+		if cfg.StaleLimit > 0 && gen > 0 {
+			if pop[0].score <= res.History[len(res.History)-2] {
+				stale++
+				if stale >= cfg.StaleLimit {
+					break
+				}
+			} else {
+				stale = 0
+			}
+		}
+
+		next := make([]scored, 0, cfg.PopSize)
+		for i := 0; i < cfg.Elitism; i++ {
+			next = append(next, scored{genes: append([]int(nil), pop[i].genes...), score: pop[i].score})
+		}
+		prefix := buildPrefix(pop, cfg.Selection)
+		for len(next) < cfg.PopSize {
+			a := pick(pop, prefix, cfg.Selection, rng)
+			b := pick(pop, prefix, cfg.Selection, rng)
+			childA := append([]int(nil), a.genes...)
+			childB := append([]int(nil), b.genes...)
+			if rng.Float64() < cfg.CrossoverRate && n > 1 {
+				// Swap the last k genes (Sect. 6.3.3).
+				k := 1 + rng.Intn(n-1)
+				for i := n - k; i < n; i++ {
+					childA[i], childB[i] = childB[i], childA[i]
+				}
+			}
+			for _, child := range [][]int{childA, childB} {
+				if rng.Float64() < cfg.MutationRate {
+					// Rewrite a small burst of random genes; single-gene
+					// steps converge too slowly on thousand-stage
+					// problems.
+					burst := 1 + rng.Intn(3)
+					for m := 0; m < burst; m++ {
+						child[rng.Intn(n)] = rng.Intn(alleles)
+					}
+				}
+				if len(next) < cfg.PopSize {
+					next = append(next, scored{genes: child})
+				}
+			}
+		}
+		// Elites keep their scores; score the rest.
+		scoreAll(p, next[cfg.Elitism:], workers)
+		res.Evaluations += len(next) - cfg.Elitism
+		pop = next
+	}
+	sortByScore(pop)
+	res.History = append(res.History, pop[0].score)
+	res.Best = pop[0].genes
+	res.BestScore = pop[0].score
+	return res, nil
+}
+
+// scoreAll evaluates fitness concurrently.
+func scoreAll(p Problem, pop []scored, workers int) {
+	if workers > len(pop) {
+		workers = len(pop)
+	}
+	if workers <= 1 {
+		for i := range pop {
+			pop[i].score = p.Score(pop[i].genes)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(pop))
+	for i := range pop {
+		ch <- i
+	}
+	close(ch)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				pop[i].score = p.Score(pop[i].genes)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func sortByScore(pop []scored) {
+	// Insertion sort on mostly-sorted small populations outperforms
+	// the generic sort here and keeps determinism trivially.
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].score > pop[j-1].score; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}
+
+// buildPrefix precomputes cumulative selection weights for the chosen
+// scheme. pop is sorted descending by score when this is called.
+// RankSelection weights fall quadratically with rank, which keeps
+// pressure even when compliant individuals' raw scores differ by
+// fractions of a percent — the steady state of the power-minimization
+// objective. RouletteSelection shifts scores to be non-negative and
+// weights proportionally. TournamentSelection needs no prefix.
+func buildPrefix(pop []scored, sel Selection) []float64 {
+	n := len(pop)
+	switch sel {
+	case RouletteSelection:
+		minScore := pop[0].score
+		for _, s := range pop {
+			if s.score < minScore {
+				minScore = s.score
+			}
+		}
+		prefix := make([]float64, n)
+		sum := 0.0
+		for i, s := range pop {
+			sum += s.score - minScore + 1e-12
+			prefix[i] = sum
+		}
+		return prefix
+	case TournamentSelection:
+		return nil
+	default: // RankSelection
+		prefix := make([]float64, n)
+		sum := 0.0
+		for i := range pop {
+			w := float64(n-i) * float64(n-i)
+			sum += w
+			prefix[i] = sum
+		}
+		return prefix
+	}
+}
+
+// pick selects a parent under the chosen scheme.
+func pick(pop []scored, prefix []float64, sel Selection, rng *rand.Rand) *scored {
+	if sel == TournamentSelection {
+		best := rng.Intn(len(pop))
+		for i := 0; i < 2; i++ {
+			if c := rng.Intn(len(pop)); pop[c].score > pop[best].score {
+				best = c
+			}
+		}
+		return &pop[best]
+	}
+	total := prefix[len(prefix)-1]
+	x := rng.Float64() * total
+	lo, hi := 0, len(prefix)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if prefix[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &pop[lo]
+}

@@ -1,0 +1,262 @@
+package ga
+
+import (
+	"sync"
+	"testing"
+)
+
+// matchProblem rewards matching a hidden target vector: a smooth,
+// separable landscape the GA must solve easily.
+type matchProblem struct {
+	target  []int
+	alleles int
+	seeds   [][]int
+}
+
+func (m *matchProblem) Genes() int   { return len(m.target) }
+func (m *matchProblem) Alleles() int { return m.alleles }
+func (m *matchProblem) Seeds() [][]int {
+	return m.seeds
+}
+func (m *matchProblem) Score(ind []int) float64 {
+	s := 0.0
+	for i, g := range ind {
+		if g == m.target[i] {
+			s++
+		}
+	}
+	return s
+}
+
+func target(n, alleles int) []int {
+	t := make([]int, n)
+	for i := range t {
+		t[i] = (i*7 + 3) % alleles
+	}
+	return t
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PopSize = 60
+	cfg.Generations = 150
+	return cfg
+}
+
+func TestConvergesToTarget(t *testing.T) {
+	p := &matchProblem{target: target(20, 5), alleles: 5}
+	res, err := Run(p, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < 18 {
+		t.Errorf("best score = %g / 20, expected near-perfect convergence", res.BestScore)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p := &matchProblem{target: target(12, 4), alleles: 4}
+	cfg := smallConfig()
+	a, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestScore != b.BestScore {
+		t.Errorf("same-seed runs diverged: %g vs %g", a.BestScore, b.BestScore)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatalf("same-seed best individuals differ at gene %d", i)
+		}
+	}
+}
+
+func TestHistoryMonotoneWithElitism(t *testing.T) {
+	p := &matchProblem{target: target(15, 6), alleles: 6}
+	cfg := smallConfig()
+	cfg.Elitism = 2
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != cfg.Generations+1 {
+		t.Fatalf("history length = %d, want %d", len(res.History), cfg.Generations+1)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("best score regressed at generation %d: %g < %g",
+				i, res.History[i], res.History[i-1])
+		}
+	}
+}
+
+func TestSeedsEnterPopulation(t *testing.T) {
+	// Seed the exact target: the best score must be perfect from
+	// generation zero.
+	tgt := target(10, 3)
+	p := &matchProblem{target: tgt, alleles: 3, seeds: [][]int{tgt}}
+	cfg := smallConfig()
+	cfg.Generations = 1
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History[0] != float64(len(tgt)) {
+		t.Errorf("seeded optimum not present in generation 0: best = %g", res.History[0])
+	}
+}
+
+func TestSeedLengthValidation(t *testing.T) {
+	p := &matchProblem{target: target(10, 3), alleles: 3, seeds: [][]int{{1, 2}}}
+	if _, err := Run(p, smallConfig()); err == nil {
+		t.Error("short seed: want error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := &matchProblem{target: target(5, 3), alleles: 3}
+	bad := []Config{
+		{PopSize: 1, Generations: 10},
+		{PopSize: 10, Generations: 0},
+		{PopSize: 10, Generations: 5, Elitism: 10},
+		{PopSize: 10, Generations: 5, Elitism: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(p, cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+	empty := &matchProblem{target: nil, alleles: 3}
+	if _, err := Run(empty, smallConfig()); err == nil {
+		t.Error("zero genes: want error")
+	}
+	zeroAlleles := &matchProblem{target: target(5, 3), alleles: 0}
+	if _, err := Run(zeroAlleles, smallConfig()); err == nil {
+		t.Error("zero alleles: want error")
+	}
+}
+
+func TestParallelScoringMatchesSerial(t *testing.T) {
+	p := &matchProblem{target: target(16, 4), alleles: 4}
+	cfg := smallConfig()
+	cfg.Workers = 1
+	serial, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scoring is deterministic per individual and selection draws are
+	// made on a single rng, so worker count must not change results.
+	if serial.BestScore != parallel.BestScore {
+		t.Errorf("worker count changed outcome: %g vs %g", serial.BestScore, parallel.BestScore)
+	}
+	for i := range serial.History {
+		if serial.History[i] != parallel.History[i] {
+			t.Fatalf("histories diverge at generation %d", i)
+		}
+	}
+}
+
+func TestEvaluationsAccounted(t *testing.T) {
+	p := &matchProblem{target: target(8, 3), alleles: 3}
+	cfg := smallConfig()
+	cfg.Generations = 10
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.PopSize + cfg.Generations*(cfg.PopSize-cfg.Elitism)
+	if res.Evaluations != want {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, want)
+	}
+}
+
+func TestSingleGeneCrossoverSafe(t *testing.T) {
+	// n == 1 must not panic in the tail-swap (k in [1, n-1] is empty).
+	p := &matchProblem{target: []int{2}, alleles: 4}
+	res, err := Run(p, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore != 1 {
+		t.Errorf("single-gene problem not solved: %g", res.BestScore)
+	}
+}
+
+func TestAllSelectionSchemesConverge(t *testing.T) {
+	for _, sel := range []Selection{RankSelection, RouletteSelection, TournamentSelection} {
+		p := &matchProblem{target: target(15, 4), alleles: 4}
+		cfg := smallConfig()
+		cfg.Selection = sel
+		res, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+		if res.BestScore < 13 {
+			t.Errorf("selection %d: best %g / 15", sel, res.BestScore)
+		}
+	}
+}
+
+func TestStaleLimitStopsEarly(t *testing.T) {
+	// Seed the optimum: every generation is stale, so the search must
+	// stop after StaleLimit generations.
+	tgt := target(10, 3)
+	p := &matchProblem{target: tgt, alleles: 3, seeds: [][]int{tgt}}
+	cfg := smallConfig()
+	cfg.Generations = 500
+	cfg.StaleLimit = 5
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) > 10 {
+		t.Errorf("history length %d; stale limit should stop within ~6 generations", len(res.History))
+	}
+	if res.BestScore != float64(len(tgt)) {
+		t.Errorf("best score %g, want optimum", res.BestScore)
+	}
+}
+
+// Property: crossover and mutation never produce out-of-range alleles.
+func TestQuickGeneValidity(t *testing.T) {
+	p := &validityProblem{genes: 12, alleles: 5}
+	cfg := smallConfig()
+	cfg.Generations = 50
+	if _, err := Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if p.violations > 0 {
+		t.Errorf("%d individuals carried out-of-range alleles", p.violations)
+	}
+}
+
+type validityProblem struct {
+	genes, alleles int
+	violations     int
+	mu             sync.Mutex
+}
+
+func (v *validityProblem) Genes() int     { return v.genes }
+func (v *validityProblem) Alleles() int   { return v.alleles }
+func (v *validityProblem) Seeds() [][]int { return nil }
+func (v *validityProblem) Score(ind []int) float64 {
+	s := 0.0
+	for _, g := range ind {
+		if g < 0 || g >= v.alleles {
+			v.mu.Lock()
+			v.violations++
+			v.mu.Unlock()
+		}
+		s += float64(g)
+	}
+	return s
+}

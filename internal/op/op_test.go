@@ -1,0 +1,136 @@
+package op
+
+import (
+	"strings"
+	"testing"
+)
+
+func validCompute() Spec {
+	return Spec{
+		Name:       "MatMul",
+		Shape:      "1024x1024",
+		Class:      Compute,
+		Scenario:   PingPongIndep,
+		Blocks:     8,
+		LoadBytes:  1 << 20,
+		StoreBytes: 1 << 18,
+		CoreCycles: 50000,
+		CorePipe:   Cube,
+	}
+}
+
+func TestScenarioFlags(t *testing.T) {
+	cases := []struct {
+		s        Scenario
+		pingPong bool
+		dep      bool
+	}{
+		{PingPongFreeIndep, false, false},
+		{PingPongFreeDep, false, true},
+		{PingPongIndep, true, false},
+		{PingPongDep, true, true},
+	}
+	for _, tc := range cases {
+		if tc.s.PingPong() != tc.pingPong {
+			t.Errorf("%v.PingPong() = %v, want %v", tc.s, tc.s.PingPong(), tc.pingPong)
+		}
+		if tc.s.DependentLdSt() != tc.dep {
+			t.Errorf("%v.DependentLdSt() = %v, want %v", tc.s, tc.s.DependentLdSt(), tc.dep)
+		}
+	}
+}
+
+func TestPipeDomains(t *testing.T) {
+	core := []Pipe{Cube, Vector, Scalar, MTE1}
+	uncore := []Pipe{MTE2, MTE3}
+	for _, p := range core {
+		if !p.CoreDomain() {
+			t.Errorf("%v.CoreDomain() = false, want true", p)
+		}
+	}
+	for _, p := range uncore {
+		if p.CoreDomain() {
+			t.Errorf("%v.CoreDomain() = true, want false", p)
+		}
+	}
+}
+
+func TestKey(t *testing.T) {
+	s := validCompute()
+	if got := s.Key(); got != "MatMul/1024x1024" {
+		t.Errorf("Key() = %q, want MatMul/1024x1024", got)
+	}
+	s.Shape = ""
+	if got := s.Key(); got != "MatMul" {
+		t.Errorf("Key() without shape = %q, want MatMul", got)
+	}
+}
+
+func TestValidateAcceptsGoodSpecs(t *testing.T) {
+	good := []Spec{
+		validCompute(),
+		{Name: "AllReduce", Class: Communication, FixedTime: 120},
+		{Name: "TopK", Class: AICPU, FixedTime: 55},
+		{Name: "idle", Class: Idle, FixedTime: 10},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", s.Key(), err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		substr string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "empty"},
+		{"zero blocks", func(s *Spec) { s.Blocks = 0 }, "Blocks"},
+		{"negative load", func(s *Spec) { s.LoadBytes = -1 }, "negative"},
+		{"no work", func(s *Spec) { s.LoadBytes, s.StoreBytes, s.CoreCycles = 0, 0, 0 }, "no work"},
+		{"uncore core pipe", func(s *Spec) { s.CorePipe = MTE2 }, "core domain"},
+		{"negative prepost", func(s *Spec) { s.PrePostTime = -3 }, "PrePostTime"},
+	}
+	for _, tc := range cases {
+		s := validCompute()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+	fixed := Spec{Name: "AllReduce", Class: Communication, FixedTime: 0}
+	if err := fixed.Validate(); err == nil {
+		t.Error("Communication with zero FixedTime: Validate() = nil, want error")
+	}
+}
+
+func TestFrequencyScaled(t *testing.T) {
+	if s := validCompute(); !s.FrequencyScaled() {
+		t.Error("compute op must be frequency scaled")
+	}
+	for _, c := range []Class{AICPU, Communication, Idle} {
+		s := Spec{Name: "x", Class: c, FixedTime: 1}
+		if s.FrequencyScaled() {
+			t.Errorf("%v op must not be frequency scaled", c)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if Cube.String() != "cube" || MTE3.String() != "mte3" {
+		t.Errorf("pipe names wrong: %v %v", Cube, MTE3)
+	}
+	if Compute.String() != "Compute" || Idle.String() != "Idle" {
+		t.Errorf("class names wrong: %v %v", Compute, Idle)
+	}
+	if !strings.Contains(PingPongDep.String(), "PingPong") {
+		t.Errorf("scenario name wrong: %v", PingPongDep)
+	}
+}

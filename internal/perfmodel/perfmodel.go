@@ -1,0 +1,292 @@
+// Package perfmodel implements the paper's DVFS-aware performance
+// model (Sect. 4): operator execution time as a function of the
+// AICore frequency.
+//
+// The timeline analysis of Sect. 4.2 shows that an operator's cycle
+// count is a convex piecewise-linear function of frequency. Because
+// the PMU cannot reveal the breakpoints and profiling at many
+// frequencies is expensive, the paper fits smooth convex surrogates
+// from data at two or three frequencies (Sect. 4.3):
+//
+//	Func. 1: T(f) = (a·f² + b·f + c) / f    (three parameters)
+//	Func. 2: T(f) =  a·f  +       c  / f    (two parameters; chosen)
+//	Func. 3: T(f) = (a·e^{b·f} + c) / f     (three parameters)
+//
+// Func. 2 admits a direct linear solution (Cycle = a·f² + c is linear
+// in f² and 1), which is why it fits thousands of operators orders of
+// magnitude faster than curve_fit-style iterative fitting, with
+// comparable accuracy — the trade-off quantified in Sect. 7.2.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/stats"
+)
+
+// TimeModel predicts operator execution time from core frequency.
+type TimeModel interface {
+	// Micros returns the predicted duration in µs at fMHz.
+	Micros(fMHz float64) float64
+}
+
+// Model is Func. 2, the production model: T(f) = A·f + C/f, i.e.
+// Cycle(f) = A·f² + C.
+type Model struct {
+	A, C float64
+}
+
+// Micros implements TimeModel.
+func (m Model) Micros(fMHz float64) float64 { return m.A*fMHz + m.C/fMHz }
+
+// Cycles returns the modeled cycle count at fMHz.
+func (m Model) Cycles(fMHz float64) float64 { return m.A*fMHz*fMHz + m.C }
+
+// FitFunc2 fits Func. 2 from measured (frequency, duration) pairs.
+// Two points solve the parameters exactly; more points use linear
+// least squares on Cycle = A·f² + C. This is the direct calculation
+// the paper credits for Func. 2's ~24x fitting-speed advantage.
+func FitFunc2(freqMHz, micros []float64) (Model, error) {
+	if err := checkSeries(freqMHz, micros, 2); err != nil {
+		return Model{}, err
+	}
+	if len(freqMHz) == 2 {
+		f1, f2 := freqMHz[0], freqMHz[1]
+		if f1 == f2 {
+			return Model{}, fmt.Errorf("perfmodel: duplicate fit frequency %g", f1)
+		}
+		// A·f1² + C = T1·f1 ; A·f2² + C = T2·f2.
+		c1, c2 := micros[0]*f1, micros[1]*f2
+		a := (c2 - c1) / (f2*f2 - f1*f1)
+		return Model{A: a, C: c1 - a*f1*f1}, nil
+	}
+	design := make([][]float64, len(freqMHz))
+	cycles := make([]float64, len(freqMHz))
+	for i, f := range freqMHz {
+		design[i] = []float64{f * f, 1}
+		cycles[i] = micros[i] * f
+	}
+	beta, err := stats.LeastSquares(design, cycles)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{A: beta[0], C: beta[1]}, nil
+}
+
+// QuadModel is Func. 1: T(f) = (A·f² + B·f + C)/f.
+type QuadModel struct {
+	A, B, C float64
+}
+
+// Micros implements TimeModel.
+func (m QuadModel) Micros(fMHz float64) float64 {
+	return (m.A*fMHz*fMHz + m.B*fMHz + m.C) / fMHz
+}
+
+// FitFunc1 fits Func. 1 from at least three (frequency, duration)
+// pairs via least squares on the quadratic cycle form.
+func FitFunc1(freqMHz, micros []float64) (QuadModel, error) {
+	if err := checkSeries(freqMHz, micros, 3); err != nil {
+		return QuadModel{}, err
+	}
+	cycles := make([]float64, len(freqMHz))
+	for i, f := range freqMHz {
+		cycles[i] = micros[i] * f
+	}
+	beta, err := stats.PolyFit(freqMHz, cycles, 2)
+	if err != nil {
+		return QuadModel{}, err
+	}
+	return QuadModel{A: beta[2], B: beta[1], C: beta[0]}, nil
+}
+
+// ExpModel is Func. 3: T(f) = (A·e^{B·f_GHz} + C)/f. The exponent is
+// expressed per GHz, and B is clamped to [0, 10] as in the paper
+// (which had to bound it to avoid overflow in scipy), a restriction
+// that compromises its accuracy (Sect. 7.2).
+type ExpModel struct {
+	A, B, C float64
+}
+
+// Micros implements TimeModel.
+func (m ExpModel) Micros(fMHz float64) float64 {
+	return (m.A*math.Exp(m.B*fMHz/1000) + m.C) / fMHz
+}
+
+// FitFunc3 fits Func. 3 by Levenberg-Marquardt from at least three
+// pairs.
+func FitFunc3(freqMHz, micros []float64) (ExpModel, error) {
+	if err := checkSeries(freqMHz, micros, 3); err != nil {
+		return ExpModel{}, err
+	}
+	cycles := make([]float64, len(freqMHz))
+	ghz := make([]float64, len(freqMHz))
+	meanCyc := 0.0
+	for i, f := range freqMHz {
+		cycles[i] = micros[i] * f
+		ghz[i] = f / 1000
+		meanCyc += cycles[i]
+	}
+	meanCyc /= float64(len(cycles))
+	model := func(x float64, p []float64) float64 {
+		return p[0]*math.Exp(p[1]*x) + p[2]
+	}
+	opt := stats.DefaultLMOptions()
+	opt.MaxIter = 2000 // numeric-Jacobian LM converges slowly on exponentials
+	opt.Lower = []float64{0, 0, 0}
+	opt.Upper = []float64{math.Inf(1), 10, math.Inf(1)}
+	// Exponential fits are prone to local minima; multi-start over a
+	// range of exponents and keep the best.
+	var best []float64
+	bestSSR := math.Inf(1)
+	for _, b0 := range []float64{0.25, 0.5, 1, 2, 4} {
+		p0 := []float64{meanCyc * 0.1, b0, meanCyc * 0.5}
+		p, ssr, err := stats.CurveFit(model, ghz, cycles, p0, opt)
+		if err == nil && ssr < bestSSR {
+			best, bestSSR = p, ssr
+		}
+	}
+	if best == nil {
+		return ExpModel{}, fmt.Errorf("perfmodel: Func3 fit failed from all starts")
+	}
+	return ExpModel{A: best[0], B: best[1], C: best[2]}, nil
+}
+
+// FitFunc1Iterative fits Func. 1 with the generic Levenberg-Marquardt
+// fitter instead of the closed-form least squares. It exists to mirror
+// the paper's fit-cost comparison (Sect. 4.3), where Func. 1 was fitted
+// with scipy's iterative curve_fit (105,930 ms for ShuffleNetV2Plus)
+// while Func. 2's parameters were computed directly (4,386 ms).
+func FitFunc1Iterative(freqMHz, micros []float64) (QuadModel, error) {
+	if err := checkSeries(freqMHz, micros, 3); err != nil {
+		return QuadModel{}, err
+	}
+	cycles := make([]float64, len(freqMHz))
+	meanCyc := 0.0
+	for i, f := range freqMHz {
+		cycles[i] = micros[i] * f
+		meanCyc += cycles[i]
+	}
+	meanCyc /= float64(len(cycles))
+	model := func(x float64, p []float64) float64 {
+		return p[0]*x*x + p[1]*x + p[2]
+	}
+	p0 := []float64{meanCyc / (1400 * 1400), 0, meanCyc * 0.3}
+	p, _, err := stats.CurveFit(model, freqMHz, cycles, p0, stats.DefaultLMOptions())
+	if err != nil {
+		return QuadModel{}, err
+	}
+	return QuadModel{A: p[0], B: p[1], C: p[2]}, nil
+}
+
+func checkSeries(freqMHz, micros []float64, minPts int) error {
+	if len(freqMHz) != len(micros) {
+		return fmt.Errorf("perfmodel: %d frequencies vs %d durations", len(freqMHz), len(micros))
+	}
+	if len(freqMHz) < minPts {
+		return fmt.Errorf("perfmodel: need at least %d points, have %d", minPts, len(freqMHz))
+	}
+	for i, f := range freqMHz {
+		if f <= 0 {
+			return fmt.Errorf("perfmodel: non-positive frequency %g at %d", f, i)
+		}
+		if micros[i] <= 0 {
+			return fmt.Errorf("perfmodel: non-positive duration %g at %d", micros[i], i)
+		}
+	}
+	return nil
+}
+
+// Errors returns the relative prediction errors of a model against
+// measured (frequency, duration) pairs.
+func Errors(m TimeModel, freqMHz, micros []float64) []float64 {
+	errs := make([]float64, len(freqMHz))
+	for i, f := range freqMHz {
+		errs[i] = stats.AbsRelError(m.Micros(f), micros[i])
+	}
+	return errs
+}
+
+// FitSeries fits the production Func. 2 model for every series,
+// sub-selecting the given fit frequencies from each series' samples.
+// Series missing any fit frequency are skipped.
+func FitSeries(series []*profiler.Series, fitFreqs []float64) map[string]Model {
+	models := make(map[string]Model, len(series))
+	for _, s := range series {
+		fs, ts, ok := SelectPoints(s, fitFreqs)
+		if !ok {
+			continue
+		}
+		m, err := FitFunc2(fs, ts)
+		if err != nil {
+			continue
+		}
+		models[s.Key] = m
+	}
+	return models
+}
+
+// SelectPoints extracts the (frequency, duration) samples of a series
+// at the requested frequencies. ok is false if any is missing.
+func SelectPoints(s *profiler.Series, freqs []float64) (fs, ts []float64, ok bool) {
+	for _, want := range freqs {
+		found := false
+		for i, f := range s.FreqMHz {
+			if f == want {
+				fs = append(fs, f)
+				ts = append(ts, s.Micros[i])
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+	}
+	return fs, ts, true
+}
+
+// Analytic is the white-box piecewise-linear model computed directly
+// from the operator's timeline parameters (Sect. 4.2). It is exact for
+// the simulator and is used to validate the convexity conclusions and
+// to draw Fig. 4.
+type Analytic struct {
+	Chip *npu.Chip
+	Spec *op.Spec
+}
+
+// Cycles returns the exact cycle count at fMHz.
+func (a Analytic) Cycles(fMHz float64) float64 { return a.Chip.Cycles(a.Spec, fMHz) }
+
+// Micros implements TimeModel.
+func (a Analytic) Micros(fMHz float64) float64 { return a.Chip.Time(a.Spec, fMHz) }
+
+// Breakpoints returns the frequencies inside (loMHz, hiMHz) where the
+// cycle-frequency function changes slope, found by scanning for
+// second-difference jumps on a fine grid. These are the segment
+// boundaries of the piecewise-linear function (Fig. 4).
+func (a Analytic) Breakpoints(loMHz, hiMHz, stepMHz float64) []float64 {
+	var pts []float64
+	if stepMHz <= 0 || hiMHz <= loMHz {
+		return pts
+	}
+	var prevSlope float64
+	first := true
+	for f := loMHz; f+stepMHz <= hiMHz; f += stepMHz {
+		slope := (a.Cycles(f+stepMHz) - a.Cycles(f)) / stepMHz
+		if !first {
+			// A genuine kink changes the slope by more than
+			// numerical noise.
+			if slope-prevSlope > 1e-6*(math.Abs(slope)+1) {
+				pts = append(pts, f)
+			}
+		}
+		prevSlope = slope
+		first = false
+	}
+	return pts
+}

@@ -1,0 +1,240 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/stats"
+	"npudvfs/internal/workload"
+)
+
+var gridEval = []float64{1100, 1200, 1300, 1500, 1600, 1700}
+
+func TestFitFunc2ExactOnOwnForm(t *testing.T) {
+	truth := Model{A: 0.01, C: 40000}
+	freqs := []float64{1000, 1800}
+	ts := []float64{truth.Micros(1000), truth.Micros(1800)}
+	m, err := FitFunc2(freqs, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-truth.A) > 1e-12 || math.Abs(m.C-truth.C) > 1e-6 {
+		t.Errorf("fit = %+v, want %+v", m, truth)
+	}
+}
+
+func TestFitFunc2LeastSquaresPath(t *testing.T) {
+	truth := Model{A: 0.02, C: 90000}
+	var fs, ts []float64
+	for f := 1000.0; f <= 1800; f += 100 {
+		fs = append(fs, f)
+		ts = append(ts, truth.Micros(f))
+	}
+	m, err := FitFunc2(fs, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-truth.A) > 1e-9 || math.Abs(m.C-truth.C) > 1e-3 {
+		t.Errorf("LSQ fit = %+v, want %+v", m, truth)
+	}
+}
+
+func TestFitFunc1ExactOnOwnForm(t *testing.T) {
+	truth := QuadModel{A: 0.008, B: 5, C: 30000}
+	fs := []float64{1000, 1400, 1800}
+	ts := []float64{truth.Micros(1000), truth.Micros(1400), truth.Micros(1800)}
+	m, err := FitFunc1(fs, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range gridEval {
+		if e := stats.AbsRelError(m.Micros(f), truth.Micros(f)); e > 1e-9 {
+			t.Errorf("Func1 self-fit error %g at %g MHz", e, f)
+		}
+	}
+}
+
+func TestFitFunc3RecoversExponential(t *testing.T) {
+	truth := ExpModel{A: 5000, B: 2, C: 20000}
+	fs := []float64{1000, 1200, 1400, 1600, 1800}
+	ts := make([]float64, len(fs))
+	for i, f := range fs {
+		ts[i] = truth.Micros(f)
+	}
+	m, err := FitFunc3(fs, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range gridEval {
+		if e := stats.AbsRelError(m.Micros(f), truth.Micros(f)); e > 0.01 {
+			t.Errorf("Func3 self-fit error %g at %g MHz", e, f)
+		}
+	}
+	if m.B < 0 || m.B > 10 {
+		t.Errorf("Func3 exponent %g outside the paper's [0, 10] clamp", m.B)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := FitFunc2([]float64{1000}, []float64{5}); err == nil {
+		t.Error("one point: want error")
+	}
+	if _, err := FitFunc2([]float64{1000, 1000}, []float64{5, 5}); err == nil {
+		t.Error("duplicate frequencies: want error")
+	}
+	if _, err := FitFunc2([]float64{1000, -1800}, []float64{5, 4}); err == nil {
+		t.Error("negative frequency: want error")
+	}
+	if _, err := FitFunc2([]float64{1000, 1800}, []float64{5, 0}); err == nil {
+		t.Error("zero duration: want error")
+	}
+	if _, err := FitFunc1([]float64{1000, 1800}, []float64{5, 4}); err == nil {
+		t.Error("Func1 with two points: want error")
+	}
+	if _, err := FitFunc3([]float64{1000, 1800}, []float64{5, 4}); err == nil {
+		t.Error("Func3 with two points: want error")
+	}
+	if _, err := FitFunc2([]float64{1000, 1800}, []float64{5}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+// Fitting Func. 2 at the grid endpoints must predict interior points
+// of simulator-generated operators within a few percent (the paper
+// reports a 1.96% average across >5,000 operators).
+func TestFunc2AccurateOnSimulatedOperators(t *testing.T) {
+	chip := npu.Default()
+	for _, s := range workload.RepresentativeOps() {
+		spec := s
+		fit := []float64{1000, 1800}
+		ts := []float64{chip.Time(&spec, 1000), chip.Time(&spec, 1800)}
+		m, err := FitFunc2(fit, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errs []float64
+		for _, f := range gridEval {
+			e := stats.AbsRelError(m.Micros(f), chip.Time(&spec, f))
+			errs = append(errs, e)
+			if e > 0.10 {
+				t.Errorf("%s at %g MHz: error %.3f, want < 10%% (worst-case tail)", spec.Name, f, e)
+			}
+		}
+		if mean := stats.Mean(errs); mean > 0.05 {
+			t.Errorf("%s: mean error %.3f, want < 5%%", spec.Name, mean)
+		}
+	}
+}
+
+func TestAnalyticMatchesChip(t *testing.T) {
+	chip := npu.Default()
+	specs := workload.RepresentativeOps()
+	a := Analytic{Chip: chip, Spec: &specs[0]}
+	for _, f := range chip.Curve.Grid() {
+		if a.Micros(f) != chip.Time(&specs[0], f) {
+			t.Errorf("analytic time diverges from chip at %g MHz", f)
+		}
+	}
+}
+
+// Fig. 4: an operator engineered so both saturation points fall inside
+// the DVFS window must expose breakpoints, and slopes must increase
+// left to right.
+func TestAnalyticBreakpointsInsideWindow(t *testing.T) {
+	chip := npu.Default()
+	spec := &op.Spec{
+		Name: "fig4", Class: op.Compute, Scenario: op.PingPongFreeIndep,
+		Blocks: 4, LoadBytes: 4 << 20, StoreBytes: 2 << 20,
+		CoreCycles: 2000, CorePipe: op.Vector, L2Hit: 0.55,
+	}
+	a := Analytic{Chip: chip, Spec: spec}
+	bps := a.Breakpoints(1000, 1800, 1)
+	if len(bps) == 0 {
+		t.Fatal("no breakpoints found; expected at least the Ld saturation point")
+	}
+	fsLd := chip.SaturationMHz(chip.CLoad, spec.L2Hit)
+	found := false
+	for _, b := range bps {
+		if math.Abs(b-fsLd) < 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("breakpoints %v miss Ld saturation %g MHz", bps, fsLd)
+	}
+}
+
+func TestErrorsHelper(t *testing.T) {
+	m := Model{A: 0.01, C: 10000}
+	fs := []float64{1000, 2000}
+	exact := []float64{m.Micros(1000), m.Micros(2000)}
+	errs := Errors(m, fs, exact)
+	for i, e := range errs {
+		if e > 1e-12 {
+			t.Errorf("error[%d] = %g, want 0", i, e)
+		}
+	}
+	errs = Errors(m, []float64{1000}, []float64{2 * m.Micros(1000)})
+	if math.Abs(errs[0]-0.5) > 1e-12 {
+		t.Errorf("error = %g, want 0.5", errs[0])
+	}
+}
+
+func TestFitSeriesAndSelectPoints(t *testing.T) {
+	chip := npu.Default()
+	p := profiler.NewNoiseless(chip)
+	trace := workload.RepresentativeOps()
+	var profiles []*profiler.Profile
+	for _, f := range chip.Curve.Grid() {
+		prof, err := p.Run(trace, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, prof)
+	}
+	series := profiler.BuildInstanceSeries(profiles)
+	if len(series) != len(trace) {
+		t.Fatalf("got %d series, want %d", len(series), len(trace))
+	}
+	models := FitSeries(series, []float64{1000, 1800})
+	if len(models) != len(trace) {
+		t.Fatalf("got %d models, want %d", len(models), len(trace))
+	}
+	var errs []float64
+	for _, s := range series {
+		m := models[s.Key]
+		for _, f := range gridEval {
+			e := stats.AbsRelError(m.Micros(f), chip.Time(s.Spec, f))
+			errs = append(errs, e)
+			if e > 0.10 {
+				t.Errorf("%s at %g: error %.3f", s.Key, f, e)
+			}
+		}
+	}
+	if mean := stats.Mean(errs); mean > 0.05 {
+		t.Errorf("mean fit error %.3f, want < 5%%", mean)
+	}
+	// Requesting a frequency that was never profiled fails selection.
+	if _, _, ok := SelectPoints(series[0], []float64{999}); ok {
+		t.Error("SelectPoints with missing frequency returned ok")
+	}
+	// FitSeries skips series lacking the fit frequencies.
+	if got := FitSeries(series, []float64{999, 1800}); len(got) != 0 {
+		t.Errorf("FitSeries with missing frequency produced %d models", len(got))
+	}
+}
+
+func TestBreakpointsDegenerateRanges(t *testing.T) {
+	chip := npu.Default()
+	specs := workload.RepresentativeOps()
+	a := Analytic{Chip: chip, Spec: &specs[0]}
+	if pts := a.Breakpoints(1800, 1000, 1); pts != nil {
+		t.Error("reversed range should yield nil")
+	}
+	if pts := a.Breakpoints(1000, 1800, 0); pts != nil {
+		t.Error("zero step should yield nil")
+	}
+}

@@ -1,0 +1,178 @@
+// Package plot renders simple line charts as SVG using only the
+// standard library, so the figure-regeneration experiments can emit
+// viewable plots (Fig. 3, 4, 9, 15, 17, ...) next to their text
+// reports.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a line chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// W and H are the SVG dimensions in pixels; zero values default
+	// to 720x420.
+	W, H int
+}
+
+// palette holds the line colors, cycled by series index.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 50.0
+	legendRow    = 16.0
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 420
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: chart %q has no finite points", c.Title)
+	}
+	// Degenerate ranges expand symmetrically so lines stay visible.
+	if xmax == xmin {
+		xmin, xmax = xmin-1, xmax+1
+	}
+	if ymax == ymin {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, xmlEscape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	// Ticks and grid.
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/ticks
+		fy := ymin + (ymax-ymin)*float64(i)/ticks
+		x := px(fx)
+		y := py(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, formatTick(fx))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(fy))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(h)-12, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, xmlEscape(c.YLabel))
+
+	// Series polylines and legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) == 1 {
+			// A single point renders as a small circle.
+			var x, y float64
+			fmt.Sscanf(pts[0], "%f,%f", &x, &y)
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n", x, y, color)
+		} else if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
+		// Legend entry.
+		lx := marginLeft + plotW - 150
+		ly := marginTop + 8 + legendRow*float64(si)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// Save renders the chart to an SVG file.
+func Save(path string, c *Chart) error {
+	svg, err := c.SVG()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(svg), 0o644)
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e5 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "Cycles vs frequency",
+		XLabel: "MHz",
+		YLabel: "cycles",
+		Series: []Series{
+			{Name: "op-a", X: []float64{1000, 1400, 1800}, Y: []float64{10, 12, 18}},
+			{Name: "op-b", X: []float64{1000, 1400, 1800}, Y: []float64{20, 20, 21}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"polyline", "Cycles vs frequency", "op-a", "op-b", "MHz"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("got %d polylines, want 2", got)
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := sample()
+	c.Title = `a < b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a < b &`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Chart{Title: "empty"}).SVG(); err == nil {
+		t.Error("no series: want error")
+	}
+	bad := &Chart{Series: []Series{{Name: "m", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	nan := &Chart{Series: []Series{{Name: "m", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}}
+	if _, err := nan.SVG(); err == nil {
+		t.Error("all-NaN series: want error")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	c := &Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "const", X: []float64{5, 5, 5}, Y: []float64{2, 2, 2}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate range produced non-finite coordinates")
+	}
+}
+
+func TestSinglePointRendersCircle(t *testing.T) {
+	c := &Chart{
+		Title:  "point",
+		Series: []Series{{Name: "p", X: []float64{3}, Y: []float64{4}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single point should render as a circle")
+	}
+}
+
+func TestSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chart.svg")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("saved file does not start with <svg")
+	}
+}

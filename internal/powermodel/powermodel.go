@@ -1,0 +1,330 @@
+// Package powermodel implements the paper's temperature-aware power
+// model (Sect. 5):
+//
+//	P = α·f·V² + β·f·V² + γ·ΔT·V + θ·V            (Eq. 11)
+//
+// Construction follows Fig. 11. The offline phase characterizes the
+// chip once: idle power at two frequencies determines the
+// load-independent terms β and θ (Eq. 12); the power/temperature decay
+// after a test load determines the leakage temperature coefficient γ
+// (dP/dT = γV, Sect. 5.4.2); and equilibrium temperatures across loads
+// determine k in T = T0 + k·P_soc (Eq. 15). The online phase extracts
+// one activity coefficient α per operator from power telemetry
+// collected while the target workload runs at the build frequencies
+// (Eq. 14). Because P_soc and ΔT depend on each other, predictions use
+// the paper's iterative scheme, which converges in a handful of
+// rounds.
+//
+// Both an AICore model and a SoC model are built; the SoC model mirrors
+// the AICore formulation (Eq. 16).
+package powermodel
+
+import (
+	"fmt"
+	"math"
+
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/stats"
+	"npudvfs/internal/thermal"
+)
+
+// Domain holds the fitted load-independent and leakage parameters for
+// one power domain (AICore or SoC).
+type Domain struct {
+	// Beta and Theta define idle power: P_idle = Beta·f·V² + Theta·V.
+	Beta, Theta float64
+	// Gamma is the leakage temperature coefficient: P_ΔT = Gamma·ΔT·V.
+	Gamma float64
+}
+
+// Idle returns the domain's load-independent power at fMHz with
+// voltage v, excluding the temperature term.
+func (d Domain) Idle(fMHz, v float64) float64 {
+	return d.Beta*fMHz*v*v + d.Theta*v
+}
+
+// Offline holds all hardware-level parameters extracted by the
+// offline phase of Fig. 11.
+type Offline struct {
+	Chip *npu.Chip
+	// AICore and SoC are the two modeled power domains.
+	AICore, SoC Domain
+	// K is k of Eq. 15: equilibrium °C per SoC watt.
+	K float64
+	// AmbientC is the zero-power die temperature used to convert
+	// temperature readings into ΔT.
+	AmbientC float64
+}
+
+// Rig bundles the live system the calibration procedures measure:
+// the simulated chip with its ground-truth power and a telemetry
+// sensor. On real hardware this is the NPU plus lpmi_tool.
+type Rig struct {
+	Chip    *npu.Chip
+	Ground  *powersim.Ground
+	Sensor  *powersim.Sensor
+	Thermal thermal.Params
+}
+
+// sample reads n noisy power/temperature samples of the idle chip at
+// fMHz with the given ΔT and returns mean AICore and SoC power.
+func (r *Rig) sampleIdle(fMHz, deltaT float64, n int) (core, soc float64) {
+	for i := 0; i < n; i++ {
+		core += r.Sensor.Power(r.Ground.AICorePower(nil, fMHz, deltaT))
+		soc += r.Sensor.Power(r.Ground.SoCPower(nil, fMHz, deltaT))
+	}
+	return core / float64(n), soc / float64(n)
+}
+
+// CalibrateOptions tunes the offline phase.
+type CalibrateOptions struct {
+	// LoMHz and HiMHz are the two idle measurement frequencies.
+	LoMHz, HiMHz float64
+	// IdleSamples is the number of sensor readings averaged per idle
+	// measurement.
+	IdleSamples int
+	// CooldownSamples and CooldownStepMicros define the
+	// power/temperature decay capture after the test load.
+	CooldownSamples    int
+	CooldownStepMicros float64
+	// EquilibriumFreqs are the frequencies the test load is run at to
+	// collect (P_soc, T) equilibrium pairs for fitting k.
+	EquilibriumFreqs []float64
+}
+
+// DefaultCalibrateOptions returns the values used by the paper
+// reproduction: idle at 1000/1800 MHz, a 40-point cooldown capture,
+// and equilibrium runs at four frequencies.
+func DefaultCalibrateOptions() CalibrateOptions {
+	return CalibrateOptions{
+		LoMHz:              1000,
+		HiMHz:              1800,
+		IdleSamples:        64,
+		CooldownSamples:    40,
+		CooldownStepMicros: 2e5,
+		EquilibriumFreqs:   []float64{1000, 1300, 1500, 1800},
+	}
+}
+
+// Calibrate runs the offline phase of Fig. 11 against the rig using
+// testLoad as the warm-up workload.
+func Calibrate(rig *Rig, testLoad []op.Spec, opt CalibrateOptions) (*Offline, error) {
+	if rig == nil || rig.Chip == nil || rig.Ground == nil || rig.Sensor == nil {
+		return nil, fmt.Errorf("powermodel: incomplete rig")
+	}
+	if len(testLoad) == 0 {
+		return nil, fmt.Errorf("powermodel: empty test load")
+	}
+	curve := rig.Chip.Curve
+	off := &Offline{Chip: rig.Chip, AmbientC: rig.Thermal.AmbientC}
+
+	// Step 1 - idle power at two frequencies, cold chip (ΔT = 0):
+	// solve Beta/Theta for each domain from the 2x2 system
+	//   P(f) = Beta·f·V² + Theta·V.
+	f1, f2 := opt.LoMHz, opt.HiMHz
+	v1, v2 := curve.Voltage(f1), curve.Voltage(f2)
+	c1, s1 := rig.sampleIdle(f1, 0, opt.IdleSamples)
+	c2, s2 := rig.sampleIdle(f2, 0, opt.IdleSamples)
+	solve := func(p1, p2 float64) (Domain, error) {
+		a := [][]float64{{f1 * v1 * v1, v1}, {f2 * v2 * v2, v2}}
+		x, err := stats.SolveLinear(a, []float64{p1, p2})
+		if err != nil {
+			return Domain{}, err
+		}
+		return Domain{Beta: x[0], Theta: x[1]}, nil
+	}
+	var err error
+	if off.AICore, err = solve(c1, c2); err != nil {
+		return nil, fmt.Errorf("powermodel: AICore idle fit: %w", err)
+	}
+	if off.SoC, err = solve(s1, s2); err != nil {
+		return nil, fmt.Errorf("powermodel: SoC idle fit: %w", err)
+	}
+
+	// Step 2 - gamma from the cooldown after a test load: warm the
+	// chip, remove the load, and regress idle power readings against
+	// temperature readings as the die cools (dP/dT = γV).
+	prof := profiler.Profiler{Chip: rig.Chip, Sensor: rig.Sensor, TimeNoiseFrac: 0.01}
+	th := thermal.NewState(rig.Thermal)
+	coolF := opt.HiMHz
+	if _, err := prof.WarmupIterations(testLoad, coolF, rig.Ground, th, 4000, 0.5); err != nil {
+		return nil, fmt.Errorf("powermodel: warm-up: %w", err)
+	}
+	vCool := curve.Voltage(coolF)
+	var temps, cores, socs []float64
+	for i := 0; i < opt.CooldownSamples; i++ {
+		deltaT := th.DeltaT()
+		pc := rig.Ground.AICorePower(nil, coolF, deltaT)
+		ps := rig.Ground.SoCPower(nil, coolF, deltaT)
+		temps = append(temps, rig.Sensor.Temp(th.TempC()))
+		cores = append(cores, rig.Sensor.Power(pc))
+		socs = append(socs, rig.Sensor.Power(ps))
+		th.Step(opt.CooldownStepMicros, ps)
+	}
+	_, slopeCore, err := stats.LinFit(temps, cores)
+	if err != nil {
+		return nil, fmt.Errorf("powermodel: AICore cooldown fit: %w", err)
+	}
+	_, slopeSoC, err := stats.LinFit(temps, socs)
+	if err != nil {
+		return nil, fmt.Errorf("powermodel: SoC cooldown fit: %w", err)
+	}
+	off.AICore.Gamma = slopeCore / vCool
+	off.SoC.Gamma = slopeSoC / vCool
+
+	// Step 3 - k from equilibrium (P_soc, T) pairs across loads at
+	// different frequencies (Fig. 10 / Eq. 15).
+	var eqP, eqT []float64
+	for _, f := range opt.EquilibriumFreqs {
+		thEq := thermal.NewState(rig.Thermal)
+		p, err := prof.WarmupIterations(testLoad, f, rig.Ground, thEq, 4000, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("powermodel: equilibrium run at %g MHz: %w", f, err)
+		}
+		eqP = append(eqP, p.MeanSoCW())
+		eqT = append(eqT, rig.Sensor.Temp(thEq.TempC()))
+	}
+	_, k, err := stats.LinFit(eqP, eqT)
+	if err != nil {
+		return nil, fmt.Errorf("powermodel: equilibrium fit: %w", err)
+	}
+	off.K = k
+	return off, nil
+}
+
+// OpPower holds the fitted load-dependent coefficients of one
+// operator.
+type OpPower struct {
+	// AlphaCore and AlphaSoC are the activity coefficients of Eq. 13
+	// for compute operators (W per MHz·V²).
+	AlphaCore, AlphaSoC float64
+	// ExtraSoC is the constant uncore power above idle drawn by
+	// non-compute entries (AICPU, communication), whose consumption
+	// does not follow the α·f·V² form.
+	ExtraSoC float64
+	// Compute records which representation applies.
+	Compute bool
+}
+
+// Model is the complete power model: offline hardware parameters plus
+// per-operator online coefficients.
+type Model struct {
+	*Offline
+	// Ops maps operator key to fitted coefficients.
+	Ops map[string]OpPower
+	// TemperatureAware controls whether the γΔT·V term is used; the
+	// ablation of Sect. 7.3 sets it false (γ effectively zero).
+	TemperatureAware bool
+}
+
+// Build runs the online phase: it extracts per-operator α values from
+// power-collecting profiles (one per build frequency, typically 1000
+// and 1800 MHz), subtracting idle and temperature terms per Eq. 14.
+// With temperatureAware false, the temperature term is not subtracted,
+// so its energy is absorbed into α — the paper's γ=0 ablation.
+func Build(off *Offline, profiles []*profiler.Profile, temperatureAware bool) (*Model, error) {
+	if off == nil {
+		return nil, fmt.Errorf("powermodel: nil offline calibration")
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("powermodel: no build profiles")
+	}
+	type acc struct {
+		core, soc, extra float64
+		n                int
+		compute          bool
+	}
+	sums := make(map[string]*acc)
+	curve := off.Chip.Curve
+	for _, prof := range profiles {
+		for i := range prof.Records {
+			r := &prof.Records[i]
+			if r.Spec.Class == op.Idle {
+				continue
+			}
+			f := r.FreqMHz
+			v := curve.Voltage(f)
+			deltaT := r.TempC - off.AmbientC
+			tempCore, tempSoC := 0.0, 0.0
+			if temperatureAware {
+				tempCore = off.AICore.Gamma * deltaT * v
+				tempSoC = off.SoC.Gamma * deltaT * v
+			}
+			key := r.Spec.Key()
+			a, ok := sums[key]
+			if !ok {
+				a = &acc{compute: r.Spec.Class == op.Compute}
+				sums[key] = a
+			}
+			if a.compute {
+				a.core += (r.AICoreW - off.AICore.Idle(f, v) - tempCore) / (f * v * v)
+				a.soc += (r.SoCW - off.SoC.Idle(f, v) - tempSoC) / (f * v * v)
+			} else {
+				a.extra += r.SoCW - off.SoC.Idle(f, v) - tempSoC
+			}
+			a.n++
+		}
+	}
+	m := &Model{Offline: off, Ops: make(map[string]OpPower, len(sums)), TemperatureAware: temperatureAware}
+	for key, a := range sums {
+		n := float64(a.n)
+		m.Ops[key] = OpPower{
+			AlphaCore: a.core / n,
+			AlphaSoC:  a.soc / n,
+			ExtraSoC:  a.extra / n,
+			Compute:   a.compute,
+		}
+	}
+	return m, nil
+}
+
+// gamma returns the effective temperature coefficients honoring the
+// ablation switch.
+func (m *Model) gamma() (core, soc float64) {
+	if !m.TemperatureAware {
+		return 0, 0
+	}
+	return m.AICore.Gamma, m.SoC.Gamma
+}
+
+// OpPowerAt predicts the instantaneous AICore and SoC power of an
+// operator at frequency fMHz with temperature rise deltaT. Unknown
+// keys predict idle power.
+func (m *Model) OpPowerAt(key string, fMHz, deltaT float64) (core, soc float64) {
+	v := m.Chip.Curve.Voltage(fMHz)
+	gc, gs := m.gamma()
+	core = m.AICore.Idle(fMHz, v) + gc*deltaT*v
+	soc = m.SoC.Idle(fMHz, v) + gs*deltaT*v
+	p, ok := m.Ops[key]
+	if !ok {
+		return core, soc
+	}
+	if p.Compute {
+		core += p.AlphaCore * fMHz * v * v
+		soc += p.AlphaSoC * fMHz * v * v
+	} else {
+		soc += p.ExtraSoC
+	}
+	return core, soc
+}
+
+// SolveDeltaT solves the self-consistent temperature rise of Sect. 5.4:
+// ΔT = k·P_soc(ΔT). It iterates from ΔT = 0 as in the paper, which
+// converges within a few rounds; iters reports how many were used.
+func SolveDeltaT(k float64, psoc func(deltaT float64) float64) (deltaT float64, iters int) {
+	const (
+		maxIters = 16
+		tol      = 1e-6
+	)
+	for iters = 0; iters < maxIters; iters++ {
+		next := k * psoc(deltaT)
+		if math.Abs(next-deltaT) < tol {
+			return next, iters + 1
+		}
+		deltaT = next
+	}
+	return deltaT, maxIters
+}

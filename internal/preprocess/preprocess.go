@@ -1,0 +1,139 @@
+// Package preprocess implements the DVFS candidate-point preparation
+// of Sect. 6.2 (Fig. 13). Starting from a profiled operator sequence
+// and its bottleneck classification, it:
+//
+//  1. splits the execution into Low Frequency Candidate (LFC) and High
+//     Frequency Candidate (HFC) stages: maximal runs of
+//     frequency-insensitive and frequency-sensitive entries, whose
+//     starts are the initial frequency candidate points; and
+//  2. merges candidates whose stage is shorter than the frequency
+//     adjustment interval (e.g. 5 ms) into an adjacent candidate, so
+//     the executor is never asked to retune faster than the hardware
+//     can act.
+//
+// The resulting stages are the genes of the genetic-algorithm search:
+// one frequency choice per stage.
+package preprocess
+
+import (
+	"fmt"
+
+	"npudvfs/internal/classify"
+	"npudvfs/internal/profiler"
+)
+
+// Stage is one frequency-candidate interval.
+type Stage struct {
+	// OpStart and OpEnd delimit the trace indices [OpStart, OpEnd).
+	OpStart, OpEnd int
+	// StartMicros and DurMicros locate the stage within the profiled
+	// iteration.
+	StartMicros, DurMicros float64
+	// Sensitive marks HFC stages (frequency-sensitive work dominates);
+	// LFC stages have it false.
+	Sensitive bool
+}
+
+// Stages builds merged frequency-candidate stages from a profile and
+// its per-record classification. faiMicros is the frequency adjustment
+// interval; stages shorter than it are merged into their longer
+// neighbor. A non-positive faiMicros disables merging.
+func Stages(prof *profiler.Profile, results []classify.Result, faiMicros float64) ([]Stage, error) {
+	if prof == nil || len(prof.Records) == 0 {
+		return nil, fmt.Errorf("preprocess: empty profile")
+	}
+	if len(results) != len(prof.Records) {
+		return nil, fmt.Errorf("preprocess: %d classifications for %d records",
+			len(results), len(prof.Records))
+	}
+	// Step 3 of Fig. 13: split on sensitivity changes.
+	var stages []Stage
+	cur := Stage{OpStart: 0, Sensitive: results[0].Sensitive, StartMicros: prof.Records[0].StartMicros}
+	for i := range prof.Records {
+		if results[i].Sensitive != cur.Sensitive {
+			cur.OpEnd = i
+			stages = append(stages, cur)
+			cur = Stage{
+				OpStart:     i,
+				Sensitive:   results[i].Sensitive,
+				StartMicros: prof.Records[i].StartMicros,
+			}
+		}
+		cur.DurMicros += prof.Records[i].DurMicros
+	}
+	// Recompute durations from record sums per stage (cur.DurMicros
+	// accumulated across boundary resets above would be wrong).
+	cur.OpEnd = len(prof.Records)
+	stages = append(stages, cur)
+	for si := range stages {
+		s := &stages[si]
+		s.DurMicros = 0
+		for i := s.OpStart; i < s.OpEnd; i++ {
+			s.DurMicros += prof.Records[i].DurMicros
+		}
+		s.StartMicros = prof.Records[s.OpStart].StartMicros
+	}
+	if faiMicros <= 0 {
+		return stages, nil
+	}
+	// Step 4: repeatedly merge the shortest sub-threshold stage into
+	// its longer neighbor, whose sensitivity label wins.
+	for len(stages) > 1 {
+		shortest, minDur := -1, faiMicros
+		for i, s := range stages {
+			if s.DurMicros < minDur {
+				shortest, minDur = i, s.DurMicros
+			}
+		}
+		if shortest < 0 {
+			break
+		}
+		stages = mergeInto(stages, shortest)
+	}
+	return stages, nil
+}
+
+// mergeInto merges stage i into its longer-duration neighbor and
+// returns the shortened slice.
+func mergeInto(stages []Stage, i int) []Stage {
+	target := i - 1
+	if i == 0 {
+		target = 1
+	} else if i+1 < len(stages) && stages[i+1].DurMicros > stages[i-1].DurMicros {
+		target = i + 1
+	}
+	lo, hi := i, target
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	merged := Stage{
+		OpStart:     stages[lo].OpStart,
+		OpEnd:       stages[hi].OpEnd,
+		StartMicros: stages[lo].StartMicros,
+		DurMicros:   stages[lo].DurMicros + stages[hi].DurMicros,
+		Sensitive:   stages[target].Sensitive,
+	}
+	out := append([]Stage{}, stages[:lo]...)
+	out = append(out, merged)
+	out = append(out, stages[hi+1:]...)
+	return out
+}
+
+// Validate checks that stages tile the trace contiguously.
+func Validate(stages []Stage, numRecords int) error {
+	if len(stages) == 0 {
+		return fmt.Errorf("preprocess: no stages")
+	}
+	if stages[0].OpStart != 0 {
+		return fmt.Errorf("preprocess: first stage starts at %d", stages[0].OpStart)
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].OpStart != stages[i-1].OpEnd {
+			return fmt.Errorf("preprocess: gap between stages %d and %d", i-1, i)
+		}
+	}
+	if last := stages[len(stages)-1].OpEnd; last != numRecords {
+		return fmt.Errorf("preprocess: last stage ends at %d, want %d", last, numRecords)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package preprocess
+
+import (
+	"testing"
+
+	"npudvfs/internal/classify"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/workload"
+)
+
+// syntheticProfile builds a profile with explicit durations and
+// sensitivities for precise merge testing.
+func syntheticProfile(durs []float64, sensitive []bool) (*profiler.Profile, []classify.Result) {
+	prof := &profiler.Profile{FreqMHz: 1800}
+	results := make([]classify.Result, len(durs))
+	now := 0.0
+	for i, d := range durs {
+		prof.Records = append(prof.Records, profiler.Record{
+			Index:       i,
+			Spec:        &workload.RepresentativeOps()[0],
+			StartMicros: now,
+			DurMicros:   d,
+			FreqMHz:     1800,
+		})
+		now += d
+		results[i] = classify.Result{Sensitive: sensitive[i]}
+		if sensitive[i] {
+			results[i].Bottleneck = classify.CoreBound
+		}
+	}
+	prof.TotalMicros = now
+	return prof, results
+}
+
+func TestStagesSplitOnSensitivity(t *testing.T) {
+	prof, res := syntheticProfile(
+		[]float64{100, 100, 200, 200, 100},
+		[]bool{false, false, true, true, false},
+	)
+	stages, err := Stages(prof, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(stages))
+	}
+	wantSens := []bool{false, true, false}
+	wantDur := []float64{200, 400, 100}
+	wantStart := []float64{0, 200, 600}
+	for i, s := range stages {
+		if s.Sensitive != wantSens[i] || s.DurMicros != wantDur[i] || s.StartMicros != wantStart[i] {
+			t.Errorf("stage %d = %+v, want sens=%v dur=%g start=%g",
+				i, s, wantSens[i], wantDur[i], wantStart[i])
+		}
+	}
+	if err := Validate(stages, len(prof.Records)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeShortStageIntoLongerNeighbor(t *testing.T) {
+	// Middle HFC stage of 50 µs is below a 100 µs FAI and must merge
+	// into the longer LFC neighbor (the right one, 500 µs).
+	prof, res := syntheticProfile(
+		[]float64{300, 50, 500},
+		[]bool{false, true, false},
+	)
+	stages, err := Stages(prof, res, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2 after merging", len(stages))
+	}
+	if stages[0].Sensitive || stages[1].Sensitive {
+		t.Errorf("absorbed stage must take the neighbor's label: %+v", stages)
+	}
+	if stages[1].DurMicros != 550 {
+		t.Errorf("merged stage duration = %g, want 550", stages[1].DurMicros)
+	}
+	if err := Validate(stages, len(prof.Records)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeFirstStage(t *testing.T) {
+	prof, res := syntheticProfile(
+		[]float64{20, 400},
+		[]bool{true, false},
+	)
+	stages, err := Stages(prof, res, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 {
+		t.Fatalf("got %d stages, want 1", len(stages))
+	}
+	if stages[0].Sensitive {
+		t.Error("label must come from the absorbing (longer) stage")
+	}
+	if stages[0].OpStart != 0 || stages[0].OpEnd != 2 {
+		t.Errorf("merged bounds = [%d,%d), want [0,2)", stages[0].OpStart, stages[0].OpEnd)
+	}
+}
+
+func TestAllStagesAboveFAISurvive(t *testing.T) {
+	prof, res := syntheticProfile(
+		[]float64{5000, 6000, 7000},
+		[]bool{false, true, false},
+	)
+	stages, err := Stages(prof, res, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages, want 3 (no merging needed)", len(stages))
+	}
+}
+
+func TestSingleStageNeverMergedAway(t *testing.T) {
+	prof, res := syntheticProfile([]float64{10}, []bool{true})
+	stages, err := Stages(prof, res, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 {
+		t.Fatalf("got %d stages, want 1", len(stages))
+	}
+}
+
+func TestStagesErrors(t *testing.T) {
+	if _, err := Stages(nil, nil, 0); err == nil {
+		t.Error("nil profile: want error")
+	}
+	prof, res := syntheticProfile([]float64{10}, []bool{true})
+	if _, err := Stages(prof, res[:0], 0); err == nil {
+		t.Error("mismatched classification length: want error")
+	}
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	bad := []Stage{{OpStart: 0, OpEnd: 3}, {OpStart: 4, OpEnd: 6}}
+	if err := Validate(bad, 6); err == nil {
+		t.Error("gap between stages: want error")
+	}
+	if err := Validate([]Stage{{OpStart: 0, OpEnd: 3}}, 6); err == nil {
+		t.Error("short coverage: want error")
+	}
+	if err := Validate(nil, 0); err == nil {
+		t.Error("no stages: want error")
+	}
+}
+
+// Larger FAI must produce monotonically fewer (or equal) candidates —
+// the mechanism behind the Fig. 18 FAI comparison.
+func TestFAIMonotonicity(t *testing.T) {
+	chip := npu.Default()
+	p := profiler.NewNoiseless(chip)
+	m := workload.GPT3()
+	prof, err := p.Run(m.Trace, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := classify.Trace(prof)
+	prev := -1
+	for _, fai := range []float64{5000, 100000, 1000000} {
+		stages, err := Stages(prof, res, fai)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(stages, len(prof.Records)); err != nil {
+			t.Fatalf("FAI %g: %v", fai, err)
+		}
+		for _, s := range stages[:len(stages)-1] {
+			if s.DurMicros < fai {
+				t.Fatalf("FAI %g: stage of %g µs survived merging", fai, s.DurMicros)
+			}
+		}
+		if prev >= 0 && len(stages) > prev {
+			t.Errorf("FAI %g produced more stages (%d) than smaller FAI (%d)", fai, len(stages), prev)
+		}
+		prev = len(stages)
+	}
+}
+
+// The 5 ms FAI on GPT-3 must produce a substantial number of stages —
+// the paper's policy issues 821 SetFreq per iteration.
+func TestGPT3StageCountScale(t *testing.T) {
+	chip := npu.Default()
+	p := profiler.NewNoiseless(chip)
+	prof, err := p.Run(workload.GPT3().Trace, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := Stages(prof, classify.Trace(prof), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 100 || len(stages) > 3000 {
+		t.Errorf("GPT-3 stages at 5 ms FAI = %d, want hundreds", len(stages))
+	}
+}

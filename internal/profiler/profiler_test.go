@@ -1,0 +1,202 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/thermal"
+)
+
+func smallTrace() []op.Spec {
+	return []op.Spec{
+		{
+			Name: "MatMul", Shape: "a", Class: op.Compute, Scenario: op.PingPongIndep,
+			Blocks: 4, LoadBytes: 1 << 18, StoreBytes: 1 << 16, CoreCycles: 60000,
+			CorePipe: op.Cube, L2Hit: 0.7,
+		},
+		{Name: "AllReduce", Class: op.Communication, FixedTime: 150},
+		{
+			Name: "Gelu", Shape: "b", Class: op.Compute, Scenario: op.PingPongFreeIndep,
+			Blocks: 6, LoadBytes: 2 << 18, StoreBytes: 2 << 18, CoreCycles: 500,
+			CorePipe: op.Vector, L2Hit: 0.1,
+		},
+		{Name: "idle", Class: op.Idle, FixedTime: 40},
+		{
+			Name: "MatMul", Shape: "a", Class: op.Compute, Scenario: op.PingPongIndep,
+			Blocks: 4, LoadBytes: 1 << 18, StoreBytes: 1 << 16, CoreCycles: 60000,
+			CorePipe: op.Cube, L2Hit: 0.7,
+		},
+	}
+}
+
+func TestRunNoiselessMatchesChipTime(t *testing.T) {
+	chip := npu.Default()
+	p := NewNoiseless(chip)
+	trace := smallTrace()
+	prof, err := p.Run(trace, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Records) != len(trace) {
+		t.Fatalf("got %d records, want %d", len(prof.Records), len(trace))
+	}
+	total := 0.0
+	for i := range trace {
+		want := chip.Time(&trace[i], 1500)
+		if got := prof.Records[i].DurMicros; got != want {
+			t.Errorf("record %d duration = %g, want %g", i, got, want)
+		}
+		if prof.Records[i].StartMicros != total {
+			t.Errorf("record %d start = %g, want %g", i, prof.Records[i].StartMicros, total)
+		}
+		total += want
+	}
+	if prof.TotalMicros != total {
+		t.Errorf("TotalMicros = %g, want %g", prof.TotalMicros, total)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	p := NewNoiseless(npu.Default())
+	if _, err := p.Run(smallTrace(), 0); err == nil {
+		t.Error("zero frequency: want error")
+	}
+	bad := []op.Spec{{Name: "", Class: op.Compute}}
+	if _, err := p.Run(bad, 1500); err == nil {
+		t.Error("invalid spec: want error")
+	}
+}
+
+func TestNoiseIsSmallAndDeterministic(t *testing.T) {
+	trace := smallTrace()
+	a, err := New(npu.Default(), 99).Run(trace, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(npu.Default(), 99).Run(trace, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewNoiseless(npu.Default()).Run(trace, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i].DurMicros != b.Records[i].DurMicros {
+			t.Fatalf("same-seed profilers diverged at record %d", i)
+		}
+		rel := math.Abs(a.Records[i].DurMicros-exact.Records[i].DurMicros) / exact.Records[i].DurMicros
+		if rel > 0.1 {
+			t.Errorf("record %d noise %g too large", i, rel)
+		}
+	}
+}
+
+func TestRunPowerPopulatesTelemetry(t *testing.T) {
+	chip := npu.Default()
+	p := NewNoiseless(chip)
+	g := powersim.Default(chip)
+	th := thermal.NewState(thermal.Default())
+	prof, err := p.RunPower(smallTrace(), 1500, g, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prof.Records {
+		r := &prof.Records[i]
+		if r.SoCW <= 0 || r.AICoreW <= 0 {
+			t.Errorf("record %d: power not populated (%g, %g)", i, r.AICoreW, r.SoCW)
+		}
+		if r.SoCW <= r.AICoreW {
+			t.Errorf("record %d: SoC power %g <= AICore %g", i, r.SoCW, r.AICoreW)
+		}
+		if r.TempC < thermal.Default().AmbientC {
+			t.Errorf("record %d: temperature %g below ambient", i, r.TempC)
+		}
+	}
+	if th.TempC() <= thermal.Default().AmbientC {
+		t.Error("thermal state did not warm up")
+	}
+	if prof.MeanSoCW() <= prof.MeanAICoreW() {
+		t.Error("mean SoC power should exceed mean AICore power")
+	}
+}
+
+func TestRunPowerNeedsDependencies(t *testing.T) {
+	p := NewNoiseless(npu.Default())
+	if _, err := p.RunPower(smallTrace(), 1500, nil, nil); err == nil {
+		t.Error("nil ground/thermal: want error")
+	}
+}
+
+func TestWarmupConverges(t *testing.T) {
+	chip := npu.Default()
+	p := NewNoiseless(chip)
+	g := powersim.Default(chip)
+	th := thermal.NewState(thermal.Default())
+	// Build a long trace so each iteration meaningfully heats the die.
+	var trace []op.Spec
+	for i := 0; i < 50; i++ {
+		trace = append(trace, smallTrace()...)
+	}
+	prof, err := p.WarmupIterations(trace, 1800, g, th, 5000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("nil profile")
+	}
+	// At stability, the temperature should be near the equilibrium
+	// for the mean SoC power.
+	teq := th.Equilibrium(prof.MeanSoCW())
+	if math.Abs(th.TempC()-teq) > 2 {
+		t.Errorf("warmed temp %g not near equilibrium %g", th.TempC(), teq)
+	}
+}
+
+func TestComputeMicrosExcludesFixed(t *testing.T) {
+	p := NewNoiseless(npu.Default())
+	prof, err := p.Run(smallTrace(), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 150.0 + 40.0
+	if math.Abs(prof.ComputeMicros()-(prof.TotalMicros-fixed)) > 1e-9 {
+		t.Errorf("ComputeMicros = %g, total-fixed = %g", prof.ComputeMicros(), prof.TotalMicros-fixed)
+	}
+}
+
+func TestBuildSeriesAggregates(t *testing.T) {
+	chip := npu.Default()
+	p := NewNoiseless(chip)
+	trace := smallTrace()
+	var profiles []*Profile
+	for _, f := range []float64{1000, 1400, 1800} {
+		prof, err := p.Run(trace, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, prof)
+	}
+	series := BuildSeries(profiles)
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2 (MatMul/a, Gelu/b)", len(series))
+	}
+	mm := series["MatMul/a"]
+	if mm == nil {
+		t.Fatal("missing MatMul/a series")
+	}
+	if mm.Count != 2 {
+		t.Errorf("MatMul/a count = %d, want 2", mm.Count)
+	}
+	if len(mm.FreqMHz) != 3 || len(mm.Micros) != 3 {
+		t.Fatalf("series lengths = %d/%d, want 3/3", len(mm.FreqMHz), len(mm.Micros))
+	}
+	// Mean of two identical instances equals the single-op time.
+	want := chip.Time(&trace[0], 1400)
+	if math.Abs(mm.Micros[1]-want) > 1e-9 {
+		t.Errorf("mean duration = %g, want %g", mm.Micros[1], want)
+	}
+}

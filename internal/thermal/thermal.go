@@ -1,0 +1,69 @@
+// Package thermal models chip temperature under load as a first-order
+// (RC) system. The equilibrium behaviour matches Eq. 15 of the paper:
+// the AICore temperature under a sustained load is linear in SoC power,
+//
+//	T_eq = T_ambient + k * P_soc
+//
+// and the transient approach to equilibrium is exponential with a
+// package time constant, which reproduces the gradual power/temperature
+// decay after a load completes that Sect. 5.4.2 exploits to measure γ.
+package thermal
+
+import "math"
+
+// Params holds the physical constants of the thermal model.
+type Params struct {
+	// AmbientC is T_0 of Eq. 15 in °C: the die temperature at zero
+	// power (tracks the inlet/ambient temperature).
+	AmbientC float64
+	// KCPerWatt is k of Eq. 15: equilibrium °C per watt of SoC power.
+	KCPerWatt float64
+	// TauMicros is the package thermal time constant in µs.
+	TauMicros float64
+}
+
+// Default returns the constants used by the reproduction experiments:
+// 35 °C ambient, 0.12 °C/W (≈65 °C at a 250 W SoC), 8 s time constant.
+func Default() Params {
+	return Params{AmbientC: 35, KCPerWatt: 0.12, TauMicros: 8e6}
+}
+
+// State is an evolving die temperature. The zero value is invalid;
+// create with NewState.
+type State struct {
+	Params
+	tempC float64
+}
+
+// NewState returns a State at thermal equilibrium with zero power.
+func NewState(p Params) *State {
+	return &State{Params: p, tempC: p.AmbientC}
+}
+
+// TempC returns the current die temperature in °C.
+func (s *State) TempC() float64 { return s.tempC }
+
+// DeltaT returns the current temperature rise over ambient, the ΔT of
+// Eq. 10.
+func (s *State) DeltaT() float64 { return s.tempC - s.AmbientC }
+
+// Equilibrium returns the steady-state temperature for a SoC power, per
+// Eq. 15.
+func (s *State) Equilibrium(psocWatts float64) float64 {
+	return s.AmbientC + s.KCPerWatt*psocWatts
+}
+
+// Step advances the temperature by dtMicros of operation at the given
+// SoC power, relaxing exponentially toward the equilibrium point.
+func (s *State) Step(dtMicros, psocWatts float64) {
+	if dtMicros <= 0 {
+		return
+	}
+	teq := s.Equilibrium(psocWatts)
+	decay := math.Exp(-dtMicros / s.TauMicros)
+	s.tempC = teq + (s.tempC-teq)*decay
+}
+
+// SetTemp forces the temperature, used to start experiments from a
+// warmed-up state.
+func (s *State) SetTemp(tC float64) { s.tempC = tC }

@@ -1,0 +1,102 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEquilibriumLinearInPower(t *testing.T) {
+	s := NewState(Default())
+	t200 := s.Equilibrium(200)
+	t300 := s.Equilibrium(300)
+	t400 := s.Equilibrium(400)
+	// Fig. 10: temperature is linear in SoC power.
+	if math.Abs((t300-t200)-(t400-t300)) > 1e-12 {
+		t.Errorf("equilibrium not linear: %g %g %g", t200, t300, t400)
+	}
+	if t200 <= Default().AmbientC {
+		t.Errorf("equilibrium at 200 W (%g) must exceed ambient", t200)
+	}
+}
+
+func TestStepApproachesEquilibrium(t *testing.T) {
+	p := Default()
+	s := NewState(p)
+	const power = 250.0
+	teq := s.Equilibrium(power)
+	// After 5 time constants, within ~0.7% of equilibrium.
+	s.Step(5*p.TauMicros, power)
+	if math.Abs(s.TempC()-teq) > 0.01*(teq-p.AmbientC) {
+		t.Errorf("after 5 tau: T = %g, want ~%g", s.TempC(), teq)
+	}
+}
+
+func TestStepMonotoneHeatingAndCooling(t *testing.T) {
+	p := Default()
+	s := NewState(p)
+	prev := s.TempC()
+	for i := 0; i < 50; i++ {
+		s.Step(1e5, 300)
+		if s.TempC() < prev-1e-12 {
+			t.Fatalf("heating: temperature decreased at step %d", i)
+		}
+		prev = s.TempC()
+	}
+	// Now cool at zero power: must decrease monotonically to ambient.
+	for i := 0; i < 50; i++ {
+		s.Step(1e5, 0)
+		if s.TempC() > prev+1e-12 {
+			t.Fatalf("cooling: temperature increased at step %d", i)
+		}
+		prev = s.TempC()
+	}
+	if s.TempC() < p.AmbientC-1e-9 {
+		t.Errorf("cooled below ambient: %g", s.TempC())
+	}
+}
+
+func TestStepExactExponential(t *testing.T) {
+	p := Params{AmbientC: 30, KCPerWatt: 0.1, TauMicros: 1e6}
+	s := NewState(p)
+	const power = 100.0
+	s.Step(1e6, power) // exactly one time constant
+	teq := 30 + 0.1*100
+	want := teq + (30-teq)*math.Exp(-1)
+	if math.Abs(s.TempC()-want) > 1e-9 {
+		t.Errorf("T after 1 tau = %g, want %g", s.TempC(), want)
+	}
+}
+
+func TestStepIndependentOfSubdivision(t *testing.T) {
+	p := Default()
+	a := NewState(p)
+	b := NewState(p)
+	a.Step(1e6, 280)
+	for i := 0; i < 100; i++ {
+		b.Step(1e4, 280)
+	}
+	if math.Abs(a.TempC()-b.TempC()) > 1e-9 {
+		t.Errorf("subdivided stepping diverged: %g vs %g", a.TempC(), b.TempC())
+	}
+}
+
+func TestZeroOrNegativeDtIsNoop(t *testing.T) {
+	s := NewState(Default())
+	before := s.TempC()
+	s.Step(0, 500)
+	s.Step(-10, 500)
+	if s.TempC() != before {
+		t.Error("Step with dt <= 0 changed temperature")
+	}
+}
+
+func TestDeltaTAndSetTemp(t *testing.T) {
+	s := NewState(Default())
+	if s.DeltaT() != 0 {
+		t.Errorf("initial DeltaT = %g, want 0", s.DeltaT())
+	}
+	s.SetTemp(60)
+	if s.TempC() != 60 || math.Abs(s.DeltaT()-25) > 1e-12 {
+		t.Errorf("SetTemp: T=%g DeltaT=%g", s.TempC(), s.DeltaT())
+	}
+}

@@ -1,0 +1,59 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"npudvfs/internal/workload"
+)
+
+// FuzzReadStrategy ensures the strategy parser never panics and that
+// anything it accepts round-trips stably.
+func FuzzReadStrategy(f *testing.F) {
+	f.Add(`{"baseline_mhz":1800,"points":[{"op_index":0,"time_us":0,"freq_mhz":1800}]}`)
+	f.Add(`{"baseline_mhz":1800,"points":[]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"baseline_mhz":-1}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadStrategy(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteStrategy(&buf, s); err != nil {
+			t.Fatalf("accepted strategy failed to serialize: %v", err)
+		}
+		s2, err := ReadStrategy(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted strategy failed: %v", err)
+		}
+		if s2.BaselineMHz != s.BaselineMHz || len(s2.Points) != len(s.Points) {
+			t.Fatal("round trip changed the strategy")
+		}
+	})
+}
+
+// FuzzReadWorkload ensures the trace parser never panics and validates
+// everything it accepts.
+func FuzzReadWorkload(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, workload.MicroOp(workload.TanhOp(), 2)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","trace":[]}`)
+	f.Add(`{"name":"x","trace":[{"name":"a","class":"idle","fixed_us":3}]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadWorkload(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a valid workload.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid workload: %v", err)
+		}
+	})
+}

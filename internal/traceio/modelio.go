@@ -1,0 +1,161 @@
+package traceio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"npudvfs/internal/perfmodel"
+	"npudvfs/internal/powermodel"
+)
+
+// ModelBundle is the serializable form of a workload's fitted models:
+// the production deployment artifact — models are built once from
+// profiling runs and reused for every subsequent strategy generation.
+type ModelBundle struct {
+	// Workload names the trace the models were fitted on.
+	Workload string `json:"workload"`
+	// Perf maps operator keys to Func. 2 coefficients.
+	Perf map[string]perfJSON `json:"perf"`
+	// Power carries the offline parameters and per-operator
+	// coefficients.
+	Power powerJSON `json:"power"`
+}
+
+type perfJSON struct {
+	A float64 `json:"a"`
+	C float64 `json:"c"`
+}
+
+type domainJSON struct {
+	Beta  float64 `json:"beta"`
+	Theta float64 `json:"theta"`
+	Gamma float64 `json:"gamma"`
+}
+
+type opPowerJSON struct {
+	AlphaCore float64 `json:"alpha_core,omitempty"`
+	AlphaSoC  float64 `json:"alpha_soc,omitempty"`
+	ExtraSoC  float64 `json:"extra_soc,omitempty"`
+	Compute   bool    `json:"compute"`
+}
+
+type powerJSON struct {
+	AICore           domainJSON             `json:"aicore"`
+	SoC              domainJSON             `json:"soc"`
+	K                float64                `json:"k"`
+	AmbientC         float64                `json:"ambient_c"`
+	TemperatureAware bool                   `json:"temperature_aware"`
+	Ops              map[string]opPowerJSON `json:"ops"`
+}
+
+// NewModelBundle collects fitted models into a serializable bundle.
+func NewModelBundle(workloadName string, perf map[string]perfmodel.Model, power *powermodel.Model) (*ModelBundle, error) {
+	if power == nil || power.Offline == nil {
+		return nil, fmt.Errorf("traceio: nil power model")
+	}
+	b := &ModelBundle{
+		Workload: workloadName,
+		Perf:     make(map[string]perfJSON, len(perf)),
+		Power: powerJSON{
+			AICore:           domainJSON(power.AICore),
+			SoC:              domainJSON(power.SoC),
+			K:                power.K,
+			AmbientC:         power.AmbientC,
+			TemperatureAware: power.TemperatureAware,
+			Ops:              make(map[string]opPowerJSON, len(power.Ops)),
+		},
+	}
+	for k, m := range perf {
+		b.Perf[k] = perfJSON{A: m.A, C: m.C}
+	}
+	for k, p := range power.Ops {
+		b.Power.Ops[k] = opPowerJSON{
+			AlphaCore: p.AlphaCore, AlphaSoC: p.AlphaSoC,
+			ExtraSoC: p.ExtraSoC, Compute: p.Compute,
+		}
+	}
+	return b, nil
+}
+
+// PerfModels reconstructs the performance-model map.
+func (b *ModelBundle) PerfModels() map[string]perfmodel.Model {
+	out := make(map[string]perfmodel.Model, len(b.Perf))
+	for k, m := range b.Perf {
+		out[k] = perfmodel.Model{A: m.A, C: m.C}
+	}
+	return out
+}
+
+// PowerModel reconstructs the power model. The chip is re-attached by
+// the caller because hardware handles do not serialize.
+func (b *ModelBundle) PowerModel(off *powermodel.Offline) *powermodel.Model {
+	offline := *off
+	offline.AICore = powermodel.Domain(b.Power.AICore)
+	offline.SoC = powermodel.Domain(b.Power.SoC)
+	offline.K = b.Power.K
+	offline.AmbientC = b.Power.AmbientC
+	m := &powermodel.Model{
+		Offline:          &offline,
+		Ops:              make(map[string]powermodel.OpPower, len(b.Power.Ops)),
+		TemperatureAware: b.Power.TemperatureAware,
+	}
+	for k, p := range b.Power.Ops {
+		m.Ops[k] = powermodel.OpPower{
+			AlphaCore: p.AlphaCore, AlphaSoC: p.AlphaSoC,
+			ExtraSoC: p.ExtraSoC, Compute: p.Compute,
+		}
+	}
+	return m
+}
+
+// Keys returns the operator keys covered by the bundle, sorted.
+func (b *ModelBundle) Keys() []string {
+	keys := make([]string, 0, len(b.Perf))
+	for k := range b.Perf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteModels serializes a bundle to w.
+func WriteModels(w io.Writer, b *ModelBundle) error {
+	if b == nil {
+		return fmt.Errorf("traceio: nil model bundle")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(b)
+}
+
+// ReadModels deserializes a bundle from r.
+func ReadModels(r io.Reader) (*ModelBundle, error) {
+	var b ModelBundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("traceio: decoding models: %w", err)
+	}
+	if b.Perf == nil {
+		b.Perf = map[string]perfJSON{}
+	}
+	if b.Power.Ops == nil {
+		b.Power.Ops = map[string]opPowerJSON{}
+	}
+	return &b, nil
+}
+
+// SaveModels writes a bundle to path.
+func SaveModels(path string, b *ModelBundle) error {
+	return saveTo(path, func(w io.Writer) error { return WriteModels(w, b) })
+}
+
+// LoadModels reads a bundle from path.
+func LoadModels(path string) (*ModelBundle, error) {
+	f, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModels(f)
+}

@@ -1,0 +1,106 @@
+package traceio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npudvfs/internal/perfmodel"
+	"npudvfs/internal/powermodel"
+)
+
+func sampleBundle(t *testing.T) *ModelBundle {
+	t.Helper()
+	perf := map[string]perfmodel.Model{
+		"MatMul/a": {A: 0.01, C: 40000},
+		"Gelu/b":   {A: 0.0001, C: 90000},
+	}
+	power := &powermodel.Model{
+		Offline: &powermodel.Offline{
+			AICore:   powermodel.Domain{Beta: 0.004, Theta: 5, Gamma: 0.2},
+			SoC:      powermodel.Domain{Beta: -0.02, Theta: 220, Gamma: 0.32},
+			K:        0.12,
+			AmbientC: 35,
+		},
+		TemperatureAware: true,
+		Ops: map[string]powermodel.OpPower{
+			"MatMul/a":  {AlphaCore: 0.025, AlphaSoC: 0.05, Compute: true},
+			"AllReduce": {ExtraSoC: 25},
+		},
+	}
+	b, err := NewModelBundle("unit", perf, power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestModelBundleRoundTrip(t *testing.T) {
+	b := sampleBundle(t)
+	var buf bytes.Buffer
+	if err := WriteModels(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := back.PerfModels()
+	if m := perf["MatMul/a"]; m.A != 0.01 || m.C != 40000 {
+		t.Errorf("perf model round trip: %+v", m)
+	}
+	off := &powermodel.Offline{}
+	power := back.PowerModel(off)
+	if !power.TemperatureAware || power.K != 0.12 {
+		t.Errorf("power offline round trip: %+v", power.Offline)
+	}
+	op := power.Ops["MatMul/a"]
+	if !op.Compute || math.Abs(op.AlphaCore-0.025) > 1e-15 {
+		t.Errorf("op power round trip: %+v", op)
+	}
+	comm := power.Ops["AllReduce"]
+	if comm.Compute || comm.ExtraSoC != 25 {
+		t.Errorf("non-compute op round trip: %+v", comm)
+	}
+	if got := back.Keys(); len(got) != 2 || got[0] != "Gelu/b" {
+		t.Errorf("Keys() = %v", got)
+	}
+}
+
+func TestModelBundleFileRoundTrip(t *testing.T) {
+	b := sampleBundle(t)
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := SaveModels(path, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModels(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != "unit" {
+		t.Errorf("workload name = %q", back.Workload)
+	}
+}
+
+func TestModelBundleErrors(t *testing.T) {
+	if _, err := NewModelBundle("x", nil, nil); err == nil {
+		t.Error("nil power model: want error")
+	}
+	var buf bytes.Buffer
+	if err := WriteModels(&buf, nil); err == nil {
+		t.Error("nil bundle: want error")
+	}
+	if _, err := ReadModels(strings.NewReader("nope")); err == nil {
+		t.Error("garbage input: want error")
+	}
+	// Empty JSON object decodes into an empty but usable bundle.
+	b, err := ReadModels(strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerfModels() == nil || len(b.Keys()) != 0 {
+		t.Error("empty bundle should be usable")
+	}
+}

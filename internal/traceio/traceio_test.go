@@ -1,0 +1,133 @@
+package traceio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/workload"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	orig := workload.BERT()
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name {
+		t.Errorf("name = %q, want %q", back.Name, orig.Name)
+	}
+	if len(back.Trace) != len(orig.Trace) {
+		t.Fatalf("trace length %d, want %d", len(back.Trace), len(orig.Trace))
+	}
+	for i := range orig.Trace {
+		if back.Trace[i] != orig.Trace[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, back.Trace[i], orig.Trace[i])
+		}
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	orig := workload.ResNet50()
+	if err := SaveWorkload(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops() != orig.Ops() {
+		t.Errorf("ops = %d, want %d", back.Ops(), orig.Ops())
+	}
+}
+
+func TestWorkloadHumanReadableEnums(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, workload.MicroOp(workload.SoftmaxOp(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"class": "compute"`, `"scenario": "pingpongfree-dep"`, `"core_pipe": "vector"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadWorkloadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","trace":[{"name":"a","class":"nosuch"}]}`,
+		`{"name":"x","trace":[{"name":"a","class":"compute","scenario":"bogus","core_pipe":"cube","blocks":1,"core_cycles":5}]}`,
+		`{"name":"x","trace":[{"name":"a","class":"compute","scenario":"pingpong-dep","core_pipe":"mte2","blocks":1,"core_cycles":5}]}`,
+		// Valid JSON but invalid spec (no work).
+		`{"name":"x","trace":[{"name":"a","class":"compute","scenario":"pingpong-dep","core_pipe":"cube","blocks":1}]}`,
+	}
+	for i, in := range cases {
+		if _, err := ReadWorkload(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestStrategyRoundTrip(t *testing.T) {
+	orig := &core.Strategy{
+		BaselineMHz: 1800,
+		Points: []core.FreqPoint{
+			{OpIndex: 0, TimeMicros: 0, FreqMHz: 1800},
+			{OpIndex: 42, TimeMicros: 1234.5, FreqMHz: 1200, UncoreScale: 0.9},
+			{OpIndex: 90, TimeMicros: 8000, FreqMHz: 1700},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "strategy.json")
+	if err := SaveStrategy(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStrategy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BaselineMHz != orig.BaselineMHz || len(back.Points) != len(orig.Points) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for i := range orig.Points {
+		if back.Points[i] != orig.Points[i] {
+			t.Errorf("point %d = %+v, want %+v", i, back.Points[i], orig.Points[i])
+		}
+	}
+	if back.Switches() != orig.Switches() {
+		t.Errorf("switches = %d, want %d", back.Switches(), orig.Switches())
+	}
+}
+
+func TestReadStrategyValidates(t *testing.T) {
+	cases := []string{
+		`{"baseline_mhz":0,"points":[]}`,
+		`{"baseline_mhz":1800,"points":[{"op_index":0,"freq_mhz":-5}]}`,
+		`{"baseline_mhz":1800,"points":[{"op_index":9,"freq_mhz":1200},{"op_index":3,"freq_mhz":1500}]}`,
+		`{"baseline_mhz":1800,"points":[{"op_index":0,"freq_mhz":1200,"uncore_scale":1.4}]}`,
+		`not json`,
+	}
+	for i, in := range cases {
+		if _, err := ReadStrategy(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, nil); err == nil {
+		t.Error("nil workload: want error")
+	}
+	if err := WriteStrategy(&buf, nil); err == nil {
+		t.Error("nil strategy: want error")
+	}
+}

@@ -1,0 +1,138 @@
+// Package vf models the voltage-frequency relationship of an AI
+// accelerator's core domain under DVFS control.
+//
+// The reference curve reproduces Fig. 9 of the paper: the Ascend NPU
+// supports core frequencies from 1000 MHz to 1800 MHz in 100 MHz
+// increments; below a knee frequency (1300 MHz) the firmware holds the
+// voltage constant, and above the knee the voltage rises linearly with
+// frequency. The same positive correlation is observed on NVIDIA GPUs.
+//
+// Conventions used across this repository: frequencies are expressed in
+// MHz and voltages in volts. Because times elsewhere are expressed in
+// microseconds, a frequency in MHz is numerically equal to cycles per
+// microsecond, which keeps cycle arithmetic free of unit constants.
+package vf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve describes a firmware voltage-frequency table: a frequency grid
+// with automatic voltage adaptation. The zero value is not usable; build
+// one with New or use Ascend for the paper's reference platform.
+type Curve struct {
+	minMHz  float64
+	maxMHz  float64
+	stepMHz float64
+	kneeMHz float64 // below this the voltage is flat
+	vFlat   float64 // volts at and below the knee
+	vMax    float64 // volts at maxMHz
+}
+
+// New builds a voltage-frequency curve. Frequencies are in MHz, voltages
+// in volts. The curve holds vFlat below kneeMHz and rises linearly from
+// vFlat at kneeMHz to vMax at maxMHz.
+func New(minMHz, maxMHz, stepMHz, kneeMHz, vFlat, vMax float64) (*Curve, error) {
+	switch {
+	case minMHz <= 0 || maxMHz <= minMHz:
+		return nil, fmt.Errorf("vf: invalid frequency range [%g, %g] MHz", minMHz, maxMHz)
+	case stepMHz <= 0:
+		return nil, fmt.Errorf("vf: invalid step %g MHz", stepMHz)
+	case kneeMHz < minMHz || kneeMHz > maxMHz:
+		return nil, fmt.Errorf("vf: knee %g MHz outside range [%g, %g]", kneeMHz, minMHz, maxMHz)
+	case vFlat <= 0 || vMax < vFlat:
+		return nil, fmt.Errorf("vf: invalid voltages flat=%g max=%g", vFlat, vMax)
+	}
+	return &Curve{
+		minMHz:  minMHz,
+		maxMHz:  maxMHz,
+		stepMHz: stepMHz,
+		kneeMHz: kneeMHz,
+		vFlat:   vFlat,
+		vMax:    vMax,
+	}, nil
+}
+
+// Ascend returns the reference curve used throughout the paper's
+// experiments: 1000-1800 MHz in 100 MHz steps, voltage flat at 0.75 V up
+// to 1300 MHz, rising linearly to 0.83 V at 1800 MHz (the shape of
+// Fig. 9).
+func Ascend() *Curve {
+	c, err := New(1000, 1800, 100, 1300, 0.75, 0.83)
+	if err != nil {
+		panic("vf: reference curve construction failed: " + err.Error())
+	}
+	return c
+}
+
+// Min returns the lowest supported frequency in MHz.
+func (c *Curve) Min() float64 { return c.minMHz }
+
+// Max returns the highest supported frequency in MHz.
+func (c *Curve) Max() float64 { return c.maxMHz }
+
+// Step returns the grid step in MHz.
+func (c *Curve) Step() float64 { return c.stepMHz }
+
+// Knee returns the frequency in MHz below which voltage is flat.
+func (c *Curve) Knee() float64 { return c.kneeMHz }
+
+// Grid returns the supported frequency points in MHz, ascending.
+func (c *Curve) Grid() []float64 {
+	n := int(math.Round((c.maxMHz-c.minMHz)/c.stepMHz)) + 1
+	grid := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		grid = append(grid, c.minMHz+float64(i)*c.stepMHz)
+	}
+	return grid
+}
+
+// Voltage returns the firmware-selected voltage in volts for a core
+// frequency in MHz. Frequencies outside the supported range are clamped,
+// matching firmware behaviour.
+func (c *Curve) Voltage(fMHz float64) float64 {
+	f := c.Clamp(fMHz)
+	if f <= c.kneeMHz {
+		return c.vFlat
+	}
+	frac := (f - c.kneeMHz) / (c.maxMHz - c.kneeMHz)
+	return c.vFlat + frac*(c.vMax-c.vFlat)
+}
+
+// Clamp limits fMHz to the supported range.
+func (c *Curve) Clamp(fMHz float64) float64 {
+	return math.Min(c.maxMHz, math.Max(c.minMHz, fMHz))
+}
+
+// Nearest snaps fMHz to the closest grid point.
+func (c *Curve) Nearest(fMHz float64) float64 {
+	f := c.Clamp(fMHz)
+	steps := math.Round((f - c.minMHz) / c.stepMHz)
+	return c.minMHz + steps*c.stepMHz
+}
+
+// Contains reports whether fMHz is exactly one of the grid points.
+func (c *Curve) Contains(fMHz float64) bool {
+	grid := c.Grid()
+	i := sort.SearchFloat64s(grid, fMHz)
+	return i < len(grid) && grid[i] == fMHz
+}
+
+// Point is one (frequency, voltage) operating point.
+type Point struct {
+	MHz   float64
+	Volts float64
+}
+
+// Points returns the full operating-point table, ascending by frequency.
+// This is the data series behind Fig. 9.
+func (c *Curve) Points() []Point {
+	grid := c.Grid()
+	pts := make([]Point, len(grid))
+	for i, f := range grid {
+		pts[i] = Point{MHz: f, Volts: c.Voltage(f)}
+	}
+	return pts
+}

@@ -1,0 +1,136 @@
+package vf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAscendGrid(t *testing.T) {
+	c := Ascend()
+	grid := c.Grid()
+	if len(grid) != 9 {
+		t.Fatalf("grid length = %d, want 9", len(grid))
+	}
+	if grid[0] != 1000 || grid[len(grid)-1] != 1800 {
+		t.Errorf("grid endpoints = %g, %g; want 1000, 1800", grid[0], grid[len(grid)-1])
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i]-grid[i-1] != 100 {
+			t.Errorf("grid step at %d = %g, want 100", i, grid[i]-grid[i-1])
+		}
+	}
+}
+
+func TestVoltageFlatBelowKnee(t *testing.T) {
+	c := Ascend()
+	for _, f := range []float64{1000, 1100, 1200, 1300} {
+		if v := c.Voltage(f); v != 0.75 {
+			t.Errorf("Voltage(%g) = %g, want 0.75 (flat below knee)", f, v)
+		}
+	}
+}
+
+func TestVoltageLinearAboveKnee(t *testing.T) {
+	c := Ascend()
+	v13 := c.Voltage(1300)
+	v18 := c.Voltage(1800)
+	if v18 <= v13 {
+		t.Fatalf("voltage must rise above knee: V(1300)=%g, V(1800)=%g", v13, v18)
+	}
+	// Midpoint of the rising segment must be the midpoint voltage.
+	vMid := c.Voltage(1550)
+	want := (v13 + v18) / 2
+	if math.Abs(vMid-want) > 1e-12 {
+		t.Errorf("Voltage(1550) = %g, want %g (linear above knee)", vMid, want)
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	c := Ascend()
+	prev := 0.0
+	for _, f := range c.Grid() {
+		v := c.Voltage(f)
+		if v < prev {
+			t.Errorf("voltage decreased at %g MHz: %g < %g", f, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestClampAndNearest(t *testing.T) {
+	c := Ascend()
+	cases := []struct {
+		in, clamp, near float64
+	}{
+		{900, 1000, 1000},
+		{1000, 1000, 1000},
+		{1049, 1049, 1000},
+		{1051, 1051, 1100},
+		{1800, 1800, 1800},
+		{2500, 1800, 1800},
+	}
+	for _, tc := range cases {
+		if got := c.Clamp(tc.in); got != tc.clamp {
+			t.Errorf("Clamp(%g) = %g, want %g", tc.in, got, tc.clamp)
+		}
+		if got := c.Nearest(tc.in); got != tc.near {
+			t.Errorf("Nearest(%g) = %g, want %g", tc.in, got, tc.near)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := Ascend()
+	if !c.Contains(1500) {
+		t.Error("Contains(1500) = false, want true")
+	}
+	if c.Contains(1550) {
+		t.Error("Contains(1550) = true, want false")
+	}
+}
+
+func TestPointsMatchesVoltage(t *testing.T) {
+	c := Ascend()
+	for _, p := range c.Points() {
+		if got := c.Voltage(p.MHz); got != p.Volts {
+			t.Errorf("Points() at %g MHz = %g V, Voltage() = %g V", p.MHz, p.Volts, got)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name                              string
+		min, max, step, knee, vFlat, vMax float64
+	}{
+		{"reversed range", 1800, 1000, 100, 1300, 0.75, 0.83},
+		{"zero step", 1000, 1800, 0, 1300, 0.75, 0.83},
+		{"knee below range", 1000, 1800, 100, 900, 0.75, 0.83},
+		{"knee above range", 1000, 1800, 100, 1900, 0.75, 0.83},
+		{"vmax below vflat", 1000, 1800, 100, 1300, 0.85, 0.75},
+		{"nonpositive voltage", 1000, 1800, 100, 1300, 0, 0.83},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.min, tc.max, tc.step, tc.knee, tc.vFlat, tc.vMax); err == nil {
+			t.Errorf("New(%s): expected error, got nil", tc.name)
+		}
+	}
+}
+
+// Property: Nearest always lands on a grid point, and voltage is always
+// within the [vFlat, vMax] envelope, for arbitrary inputs.
+func TestQuickNearestOnGrid(t *testing.T) {
+	c := Ascend()
+	prop := func(f float64) bool {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+		n := c.Nearest(f)
+		v := c.Voltage(f)
+		return c.Contains(n) && v >= 0.75 && v <= 0.83
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

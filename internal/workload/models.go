@@ -1,0 +1,703 @@
+package workload
+
+import (
+	"fmt"
+
+	"npudvfs/internal/op"
+)
+
+// transformerCfg parameterizes an encoder/decoder-style training
+// iteration builder shared by GPT-3, BERT, ViT and DeiT.
+type transformerCfg struct {
+	name      string
+	layers    int
+	seq       int // tokens per micro-batch (batch folded in)
+	hidden    int
+	ffn       int
+	heads     int
+	gradAccum int // micro-batches per iteration
+	l2MatMul  float64
+	l2Vector  float64
+	commEvery int     // layers between gradient AllReduce slices
+	commTime  float64 // µs per AllReduce slice
+	seed      int64
+	// tinyPerFwd/tinyPerBwd add framework-generated micro-operators
+	// (casts, reshapes, masks) per layer pass; real captures are
+	// dominated by these (58.3% of operators, Sect. 7.2).
+	tinyPerFwd, tinyPerBwd int
+	// attnElems is the attention-matrix element count per layer
+	// (batch x heads x seqlen^2): the softmax/mask/dropout kernels
+	// stream it through HBM, forming the per-layer memory-bound
+	// phases that fine-grained DVFS exploits.
+	attnElems int
+	// bubbleIdle is scheduler idle time in µs per micro-batch
+	// boundary (pipeline bubbles).
+	bubbleIdle float64
+	// optPasses scales the optimizer's memory traffic (Adam reads and
+	// writes weights, gradients and two moment tensors).
+	optPasses int
+}
+
+var tinyNames = []string{
+	"Cast", "Reshape", "Mul", "AttentionMask", "DropoutDoMask",
+	"StridedSliceGrad", "ZerosLike", "Tile", "ExpandDims", "Squeeze",
+	"OnesLike", "Assign",
+}
+
+func (c *transformerCfg) sprinkleTiny(b *builder, count int) {
+	for i := 0; i < count; i++ {
+		b.tiny(tinyNames[b.rng.Intn(len(tinyNames))])
+	}
+}
+
+// attnLayer appends one transformer layer's forward pass.
+func (c *transformerCfg) forward(b *builder, layer int) {
+	tok := c.seq
+	h := c.hidden
+	shape := fmt.Sprintf("s%dh%d", tok, h)
+	b.vector("LayerNorm", shape, tok*h, 1, 2, c.l2Vector, op.PingPongFreeIndep)
+	b.matMul("MatMul-QKV", tok, h, 3*h, c.l2MatMul)
+	b.tiny("Reshape")
+	b.tiny("Transpose")
+	// Attention scores and context, folded across heads.
+	headDim := h / c.heads
+	b.matMul("BatchMatMul-QK", tok, headDim*c.heads, tok, c.l2MatMul)
+	// The attention-matrix phase: softmax, mask and dropout stream
+	// batch*heads*seq² elements through HBM back to back, forming a
+	// contiguous memory-bound (LFC) phase of several milliseconds.
+	attnShape := fmt.Sprintf("a%d", c.attnElems)
+	b.vector("AttentionMask", attnShape, c.attnElems, 2, 0.3, 0.1, op.PingPongFreeIndep)
+	b.vector("SoftMax", attnShape, c.attnElems, 1, 0.6, 0.1, op.PingPongFreeDep)
+	b.vector("DropoutDoMask", attnShape, c.attnElems, 2, 0.3, 0.1, op.PingPongFreeIndep)
+	b.matMul("BatchMatMul-AV", tok, tok, headDim*c.heads, c.l2MatMul)
+	b.tiny("Transpose")
+	b.matMul("MatMul-Proj", tok, h, h, c.l2MatMul)
+	b.vector("Add-Residual", shape, tok*h, 2, 0.5, 0.15, op.PingPongFreeIndep)
+	b.vector("LayerNorm", shape, tok*h, 1, 2, c.l2Vector, op.PingPongFreeIndep)
+	b.matMul("MatMul-FFN1", tok, h, c.ffn, c.l2MatMul)
+	b.vector("Gelu", fmt.Sprintf("s%df%d", tok, c.ffn), tok*c.ffn, 1, 1.5, 0.12, op.PingPongFreeIndep)
+	b.matMul("MatMul-FFN2", tok, c.ffn, h, c.l2MatMul)
+	b.vector("Add-Residual", shape, tok*h, 2, 0.5, 0.15, op.PingPongFreeIndep)
+	b.tiny("Cast")
+	b.tiny("StridedSlice")
+	c.sprinkleTiny(b, c.tinyPerFwd)
+	if layer%7 == 3 {
+		b.latencyBound("GatherV2", shape, tok*h/4, 0.5)
+	}
+}
+
+// backward appends the layer's backward pass: roughly two matmuls per
+// forward matmul (input gradient and weight gradient) plus vector
+// gradient kernels.
+func (c *transformerCfg) backward(b *builder, layer int) {
+	tok := c.seq
+	h := c.hidden
+	shape := fmt.Sprintf("s%dh%d", tok, h)
+	b.matMul("MatMulGrad-FFN2-dX", tok, h, c.ffn, c.l2MatMul)
+	b.matMul("MatMulGrad-FFN2-dW", c.ffn, tok, h, c.l2MatMul)
+	b.vector("GeluGrad", fmt.Sprintf("s%df%d", tok, c.ffn), tok*c.ffn, 2, 2, 0.12, op.PingPongFreeIndep)
+	b.matMul("MatMulGrad-FFN1-dX", tok, c.ffn, h, c.l2MatMul)
+	b.matMul("MatMulGrad-FFN1-dW", h, tok, c.ffn, c.l2MatMul)
+	b.vector("LayerNormGrad", shape, tok*h, 2, 3, c.l2Vector, op.PingPongFreeDep)
+	b.matMul("MatMulGrad-Proj-dX", tok, h, h, c.l2MatMul)
+	b.matMul("MatMulGrad-Proj-dW", h, tok, h, c.l2MatMul)
+	headDim := h / c.heads
+	b.matMul("BatchMatMulGrad-AV", tok, headDim*c.heads, tok, c.l2MatMul)
+	attnShape := fmt.Sprintf("a%d", c.attnElems)
+	b.vector("DropoutDoMaskGrad", attnShape, c.attnElems, 2, 0.3, 0.1, op.PingPongFreeIndep)
+	b.vector("SoftMaxGrad", attnShape, c.attnElems, 2, 0.6, 0.1, op.PingPongFreeDep)
+	b.matMul("BatchMatMulGrad-QK", tok, tok, headDim*c.heads, c.l2MatMul)
+	b.matMul("MatMulGrad-QKV-dX", tok, 3*h, h, c.l2MatMul)
+	b.matMul("MatMulGrad-QKV-dW", h, tok, 3*h, c.l2MatMul)
+	b.vector("LayerNormGrad", shape, tok*h, 2, 3, c.l2Vector, op.PingPongFreeDep)
+	b.vector("AddGrad", shape, tok*h, 1, 0.5, 0.15, op.PingPongFreeIndep)
+	for i := 0; i < 6; i++ {
+		b.tiny("Cast")
+	}
+	c.sprinkleTiny(b, c.tinyPerBwd)
+	if layer%5 == 2 {
+		b.aicpu("DynamicShapeCompute", 25)
+	}
+}
+
+// optimizer appends the parameter-update phase: Adam-style vector
+// kernels per layer plus gradient AllReduce communication.
+func (c *transformerCfg) optimizer(b *builder) {
+	// Per-layer parameter count (QKV + proj + two FFN matrices),
+	// sharded 8 ways across devices. Adam streams weights, gradients
+	// and both moment tensors, so the update phase plus the gradient
+	// AllReduce forms a long frequency-insensitive macro phase at the
+	// end of every iteration.
+	params := c.hidden * (4*c.hidden + 2*c.ffn) / 8
+	passes := c.optPasses
+	if passes < 1 {
+		passes = 1
+	}
+	for l := 0; l < c.layers; l++ {
+		shape := fmt.Sprintf("l%d", l%4)
+		for pass := 0; pass < passes; pass++ {
+			b.vector("AdamApplyOne", shape, params, 3, 1, 0.08, op.PingPongFreeIndep)
+		}
+		b.tiny("Mul")
+		b.tiny("Sqrt")
+		if l%c.commEvery == 0 {
+			b.comm("AllReduce-Grad", c.commTime)
+		}
+	}
+	b.aicpu("LossScaleUpdate", 40)
+	b.idle(300)
+}
+
+func (c *transformerCfg) build() *Model {
+	b := newBuilder(c.seed)
+	for mb := 0; mb < c.gradAccum; mb++ {
+		for l := 0; l < c.layers; l++ {
+			c.forward(b, l)
+		}
+		b.idle(120)
+		for l := c.layers - 1; l >= 0; l-- {
+			c.backward(b, l)
+		}
+		if c.bubbleIdle > 0 {
+			b.idle(c.bubbleIdle)
+		}
+		b.idle(150)
+	}
+	c.optimizer(b)
+	return b.model(c.name)
+}
+
+// GPT3 returns one training iteration of a GPT-3-scale decoder stage:
+// 48 resident layers (one pipeline stage of the full model), hidden
+// width 12288, 4096 tokens per micro-batch, 6 gradient-accumulation
+// micro-batches. The result is ~18,000 operators per iteration with a
+// multi-second duration at 1800 MHz, matching the scale reported in
+// Sect. 7.4.
+func GPT3() *Model {
+	return (&transformerCfg{
+		name:       "GPT3",
+		layers:     48,
+		seq:        4096,
+		hidden:     12288,
+		ffn:        4 * 12288,
+		heads:      96,
+		gradAccum:  6,
+		l2MatMul:   0.75,
+		l2Vector:   0.18,
+		commEvery:  2,
+		commTime:   2600,
+		seed:       101,
+		tinyPerFwd: 10,
+		tinyPerBwd: 12,
+		attnElems:  96 * 4096 * 4096, // 96 heads, seq 4096 (pre-flash-attention)
+		bubbleIdle: 30000,
+		optPasses:  2,
+	}).build()
+}
+
+// BERT returns one BERT-large training iteration (24 layers, hidden
+// 1024, 512x32 tokens).
+func BERT() *Model {
+	return (&transformerCfg{
+		name:       "BERT",
+		layers:     24,
+		seq:        512 * 32,
+		hidden:     1024,
+		ffn:        4096,
+		heads:      16,
+		gradAccum:  4,
+		l2MatMul:   0.8,
+		l2Vector:   0.2,
+		commEvery:  3,
+		commTime:   900,
+		seed:       102,
+		tinyPerFwd: 6,
+		tinyPerBwd: 8,
+		attnElems:  32 * 16 * 512 * 512, // batch 32, 16 heads, seq 512
+		bubbleIdle: 1500,
+		optPasses:  2,
+	}).build()
+}
+
+// ViTBase returns one ViT-Base training iteration.
+func ViTBase() *Model {
+	return (&transformerCfg{
+		name:       "Vit_base",
+		layers:     12,
+		seq:        197 * 256,
+		hidden:     768,
+		ffn:        3072,
+		heads:      12,
+		gradAccum:  1,
+		l2MatMul:   0.8,
+		l2Vector:   0.25,
+		commEvery:  3,
+		commTime:   600,
+		seed:       103,
+		tinyPerFwd: 6,
+		tinyPerBwd: 8,
+		attnElems:  256 * 12 * 197 * 197, // batch 256, 12 heads, 197 tokens
+		bubbleIdle: 1000,
+		optPasses:  2,
+	}).build()
+}
+
+// DeiTSmall returns one DeiT-small training iteration.
+func DeiTSmall() *Model {
+	return (&transformerCfg{
+		name:       "Deit_small",
+		layers:     12,
+		seq:        197 * 256,
+		hidden:     384,
+		ffn:        1536,
+		heads:      6,
+		gradAccum:  1,
+		l2MatMul:   0.85,
+		l2Vector:   0.3,
+		commEvery:  4,
+		commTime:   350,
+		seed:       104,
+		tinyPerFwd: 6,
+		tinyPerBwd: 8,
+		attnElems:  256 * 6 * 197 * 197,
+		bubbleIdle: 1000,
+		optPasses:  2,
+	}).build()
+}
+
+// cnnCfg parameterizes convolutional training iterations.
+type cnnCfg struct {
+	name  string
+	batch int
+	seed  int64
+	// blocks lists (inC, outC, outHW, kernel, repeats) stages.
+	blocks []cnnStage
+	fc     []int // fully-connected widths appended at the end
+	l2Conv float64
+	// accum repeats the forward+backward phase (gradient
+	// accumulation), scaling the iteration length.
+	accum int
+}
+
+type cnnStage struct {
+	inC, outC, outHW, kernel, repeats int
+	depthwise                         bool
+	// bottleneck emits the ResNet 1x1/3x3/1x1 conv triple per repeat
+	// instead of a single convolution.
+	bottleneck bool
+}
+
+func (c *cnnCfg) build() *Model {
+	b := newBuilder(c.seed)
+	accum := c.accum
+	if accum < 1 {
+		accum = 1
+	}
+	for mb := 0; mb < accum; mb++ {
+		c.buildPass(b)
+	}
+	c.buildOptimizer(b)
+	return b.model(c.name)
+}
+
+func (c *cnnCfg) buildPass(b *builder) {
+	// Forward.
+	for si, st := range c.blocks {
+		for r := 0; r < st.repeats; r++ {
+			inC := st.inC
+			if r > 0 {
+				inC = st.outC
+			}
+			effIn := inC
+			if st.depthwise {
+				effIn = 1
+			}
+			if st.bottleneck {
+				mid := st.outC / 4
+				b.conv2d("Conv2D", c.batch, effIn, mid, st.outHW, st.outHW, 1, 1, c.l2Conv)
+				b.conv2d("Conv2D", c.batch, mid, mid, st.outHW, st.outHW, st.kernel, st.kernel, c.l2Conv)
+				b.conv2d("Conv2D", c.batch, mid, st.outC, st.outHW, st.outHW, 1, 1, c.l2Conv)
+			} else {
+				b.conv2d("Conv2D", c.batch, effIn, st.outC, st.outHW, st.outHW, st.kernel, st.kernel, c.l2Conv)
+			}
+			elems := c.batch * st.outC * st.outHW * st.outHW
+			b.vector("BNTrainingReduce", fmt.Sprintf("s%dr%d", si, r%2), elems, 1, 1, 0.25, op.PingPongFreeIndep)
+			b.vector("BNTrainingUpdate", fmt.Sprintf("s%dr%d", si, r%2), elems, 2, 2, 0.25, op.PingPongFreeDep)
+			b.vector("Relu", fmt.Sprintf("s%d", si), elems, 1, 0.5, 0.2, op.PingPongFreeIndep)
+			b.tiny("Cast")
+			if r%2 == 1 {
+				b.vector("Add", fmt.Sprintf("s%d", si), elems, 2, 0.5, 0.2, op.PingPongFreeIndep)
+				b.tiny("MemSet")
+			}
+		}
+		b.latencyBound("MaxPool", fmt.Sprintf("s%d", si), c.batch*st.outC*st.outHW*st.outHW/4, 0.4)
+	}
+	for i, w := range c.fc {
+		in := 2048
+		if i > 0 {
+			in = c.fc[i-1]
+		}
+		b.matMul("MatMul-FC", c.batch, in, w, 0.8)
+		b.tiny("BiasAdd")
+	}
+	b.vector("SoftmaxCrossEntropy", "loss", c.batch*1000, 2, 3, 0.3, op.PingPongFreeDep)
+	b.idle(80)
+	// Backward: one gradient conv pair per forward conv plus BN/ReLU
+	// gradients.
+	for si := len(c.blocks) - 1; si >= 0; si-- {
+		st := c.blocks[si]
+		for r := 0; r < st.repeats; r++ {
+			effIn := st.inC
+			if st.depthwise {
+				effIn = 1
+			}
+			if st.bottleneck {
+				mid := st.outC / 4
+				b.conv2d("Conv2DBackpropInput", c.batch, mid, effIn, st.outHW, st.outHW, 1, 1, c.l2Conv)
+				b.conv2d("Conv2DBackpropFilter", c.batch, effIn, mid, st.outHW, st.outHW, 1, 1, c.l2Conv)
+				b.conv2d("Conv2DBackpropInput", c.batch, mid, mid, st.outHW, st.outHW, st.kernel, st.kernel, c.l2Conv)
+				b.conv2d("Conv2DBackpropFilter", c.batch, mid, mid, st.outHW, st.outHW, st.kernel, st.kernel, c.l2Conv)
+				b.conv2d("Conv2DBackpropInput", c.batch, st.outC, mid, st.outHW, st.outHW, 1, 1, c.l2Conv)
+				b.conv2d("Conv2DBackpropFilter", c.batch, mid, st.outC, st.outHW, st.outHW, 1, 1, c.l2Conv)
+			} else {
+				b.conv2d("Conv2DBackpropInput", c.batch, st.outC, effIn, st.outHW, st.outHW, st.kernel, st.kernel, c.l2Conv)
+				b.conv2d("Conv2DBackpropFilter", c.batch, effIn, st.outC, st.outHW, st.outHW, st.kernel, st.kernel, c.l2Conv)
+			}
+			elems := c.batch * st.outC * st.outHW * st.outHW
+			b.vector("BNTrainingUpdateGrad", fmt.Sprintf("s%dr%d", si, r%2), elems, 2, 2, 0.25, op.PingPongFreeDep)
+			b.vector("ReluGrad", fmt.Sprintf("s%d", si), elems, 2, 0.5, 0.2, op.PingPongFreeIndep)
+			b.tiny("Cast")
+			b.tiny("TransData")
+		}
+		if si%2 == 0 {
+			b.aicpu("ShapeInference", 18)
+		}
+	}
+}
+
+// buildOptimizer appends the SGD-with-momentum update phase.
+func (c *cnnCfg) buildOptimizer(b *builder) {
+	for si := range c.blocks {
+		b.vector("ApplyMomentum", fmt.Sprintf("s%d", si%3), 2_000_000, 3, 1.5, 0.1, op.PingPongFreeIndep)
+		b.tiny("Mul")
+		if si%2 == 0 {
+			b.comm("AllReduce-Grad", 450)
+		}
+	}
+	b.idle(120)
+}
+
+// ResNet50 returns one ResNet-50 training iteration at batch 256.
+func ResNet50() *Model {
+	return (&cnnCfg{
+		name:  "Resnet50",
+		batch: 256,
+		seed:  201,
+		blocks: []cnnStage{
+			{inC: 64, outC: 256, outHW: 56, kernel: 3, repeats: 3, bottleneck: true},
+			{inC: 256, outC: 512, outHW: 28, kernel: 3, repeats: 4, bottleneck: true},
+			{inC: 512, outC: 1024, outHW: 14, kernel: 3, repeats: 6, bottleneck: true},
+			{inC: 1024, outC: 2048, outHW: 7, kernel: 3, repeats: 3, bottleneck: true},
+		},
+		fc:     []int{1000},
+		l2Conv: 0.7,
+		accum:  4,
+	}).build()
+}
+
+// ResNet152 returns one ResNet-152 training iteration at batch 256.
+func ResNet152() *Model {
+	return (&cnnCfg{
+		name:  "Resnet152",
+		batch: 256,
+		seed:  202,
+		blocks: []cnnStage{
+			{inC: 64, outC: 256, outHW: 56, kernel: 3, repeats: 3, bottleneck: true},
+			{inC: 256, outC: 512, outHW: 28, kernel: 3, repeats: 8, bottleneck: true},
+			{inC: 512, outC: 1024, outHW: 14, kernel: 3, repeats: 36, bottleneck: true},
+			{inC: 1024, outC: 2048, outHW: 7, kernel: 3, repeats: 3, bottleneck: true},
+		},
+		fc:     []int{1000},
+		l2Conv: 0.7,
+		accum:  4,
+	}).build()
+}
+
+// VGG19 returns one VGG-19 training iteration at batch 128.
+func VGG19() *Model {
+	return (&cnnCfg{
+		name:  "VGG19",
+		batch: 128,
+		seed:  203,
+		blocks: []cnnStage{
+			{inC: 3, outC: 64, outHW: 224, kernel: 3, repeats: 2},
+			{inC: 64, outC: 128, outHW: 112, kernel: 3, repeats: 2},
+			{inC: 128, outC: 256, outHW: 56, kernel: 3, repeats: 4},
+			{inC: 256, outC: 512, outHW: 28, kernel: 3, repeats: 4},
+			{inC: 512, outC: 512, outHW: 14, kernel: 3, repeats: 4},
+		},
+		fc:     []int{4096, 4096, 1000},
+		l2Conv: 0.75,
+		accum:  4,
+	}).build()
+}
+
+// AlexNet returns one AlexNet training iteration at batch 256.
+func AlexNet() *Model {
+	return (&cnnCfg{
+		name:  "AlexNet",
+		batch: 256,
+		seed:  204,
+		blocks: []cnnStage{
+			{inC: 3, outC: 96, outHW: 55, kernel: 11, repeats: 1},
+			{inC: 96, outC: 256, outHW: 27, kernel: 5, repeats: 1},
+			{inC: 256, outC: 384, outHW: 13, kernel: 3, repeats: 2},
+			{inC: 384, outC: 256, outHW: 13, kernel: 3, repeats: 1},
+		},
+		fc:     []int{4096, 4096, 1000},
+		l2Conv: 0.8,
+		accum:  8,
+	}).build()
+}
+
+// ShuffleNetV2Plus returns one ShuffleNetV2+ training iteration: a
+// long trace of small depthwise and pointwise convolutions. The
+// operator count lands near the 4,343 reported for this model in
+// Sect. 4.3's fit-cost comparison.
+func ShuffleNetV2Plus() *Model {
+	b := newBuilder(205)
+	const batch = 256
+	type unit struct {
+		c, hw, repeats int
+	}
+	units := []unit{
+		{c: 48, hw: 56, repeats: 32},
+		{c: 128, hw: 28, repeats: 68},
+		{c: 256, hw: 14, repeats: 112},
+		{c: 512, hw: 7, repeats: 46},
+	}
+	build := func(kind string, cycles int) {
+		for si, u := range units {
+			for r := 0; r < u.repeats; r++ {
+				elems := batch * u.c * u.hw * u.hw
+				b.conv2d("Conv2D-PW"+kind, batch, u.c, u.c, u.hw, u.hw, 1, 1, 0.6)
+				b.conv2d("DepthwiseConv2D"+kind, batch, 1, u.c, u.hw, u.hw, 3, 3, 0.5)
+				b.vector("BNTrainingUpdate"+kind, fmt.Sprintf("u%d", si), elems, 2, 2, 0.25, op.PingPongFreeDep)
+				b.vector("Relu"+kind, fmt.Sprintf("u%d", si), elems, 1, 0.5, 0.2, op.PingPongFreeIndep)
+				b.vector("ChannelShuffle"+kind, fmt.Sprintf("u%d", si), elems, 1, 0.3, 0.15, op.PingPongFreeIndep)
+				b.tiny("Concat")
+				b.tiny("Split")
+				_ = cycles
+			}
+		}
+	}
+	build("", 1)     // forward
+	build("Grad", 2) // backward
+	for i := 0; i < 120; i++ {
+		b.vector("ApplyMomentum", fmt.Sprintf("g%d", i%5), 400_000, 3, 1.5, 0.1, op.PingPongFreeIndep)
+		b.tiny("Mul")
+	}
+	b.comm("AllReduce-Grad", 600)
+	b.idle(90)
+	return b.model("ShufflenetV2plus")
+}
+
+// Llama2Inference returns one host-bound decode step of a Llama2-style
+// model (Sect. 8.4): small memory-bound GEMV-like matmuls whose weights
+// stream from HBM, separated by host-dispatch idle gaps that dominate
+// the step. Because the NPU waits on the host, lowering the core
+// frequency mostly fills idle time instead of extending the step.
+func Llama2Inference() *Model {
+	b := newBuilder(301)
+	const (
+		layers = 32
+		hidden = 4096
+		batch  = 16
+	)
+	for l := 0; l < layers; l++ {
+		gap := func() { b.idle(30 + 20*b.rng.Float64()) }
+		b.vector("RMSNorm", "h4096", batch*hidden, 1, 2, 0.3, op.PingPongFreeIndep)
+		gap()
+		b.matMul("MatMul-QKV", batch, hidden, 3*hidden, 0.55)
+		gap()
+		b.vector("RoPE", "h4096", batch*hidden, 1, 2, 0.4, op.PingPongFreeIndep)
+		gap()
+		b.matMul("MatMul-Attn", batch, hidden, hidden, 0.55)
+		gap()
+		b.vector("RMSNorm", "h4096", batch*hidden, 1, 2, 0.3, op.PingPongFreeIndep)
+		gap()
+		b.matMul("MatMul-Gate", batch, hidden, 11008, 0.55)
+		gap()
+		b.vector("SiLU", "f11008", batch*11008, 1, 1.5, 0.2, op.PingPongFreeIndep)
+		gap()
+		b.matMul("MatMul-Down", batch, 11008, hidden, 0.55)
+		gap()
+		b.tiny("Cast")
+		gap()
+	}
+	b.matMul("MatMul-LMHead", batch, hidden, 32000, 0.55)
+	b.aicpu("Sampling", 180)
+	b.idle(250)
+	return b.model("Llama2-inference")
+}
+
+// MicroOp returns a workload that repeats a single operator, used for
+// the Softmax/Tanh single-operator power-model validation subjects of
+// Sect. 7.3.
+func MicroOp(spec op.Spec, repeat int) *Model {
+	m := &Model{Name: "micro-" + spec.Key()}
+	for i := 0; i < repeat; i++ {
+		m.Trace = append(m.Trace, spec)
+	}
+	return m
+}
+
+// SoftmaxOp and TanhOp are the two standalone operator test subjects
+// used in the power-model validation (Table 2).
+func SoftmaxOp() op.Spec {
+	return op.Spec{
+		Name: "SoftMax", Shape: "8192x2048", Class: op.Compute,
+		Scenario: op.PingPongFreeDep, Blocks: 8,
+		LoadBytes: 8192 * 2048 * BytesPerElem / 8, StoreBytes: 8192 * 2048 * BytesPerElem / 8,
+		CoreCycles: 8192 * 2048 * 3 / VecElemsPerCycle / 8, CorePipe: op.Vector,
+		L2Hit: 0.35, PrePostTime: 2,
+	}
+}
+
+func TanhOp() op.Spec {
+	return op.Spec{
+		Name: "Tanh", Shape: "16M", Class: op.Compute,
+		Scenario: op.PingPongFreeIndep, Blocks: 8,
+		LoadBytes: 16 << 20 * BytesPerElem / 8, StoreBytes: 16 << 20 * BytesPerElem / 8,
+		CoreCycles: 16 << 20 * 2 / VecElemsPerCycle / 8, CorePipe: op.Vector,
+		L2Hit: 0.4, PrePostTime: 2,
+	}
+}
+
+// PerfEvalModels returns the seven models used to validate the
+// performance model in Sect. 7.2: Resnet50, Vit_base, Bert,
+// Deit_small, AlexNet, ShufflenetV2plus and VGG19.
+func PerfEvalModels() []*Model {
+	return []*Model{
+		ResNet50(), ViTBase(), BERT(), DeiTSmall(), AlexNet(), ShuffleNetV2Plus(), VGG19(),
+	}
+}
+
+// RepresentativeOps returns the five operators of Fig. 16 (Add,
+// RealDiv, ReduceMean, Conv2D, BNTrainingUpdate) with execution times
+// spanning roughly 20-300 µs on the reference chip.
+func RepresentativeOps() []op.Spec {
+	return []op.Spec{
+		{
+			Name: "Add", Shape: "10M", Class: op.Compute, Scenario: op.PingPongFreeIndep,
+			Blocks: 6, LoadBytes: 2 * 10e6 * BytesPerElem / 6, StoreBytes: 10e6 * BytesPerElem / 6,
+			CoreCycles: 10e6 * 0.5 / VecElemsPerCycle / 6, CorePipe: op.Vector, L2Hit: 0.45, PrePostTime: 2,
+		},
+		{
+			Name: "RealDiv", Shape: "14M", Class: op.Compute, Scenario: op.PingPongFreeIndep,
+			Blocks: 6, LoadBytes: 2 * 14e6 * BytesPerElem / 6, StoreBytes: 14e6 * BytesPerElem / 6,
+			CoreCycles: 14e6 * 1.2 / VecElemsPerCycle / 6, CorePipe: op.Vector, L2Hit: 0.5, PrePostTime: 2,
+		},
+		{
+			Name: "ReduceMean", Shape: "16M", Class: op.Compute, Scenario: op.PingPongFreeDep,
+			Blocks: 8, LoadBytes: 16e6 * BytesPerElem / 8, StoreBytes: 16e6 * BytesPerElem / 64,
+			CoreCycles: 16e6 * 1.5 / VecElemsPerCycle / 8, CorePipe: op.Vector, L2Hit: 0.35, PrePostTime: 2,
+		},
+		{
+			Name: "Conv2D", Shape: "b256c512k3", Class: op.Compute, Scenario: op.PingPongIndep,
+			Blocks: 8, LoadBytes: (256*512*22*22 + 512*512*9) * BytesPerElem / 8,
+			StoreBytes: 256 * 512 * 20 * 20 * BytesPerElem / 8,
+			CoreCycles: 256 * 512 * 512 * 20 * 20 * 9 / CubeMACsPerCycle / 8,
+			CorePipe:   op.Cube, L2Hit: 0.7, PrePostTime: 2,
+		},
+		{
+			Name: "BNTrainingUpdate", Shape: "25M", Class: op.Compute, Scenario: op.PingPongFreeDep,
+			Blocks: 8, LoadBytes: 2 * 25e6 * BytesPerElem / 8, StoreBytes: 25e6 * BytesPerElem / 8,
+			CoreCycles: 25e6 * 2 / VecElemsPerCycle / 8, CorePipe: op.Vector, L2Hit: 0.3, PrePostTime: 2,
+		},
+	}
+}
+
+// MixtralMoE returns one training iteration of a Mixtral-style
+// mixture-of-experts decoder stage. MoE training has a distinctive
+// DVFS profile: expert FFNs are large compute-bound matmuls, but each
+// layer also pays two AllToAll exchanges, gating/top-k vector work and
+// expert-imbalance idle bubbles — a trace whose insensitive share is
+// much larger than a dense transformer's.
+func MixtralMoE() *Model {
+	b := newBuilder(106)
+	const (
+		layers  = 16
+		tok     = 4096
+		hidden  = 4096
+		ffn     = 14336
+		experts = 8
+		topK    = 2
+	)
+	for mb := 0; mb < 4; mb++ {
+		for l := 0; l < layers; l++ {
+			shape := fmt.Sprintf("s%dh%d", tok, hidden)
+			// Attention block (dense, as in Mixtral).
+			b.vector("RMSNorm", shape, tok*hidden, 1, 2, 0.2, op.PingPongFreeIndep)
+			b.matMul("MatMul-QKV", tok, hidden, 3*hidden, 0.8)
+			attn := 32 * tok * tok / 4
+			b.vector("AttentionMask", fmt.Sprintf("a%d", attn), attn, 2, 0.3, 0.1, op.PingPongFreeIndep)
+			b.vector("SoftMax", fmt.Sprintf("a%d", attn), attn, 1, 0.6, 0.1, op.PingPongFreeDep)
+			b.matMul("MatMul-AttnOut", tok, hidden, hidden, 0.8)
+			b.vector("Add-Residual", shape, tok*hidden, 2, 0.5, 0.15, op.PingPongFreeIndep)
+			// MoE block: gate, dispatch, expert FFNs, combine.
+			b.vector("RMSNorm", shape, tok*hidden, 1, 2, 0.2, op.PingPongFreeIndep)
+			b.matMul("MatMul-Gate", tok, hidden, experts, 0.9)
+			b.aicpu("TopKRouting", 35)
+			b.comm("AllToAll-Dispatch", 900)
+			// Each device hosts one expert; it processes roughly
+			// tok*topK/experts tokens, with imbalance bubbles when the
+			// router skews.
+			expertTok := tok * topK / experts
+			b.matMul("MatMul-ExpertUp", expertTok, hidden, ffn, 0.8)
+			b.vector("SiLU", fmt.Sprintf("e%d", expertTok*ffn), expertTok*ffn, 1, 1.5, 0.12, op.PingPongFreeIndep)
+			b.matMul("MatMul-ExpertDown", expertTok, ffn, hidden, 0.8)
+			b.idle(150 + 120*b.rng.Float64()) // expert-imbalance bubble
+			b.comm("AllToAll-Combine", 900)
+			b.vector("Add-Residual", shape, tok*hidden, 2, 0.5, 0.15, op.PingPongFreeIndep)
+			b.tiny("Cast")
+			b.tiny("Reshape")
+			for i := 0; i < 6; i++ {
+				b.tiny(tinyNames[b.rng.Intn(len(tinyNames))])
+			}
+		}
+		b.idle(2500)
+		// Backward: mirrored matmul pairs plus vector gradients.
+		for l := layers - 1; l >= 0; l-- {
+			shape := fmt.Sprintf("s%dh%d", tok, hidden)
+			expertTok := tok * topK / experts
+			b.comm("AllToAll-DispatchGrad", 900)
+			b.matMul("MatMulGrad-ExpertDown-dX", expertTok, hidden, ffn, 0.8)
+			b.matMul("MatMulGrad-ExpertDown-dW", ffn, expertTok, hidden, 0.8)
+			b.vector("SiLUGrad", fmt.Sprintf("e%d", expertTok*ffn), expertTok*ffn, 2, 2, 0.12, op.PingPongFreeIndep)
+			b.matMul("MatMulGrad-ExpertUp-dX", expertTok, ffn, hidden, 0.8)
+			b.matMul("MatMulGrad-ExpertUp-dW", hidden, expertTok, ffn, 0.8)
+			b.comm("AllToAll-CombineGrad", 900)
+			b.idle(120 + 100*b.rng.Float64())
+			b.matMul("MatMulGrad-AttnOut-dX", tok, hidden, hidden, 0.8)
+			b.matMul("MatMulGrad-AttnOut-dW", hidden, tok, hidden, 0.8)
+			attn := 32 * tok * tok / 4
+			b.vector("SoftMaxGrad", fmt.Sprintf("a%d", attn), attn, 2, 0.6, 0.1, op.PingPongFreeDep)
+			b.matMul("MatMulGrad-QKV-dX", tok, 3*hidden, hidden, 0.8)
+			b.matMul("MatMulGrad-QKV-dW", hidden, tok, 3*hidden, 0.8)
+			b.vector("RMSNormGrad", shape, tok*hidden, 2, 3, 0.2, op.PingPongFreeDep)
+			for i := 0; i < 8; i++ {
+				b.tiny(tinyNames[b.rng.Intn(len(tinyNames))])
+			}
+		}
+	}
+	// Optimizer over local expert + attention parameters.
+	params := (hidden*(4*hidden) + 3*hidden*ffn/experts*topK) / 8
+	for l := 0; l < layers; l++ {
+		b.vector("AdamApplyOne", fmt.Sprintf("l%d", l%4), params, 3, 1, 0.08, op.PingPongFreeIndep)
+		b.comm("AllReduce-Grad", 1200)
+		b.tiny("Mul")
+	}
+	b.idle(400)
+	return b.model("Mixtral-MoE")
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// builders maps canonical lowercase names to model constructors.
+var builders = map[string]func() *Model{
+	"gpt3":             GPT3,
+	"bert":             BERT,
+	"resnet50":         ResNet50,
+	"resnet152":        ResNet152,
+	"vgg19":            VGG19,
+	"vit":              ViTBase,
+	"deit":             DeiTSmall,
+	"shufflenetv2plus": ShuffleNetV2Plus,
+	"llama2-inference": Llama2Inference,
+	"mixtral-moe":      MixtralMoE,
+}
+
+// Names lists the registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds a workload by its registry name (case-insensitive).
+func ByName(name string) (*Model, error) {
+	b, ok := builders[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown model %q (available: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b(), nil
+}

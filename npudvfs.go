@@ -1,0 +1,237 @@
+// Package npudvfs is an end-to-end reproduction of "Using Analytical
+// Performance/Power Model and Fine-Grained DVFS to Enhance AI
+// Accelerator Energy Efficiency" (ASPLOS '25): analytical per-operator
+// performance models under frequency scaling, a temperature-aware
+// power model, and genetic-algorithm generation of operator-level DVFS
+// strategies, evaluated on a simulated Ascend-class NPU.
+//
+// This package is the public facade over the implementation packages:
+//
+//   - a simulated accelerator (Chip) with the paper's memory-hierarchy
+//     abstraction and firmware voltage-frequency curve;
+//   - workload builders (GPT-3, BERT, ResNet, ... ) producing operator
+//     traces;
+//   - a profiler standing in for the CANN profiler and lpmi_tool;
+//   - performance-model fitting (Sect. 4) and power-model construction
+//     (Sect. 5);
+//   - DVFS strategy generation (Sect. 6) and a SetFreq executor
+//     (Sect. 7.1);
+//   - an experiments Lab regenerating every table and figure of the
+//     paper's evaluation.
+//
+// The quickest route through the API is:
+//
+//	lab := npudvfs.NewLab()
+//	model, _ := npudvfs.WorkloadByName("gpt3")
+//	ms, _ := lab.BuildModels(model, true)
+//	strategy, _, _, _ := npudvfs.GenerateStrategy(ms.Input(lab.Chip), npudvfs.DefaultStrategyConfig())
+//	result, _ := lab.MeasureStrategy(model, strategy, npudvfs.DefaultExecutorOptions())
+//
+// See examples/ for runnable programs and DESIGN.md for the mapping
+// between paper sections and packages.
+package npudvfs
+
+import (
+	"npudvfs/internal/adaptive"
+	"npudvfs/internal/core"
+	"npudvfs/internal/dualdvfs"
+	"npudvfs/internal/executor"
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/npu"
+	"npudvfs/internal/op"
+	"npudvfs/internal/perfmodel"
+	"npudvfs/internal/powermodel"
+	"npudvfs/internal/powersim"
+	"npudvfs/internal/profiler"
+	"npudvfs/internal/thermal"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/vf"
+	"npudvfs/internal/workload"
+)
+
+// Hardware abstraction.
+type (
+	// Chip is the simulated accelerator: memory-hierarchy constants,
+	// core count and the voltage-frequency curve.
+	Chip = npu.Chip
+	// VFCurve is a firmware voltage-frequency table.
+	VFCurve = vf.Curve
+	// OpSpec describes one operator: timeline scenario, block count,
+	// Ld/St volumes, core cycles, pipeline and class.
+	OpSpec = op.Spec
+	// ThermalParams are the die's thermal constants (Eq. 15).
+	ThermalParams = thermal.Params
+	// GroundTruthPower generates the simulated chip's true power.
+	GroundTruthPower = powersim.Ground
+)
+
+// Workloads and profiling.
+type (
+	// Workload is a named operator trace of one iteration.
+	Workload = workload.Model
+	// Profiler executes traces and records durations, pipeline
+	// ratios, and power/temperature telemetry.
+	Profiler = profiler.Profiler
+	// Profile is one profiled iteration.
+	Profile = profiler.Profile
+)
+
+// Models.
+type (
+	// PerfModel is the production performance model, Func. 2:
+	// T(f) = A·f + C/f.
+	PerfModel = perfmodel.Model
+	// PowerModel is the temperature-aware per-operator power model.
+	PowerModel = powermodel.Model
+	// PowerCalibration holds the offline hardware parameters.
+	PowerCalibration = powermodel.Offline
+)
+
+// Strategy generation and execution.
+type (
+	// Strategy is a generated per-iteration DVFS policy.
+	Strategy = core.Strategy
+	// FreqPoint is one frequency-change instruction of a Strategy.
+	FreqPoint = core.FreqPoint
+	// StrategyConfig tunes strategy generation.
+	StrategyConfig = core.Config
+	// StrategyInput bundles profile and models for generation.
+	StrategyInput = core.Input
+	// GAConfig tunes the genetic search.
+	GAConfig = ga.Config
+	// ExecutorOptions controls SetFreq actuation behaviour.
+	ExecutorOptions = executor.Options
+	// ExecutionResult is a measured iteration outcome.
+	ExecutionResult = executor.Result
+	// Executor runs traces under strategies on the simulated chip.
+	Executor = executor.Executor
+)
+
+// Lab bundles the full experimental setup used to regenerate the
+// paper's evaluation.
+type Lab = experiments.Lab
+
+// DefaultChip returns the reference simulated accelerator.
+func DefaultChip() *Chip { return npu.Default() }
+
+// AscendVFCurve returns the reference voltage-frequency curve of
+// Fig. 9: 1000-1800 MHz in 100 MHz steps with a 1300 MHz knee.
+func AscendVFCurve() *VFCurve { return vf.Ascend() }
+
+// NewLab returns the reference laboratory configuration with seeded
+// determinism.
+func NewLab() *Lab { return experiments.NewLab() }
+
+// NewLabFor builds a laboratory around a custom accelerator
+// configuration — the porting path of Sect. 8.3.
+func NewLabFor(chip *Chip, ground *GroundTruthPower, th ThermalParams, seed int64) *Lab {
+	return experiments.NewLabFor(chip, ground, th, seed)
+}
+
+// WorkloadByName builds a workload from the registry (gpt3, bert,
+// resnet50, resnet152, vgg19, vit, deit, shufflenetv2plus,
+// llama2-inference).
+func WorkloadByName(name string) (*Workload, error) { return workload.ByName(name) }
+
+// WorkloadNames lists the registered workloads.
+func WorkloadNames() []string { return workload.Names() }
+
+// NewProfiler returns a profiler with realistic measurement noise.
+func NewProfiler(chip *Chip, seed int64) *Profiler { return profiler.New(chip, seed) }
+
+// FitPerfModel fits Func. 2 from measured (frequency MHz, duration µs)
+// pairs; two pairs solve it exactly (Sect. 4.3).
+func FitPerfModel(freqMHz, micros []float64) (PerfModel, error) {
+	return perfmodel.FitFunc2(freqMHz, micros)
+}
+
+// GenerateStrategy runs classification, preprocessing and the genetic
+// search of Sect. 6 and returns the strategy.
+func GenerateStrategy(in StrategyInput, cfg StrategyConfig) (*Strategy, error) {
+	strat, _, _, err := core.Generate(in, cfg)
+	return strat, err
+}
+
+// DefaultStrategyConfig returns the paper's production settings: 5 ms
+// FAI, 2% loss target, population 200, 600 generations.
+func DefaultStrategyConfig() StrategyConfig { return core.DefaultConfig() }
+
+// DefaultExecutorOptions returns the Ascend configuration: 1 ms
+// SetFreq latency with event synchronization.
+func DefaultExecutorOptions() ExecutorOptions { return executor.DefaultOptions() }
+
+// FixedStrategy pins the whole iteration to one frequency.
+func FixedStrategy(fMHz float64) *Strategy { return executor.FixedStrategy(fMHz) }
+
+// NewExecutor returns an executor over the chip with its ground-truth
+// power.
+func NewExecutor(chip *Chip, ground *GroundTruthPower) *Executor {
+	return executor.New(chip, ground)
+}
+
+// DefaultGroundTruth returns the calibrated ground-truth power for a
+// chip.
+func DefaultGroundTruth(chip *Chip) *GroundTruthPower { return powersim.Default(chip) }
+
+// DefaultThermal returns the reference thermal constants.
+func DefaultThermal() ThermalParams { return thermal.Default() }
+
+// ThermalState is an evolving die temperature.
+type ThermalState = thermal.State
+
+// NewThermalState returns a state at ambient equilibrium.
+func NewThermalState(p ThermalParams) *ThermalState { return thermal.NewState(p) }
+
+// AdaptiveController closes the loop around a deployed strategy: it
+// observes measured iteration durations and ratchets frequencies up
+// when the realized loss exceeds the target.
+type AdaptiveController = adaptive.Controller
+
+// NewAdaptiveController wraps a strategy with the production feedback
+// guard. baselineMicros is the measured baseline iteration duration
+// and target the allowed relative loss.
+func NewAdaptiveController(curve *VFCurve, s *Strategy, baselineMicros, target float64) (*AdaptiveController, error) {
+	return adaptive.New(curve, s, baselineMicros, target)
+}
+
+// SaveStrategy and LoadStrategy persist strategies as JSON.
+func SaveStrategy(path string, s *Strategy) error { return traceio.SaveStrategy(path, s) }
+
+// LoadStrategy reads a strategy written by SaveStrategy.
+func LoadStrategy(path string) (*Strategy, error) { return traceio.LoadStrategy(path) }
+
+// SaveWorkload and LoadWorkload persist operator traces as JSON.
+func SaveWorkload(path string, m *Workload) error { return traceio.SaveWorkload(path, m) }
+
+// LoadWorkload reads a trace written by SaveWorkload.
+func LoadWorkload(path string) (*Workload, error) { return traceio.LoadWorkload(path) }
+
+// Dual-domain (core + uncore) strategy generation — the Sect. 8.2
+// future work implemented in internal/dualdvfs.
+type (
+	// DualConfig tunes the two-domain search.
+	DualConfig = dualdvfs.Config
+	// DualInput bundles its inputs.
+	DualInput = dualdvfs.Input
+)
+
+// DefaultDualConfig mirrors the production settings with a
+// conservative uncore candidate set.
+func DefaultDualConfig() DualConfig { return dualdvfs.DefaultConfig() }
+
+// GenerateDualStrategy searches (core frequency, uncore scale) pairs
+// per stage.
+func GenerateDualStrategy(in DualInput, cfg DualConfig) (*Strategy, error) {
+	strat, _, _, err := dualdvfs.Generate(in, cfg)
+	return strat, err
+}
+
+// CalibrateUncoreDyn measures the clock-proportional uncore idle power
+// needed by the dual-domain search.
+func CalibrateUncoreDyn(rig *PowerRig, probeScale float64, samples int) (float64, error) {
+	return dualdvfs.CalibrateUncore(rig, probeScale, samples)
+}
+
+// PowerRig bundles the live system power calibration measures.
+type PowerRig = powermodel.Rig
