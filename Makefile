@@ -1,0 +1,25 @@
+# Tier-1 verification: build, vet, full test suite, then the race
+# detector over every package (the repo ships concurrency — shared
+# Executors, GA worker pools, the parallel experiment harness — so a
+# race-clean run is part of "tests pass").
+.PHONY: verify build test vet race short bench
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -4,12 +4,16 @@
 // Usage:
 //
 //	experiments -run all
-//	experiments -run fig3,fig9,table3
+//	experiments -run fig3,fig9,table3 -parallel 4
 //
 // Available experiments: fig3, fig4, fig9, fig10, fig15, fig16, fig17,
 // fig18, table2, table3, fitcost, inference, throughput, coarse,
 // modelfree, uncore, sensitivity, adaptive, dual, faisweep, seeds,
 // pareto, attribution, search.
+//
+// Reports go to stdout in canonical registry order; per-experiment
+// wall times go to stderr, so the stdout stream (and -out files) are
+// byte-identical whether experiments run serially or in parallel.
 package main
 
 import (
@@ -28,6 +32,8 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment names, or 'all'")
 	outDir := flag.String("out", "", "also write each experiment's report to <out>/<name>.txt")
 	svgDir := flag.String("svg", "", "render SVG figures for chartable experiments into this directory")
+	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (results stay in canonical order)")
+	timeout := flag.Duration("timeout", 0, "per-experiment timeout, e.g. 90s or 5m (0 = none)")
 	flag.Parse()
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -42,74 +48,48 @@ func main() {
 		}
 	}
 
-	lab := experiments.NewLab()
-	type experiment struct {
-		name string
-		fn   func() (fmt.Stringer, error)
-	}
-	exps := []experiment{
-		{"fig3", func() (fmt.Stringer, error) { return lab.Fig3(), nil }},
-		{"fig4", func() (fmt.Stringer, error) { return lab.Fig4(), nil }},
-		{"fig9", func() (fmt.Stringer, error) { return lab.Fig9(), nil }},
-		{"fig10", func() (fmt.Stringer, error) { return lab.Fig10() }},
-		{"fig15", func() (fmt.Stringer, error) { return lab.Fig15() }},
-		{"fig16", func() (fmt.Stringer, error) { return lab.Fig16() }},
-		{"fig17", func() (fmt.Stringer, error) { return lab.Fig17() }},
-		{"fig18", func() (fmt.Stringer, error) { return lab.Fig18() }},
-		{"table2", func() (fmt.Stringer, error) { return lab.Table2() }},
-		{"table3", func() (fmt.Stringer, error) { return lab.Table3() }},
-		{"fitcost", func() (fmt.Stringer, error) { return lab.FitCost() }},
-		{"inference", func() (fmt.Stringer, error) { return lab.Inference() }},
-		{"throughput", func() (fmt.Stringer, error) { return lab.ScoringThroughput(20000) }},
-		{"coarse", func() (fmt.Stringer, error) { return lab.CoarseGrained() }},
-		{"modelfree", func() (fmt.Stringer, error) { return lab.ModelFree(300) }},
-		{"uncore", func() (fmt.Stringer, error) { return lab.UncoreDVFS() }},
-		{"sensitivity", func() (fmt.Stringer, error) { return lab.Sensitivity(1800, 1600), nil }},
-		{"adaptive", func() (fmt.Stringer, error) { return lab.Adaptive() }},
-		{"dual", func() (fmt.Stringer, error) { return lab.DualDomain() }},
-		{"faisweep", func() (fmt.Stringer, error) { return lab.FAISweep() }},
-		{"seeds", func() (fmt.Stringer, error) { return lab.SeedsRobustness(5) }},
-		{"pareto", func() (fmt.Stringer, error) { return lab.Pareto() }},
-		{"attribution", func() (fmt.Stringer, error) { return lab.Attribution(0.10) }},
-		{"search", func() (fmt.Stringer, error) { return lab.SearchAblation() }},
+	var names []string
+	if *run != "all" {
+		names = strings.Split(*run, ",")
 	}
 
-	want := map[string]bool{}
-	all := *run == "all"
-	for _, name := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(name)] = true
+	lab := experiments.NewLab()
+	lab.Parallel = *parallel
+	start := time.Now()
+	outcomes, err := lab.RunSuite(names, *parallel, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	ran := 0
-	for _, e := range exps {
-		if !all && !want[e.name] {
+
+	failed := 0
+	for _, o := range outcomes {
+		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", o.Name, o.Elapsed.Seconds())
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Name, o.Err)
 			continue
 		}
-		ran++
-		start := time.Now()
-		res, err := e.fn()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		report := fmt.Sprintf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+		report := fmt.Sprintf("=== %s ===\n%s\n", o.Name, o.Report)
 		fmt.Print(report)
 		if *svgDir != "" {
-			if err := renderSVGs(*svgDir, e.name, res); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			if err := renderSVGs(*svgDir, o.Name, o.Result); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", o.Name, err)
 				os.Exit(1)
 			}
 		}
 		if *outDir != "" {
-			path := filepath.Join(*outDir, e.name+".txt")
+			path := filepath.Join(*outDir, o.Name+".txt")
 			if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				fmt.Fprintf(os.Stderr, "%s: %v\n", o.Name, err)
 				os.Exit(1)
 			}
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *run)
-		os.Exit(2)
+	fmt.Fprintf(os.Stderr, "total: %.1fs (%d experiments, parallel=%d)\n",
+		time.Since(start).Seconds(), len(outcomes), *parallel)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/npu"
@@ -94,10 +95,22 @@ type pendingSwitch struct {
 }
 
 // Executor runs traces under strategies on the simulated chip.
+//
+// Concurrency contract: one Executor may be shared by any number of
+// goroutines calling Run/RunStable/planSwitches concurrently, provided
+// Chip and Ground are not reassigned after New and each goroutine
+// supplies its own *thermal.State (thermal evolution is per-run
+// mutable state). The GA worker pool relies on this: every Score call
+// of a hardware-in-the-loop problem drives the same Executor. The only
+// internal mutable state is the lazily populated scaled-view cache,
+// which is guarded by mu.
 type Executor struct {
 	Chip   *npu.Chip
 	Ground *powersim.Ground
 
+	// mu guards scaled. Chip and Ground are treated as immutable after
+	// construction and read without locking.
+	mu sync.RWMutex
 	// scaled caches per-uncore-scale views of the chip and ground
 	// truth for the two-domain extension.
 	scaled map[float64]scaledView
@@ -114,24 +127,60 @@ func New(chip *npu.Chip, ground *powersim.Ground) *Executor {
 }
 
 // viewAt returns the chip and ground truth adjusted for an uncore
-// scale (cached; scale 1 or 0 is the stock view).
+// scale (cached; scale 1 or 0 is the stock view). Safe for concurrent
+// use: the common paths (stock view, cache hit) take only a read lock,
+// and on a racing miss both builders compute the same deterministic
+// view, so whichever wins the write lock publishes it first.
 func (e *Executor) viewAt(scale float64) scaledView {
 	if scale == 0 || scale == 1 {
 		return scaledView{chip: e.Chip, ground: e.Ground}
 	}
-	if v, ok := e.scaled[scale]; ok {
+	e.mu.RLock()
+	v, ok := e.scaled[scale]
+	e.mu.RUnlock()
+	if ok {
 		return v
-	}
-	if e.scaled == nil {
-		e.scaled = make(map[float64]scaledView)
 	}
 	chip := e.Chip.WithUncoreScale(scale)
 	g := *e.Ground
 	g.Chip = chip
 	g.UncoreScale = scale
-	v := scaledView{chip: chip, ground: &g}
-	e.scaled[scale] = v
+	v = scaledView{chip: chip, ground: &g}
+	e.mu.Lock()
+	if cached, ok := e.scaled[scale]; ok {
+		v = cached
+	} else {
+		if e.scaled == nil {
+			e.scaled = make(map[float64]scaledView)
+		}
+		e.scaled[scale] = v
+	}
+	e.mu.Unlock()
 	return v
+}
+
+// validateStrategy checks the structural assumptions planSwitches
+// depends on: points sorted strictly ascending by OpIndex (sorted and
+// unique) and every OpIndex inside the trace. Violations would not
+// crash the executor — they would silently misplace switch landings,
+// because the trigger search binary-searches the baseline timeline —
+// so Run rejects them with a descriptive error instead.
+func validateStrategy(trace []op.Spec, strat *core.Strategy) error {
+	for i, pt := range strat.Points {
+		if pt.OpIndex < 0 || pt.OpIndex >= len(trace) {
+			return fmt.Errorf("executor: strategy point %d has OpIndex %d outside trace [0, %d)",
+				i, pt.OpIndex, len(trace))
+		}
+		if i > 0 && pt.OpIndex == strat.Points[i-1].OpIndex {
+			return fmt.Errorf("executor: strategy points %d and %d duplicate OpIndex %d",
+				i-1, i, pt.OpIndex)
+		}
+		if i > 0 && pt.OpIndex < strat.Points[i-1].OpIndex {
+			return fmt.Errorf("executor: strategy points not sorted by OpIndex (%d at point %d after %d)",
+				pt.OpIndex, i, strat.Points[i-1].OpIndex)
+		}
+	}
+	return nil
 }
 
 // planSwitches converts strategy points into trigger-anticipated
@@ -140,6 +189,11 @@ func (e *Executor) viewAt(scale float64) scaledView {
 // expected timeline (operators before a switch run at their assigned
 // frequency), so landings stay precise even when early low-frequency
 // stages stretch the schedule.
+//
+// Safe for concurrent calls: it reads only the immutable chip/ground
+// views (via the locked cache) and the caller's trace and strategy,
+// and requires strat.Points sorted and unique by OpIndex (checked by
+// Run via validateStrategy).
 func (e *Executor) planSwitches(trace []op.Spec, strat *core.Strategy, opt Options) []pendingSwitch {
 	starts := make([]float64, len(trace))
 	now := 0.0
@@ -179,8 +233,15 @@ func (e *Executor) planSwitches(trace []op.Spec, strat *core.Strategy, opt Optio
 }
 
 // Run executes one iteration of the trace under the strategy,
-// advancing the thermal state, and returns measured results. A nil
-// strategy runs the whole trace at fixed freqMHz given by baseline.
+// advancing the thermal state, and returns measured results.
+//
+// Run is safe for concurrent calls on a shared Executor as long as
+// each caller passes its own *thermal.State: all per-run bookkeeping
+// (switch plan, current frequency/view, accumulators) is local, and
+// the scaled-view cache is internally synchronized. The strategy's
+// Points must be sorted strictly ascending by OpIndex; Run returns a
+// descriptive error otherwise rather than silently misaligning switch
+// landings.
 func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State, opt Options) (*Result, error) {
 	if e.Chip == nil || e.Ground == nil {
 		return nil, fmt.Errorf("executor: incomplete executor")
@@ -190,6 +251,9 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 	}
 	if strat == nil || len(strat.Points) == 0 {
 		return nil, fmt.Errorf("executor: nil or empty strategy")
+	}
+	if err := validateStrategy(trace, strat); err != nil {
+		return nil, err
 	}
 	if opt.SetFreqLatencyMicros < 0 || opt.ExtraDelayMicros < 0 || opt.DelayJitterMicros < 0 {
 		return nil, fmt.Errorf("executor: negative latency")

@@ -1,8 +1,10 @@
 package executor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"npudvfs/internal/core"
@@ -319,5 +321,82 @@ func TestUncoreScaledStrategy(t *testing.T) {
 	if rc.MeanSoCW >= rs.MeanSoCW {
 		t.Errorf("scaled uncore should draw less SoC power: %.2f vs %.2f",
 			rc.MeanSoCW, rs.MeanSoCW)
+	}
+}
+
+func TestRunRejectsMalformedPoints(t *testing.T) {
+	e := testExec()
+	trace := flatTrace(5)
+	cases := []struct {
+		name   string
+		points []core.FreqPoint
+	}{
+		{"out-of-range", []core.FreqPoint{{OpIndex: 0, FreqMHz: 1800}, {OpIndex: 5, FreqMHz: 1000}}},
+		{"negative", []core.FreqPoint{{OpIndex: -1, FreqMHz: 1800}}},
+		{"duplicate", []core.FreqPoint{{OpIndex: 2, FreqMHz: 1800}, {OpIndex: 2, FreqMHz: 1000}}},
+		{"unsorted", []core.FreqPoint{{OpIndex: 3, FreqMHz: 1800}, {OpIndex: 1, FreqMHz: 1000}}},
+	}
+	for _, tc := range cases {
+		strat := &core.Strategy{BaselineMHz: 1800, Points: tc.points}
+		if _, err := e.Run(trace, strat, th(), DefaultOptions()); err == nil {
+			t.Errorf("%s points: want error, got nil", tc.name)
+		}
+	}
+}
+
+// A shared Executor must tolerate concurrent Run calls that populate
+// the scaled-view cache from many goroutines (run under -race). Every
+// goroutine also checks its results against a serial golden run: the
+// cache races only on construction, never on values.
+func TestConcurrentRunSharedExecutor(t *testing.T) {
+	e := testExec()
+	trace := flatTrace(30)
+	grid := e.Chip.Curve.Grid()
+	scales := []float64{0, 0.8, 0.85, 0.9, 0.95, 1, 1.05}
+	strategies := make([]*core.Strategy, 16)
+	for k := range strategies {
+		rng := rand.New(rand.NewSource(int64(40 + k)))
+		strat := &core.Strategy{BaselineMHz: 1800}
+		for opIdx := 0; opIdx < len(trace); opIdx += 1 + rng.Intn(6) {
+			strat.Points = append(strat.Points, core.FreqPoint{
+				OpIndex:     opIdx,
+				FreqMHz:     grid[rng.Intn(len(grid))],
+				UncoreScale: scales[rng.Intn(len(scales))],
+			})
+		}
+		strategies[k] = strat
+	}
+	golden := make([]*Result, len(strategies))
+	for k, strat := range strategies {
+		res, err := e.Run(trace, strat, th(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[k] = res
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k, strat := range strategies {
+				res, err := e.Run(trace, strat, th(), DefaultOptions())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Abs(res.EnergySoCJ-golden[k].EnergySoCJ) > 1e-12 ||
+					math.Abs(res.TimeMicros-golden[k].TimeMicros) > 1e-9 {
+					errs <- fmt.Errorf("strategy %d: concurrent result diverged from serial", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

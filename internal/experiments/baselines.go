@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"npudvfs/internal/classify"
 	"npudvfs/internal/core"
@@ -102,14 +103,20 @@ func (r *CoarseResult) String() string {
 type hardwareProblem struct {
 	lab      *Lab
 	workload *workload.Model
-	stages   []preprocess.Stage
-	grid     []float64
-	baseT    float64
-	baseP    float64
-	perLB    float64
-	// hardwareMicros accumulates the simulated hardware time spent.
+	// ex is shared across Score calls; Executor is safe for concurrent
+	// Run as long as each call brings its own thermal.State.
+	ex        *executor.Executor
+	stages    []preprocess.Stage
+	grid      []float64
+	baseT     float64
+	baseP     float64
+	perLB     float64
+	warmTempC float64
+
+	mu sync.Mutex
+	// hardwareMicros accumulates the simulated hardware time spent,
+	// guarded by mu so Score may run from GA worker goroutines.
 	hardwareMicros float64
-	warmTempC      float64
 }
 
 func (p *hardwareProblem) Genes() int   { return len(p.stages) }
@@ -140,18 +147,22 @@ func (p *hardwareProblem) strategy(ind []int) *core.Strategy {
 	return s
 }
 
-// Score executes one iteration under the candidate strategy. Not safe
-// for concurrent use (hardware is a serial resource — exactly the
-// model-free bottleneck); run the GA with Workers=1.
+// Score executes one iteration under the candidate strategy. Safe for
+// concurrent use: the shared Executor tolerates concurrent Run, the
+// thermal state is per-call, and the hardware-time tally is locked.
+// The GA still runs it with Workers=1 because real hardware is a
+// serial resource — exactly the model-free bottleneck — but the race
+// stress test exercises it from many goroutines.
 func (p *hardwareProblem) Score(ind []int) float64 {
 	th := thermal.NewState(p.lab.Thermal)
 	th.SetTemp(p.warmTempC)
-	ex := executor.New(p.lab.Chip, p.lab.Ground)
-	res, err := ex.Run(p.workload.Trace, p.strategy(ind), th, executor.DefaultOptions())
+	res, err := p.ex.Run(p.workload.Trace, p.strategy(ind), th, executor.DefaultOptions())
 	if err != nil {
 		return 0
 	}
+	p.mu.Lock()
 	p.hardwareMicros += res.TimeMicros
+	p.mu.Unlock()
 	per := 1 / res.TimeMicros
 	perBase := 1 / p.baseT
 	score := perBase * perBase / res.MeanSoCW
@@ -207,6 +218,7 @@ func (l *Lab) ModelFree(budgetSec float64) (*ModelFreeResult, error) {
 	hw := &hardwareProblem{
 		lab:       l,
 		workload:  m,
+		ex:        executor.New(l.Chip, l.Ground),
 		stages:    stages,
 		grid:      l.Chip.Curve.Grid(),
 		baseT:     base.TimeMicros,
@@ -219,9 +231,13 @@ func (l *Lab) ModelFree(budgetSec float64) (*ModelFreeResult, error) {
 	if gens < 1 {
 		gens = 1
 	}
+	// NoScoreCache: Score is impure (it burns simulated hardware time);
+	// memoizing repeats would cheat the hardware-time budget the whole
+	// comparison is about.
 	hwRes, err := ga.Run(hw, ga.Config{
 		PopSize: pop, Generations: gens, MutationRate: 0.15,
 		CrossoverRate: 0.7, Elitism: 1, Seed: 21, Workers: 1,
+		NoScoreCache: true,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/executor"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/op"
+	"npudvfs/internal/thermal"
+	"npudvfs/internal/workload"
+)
+
+// skipHeavyUnderRace skips end-to-end numerical cases when the binary
+// is race-instrumented: they are minutes-long under the detector and
+// their assertions are exercised by the regular suite. Concurrency
+// tests (everything in this file) run under -race unconditionally —
+// that is their point.
+func skipHeavyUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("heavy end-to-end case; covered by the non-race suite")
+	}
+}
+
+// sharedExecProblem scores GA individuals by running them on ONE
+// Executor shared across all GA worker goroutines — the shape of a
+// hardware-in-the-loop search, and the scenario the Executor's
+// concurrency contract exists for. Alleles mix core frequencies with
+// uncore scales so concurrent Run calls populate the scaled-view
+// cache while racing each other.
+type sharedExecProblem struct {
+	lab    *Lab
+	ex     *executor.Executor
+	trace  []op.Spec
+	grid   []float64
+	scales []float64
+}
+
+func (p *sharedExecProblem) Genes() int     { return 4 }
+func (p *sharedExecProblem) Alleles() int   { return len(p.grid) }
+func (p *sharedExecProblem) Seeds() [][]int { return nil }
+
+func (p *sharedExecProblem) Score(ind []int) float64 {
+	step := len(p.trace) / len(ind)
+	strat := &core.Strategy{BaselineMHz: p.grid[len(p.grid)-1]}
+	for i, g := range ind {
+		strat.Points = append(strat.Points, core.FreqPoint{
+			OpIndex:     i * step,
+			FreqMHz:     p.grid[g],
+			UncoreScale: p.scales[g%len(p.scales)],
+		})
+	}
+	th := thermal.NewState(p.lab.Thermal)
+	res, err := p.ex.Run(p.trace, strat, th, executor.DefaultOptions())
+	if err != nil {
+		return math.NaN() // treated as worst fitness by the GA
+	}
+	return 1 / res.EnergyCoreJ
+}
+
+// TestGASharedExecutorStress drives GA scoring through one shared
+// Executor from many worker goroutines. Its real assertion is the
+// race detector: `go test -race` fails here if the Executor's view
+// cache (or any other shared state on the Score path) races. It also
+// pins determinism: a Workers=1 run must find the identical result.
+func TestGASharedExecutorStress(t *testing.T) {
+	lab := sharedLab()
+	reps := workload.RepresentativeOps()
+	var trace []op.Spec
+	for len(trace) < 24 {
+		trace = append(trace, reps...)
+	}
+	newProblem := func() *sharedExecProblem {
+		return &sharedExecProblem{
+			lab:    lab,
+			ex:     executor.New(lab.Chip, lab.Ground),
+			trace:  trace,
+			grid:   lab.Chip.Curve.Grid(),
+			scales: []float64{0, 0.8, 0.9, 0.95, 1.05},
+		}
+	}
+	cfg := ga.Config{
+		PopSize: 16, Generations: 6, MutationRate: 0.2,
+		CrossoverRate: 0.7, Elitism: 1, Seed: 77, Workers: 8,
+	}
+	par, err := ga.Run(newProblem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	ser, err := ga.Run(newProblem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.BestScore != ser.BestScore {
+		t.Errorf("parallel best %g != serial best %g", par.BestScore, ser.BestScore)
+	}
+	if len(par.Best) != len(ser.Best) {
+		t.Fatalf("gene count mismatch: %d vs %d", len(par.Best), len(ser.Best))
+	}
+	for i := range par.Best {
+		if par.Best[i] != ser.Best[i] {
+			t.Errorf("gene %d: parallel %d != serial %d", i, par.Best[i], ser.Best[i])
+		}
+	}
+}
+
+// deterministicSuite lists cheap experiments whose rendered reports
+// carry no wall-clock timing, so serial and parallel runs must be
+// byte-identical.
+var deterministicSuite = []string{"fig3", "fig4", "fig9", "sensitivity"}
+
+func TestRunSuiteParallelMatchesSerial(t *testing.T) {
+	l := sharedLab()
+	serial, err := l.RunSuite(deterministicSuite, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := l.RunSuite(deterministicSuite, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(deterministicSuite) || len(parallel) != len(serial) {
+		t.Fatalf("outcome counts: serial %d, parallel %d, want %d",
+			len(serial), len(parallel), len(deterministicSuite))
+	}
+	for i := range serial {
+		if serial[i].Name != deterministicSuite[i] || parallel[i].Name != deterministicSuite[i] {
+			t.Fatalf("outcome %d: order broken (serial %q, parallel %q, want %q)",
+				i, serial[i].Name, parallel[i].Name, deterministicSuite[i])
+		}
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("%s: unexpected error (serial %v, parallel %v)",
+				serial[i].Name, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Report == "" {
+			t.Fatalf("%s: empty report", serial[i].Name)
+		}
+		if serial[i].Report != parallel[i].Report {
+			t.Errorf("%s: parallel report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serial[i].Name, serial[i].Report, parallel[i].Report)
+		}
+	}
+}
+
+func TestRunSuiteUnknownName(t *testing.T) {
+	l := sharedLab()
+	_, err := l.RunSuite([]string{"fig3", "nonsense"}, 1, 0)
+	if err == nil || !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("want error naming the unknown experiment, got %v", err)
+	}
+}
+
+func TestSelectPreservesCanonicalOrder(t *testing.T) {
+	specs, err := Select([]string{"fig9", "fig3"}) // reversed on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "fig3" || specs[1].Name != "fig9" {
+		t.Fatalf("want canonical order [fig3 fig9], got %v", specNames(specs))
+	}
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Registry()) {
+		t.Fatalf("nil selection: want full registry (%d), got %d", len(Registry()), len(all))
+	}
+}
+
+func specNames(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+type fakeResult string
+
+func (f fakeResult) String() string { return string(f) }
+
+func TestRunOneTimeout(t *testing.T) {
+	l := sharedLab()
+	slow := Spec{Name: "slow", Run: func(*Lab) (fmt.Stringer, error) {
+		time.Sleep(2 * time.Second)
+		return fakeResult("too late"), nil
+	}}
+	o := runOne(l, slow, 30*time.Millisecond)
+	if o.Err == nil || !strings.Contains(o.Err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", o.Err)
+	}
+	if o.Report != "" || o.Result != nil {
+		t.Errorf("timed-out outcome should carry no result, got %+v", o)
+	}
+	fast := Spec{Name: "fast", Run: func(*Lab) (fmt.Stringer, error) {
+		return fakeResult("done"), nil
+	}}
+	o = runOne(l, fast, time.Minute)
+	if o.Err != nil || o.Report != "done" {
+		t.Fatalf("fast spec under timeout: got report %q, err %v", o.Report, o.Err)
+	}
+}

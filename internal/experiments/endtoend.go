@@ -80,31 +80,41 @@ func (l *Lab) table3Case(ms *Models, target float64, gaSeed int64) (Table3Row, e
 
 // Table3 reproduces the end-to-end table: GPT-3 at loss targets 2-10%
 // plus BERT, ResNet-50 and ResNet-152 at the production 2% target.
+// Cases fan out over l.Parallel workers; every case's GA seed is fixed
+// per case, so rows are identical at any worker count.
 func (l *Lab) Table3() (*Table3Result, error) {
-	res := &Table3Result{}
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
 	}
-	for i, target := range []float64{0.02, 0.04, 0.06, 0.08, 0.10} {
-		row, err := l.table3Case(gpt, target, int64(100+i))
-		if err != nil {
-			return nil, err
+	targets := []float64{0.02, 0.04, 0.06, 0.08, 0.10}
+	extras := []*workload.Model{workload.BERT(), workload.ResNet50(), workload.ResNet152()}
+	rows := make([]Table3Row, len(targets)+len(extras))
+	err = parEach(l.Seed, len(rows), l.workers(), func(i int, _ *rand.Rand) error {
+		if i < len(targets) {
+			row, err := l.table3Case(gpt, targets[i], int64(100+i))
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
 		}
-		res.Rows = append(res.Rows, row)
+		j := i - len(targets)
+		ms, err := l.BuildModels(extras[j], true)
+		if err != nil {
+			return err
+		}
+		row, err := l.table3Case(ms, 0.02, int64(200+j))
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i, m := range []*workload.Model{workload.BERT(), workload.ResNet50(), workload.ResNet152()} {
-		ms, err := l.BuildModels(m, true)
-		if err != nil {
-			return nil, err
-		}
-		row, err := l.table3Case(ms, 0.02, int64(200+i))
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	return &Table3Result{Rows: rows}, nil
 }
 
 func (r *Table3Result) String() string {

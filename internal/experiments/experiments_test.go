@@ -79,6 +79,7 @@ func TestFig9MatchesCurve(t *testing.T) {
 }
 
 func TestFig10LinearInPower(t *testing.T) {
+	skipHeavyUnderRace(t)
 	r, err := sharedLab().Fig10()
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +151,7 @@ func TestInferenceShape(t *testing.T) {
 // quickTable3Case runs the end-to-end pipeline on BERT with a reduced
 // GA; the full-scale version is the BenchmarkTable3EndToEnd benchmark.
 func TestEndToEndBERTQuick(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("end-to-end pipeline in -short mode")
 	}
@@ -240,6 +242,7 @@ func TestScoringThroughputFastEnough(t *testing.T) {
 }
 
 func TestCoarseGrainedLosesToFineGrained(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("GPT-3 pipeline in -short mode")
 	}
@@ -264,6 +267,7 @@ func TestCoarseGrainedLosesToFineGrained(t *testing.T) {
 }
 
 func TestModelFreeStarved(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("GPT-3 pipeline in -short mode")
 	}
@@ -284,6 +288,7 @@ func TestModelFreeStarved(t *testing.T) {
 }
 
 func TestUncoreWhatIfAddsHeadroom(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("GPT-3 pipeline in -short mode")
 	}
@@ -317,6 +322,7 @@ func TestUncoreWhatIfAddsHeadroom(t *testing.T) {
 }
 
 func TestDualDomainAddsSoCSavings(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("GPT-3 pipeline in -short mode")
 	}
@@ -336,6 +342,7 @@ func TestDualDomainAddsSoCSavings(t *testing.T) {
 }
 
 func TestAttributionMemoryOpsGoLow(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("GPT-3 pipeline in -short mode")
 	}
@@ -366,6 +373,7 @@ func TestAttributionMemoryOpsGoLow(t *testing.T) {
 }
 
 func TestSearchAblationGAWins(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("GPT-3 pipeline in -short mode")
 	}

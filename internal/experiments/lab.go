@@ -44,6 +44,14 @@ type Lab struct {
 	Thermal thermal.Params
 	Seed    int64
 
+	// Parallel bounds the worker count experiments may use for their
+	// internal fan-out (across workloads, targets, or seeds). Zero or
+	// one means serial. Because every work item seeds its own
+	// randomness, results are identical at any setting; only wall
+	// time changes. Set before running experiments, not concurrently
+	// with them.
+	Parallel int
+
 	calOnce sync.Once
 	offline *powermodel.Offline
 	calErr  error
@@ -65,6 +73,14 @@ func NewLab() *Lab {
 // (Sect. 8.3).
 func NewLabFor(chip *npu.Chip, ground *powersim.Ground, th thermal.Params, seed int64) *Lab {
 	return &Lab{Chip: chip, Ground: ground, Thermal: th, Seed: seed}
+}
+
+// workers is Parallel clamped to at least one serial worker.
+func (l *Lab) workers() int {
+	if l.Parallel < 1 {
+		return 1
+	}
+	return l.Parallel
 }
 
 func (l *Lab) sensor(offset int64) *powersim.Sensor {

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Heavy end-to-end cases skip under -race: their numerical
+// claims are covered by the regular suite, and the ~10x race slowdown
+// would push the package past practical test timeouts. Concurrency
+// tests never skip on this flag.
+const raceEnabled = true

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the parallel experiment harness: a registry naming
+// every experiment the Lab can regenerate, and a worker-pool runner
+// that fans them out across goroutines with deterministic result
+// ordering.
+//
+// Determinism rule: every experiment derives its stochasticity from
+// fixed per-experiment seeds (GA seeds, sensor offsets), never from a
+// source shared across goroutines, so the parallel schedule cannot
+// change any result. The same rule holds inside experiments that fan
+// out across workloads or seeds via parEach: randomness is seeded per
+// work item, not per worker, so item i sees identical draws no matter
+// which worker runs it. The only shared mutable state is the Lab's
+// sync.Once-guarded calibrations and the Executor's locked view cache,
+// both safe (and deterministic) under concurrency.
+
+// Spec is one named, runnable experiment.
+type Spec struct {
+	// Name is the identifier used by cmd/experiments -run.
+	Name string
+	// Run regenerates the experiment on the lab.
+	Run func(l *Lab) (fmt.Stringer, error)
+}
+
+// Registry returns every experiment in canonical order — the order
+// serial runs execute in and parallel runs report in.
+func Registry() []Spec {
+	return []Spec{
+		{"fig3", func(l *Lab) (fmt.Stringer, error) { return l.Fig3(), nil }},
+		{"fig4", func(l *Lab) (fmt.Stringer, error) { return l.Fig4(), nil }},
+		{"fig9", func(l *Lab) (fmt.Stringer, error) { return l.Fig9(), nil }},
+		{"fig10", func(l *Lab) (fmt.Stringer, error) { return l.Fig10() }},
+		{"fig15", func(l *Lab) (fmt.Stringer, error) { return l.Fig15() }},
+		{"fig16", func(l *Lab) (fmt.Stringer, error) { return l.Fig16() }},
+		{"fig17", func(l *Lab) (fmt.Stringer, error) { return l.Fig17() }},
+		{"fig18", func(l *Lab) (fmt.Stringer, error) { return l.Fig18() }},
+		{"table2", func(l *Lab) (fmt.Stringer, error) { return l.Table2() }},
+		{"table3", func(l *Lab) (fmt.Stringer, error) { return l.Table3() }},
+		{"fitcost", func(l *Lab) (fmt.Stringer, error) { return l.FitCost() }},
+		{"inference", func(l *Lab) (fmt.Stringer, error) { return l.Inference() }},
+		{"throughput", func(l *Lab) (fmt.Stringer, error) { return l.ScoringThroughput(20000) }},
+		{"coarse", func(l *Lab) (fmt.Stringer, error) { return l.CoarseGrained() }},
+		{"modelfree", func(l *Lab) (fmt.Stringer, error) { return l.ModelFree(300) }},
+		{"uncore", func(l *Lab) (fmt.Stringer, error) { return l.UncoreDVFS() }},
+		{"sensitivity", func(l *Lab) (fmt.Stringer, error) { return l.Sensitivity(1800, 1600), nil }},
+		{"adaptive", func(l *Lab) (fmt.Stringer, error) { return l.Adaptive() }},
+		{"dual", func(l *Lab) (fmt.Stringer, error) { return l.DualDomain() }},
+		{"faisweep", func(l *Lab) (fmt.Stringer, error) { return l.FAISweep() }},
+		{"seeds", func(l *Lab) (fmt.Stringer, error) { return l.SeedsRobustness(5) }},
+		{"pareto", func(l *Lab) (fmt.Stringer, error) { return l.Pareto() }},
+		{"attribution", func(l *Lab) (fmt.Stringer, error) { return l.Attribution(0.10) }},
+		{"search", func(l *Lab) (fmt.Stringer, error) { return l.SearchAblation() }},
+	}
+}
+
+// ExperimentNames lists the registry's names in canonical order.
+func ExperimentNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, s := range reg {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Select resolves a name list against the registry, preserving
+// canonical order. nil, empty, or a list containing "all" selects
+// everything; unknown names are a descriptive error.
+func Select(names []string) ([]Spec, error) {
+	reg := Registry()
+	if len(names) == 0 {
+		return reg, nil
+	}
+	want := make(map[string]bool)
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if n == "all" {
+			return reg, nil
+		}
+		want[n] = true
+	}
+	var out []Spec
+	for _, s := range reg {
+		if want[s.Name] {
+			out = append(out, s)
+			delete(want, s.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("experiments: unknown experiment(s) %s (available: %s)",
+			strings.Join(unknown, ", "), strings.Join(ExperimentNames(), ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no experiment selected")
+	}
+	return out, nil
+}
+
+// Outcome is one experiment's result as produced by RunSuite.
+type Outcome struct {
+	// Name is the experiment's registry name.
+	Name string
+	// Result is the typed result (nil on error or timeout); it may
+	// implement the chart interfaces consumed by cmd/experiments -svg.
+	Result fmt.Stringer
+	// Report is Result rendered to text. It contains no wall-clock
+	// timing of the harness itself, so serial and parallel runs of a
+	// deterministic experiment render byte-identical reports.
+	Report string
+	// Elapsed is the experiment's wall time.
+	Elapsed time.Duration
+	// Err is the experiment's failure, including timeouts.
+	Err error
+}
+
+// RunSuite executes the named experiments (nil or "all" = the full
+// registry) on up to parallel workers, with an optional per-experiment
+// timeout (0 = none). Outcomes are returned in canonical registry
+// order regardless of completion order; with parallel <= 1 execution
+// order equals report order, matching the historical serial harness
+// exactly. Errors are per-outcome, not returned, so one failing
+// experiment cannot hide the others' results.
+func (l *Lab) RunSuite(names []string, parallel int, timeout time.Duration) ([]Outcome, error) {
+	specs, err := Select(names)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(specs))
+	perr := parEach(l.Seed, len(specs), parallel, func(i int, _ *rand.Rand) error {
+		out[i] = runOne(l, specs[i], timeout)
+		return nil
+	})
+	return out, perr
+}
+
+// runOne executes a single experiment, enforcing the timeout. A timed
+// out experiment's goroutine is abandoned (the Lab has no
+// cancellation points); its eventual result is discarded.
+func runOne(l *Lab, s Spec, timeout time.Duration) Outcome {
+	start := time.Now()
+	if timeout <= 0 {
+		res, err := s.Run(l)
+		return finishOutcome(s.Name, res, err, time.Since(start))
+	}
+	type done struct {
+		res fmt.Stringer
+		err error
+	}
+	ch := make(chan done, 1)
+	go func() {
+		res, err := s.Run(l)
+		ch <- done{res, err}
+	}()
+	select {
+	case d := <-ch:
+		return finishOutcome(s.Name, d.res, d.err, time.Since(start))
+	case <-time.After(timeout):
+		return Outcome{
+			Name:    s.Name,
+			Elapsed: timeout,
+			Err:     fmt.Errorf("experiments: %s timed out after %s (abandoned)", s.Name, timeout),
+		}
+	}
+}
+
+func finishOutcome(name string, res fmt.Stringer, err error, elapsed time.Duration) Outcome {
+	o := Outcome{Name: name, Result: res, Elapsed: elapsed, Err: err}
+	if err == nil && res != nil {
+		o.Report = res.String()
+	}
+	return o
+}
+
+// parEach runs fn(i, rng) for every i in [0, n) across up to workers
+// goroutines and returns the lowest-index error (deterministic, unlike
+// first-completed). Each invocation gets its own rand.Rand seeded
+// seed+i, so any randomness a work item draws is a function of the
+// item, never of the worker that happened to run it or of scheduling
+// order — the property that makes parallel runs byte-identical to
+// serial ones. workers <= 1 degenerates to a plain loop.
+func parEach(seed int64, n, workers int, fn func(i int, rng *rand.Rand) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i, rand.New(rand.NewSource(seed+int64(i)))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				errs[i] = fn(i, rand.New(rand.NewSource(seed+int64(i))))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

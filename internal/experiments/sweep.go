@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 
 	"npudvfs/internal/core"
@@ -38,29 +39,34 @@ func (l *Lab) FAISweep() (*FAISweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &FAISweepResult{}
-	for i, faiMs := range []float64{5, 10, 20, 50, 100, 250, 500, 1000} {
+	fais := []float64{5, 10, 20, 50, 100, 250, 500, 1000}
+	rows := make([]FAISweepRow, len(fais))
+	err = parEach(l.Seed, len(fais), l.workers(), func(i int, _ *rand.Rand) error {
 		cfg := core.DefaultConfig()
-		cfg.FAIMicros = faiMs * 1000
+		cfg.FAIMicros = fais[i] * 1000
 		cfg.GA.Seed = int64(820 + i)
 		strat, stages, _, err := core.Generate(gpt.Input(l.Chip), cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		meas, err := l.MeasureStrategy(gpt.Workload, strat, executor.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, FAISweepRow{
-			FAIMillis:     faiMs,
+		rows[i] = FAISweepRow{
+			FAIMillis:     fais[i],
 			Stages:        len(stages),
 			SetFreq:       strat.Switches(),
 			PerfLoss:      meas.TimeMicros/base.TimeMicros - 1,
 			SoCReduction:  1 - meas.MeanSoCW/base.MeanSoCW,
 			CoreReduction: 1 - meas.MeanCoreW/base.MeanCoreW,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &FAISweepResult{Rows: rows}, nil
 }
 
 func (r *FAISweepResult) String() string {
@@ -105,24 +111,29 @@ func (l *Lab) SeedsRobustness(n int) (*SeedsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SeedsResult{}
-	for i := 0; i < n; i++ {
+	rows := make([]SeedsRow, n)
+	err = parEach(l.Seed, n, l.workers(), func(i int, _ *rand.Rand) error {
 		cfg := core.DefaultConfig()
 		cfg.GA.Seed = int64(1000 + 17*i)
 		strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		meas, err := l.MeasureStrategy(gpt.Workload, strat, executor.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, SeedsRow{
+		rows[i] = SeedsRow{
 			Seed:          cfg.GA.Seed,
 			PerfLoss:      meas.TimeMicros/base.TimeMicros - 1,
 			CoreReduction: 1 - meas.MeanCoreW/base.MeanCoreW,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &SeedsResult{Rows: rows}
 	var sum, sumSq, sumLoss float64
 	for _, row := range res.Rows {
 		sum += row.CoreReduction

@@ -11,7 +11,9 @@
 package ga
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -25,7 +27,12 @@ type Problem interface {
 	// supported frequency points).
 	Alleles() int
 	// Score returns the fitness of an individual; higher is better.
-	// Must be safe for concurrent calls.
+	// Must be safe for concurrent calls. A NaN score is treated as
+	// -Inf fitness (worst), so infeasible individuals may signal
+	// themselves with NaN without corrupting selection. Unless
+	// Config.NoScoreCache is set, Score must also be a pure function
+	// of the gene vector: repeated individuals are served from a
+	// memoized cache and never re-scored.
 	Score(individual []int) float64
 	// Seeds returns individuals to include in the first generation
 	// (the paper seeds the baseline all-max-frequency individual and
@@ -72,6 +79,13 @@ type Config struct {
 	// StaleLimit, when positive, stops the search early after this
 	// many consecutive generations without best-score improvement.
 	StaleLimit int
+	// NoScoreCache disables the gene-vector score memoization. The
+	// cache is correct whenever Score is a pure function of the gene
+	// vector (true for the model-based evaluator); disable it for
+	// problems whose Score has observable side effects — e.g. the
+	// hardware-in-the-loop search, where every evaluation must spend
+	// real hardware time to keep the budget accounting honest.
+	NoScoreCache bool
 }
 
 // DefaultConfig returns the paper's search settings.
@@ -86,7 +100,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result reports the outcome of a search.
+// Result reports the outcome of a search. Best and History are
+// defensive copies owned by the caller; mutating them cannot corrupt
+// any state the search (or a Problem retaining individuals) still
+// references.
 type Result struct {
 	// Best is the fittest individual found.
 	Best []int
@@ -95,8 +112,13 @@ type Result struct {
 	// History records the best score after each generation — the
 	// convergence series of Fig. 17.
 	History []float64
-	// Evaluations counts Score calls.
+	// Evaluations counts individuals evaluated (including cache hits),
+	// the paper's "strategies assessed" number.
 	Evaluations int
+	// CacheHits counts evaluations served from the memoized score
+	// cache; Evaluations-CacheHits is the number of actual Score
+	// calls. CacheHits/Evaluations is the cache hit rate.
+	CacheHits int
 }
 
 type scored struct {
@@ -147,8 +169,12 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		pop = append(pop, scored{genes: g})
 	}
 
+	var cache scoreCache
+	if !cfg.NoScoreCache {
+		cache = make(scoreCache)
+	}
 	res := &Result{}
-	scoreAll(p, pop, workers)
+	res.CacheHits += scoreAll(p, pop, workers, cache)
 	res.Evaluations += len(pop)
 
 	stale := 0
@@ -199,31 +225,116 @@ func Run(p Problem, cfg Config) (*Result, error) {
 			}
 		}
 		// Elites keep their scores; score the rest.
-		scoreAll(p, next[cfg.Elitism:], workers)
+		res.CacheHits += scoreAll(p, next[cfg.Elitism:], workers, cache)
 		res.Evaluations += len(next) - cfg.Elitism
 		pop = next
 	}
 	sortByScore(pop)
 	res.History = append(res.History, pop[0].score)
-	res.Best = pop[0].genes
+	res.Best = append([]int(nil), pop[0].genes...)
 	res.BestScore = pop[0].score
+	res.History = append([]float64(nil), res.History...)
 	return res, nil
 }
 
-// scoreAll evaluates fitness concurrently.
-func scoreAll(p Problem, pop []scored, workers int) {
-	if workers > len(pop) {
-		workers = len(pop)
+// scoreCache memoizes sanitized fitness values by gene vector, so
+// individuals recurring across generations (elites' children, converged
+// populations) skip re-simulation. Accessed only from the generation
+// loop's goroutine; workers never touch it.
+type scoreCache map[string]float64
+
+// geneKey encodes a gene vector as a compact byte string for cache
+// lookup.
+func geneKey(genes []int) string {
+	buf := make([]byte, 0, len(genes)*2)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, g := range genes {
+		n := binary.PutUvarint(tmp[:], uint64(g))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// sanitize maps NaN fitness to -Inf. A NaN score (e.g. an infeasible
+// individual whose predicted time divides by zero) would otherwise
+// poison the selection prefix sums: every comparison against NaN is
+// false, so the binary search in pick degenerates to a single index
+// and the population collapses onto it. -Inf orders correctly (worst)
+// under sort and all selection schemes.
+func sanitize(score float64) float64 {
+	if math.IsNaN(score) {
+		return math.Inf(-1)
+	}
+	return score
+}
+
+// scoreAll evaluates fitness concurrently, memoizing through cache
+// (nil disables memoization), and reports how many individuals were
+// served without a Score call. Within one batch, duplicate gene
+// vectors are scored once; across batches the cache carries scores
+// between generations.
+func scoreAll(p Problem, pop []scored, workers int, cache scoreCache) (hits int) {
+	if cache == nil {
+		scoreBatch(p, pop, indices(len(pop)), workers)
+		return 0
+	}
+	// Partition into cache hits, one representative per novel gene
+	// vector, and duplicates of a representative.
+	reps := make([]int, 0, len(pop))
+	repByKey := make(map[string]int)
+	keys := make([]string, len(pop))
+	for i := range pop {
+		k := geneKey(pop[i].genes)
+		keys[i] = k
+		if s, ok := cache[k]; ok {
+			pop[i].score = s
+			hits++
+			continue
+		}
+		if _, ok := repByKey[k]; !ok {
+			repByKey[k] = i
+			reps = append(reps, i)
+		}
+	}
+	scoreBatch(p, pop, reps, workers)
+	for _, i := range reps {
+		cache[keys[i]] = pop[i].score
+	}
+	// Fill duplicates from the representatives just scored.
+	for i := range pop {
+		rep, ok := repByKey[keys[i]]
+		if ok && rep != i {
+			pop[i].score = pop[rep].score
+			hits++
+		}
+	}
+	return hits
+}
+
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// scoreBatch runs Score for the given population indices across the
+// worker pool. Each worker only writes the scored entries it drew from
+// the channel, so no two goroutines touch the same element.
+func scoreBatch(p Problem, pop []scored, todo []int, workers int) {
+	if workers > len(todo) {
+		workers = len(todo)
 	}
 	if workers <= 1 {
-		for i := range pop {
-			pop[i].score = p.Score(pop[i].genes)
+		for _, i := range todo {
+			pop[i].score = sanitize(p.Score(pop[i].genes))
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	ch := make(chan int, len(pop))
-	for i := range pop {
+	ch := make(chan int, len(todo))
+	for _, i := range todo {
 		ch <- i
 	}
 	close(ch)
@@ -232,7 +343,7 @@ func scoreAll(p Problem, pop []scored, workers int) {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				pop[i].score = p.Score(pop[i].genes)
+				pop[i].score = sanitize(p.Score(pop[i].genes))
 			}
 		}()
 	}
@@ -260,16 +371,24 @@ func buildPrefix(pop []scored, sel Selection) []float64 {
 	n := len(pop)
 	switch sel {
 	case RouletteSelection:
-		minScore := pop[0].score
+		// The shift baseline is the worst finite score: sanitized
+		// (NaN → -Inf) individuals get weight 0 rather than dragging
+		// the baseline to -Inf and turning every weight into Inf/NaN.
+		minScore := math.Inf(1)
 		for _, s := range pop {
-			if s.score < minScore {
+			if !math.IsInf(s.score, 0) && s.score < minScore {
 				minScore = s.score
 			}
+		}
+		if math.IsInf(minScore, 1) {
+			minScore = 0 // no finite scores at all
 		}
 		prefix := make([]float64, n)
 		sum := 0.0
 		for i, s := range pop {
-			sum += s.score - minScore + 1e-12
+			if !math.IsInf(s.score, -1) {
+				sum += s.score - minScore + 1e-12
+			}
 			prefix[i] = sum
 		}
 		return prefix

@@ -1,7 +1,9 @@
 package ga
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -259,4 +261,179 @@ func (v *validityProblem) Score(ind []int) float64 {
 		s += float64(g)
 	}
 	return s
+}
+
+// infeasibleProblem returns NaN for any individual containing allele 0
+// — the shape of a constraint-violating strategy whose predicted time
+// divides by zero. The GA must treat those as worst-fitness rather
+// than letting NaN poison the selection prefix sums.
+type infeasibleProblem struct {
+	genes, alleles int
+}
+
+func (p *infeasibleProblem) Genes() int     { return p.genes }
+func (p *infeasibleProblem) Alleles() int   { return p.alleles }
+func (p *infeasibleProblem) Seeds() [][]int { return nil }
+func (p *infeasibleProblem) Score(ind []int) float64 {
+	s := 0.0
+	for _, g := range ind {
+		if g == 0 {
+			return math.NaN()
+		}
+		s += float64(g)
+	}
+	return s
+}
+
+func TestNaNScoresTreatedAsWorst(t *testing.T) {
+	for _, sel := range []Selection{RankSelection, RouletteSelection, TournamentSelection} {
+		p := &infeasibleProblem{genes: 10, alleles: 4}
+		cfg := smallConfig()
+		cfg.Selection = sel
+		res, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+		if math.IsNaN(res.BestScore) || math.IsInf(res.BestScore, 0) {
+			t.Fatalf("selection %d: best score %g; NaN/Inf must never win", sel, res.BestScore)
+		}
+		// Every gene at its maximum is the optimum; with NaN handled as
+		// -Inf the search must still find a near-optimal feasible point.
+		if res.BestScore < float64(10*(4-1))-4 {
+			t.Errorf("selection %d: best %g, want near %d despite infeasible region",
+				sel, res.BestScore, 10*3)
+		}
+		for _, g := range res.Best {
+			if g == 0 {
+				t.Errorf("selection %d: best individual is infeasible", sel)
+			}
+		}
+	}
+}
+
+func TestAllNaNPopulationDoesNotPanic(t *testing.T) {
+	// Every individual is infeasible: selection must still make
+	// (deterministic) picks without panicking or dividing by zero.
+	p := &infeasibleProblem{genes: 1, alleles: 1} // allele 0 only -> all NaN
+	cfg := smallConfig()
+	cfg.Generations = 5
+	for _, sel := range []Selection{RankSelection, RouletteSelection, TournamentSelection} {
+		cfg.Selection = sel
+		res, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+		if !math.IsInf(res.BestScore, -1) {
+			t.Errorf("selection %d: all-NaN population best = %g, want -Inf", sel, res.BestScore)
+		}
+	}
+}
+
+func TestResultIsDefensiveCopy(t *testing.T) {
+	tgt := target(10, 3)
+	p := &matchProblem{target: tgt, alleles: 3, seeds: [][]int{tgt}}
+	cfg := smallConfig()
+	cfg.Generations = 3
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the returned slices; a second identical run must be
+	// unaffected (no aliasing into live GA state or shared seeds).
+	for i := range res.Best {
+		res.Best[i] = -99
+	}
+	for i := range res.History {
+		res.History[i] = -99
+	}
+	res2, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BestScore != float64(len(tgt)) {
+		t.Errorf("second run best %g; mutating the first result corrupted state", res2.BestScore)
+	}
+	for i, g := range res2.Best {
+		if g != tgt[i] {
+			t.Fatalf("second run best individual corrupted at gene %d: %d", i, g)
+		}
+	}
+}
+
+// countingProblem counts actual Score invocations.
+type countingProblem struct {
+	matchProblem
+	calls atomic.Int64
+}
+
+func (c *countingProblem) Score(ind []int) float64 {
+	c.calls.Add(1)
+	return c.matchProblem.Score(ind)
+}
+
+func TestScoreCacheSkipsRepeats(t *testing.T) {
+	mk := func() *countingProblem {
+		return &countingProblem{matchProblem: matchProblem{target: target(6, 2), alleles: 2}}
+	}
+	cfg := smallConfig()
+	cfg.Generations = 60
+
+	cached := mk()
+	withCache, err := Run(cached, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoScoreCache = true
+	uncached := mk()
+	noCache, err := Run(uncached, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The tiny 2^6 space forces massive repetition: the cache must
+	// absorb most evaluations without changing any outcome.
+	if withCache.CacheHits == 0 {
+		t.Error("no cache hits on a 64-point space over 60 generations")
+	}
+	if noCache.CacheHits != 0 {
+		t.Errorf("NoScoreCache run reported %d hits", noCache.CacheHits)
+	}
+	if got, want := cached.calls.Load(), int64(withCache.Evaluations-withCache.CacheHits); got != want {
+		t.Errorf("Score called %d times, want Evaluations-CacheHits = %d", got, want)
+	}
+	if got, want := uncached.calls.Load(), int64(noCache.Evaluations); got != want {
+		t.Errorf("uncached Score called %d times, want Evaluations = %d", got, want)
+	}
+	if withCache.BestScore != noCache.BestScore {
+		t.Errorf("cache changed the outcome: %g vs %g", withCache.BestScore, noCache.BestScore)
+	}
+	for i := range withCache.History {
+		if withCache.History[i] != noCache.History[i] {
+			t.Fatalf("cache changed history at generation %d", i)
+		}
+	}
+	if withCache.Evaluations != noCache.Evaluations {
+		t.Errorf("Evaluations semantics changed with cache: %d vs %d",
+			withCache.Evaluations, noCache.Evaluations)
+	}
+}
+
+func TestScoreCacheParallelDeterminism(t *testing.T) {
+	p := &matchProblem{target: target(8, 2), alleles: 2}
+	cfg := smallConfig()
+	cfg.Generations = 40
+	cfg.Workers = 1
+	serial, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestScore != parallel.BestScore || serial.CacheHits != parallel.CacheHits {
+		t.Errorf("worker count changed cached outcome: score %g/%g hits %d/%d",
+			serial.BestScore, parallel.BestScore, serial.CacheHits, parallel.CacheHits)
+	}
 }
