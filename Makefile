@@ -1,10 +1,11 @@
 # Tier-1 verification: build, vet, full test suite, then the race
 # detector over every package (the repo ships concurrency — shared
-# Executors, GA worker pools, the parallel experiment harness — so a
-# race-clean run is part of "tests pass").
-.PHONY: verify build test vet race short bench
+# Executors, GA worker pools, the parallel experiment harness and the
+# dvfsd serving layer — so a race-clean run is part of "tests pass"),
+# and finally the dvfsd end-to-end smoke.
+.PHONY: verify build test vet race short bench serve-smoke
 
-verify: build vet test race
+verify: build vet test race serve-smoke
 
 build:
 	go build ./...
@@ -23,3 +24,9 @@ short:
 
 bench:
 	go test -bench=. -benchmem
+
+# Boots dvfsd on a random port, submits the quickstart trace through
+# dvfsctl, asserts the served strategy matches the batch path and that
+# resubmission hits the cache, then shuts down gracefully.
+serve-smoke:
+	./scripts/serve_smoke.sh

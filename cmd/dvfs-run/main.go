@@ -40,6 +40,9 @@ func main() {
 	dual := flag.Bool("dual", false, "search core+uncore pairs (two-domain extension)")
 	saveStrategy := flag.String("save-strategy", "", "write the generated strategy JSON to this path")
 	loadStrategy := flag.String("load-strategy", "", "skip the search and execute this strategy JSON")
+	saveModels := flag.String("save-models", "", "write the fitted perf/power models to this path")
+	loadModels := flag.String("load-models", "", "reuse fitted models from this path, skipping calibration and profiling")
+	noMeasure := flag.Bool("no-measure", false, "stop after strategy generation; skip the measured baseline/DVFS runs")
 	flag.Parse()
 
 	m, err := workload.ByName(*modelName)
@@ -55,10 +58,34 @@ func main() {
 		}
 		fmt.Printf("loaded strategy %s: %d SetFreq per iteration\n", *loadStrategy, strat.Switches())
 	} else {
-		fmt.Printf("calibrating chip and modeling %s (profiles at 1000/1800 MHz)...\n", m.Name)
-		ms, err := lab.BuildModels(m, true)
-		if err != nil {
-			fatal(err)
+		var ms *experiments.Models
+		if *loadModels != "" {
+			b, err := traceio.LoadModels(*loadModels)
+			if err != nil {
+				fatal(err)
+			}
+			ms, err = lab.ModelsFromBundle(m, b)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded fitted models for %s from %s (calibration and profiling skipped)\n",
+				m.Name, *loadModels)
+		} else {
+			fmt.Printf("calibrating chip and modeling %s (profiles at 1000/1800 MHz)...\n", m.Name)
+			ms, err = lab.BuildModels(m, true)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if *saveModels != "" {
+			b, err := ms.Bundle()
+			if err != nil {
+				fatal(err)
+			}
+			if err := traceio.SaveModels(*saveModels, b); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fitted models written to %s\n", *saveModels)
 		}
 		cfg := core.DefaultConfig()
 		cfg.PerfLossTarget = *target
@@ -109,6 +136,9 @@ func main() {
 		}
 	}
 
+	if *noMeasure {
+		return
+	}
 	base, err := lab.MeasureFixed(m, lab.Chip.Curve.Max())
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,267 @@
+// Command dvfsctl is the operator CLI for the dvfsd strategy service.
+//
+// Usage:
+//
+//	dvfsctl [-addr http://127.0.0.1:7077] <command> [flags]
+//
+// Commands:
+//
+//	submit   submit a workload (registry name or trace file) and
+//	         optionally wait for the strategy
+//	status   print one job's status
+//	fetch    print (or save) a completed job's strategy JSON
+//	bench    time repeated submissions of one request — demonstrates
+//	         the strategy cache (first run searches, the rest hit)
+//	metrics  dump the daemon's /metrics text
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+func main() {
+	addr := "http://127.0.0.1:7077"
+	args := os.Args[1:]
+	// A single global -addr may precede the subcommand.
+	if len(args) >= 2 && (args[0] == "-addr" || args[0] == "--addr") {
+		addr = args[1]
+		args = args[2:]
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	c := client.New(addr)
+	ctx := context.Background()
+	var err error
+	switch args[0] {
+	case "submit":
+		err = runSubmit(ctx, c, args[1:])
+	case "status":
+		err = runStatus(ctx, c, args[1:])
+	case "fetch":
+		err = runFetch(ctx, c, args[1:])
+	case "bench":
+		err = runBench(ctx, c, args[1:])
+	case "metrics":
+		err = runMetrics(ctx, c)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dvfsctl [-addr URL] {submit|status|fetch|bench|metrics} [flags]")
+	os.Exit(2)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet("dvfsctl "+name, flag.ExitOnError)
+}
+
+// searchFlags registers the SearchSpec knobs on a flag set and returns
+// a builder.
+func searchFlags(fs *flag.FlagSet) func() traceio.SearchSpec {
+	target := fs.Float64("target", 0, "performance loss target (0 = server default 0.02)")
+	fai := fs.Float64("fai", 0, "frequency adjustment interval in ms (0 = server default 5)")
+	pop := fs.Int("pop", 0, "GA population (0 = server default 200)")
+	gens := fs.Int("gens", 0, "GA generations (0 = server default 600)")
+	seed := fs.Int64("seed", 0, "GA seed (0 = server default 1)")
+	timeoutMs := fs.Int("timeout-ms", 0, "per-job search deadline in ms (0 = server default)")
+	return func() traceio.SearchSpec {
+		return traceio.SearchSpec{
+			TargetLoss: *target, FAIMillis: *fai,
+			Pop: *pop, Gens: *gens, Seed: *seed, TimeoutMillis: *timeoutMs,
+		}
+	}
+}
+
+// buildRequest assembles the submission body from -workload/-trace.
+func buildRequest(workloadName, tracePath string, spec traceio.SearchSpec) (*traceio.StrategyRequest, error) {
+	req := &traceio.StrategyRequest{Search: spec}
+	switch {
+	case workloadName != "" && tracePath != "":
+		return nil, fmt.Errorf("-workload and -trace are mutually exclusive")
+	case workloadName != "":
+		req.Workload = workloadName
+	case tracePath != "":
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		req.Trace = json.RawMessage(raw)
+	default:
+		return nil, fmt.Errorf("one of -workload (%s) or -trace FILE is required",
+			strings.Join(workload.Names(), ", "))
+	}
+	return req, nil
+}
+
+func runSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := newFlagSet("submit")
+	workloadName := fs.String("workload", "", "registry workload name")
+	tracePath := fs.String("trace", "", "workload trace JSON file (traceio format)")
+	wait := fs.Bool("wait", true, "poll until the job finishes")
+	save := fs.String("save", "", "write the strategy JSON to this path (implies -wait)")
+	spec := searchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := buildRequest(*workloadName, *tracePath, spec())
+	if err != nil {
+		return err
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if st.Cached {
+		fmt.Printf("job %s: served from cache\n", st.ID)
+	} else {
+		fmt.Printf("job %s: %s\n", st.ID, st.State)
+	}
+	if !*wait && *save == "" {
+		return nil
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		return err
+	}
+	return reportJob(st, *save)
+}
+
+// reportJob prints the human summary of a finished job and saves the
+// strategy when asked.
+func reportJob(st *traceio.JobStatus, save string) error {
+	if st.State != traceio.JobDone {
+		return fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	r := st.Result
+	fmt.Printf("workload %s: %d stages, %d SetFreq per iteration, %d evaluations\n",
+		r.Workload, r.Stages, r.Switches, r.Evaluations)
+	fmt.Printf("predicted: time %+.2f%%  SoC power -%.2f%%  AICore power -%.2f%%\n",
+		r.Predicted.PerfLossPct, r.Predicted.SoCSavingPct, r.Predicted.CoreSavingPct)
+	fmt.Printf("latency: queue %.0f ms, search %.0f ms\n", st.QueueMillis, st.SearchMillis)
+	if save != "" {
+		if err := saveStrategy(save, r.Strategy); err != nil {
+			return err
+		}
+		fmt.Printf("strategy written to %s\n", save)
+	}
+	return nil
+}
+
+// saveStrategy re-encodes the wire strategy through traceio so the
+// file is byte-identical to what dvfs-run -save-strategy writes for
+// the same search — the determinism contract, checkable with diff.
+func saveStrategy(path string, raw json.RawMessage) error {
+	strat, err := traceio.ReadStrategy(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("served strategy does not parse: %w", err)
+	}
+	return traceio.SaveStrategy(path, strat)
+}
+
+func runStatus(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dvfsctl status JOB_ID")
+	}
+	st, err := c.Job(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(st)
+}
+
+func runFetch(ctx context.Context, c *client.Client, args []string) error {
+	fs := newFlagSet("fetch")
+	save := fs.String("save", "", "write the strategy JSON to this path instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dvfsctl fetch [-save FILE] JOB_ID")
+	}
+	st, err := c.Job(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if st.State != traceio.JobDone || st.Result == nil {
+		return fmt.Errorf("job %s is %s, not done", st.ID, st.State)
+	}
+	if *save != "" {
+		return saveStrategy(*save, st.Result.Strategy)
+	}
+	fmt.Println(string(st.Result.Strategy))
+	return nil
+}
+
+func runBench(ctx context.Context, c *client.Client, args []string) error {
+	fs := newFlagSet("bench")
+	workloadName := fs.String("workload", "", "registry workload name")
+	tracePath := fs.String("trace", "", "workload trace JSON file")
+	n := fs.Int("n", 5, "resubmissions after the first completes")
+	spec := searchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := buildRequest(*workloadName, *tracePath, spec())
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		return err
+	}
+	if st.State != traceio.JobDone {
+		return fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Printf("cold: %s (cached=%v, search %.0f ms)\n",
+		time.Since(start).Round(time.Millisecond), st.Cached, st.SearchMillis)
+	for i := 0; i < *n; i++ {
+		start = time.Now()
+		hit, err := c.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		if hit.State != traceio.JobDone {
+			if hit, err = c.Wait(ctx, hit.ID, 0); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("resubmit %d: %s (cached=%v)\n",
+			i+1, time.Since(start).Round(time.Microsecond), hit.Cached)
+	}
+	return nil
+}
+
+func runMetrics(ctx context.Context, c *client.Client) error {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}

@@ -1,0 +1,129 @@
+// Command dvfsd serves the DVFS strategy pipeline over HTTP: operator
+// traces in, generated frequency strategies with predicted
+// energy/perf deltas out. See internal/server for the API and
+// DESIGN.md §8 for how the endpoints map onto the paper's Fig. 1
+// pipeline.
+//
+// Usage:
+//
+//	dvfsd -addr 127.0.0.1:7077 -workers 2
+//	dvfsd -addr 127.0.0.1:0 -addr-file /tmp/dvfsd.addr -load-models resnet50.models.json
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting jobs, drains in-flight searches up to -drain, then
+// force-cancels whatever remains (searches unwind at GA generation
+// boundaries, within milliseconds).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/server"
+	"npudvfs/internal/traceio"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 2, "concurrent strategy searches")
+	queue := flag.Int("queue", 16, "queued jobs beyond the workers before submissions get 503")
+	cacheSize := flag.Int("cache", 128, "strategy LRU capacity")
+	timeout := flag.Duration("timeout", 10*time.Minute, "default per-job search deadline")
+	drain := flag.Duration("drain", time.Minute, "shutdown drain budget before force-cancelling")
+	loadModels := flag.String("load-models", "",
+		"comma-separated model bundle files (dvfs-run -save-models); jobs for these workloads skip calibration and profiling")
+	flag.Parse()
+
+	bundles, err := loadBundles(*loadModels)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		Lab:            experiments.NewLab(),
+		Bundles:        bundles,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("dvfsd: listening on %s (%d workers, queue %d, cache %d)\n",
+		bound, *workers, *queue, *cacheSize)
+	for name := range bundles {
+		fmt.Printf("dvfsd: warm models loaded for %s\n", name)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("dvfsd: %s, draining (budget %s)\n", s, *drain)
+	case err := <-serveErr:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Println("dvfsd: drain budget exceeded; in-flight searches force-cancelled")
+	} else {
+		fmt.Println("dvfsd: drained cleanly")
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func loadBundles(paths string) (map[string]*traceio.ModelBundle, error) {
+	if strings.TrimSpace(paths) == "" {
+		return nil, nil
+	}
+	out := make(map[string]*traceio.ModelBundle)
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		b, err := traceio.LoadModels(p)
+		if err != nil {
+			return nil, fmt.Errorf("loading models %s: %w", p, err)
+		}
+		if b.Workload == "" {
+			return nil, fmt.Errorf("bundle %s names no workload", p)
+		}
+		out[strings.ToLower(b.Workload)] = b
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvfsd:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"npudvfs/internal/classify"
@@ -274,6 +275,15 @@ func (p *problem) Score(ind []int) float64 {
 // profiled iteration and returns the strategy, the stage list and the
 // GA convergence result.
 func Generate(in Input, cfg Config) (*Strategy, []preprocess.Stage, *ga.Result, error) {
+	return GenerateContext(context.Background(), in, cfg)
+}
+
+// GenerateContext is Generate under a context: the genetic search — by
+// far the dominant cost — observes cancellation at generation
+// boundaries, so a timed-out or abandoned generation request stops
+// burning CPU within milliseconds. The returned error wraps ctx.Err()
+// when the search was cancelled.
+func GenerateContext(ctx context.Context, in Input, cfg Config) (*Strategy, []preprocess.Stage, *ga.Result, error) {
 	if err := validateInput(in); err != nil {
 		return nil, nil, nil, err
 	}
@@ -286,7 +296,7 @@ func Generate(in Input, cfg Config) (*Strategy, []preprocess.Stage, *ga.Result, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := ga.Run(prob, cfg.GA)
+	res, err := ga.RunContext(ctx, prob, cfg.GA)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -15,6 +15,7 @@
 package dualdvfs
 
 import (
+	"context"
 	"fmt"
 
 	"npudvfs/internal/classify"
@@ -203,6 +204,12 @@ func (p *problem) Score(ind []int) float64 {
 
 // Generate searches (core frequency, uncore scale) pairs per stage.
 func Generate(in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Result, error) {
+	return GenerateContext(context.Background(), in, cfg)
+}
+
+// GenerateContext is Generate with the genetic search observing ctx at
+// generation boundaries, mirroring core.GenerateContext.
+func GenerateContext(ctx context.Context, in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Result, error) {
 	if in.Chip == nil || in.Profile == nil || len(in.Profile.Records) == 0 || in.Power == nil {
 		return nil, nil, nil, fmt.Errorf("dualdvfs: incomplete input")
 	}
@@ -215,7 +222,7 @@ func Generate(in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Res
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := ga.Run(prob, cfg.GA)
+	res, err := ga.RunContext(ctx, prob, cfg.GA)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,7 +34,9 @@ type AdaptiveResult struct {
 }
 
 // Adaptive runs the closed loop on BERT.
-func (l *Lab) Adaptive() (*AdaptiveResult, error) {
+func (l *Lab) Adaptive() (*AdaptiveResult, error) { return l.adaptiveClosedLoop(context.Background()) }
+
+func (l *Lab) adaptiveClosedLoop(ctx context.Context) (*AdaptiveResult, error) {
 	m := workload.BERT()
 	ms, err := l.BuildModels(m, true)
 	if err != nil {
@@ -42,7 +45,7 @@ func (l *Lab) Adaptive() (*AdaptiveResult, error) {
 	cfg := core.DefaultConfig()
 	cfg.Guard = 1 // no safety margin: rely on the controller instead
 	cfg.GA.Seed = 701
-	strat, _, _, err := core.Generate(ms.Input(l.Chip), cfg)
+	strat, _, _, err := core.GenerateContext(ctx, ms.Input(l.Chip), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,6 +40,10 @@ type AttributionResult struct {
 // policy this way: LFC frequencies land around 1200 MHz while HFC
 // stays at the maximum.
 func (l *Lab) Attribution(target float64) (*AttributionResult, error) {
+	return l.attribution(context.Background(), target)
+}
+
+func (l *Lab) attribution(ctx context.Context, target float64) (*AttributionResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -46,7 +51,7 @@ func (l *Lab) Attribution(target float64) (*AttributionResult, error) {
 	cfg := core.DefaultConfig()
 	cfg.PerfLossTarget = target
 	cfg.GA.Seed = 877
-	strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+	strat, _, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 	if err != nil {
 		return nil, err
 	}

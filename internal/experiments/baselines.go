@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -38,7 +39,9 @@ type CoarseResult struct {
 
 // CoarseGrained sweeps every fixed frequency on GPT-3 and contrasts
 // the best compliant one with the fine-grained strategy.
-func (l *Lab) CoarseGrained() (*CoarseResult, error) {
+func (l *Lab) CoarseGrained() (*CoarseResult, error) { return l.coarseGrained(context.Background()) }
+
+func (l *Lab) coarseGrained(ctx context.Context) (*CoarseResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -67,7 +70,7 @@ func (l *Lab) CoarseGrained() (*CoarseResult, error) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.GA.Seed = 501
-	strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+	strat, _, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +198,10 @@ type ModelFreeResult struct {
 // budget admits only a few dozen hardware evaluations (the paper
 // counts 30 in five minutes), far too few for a thousand-gene search.
 func (l *Lab) ModelFree(budgetSec float64) (*ModelFreeResult, error) {
+	return l.modelFree(context.Background(), budgetSec)
+}
+
+func (l *Lab) modelFree(ctx context.Context, budgetSec float64) (*ModelFreeResult, error) {
 	ms, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -234,7 +241,7 @@ func (l *Lab) ModelFree(budgetSec float64) (*ModelFreeResult, error) {
 	// NoScoreCache: Score is impure (it burns simulated hardware time);
 	// memoizing repeats would cheat the hardware-time budget the whole
 	// comparison is about.
-	hwRes, err := ga.Run(hw, ga.Config{
+	hwRes, err := ga.RunContext(ctx, hw, ga.Config{
 		PopSize: pop, Generations: gens, MutationRate: 0.15,
 		CrossoverRate: 0.7, Elitism: 1, Seed: 21, Workers: 1,
 		NoScoreCache: true,
@@ -251,7 +258,7 @@ func (l *Lab) ModelFree(budgetSec float64) (*ModelFreeResult, error) {
 	// evaluation; the paper's production 200x600 fits easily.
 	cfg := core.DefaultConfig()
 	cfg.GA.Seed = 22
-	strat, _, gaRes, err := core.Generate(ms.Input(l.Chip), cfg)
+	strat, _, gaRes, err := core.GenerateContext(ctx, ms.Input(l.Chip), cfg)
 	if err != nil {
 		return nil, err
 	}

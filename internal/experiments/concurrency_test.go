@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -187,22 +189,93 @@ func (f fakeResult) String() string { return string(f) }
 
 func TestRunOneTimeout(t *testing.T) {
 	l := sharedLab()
-	slow := Spec{Name: "slow", Run: func(*Lab) (fmt.Stringer, error) {
-		time.Sleep(2 * time.Second)
-		return fakeResult("too late"), nil
+
+	// An experiment that observes ctx (like every GA-backed one does at
+	// generation boundaries) is reported as cancelled: the error wraps
+	// context.DeadlineExceeded and says so.
+	aware := Spec{Name: "aware", Run: func(ctx context.Context, _ *Lab) (fmt.Stringer, error) {
+		<-ctx.Done()
+		return nil, fmt.Errorf("search cancelled mid-flight: %w", ctx.Err())
 	}}
-	o := runOne(l, slow, 30*time.Millisecond)
+	o := runOne(l, aware, 30*time.Millisecond)
 	if o.Err == nil || !strings.Contains(o.Err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got %v", o.Err)
+	}
+	if !errors.Is(o.Err, context.DeadlineExceeded) {
+		t.Errorf("cancellation-aware timeout should wrap context.DeadlineExceeded, got %v", o.Err)
+	}
+	if !strings.Contains(o.Err.Error(), "cancelled") {
+		t.Errorf("cancellation-aware timeout should say cancelled, got %v", o.Err)
 	}
 	if o.Report != "" || o.Result != nil {
 		t.Errorf("timed-out outcome should carry no result, got %+v", o)
 	}
-	fast := Spec{Name: "fast", Run: func(*Lab) (fmt.Stringer, error) {
+
+	// An experiment that ignores ctx past the grace window is abandoned:
+	// plain error, NOT errors.Is(context.DeadlineExceeded).
+	release := make(chan struct{})
+	deaf := Spec{Name: "deaf", Run: func(context.Context, *Lab) (fmt.Stringer, error) {
+		<-release
+		return fakeResult("too late"), nil
+	}}
+	o = runOne(l, deaf, 30*time.Millisecond)
+	close(release) // let the abandoned goroutine exit
+	if o.Err == nil || !strings.Contains(o.Err.Error(), "abandoned") {
+		t.Fatalf("want abandoned error, got %v", o.Err)
+	}
+	if errors.Is(o.Err, context.DeadlineExceeded) {
+		t.Errorf("abandonment must be distinguishable from clean cancellation, got %v", o.Err)
+	}
+	if o.Report != "" || o.Result != nil {
+		t.Errorf("abandoned outcome should carry no result, got %+v", o)
+	}
+
+	// A result that beats the deadline inside the grace window is
+	// reported, not discarded.
+	lagged := Spec{Name: "lagged", Run: func(ctx context.Context, _ *Lab) (fmt.Stringer, error) {
+		<-ctx.Done()
+		time.Sleep(20 * time.Millisecond) // unwind takes a moment, but well inside cancelGrace
+		return fakeResult("just made it"), nil
+	}}
+	o = runOne(l, lagged, 30*time.Millisecond)
+	if o.Err != nil || o.Report != "just made it" {
+		t.Fatalf("grace-window result should be reported: got report %q, err %v", o.Report, o.Err)
+	}
+
+	fast := Spec{Name: "fast", Run: func(context.Context, *Lab) (fmt.Stringer, error) {
 		return fakeResult("done"), nil
 	}}
 	o = runOne(l, fast, time.Minute)
 	if o.Err != nil || o.Report != "done" {
 		t.Fatalf("fast spec under timeout: got report %q, err %v", o.Report, o.Err)
 	}
+}
+
+// TestGARunContextCancels pins the GA's cancellation point: a search
+// whose context expires mid-run returns an error wrapping the ctx
+// error within a generation boundary.
+func TestGARunContextCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the GA must notice before generation 0
+	_, err := ga.RunContext(ctx, &slowProblem{}, ga.Config{
+		PopSize: 8, Generations: 100, MutationRate: 0.2,
+		CrossoverRate: 0.7, Elitism: 1, Seed: 1, Workers: 2,
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want error wrapping context.Canceled, got %v", err)
+	}
+}
+
+type slowProblem struct{}
+
+func (slowProblem) Genes() int     { return 4 }
+func (slowProblem) Alleles() int   { return 4 }
+func (slowProblem) Seeds() [][]int { return nil }
+func (slowProblem) Score(ind []int) float64 {
+	time.Sleep(100 * time.Microsecond)
+	s := 0.0
+	for _, g := range ind {
+		s += float64(g)
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,9 @@ type DualResult struct {
 
 // DualDomain runs both searches on GPT-3 at a 4% loss target (2%
 // leaves little room for the extra knob) and measures the strategies.
-func (l *Lab) DualDomain() (*DualResult, error) {
+func (l *Lab) DualDomain() (*DualResult, error) { return l.dualDomain(context.Background()) }
+
+func (l *Lab) dualDomain(ctx context.Context) (*DualResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -51,14 +54,14 @@ func (l *Lab) DualDomain() (*DualResult, error) {
 	cfg := dualdvfs.DefaultConfig()
 	cfg.PerfLossTarget = 0.04
 	cfg.GA.Seed = 801
-	dualStrat, _, _, err := dualdvfs.Generate(in, cfg)
+	dualStrat, _, _, err := dualdvfs.GenerateContext(ctx, in, cfg)
 	if err != nil {
 		return nil, err
 	}
 	coreCfg := cfg
 	coreCfg.UncoreScales = []float64{1.0}
 	coreCfg.GA.Seed = 802
-	coreStrat, _, _, err := dualdvfs.Generate(in, coreCfg)
+	coreStrat, _, _, err := dualdvfs.GenerateContext(ctx, in, coreCfg)
 	if err != nil {
 		return nil, err
 	}

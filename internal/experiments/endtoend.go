@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"npudvfs/internal/core"
 	"npudvfs/internal/executor"
 	"npudvfs/internal/ga"
+	"npudvfs/internal/pool"
 	"npudvfs/internal/workload"
 )
 
@@ -45,11 +47,11 @@ type Table3Result struct {
 
 // table3Case optimizes one workload at one loss target and measures
 // baseline and DVFS execution on the simulated hardware.
-func (l *Lab) table3Case(ms *Models, target float64, gaSeed int64) (Table3Row, error) {
+func (l *Lab) table3Case(ctx context.Context, ms *Models, target float64, gaSeed int64) (Table3Row, error) {
 	cfg := core.DefaultConfig()
 	cfg.PerfLossTarget = target
 	cfg.GA.Seed = gaSeed
-	strat, stages, _, err := core.Generate(ms.Input(l.Chip), cfg)
+	strat, stages, _, err := core.GenerateContext(ctx, ms.Input(l.Chip), cfg)
 	if err != nil {
 		return Table3Row{}, err
 	}
@@ -82,7 +84,9 @@ func (l *Lab) table3Case(ms *Models, target float64, gaSeed int64) (Table3Row, e
 // plus BERT, ResNet-50 and ResNet-152 at the production 2% target.
 // Cases fan out over l.Parallel workers; every case's GA seed is fixed
 // per case, so rows are identical at any worker count.
-func (l *Lab) Table3() (*Table3Result, error) {
+func (l *Lab) Table3() (*Table3Result, error) { return l.table3(context.Background()) }
+
+func (l *Lab) table3(ctx context.Context) (*Table3Result, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -90,9 +94,9 @@ func (l *Lab) Table3() (*Table3Result, error) {
 	targets := []float64{0.02, 0.04, 0.06, 0.08, 0.10}
 	extras := []*workload.Model{workload.BERT(), workload.ResNet50(), workload.ResNet152()}
 	rows := make([]Table3Row, len(targets)+len(extras))
-	err = parEach(l.Seed, len(rows), l.workers(), func(i int, _ *rand.Rand) error {
+	err = pool.Each(ctx, l.Seed, len(rows), l.workers(), func(i int, _ *rand.Rand) error {
 		if i < len(targets) {
-			row, err := l.table3Case(gpt, targets[i], int64(100+i))
+			row, err := l.table3Case(ctx, gpt, targets[i], int64(100+i))
 			if err != nil {
 				return err
 			}
@@ -104,7 +108,7 @@ func (l *Lab) Table3() (*Table3Result, error) {
 		if err != nil {
 			return err
 		}
-		row, err := l.table3Case(ms, 0.02, int64(200+j))
+		row, err := l.table3Case(ctx, ms, 0.02, int64(200+j))
 		if err != nil {
 			return err
 		}
@@ -146,7 +150,9 @@ type Fig17Result struct {
 
 // Fig17 runs the full 200x600 search at each loss target on GPT-3 and
 // records the best score per generation.
-func (l *Lab) Fig17() (*Fig17Result, error) {
+func (l *Lab) Fig17() (*Fig17Result, error) { return l.fig17(context.Background()) }
+
+func (l *Lab) fig17(ctx context.Context) (*Fig17Result, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -157,7 +163,7 @@ func (l *Lab) Fig17() (*Fig17Result, error) {
 		cfg.PerfLossTarget = target
 		cfg.GA.Seed = int64(300 + i)
 		start := time.Now()
-		_, _, gaRes, err := core.Generate(gpt.Input(l.Chip), cfg)
+		_, _, gaRes, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +215,9 @@ type Fig18Result struct {
 // Fig18 compares the production configuration against a simulated
 // V100-latency deployment (SetFreq delayed by 14 ms) and coarser
 // frequency adjustment intervals (100 ms, 1 s).
-func (l *Lab) Fig18() (*Fig18Result, error) {
+func (l *Lab) Fig18() (*Fig18Result, error) { return l.fig18(context.Background()) }
+
+func (l *Lab) fig18(ctx context.Context) (*Fig18Result, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -223,7 +231,7 @@ func (l *Lab) Fig18() (*Fig18Result, error) {
 		cfg := core.DefaultConfig()
 		cfg.FAIMicros = faiMicros
 		cfg.GA.Seed = seed
-		strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+		strat, _, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"npudvfs/internal/core"
@@ -18,6 +19,7 @@ import (
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/traceio"
 	"npudvfs/internal/workload"
 )
 
@@ -196,6 +198,37 @@ func seriesList(profiles []*profiler.Profile) []*profiler.Series {
 // Input converts Models into the strategy-generation input.
 func (ms *Models) Input(chip *npu.Chip) core.Input {
 	return core.Input{Chip: chip, Profile: ms.Baseline, Perf: ms.Perf, Power: ms.Power}
+}
+
+// Bundle serializes the fitted models for reuse across runs
+// (dvfs-run -save-models, dvfsd -load-models).
+func (ms *Models) Bundle() (*traceio.ModelBundle, error) {
+	return traceio.NewModelBundle(ms.Workload.Name, ms.Perf, ms.Power)
+}
+
+// ModelsFromBundle reconstructs Models from a saved bundle, skipping
+// the offline calibration and the fit-frequency profiling runs — the
+// expensive front half of BuildModels. Only the baseline profile is
+// regenerated, with the same profiler seed BuildModels uses, so
+// strategies generated from a loaded bundle are byte-identical to ones
+// generated from freshly built models.
+func (l *Lab) ModelsFromBundle(m *workload.Model, b *traceio.ModelBundle) (*Models, error) {
+	if b == nil {
+		return nil, fmt.Errorf("experiments: nil model bundle")
+	}
+	if b.Workload != "" && !strings.EqualFold(b.Workload, m.Name) {
+		return nil, fmt.Errorf("experiments: bundle fitted on %q, not %q", b.Workload, m.Name)
+	}
+	baseline, err := l.profiler(300).Run(m.Trace, l.Chip.Curve.Max())
+	if err != nil {
+		return nil, err
+	}
+	return &Models{
+		Workload: m,
+		Baseline: baseline,
+		Perf:     b.PerfModels(),
+		Power:    b.PowerModel(&powermodel.Offline{Chip: l.Chip}),
+	}, nil
 }
 
 // MeasureFixed executes the workload at a fixed frequency until

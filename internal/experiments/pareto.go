@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,9 @@ type ParetoResult struct {
 }
 
 // Pareto sweeps loss targets on GPT-3.
-func (l *Lab) Pareto() (*ParetoResult, error) {
+func (l *Lab) Pareto() (*ParetoResult, error) { return l.pareto(context.Background()) }
+
+func (l *Lab) pareto(ctx context.Context) (*ParetoResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -48,7 +51,7 @@ func (l *Lab) Pareto() (*ParetoResult, error) {
 		cfg := core.DefaultConfig()
 		cfg.PerfLossTarget = target
 		cfg.GA.Seed = int64(860 + i)
-		strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+		strat, _, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,65 +1,72 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
-	"sync"
 	"time"
+
+	"npudvfs/internal/pool"
 )
 
 // This file is the parallel experiment harness: a registry naming
 // every experiment the Lab can regenerate, and a worker-pool runner
-// that fans them out across goroutines with deterministic result
-// ordering.
+// (internal/pool) that fans them out across goroutines with
+// deterministic result ordering.
 //
 // Determinism rule: every experiment derives its stochasticity from
 // fixed per-experiment seeds (GA seeds, sensor offsets), never from a
 // source shared across goroutines, so the parallel schedule cannot
 // change any result. The same rule holds inside experiments that fan
-// out across workloads or seeds via parEach: randomness is seeded per
-// work item, not per worker, so item i sees identical draws no matter
-// which worker runs it. The only shared mutable state is the Lab's
-// sync.Once-guarded calibrations and the Executor's locked view cache,
-// both safe (and deterministic) under concurrency.
+// out across workloads or seeds via pool.Each: randomness is seeded
+// per work item, not per worker, so item i sees identical draws no
+// matter which worker runs it. The only shared mutable state is the
+// Lab's sync.Once-guarded calibrations and the Executor's locked view
+// cache, both safe (and deterministic) under concurrency.
 
 // Spec is one named, runnable experiment.
 type Spec struct {
 	// Name is the identifier used by cmd/experiments -run.
 	Name string
-	// Run regenerates the experiment on the lab.
-	Run func(l *Lab) (fmt.Stringer, error)
+	// Run regenerates the experiment on the lab. ctx carries the
+	// harness's per-experiment deadline: every experiment that runs a
+	// genetic search observes it (the search cancels at generation
+	// boundaries) and returns an error wrapping ctx.Err(); cheap
+	// model-validation experiments ignore it.
+	Run func(ctx context.Context, l *Lab) (fmt.Stringer, error)
 }
 
 // Registry returns every experiment in canonical order — the order
 // serial runs execute in and parallel runs report in.
 func Registry() []Spec {
 	return []Spec{
-		{"fig3", func(l *Lab) (fmt.Stringer, error) { return l.Fig3(), nil }},
-		{"fig4", func(l *Lab) (fmt.Stringer, error) { return l.Fig4(), nil }},
-		{"fig9", func(l *Lab) (fmt.Stringer, error) { return l.Fig9(), nil }},
-		{"fig10", func(l *Lab) (fmt.Stringer, error) { return l.Fig10() }},
-		{"fig15", func(l *Lab) (fmt.Stringer, error) { return l.Fig15() }},
-		{"fig16", func(l *Lab) (fmt.Stringer, error) { return l.Fig16() }},
-		{"fig17", func(l *Lab) (fmt.Stringer, error) { return l.Fig17() }},
-		{"fig18", func(l *Lab) (fmt.Stringer, error) { return l.Fig18() }},
-		{"table2", func(l *Lab) (fmt.Stringer, error) { return l.Table2() }},
-		{"table3", func(l *Lab) (fmt.Stringer, error) { return l.Table3() }},
-		{"fitcost", func(l *Lab) (fmt.Stringer, error) { return l.FitCost() }},
-		{"inference", func(l *Lab) (fmt.Stringer, error) { return l.Inference() }},
-		{"throughput", func(l *Lab) (fmt.Stringer, error) { return l.ScoringThroughput(20000) }},
-		{"coarse", func(l *Lab) (fmt.Stringer, error) { return l.CoarseGrained() }},
-		{"modelfree", func(l *Lab) (fmt.Stringer, error) { return l.ModelFree(300) }},
-		{"uncore", func(l *Lab) (fmt.Stringer, error) { return l.UncoreDVFS() }},
-		{"sensitivity", func(l *Lab) (fmt.Stringer, error) { return l.Sensitivity(1800, 1600), nil }},
-		{"adaptive", func(l *Lab) (fmt.Stringer, error) { return l.Adaptive() }},
-		{"dual", func(l *Lab) (fmt.Stringer, error) { return l.DualDomain() }},
-		{"faisweep", func(l *Lab) (fmt.Stringer, error) { return l.FAISweep() }},
-		{"seeds", func(l *Lab) (fmt.Stringer, error) { return l.SeedsRobustness(5) }},
-		{"pareto", func(l *Lab) (fmt.Stringer, error) { return l.Pareto() }},
-		{"attribution", func(l *Lab) (fmt.Stringer, error) { return l.Attribution(0.10) }},
-		{"search", func(l *Lab) (fmt.Stringer, error) { return l.SearchAblation() }},
+		{"fig3", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Fig3(), nil }},
+		{"fig4", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Fig4(), nil }},
+		{"fig9", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Fig9(), nil }},
+		{"fig10", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Fig10() }},
+		{"fig15", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Fig15() }},
+		{"fig16", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Fig16() }},
+		{"fig17", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.fig17(ctx) }},
+		{"fig18", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.fig18(ctx) }},
+		{"table2", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Table2() }},
+		{"table3", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.table3(ctx) }},
+		{"fitcost", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.FitCost() }},
+		{"inference", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Inference() }},
+		{"throughput", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.ScoringThroughput(20000) }},
+		{"coarse", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.coarseGrained(ctx) }},
+		{"modelfree", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.modelFree(ctx, 300) }},
+		{"uncore", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.uncoreDVFS(ctx) }},
+		{"sensitivity", func(_ context.Context, l *Lab) (fmt.Stringer, error) { return l.Sensitivity(1800, 1600), nil }},
+		{"adaptive", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.adaptiveClosedLoop(ctx) }},
+		{"dual", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.dualDomain(ctx) }},
+		{"faisweep", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.faiSweep(ctx) }},
+		{"seeds", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.seedsRobustness(ctx, 5) }},
+		{"pareto", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.pareto(ctx) }},
+		{"attribution", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.attribution(ctx, 0.10) }},
+		{"search", func(ctx context.Context, l *Lab) (fmt.Stringer, error) { return l.searchAblation(ctx) }},
 	}
 }
 
@@ -144,39 +151,75 @@ func (l *Lab) RunSuite(names []string, parallel int, timeout time.Duration) ([]O
 		return nil, err
 	}
 	out := make([]Outcome, len(specs))
-	perr := parEach(l.Seed, len(specs), parallel, func(i int, _ *rand.Rand) error {
+	perr := pool.Each(context.Background(), l.Seed, len(specs), parallel, func(i int, _ *rand.Rand) error {
 		out[i] = runOne(l, specs[i], timeout)
 		return nil
 	})
 	return out, perr
 }
 
-// runOne executes a single experiment, enforcing the timeout. A timed
-// out experiment's goroutine is abandoned (the Lab has no
-// cancellation points); its eventual result is discarded.
+// cancelGrace is how long runOne waits, after the deadline fires, for
+// a cancellation-aware experiment to observe ctx and unwind. GA-backed
+// experiments cancel at generation boundaries (milliseconds), so this
+// comfortably separates "cancelled cleanly" from "ignores ctx".
+const cancelGrace = time.Second
+
+// runOne executes a single experiment, enforcing the timeout through
+// the experiment's context. A cancellation-aware experiment returns an
+// error wrapping context.DeadlineExceeded and its goroutine exits; an
+// experiment that ignores ctx past the grace window is abandoned (its
+// goroutine keeps running until its next cancellation point — or to
+// completion — and its eventual result is discarded). The two cases
+// report distinct errors: only the clean one satisfies
+// errors.Is(err, context.DeadlineExceeded).
 func runOne(l *Lab, s Spec, timeout time.Duration) Outcome {
 	start := time.Now()
 	if timeout <= 0 {
-		res, err := s.Run(l)
+		res, err := s.Run(context.Background(), l)
 		return finishOutcome(s.Name, res, err, time.Since(start))
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	type done struct {
 		res fmt.Stringer
 		err error
 	}
 	ch := make(chan done, 1)
 	go func() {
-		res, err := s.Run(l)
+		res, err := s.Run(ctx, l)
 		ch <- done{res, err}
 	}()
-	select {
-	case d := <-ch:
-		return finishOutcome(s.Name, d.res, d.err, time.Since(start))
-	case <-time.After(timeout):
+	cancelled := func(d done) Outcome {
 		return Outcome{
 			Name:    s.Name,
-			Elapsed: timeout,
-			Err:     fmt.Errorf("experiments: %s timed out after %s (abandoned)", s.Name, timeout),
+			Elapsed: time.Since(start),
+			Err:     fmt.Errorf("experiments: %s timed out after %s (search cancelled): %w", s.Name, timeout, d.err),
+		}
+	}
+	select {
+	case d := <-ch:
+		if d.err != nil && errors.Is(d.err, context.DeadlineExceeded) {
+			return cancelled(d)
+		}
+		return finishOutcome(s.Name, d.res, d.err, time.Since(start))
+	case <-ctx.Done():
+		grace := time.NewTimer(cancelGrace)
+		defer grace.Stop()
+		select {
+		case d := <-ch:
+			if d.err != nil && errors.Is(d.err, context.DeadlineExceeded) {
+				return cancelled(d)
+			}
+			// Finished (or failed for an unrelated reason) in the
+			// grace window: a result that just beat the deadline is
+			// better reported than discarded.
+			return finishOutcome(s.Name, d.res, d.err, time.Since(start))
+		case <-grace.C:
+			return Outcome{
+				Name:    s.Name,
+				Elapsed: timeout,
+				Err:     fmt.Errorf("experiments: %s timed out after %s (abandoned; experiment ignores cancellation)", s.Name, timeout),
+			}
 		}
 	}
 }
@@ -189,49 +232,3 @@ func finishOutcome(name string, res fmt.Stringer, err error, elapsed time.Durati
 	return o
 }
 
-// parEach runs fn(i, rng) for every i in [0, n) across up to workers
-// goroutines and returns the lowest-index error (deterministic, unlike
-// first-completed). Each invocation gets its own rand.Rand seeded
-// seed+i, so any randomness a work item draws is a function of the
-// item, never of the worker that happened to run it or of scheduling
-// order — the property that makes parallel runs byte-identical to
-// serial ones. workers <= 1 degenerates to a plain loop.
-func parEach(seed int64, n, workers int, fn func(i int, rng *rand.Rand) error) error {
-	if n == 0 {
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i, rand.New(rand.NewSource(seed+int64(i)))); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	ch := make(chan int, n)
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				errs[i] = fn(i, rand.New(rand.NewSource(seed+int64(i))))
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -105,6 +106,10 @@ func randomSearch(ev *core.Evaluator, budget int, seed int64) ([]int, int) {
 // SearchAblation runs all three searches on the GPT-3 problem at the
 // 4% target and measures each winning strategy on the simulator.
 func (l *Lab) SearchAblation() (*SearchAblationResult, error) {
+	return l.searchAblation(context.Background())
+}
+
+func (l *Lab) searchAblation(ctx context.Context) (*SearchAblationResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -135,7 +140,7 @@ func (l *Lab) SearchAblation() (*SearchAblationResult, error) {
 
 	// Genetic algorithm (the paper's search).
 	start := time.Now()
-	strat, stages, gaRes, err := core.Generate(gpt.Input(l.Chip), cfg)
+	strat, stages, gaRes, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 	if err != nil {
 		return nil, err
 	}

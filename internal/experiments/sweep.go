@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/executor"
+	"npudvfs/internal/pool"
 )
 
 // FAISweepRow is one frequency-adjustment-interval measurement.
@@ -30,7 +32,9 @@ type FAISweepResult struct {
 
 // FAISweep generates and measures GPT-3 strategies across adjustment
 // intervals from 5 ms to 1 s.
-func (l *Lab) FAISweep() (*FAISweepResult, error) {
+func (l *Lab) FAISweep() (*FAISweepResult, error) { return l.faiSweep(context.Background()) }
+
+func (l *Lab) faiSweep(ctx context.Context) (*FAISweepResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -41,11 +45,11 @@ func (l *Lab) FAISweep() (*FAISweepResult, error) {
 	}
 	fais := []float64{5, 10, 20, 50, 100, 250, 500, 1000}
 	rows := make([]FAISweepRow, len(fais))
-	err = parEach(l.Seed, len(fais), l.workers(), func(i int, _ *rand.Rand) error {
+	err = pool.Each(ctx, l.Seed, len(fais), l.workers(), func(i int, _ *rand.Rand) error {
 		cfg := core.DefaultConfig()
 		cfg.FAIMicros = fais[i] * 1000
 		cfg.GA.Seed = int64(820 + i)
-		strat, stages, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+		strat, stages, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 		if err != nil {
 			return err
 		}
@@ -100,6 +104,10 @@ type SeedsResult struct {
 // SeedsRobustness repeats the 2%-target GPT-3 optimization with n GA
 // seeds.
 func (l *Lab) SeedsRobustness(n int) (*SeedsResult, error) {
+	return l.seedsRobustness(context.Background(), n)
+}
+
+func (l *Lab) seedsRobustness(ctx context.Context, n int) (*SeedsResult, error) {
 	if n < 2 {
 		n = 2
 	}
@@ -112,10 +120,10 @@ func (l *Lab) SeedsRobustness(n int) (*SeedsResult, error) {
 		return nil, err
 	}
 	rows := make([]SeedsRow, n)
-	err = parEach(l.Seed, n, l.workers(), func(i int, _ *rand.Rand) error {
+	err = pool.Each(ctx, l.Seed, n, l.workers(), func(i int, _ *rand.Rand) error {
 		cfg := core.DefaultConfig()
 		cfg.GA.Seed = int64(1000 + 17*i)
-		strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+		strat, _, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,7 +45,9 @@ func (l *Lab) scaledLab(scale float64) *Lab {
 // UncoreDVFS sweeps uncore frequency scales on GPT-3, alone and
 // combined with the fine-grained core strategy, against the stock
 // baseline at maximum core and uncore frequency.
-func (l *Lab) UncoreDVFS() (*UncoreResult, error) {
+func (l *Lab) UncoreDVFS() (*UncoreResult, error) { return l.uncoreDVFS(context.Background()) }
+
+func (l *Lab) uncoreDVFS(ctx context.Context) (*UncoreResult, error) {
 	gpt, err := l.gpt3Models()
 	if err != nil {
 		return nil, err
@@ -59,7 +62,7 @@ func (l *Lab) UncoreDVFS() (*UncoreResult, error) {
 	// headroom estimate).
 	cfg := core.DefaultConfig()
 	cfg.GA.Seed = 601
-	strat, _, _, err := core.Generate(gpt.Input(l.Chip), cfg)
+	strat, _, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 	if err != nil {
 		return nil, err
 	}

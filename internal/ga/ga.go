@@ -11,6 +11,7 @@
 package ga
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -126,8 +127,20 @@ type scored struct {
 	score float64
 }
 
-// Run executes the genetic search.
+// Run executes the genetic search to completion. It is RunContext
+// without a cancellation point.
 func Run(p Problem, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext executes the genetic search under a context. Cancellation
+// is checked at generation boundaries — a generation is hundreds of
+// microsecond-scale Score calls, so the check granularity is
+// milliseconds. A cancelled search returns an error wrapping ctx.Err()
+// (so errors.Is against context.Canceled / context.DeadlineExceeded
+// works) and no Result: partial populations are not exposed because
+// callers treat Best as a complete search product.
+func RunContext(ctx context.Context, p Problem, cfg Config) (*Result, error) {
 	n, alleles := p.Genes(), p.Alleles()
 	if n <= 0 {
 		return nil, fmt.Errorf("ga: problem has %d genes", n)
@@ -179,6 +192,9 @@ func Run(p Problem, cfg Config) (*Result, error) {
 
 	stale := 0
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ga: search cancelled at generation %d/%d: %w", gen, cfg.Generations, err)
+		}
 		sortByScore(pop)
 		res.History = append(res.History, pop[0].score)
 		if cfg.StaleLimit > 0 && gen > 0 {

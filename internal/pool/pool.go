@@ -1,0 +1,72 @@
+// Package pool provides the bounded, seed-deterministic worker pool
+// shared by the parallel experiment harness and the dvfsd serving
+// layer.
+//
+// Determinism rule (inherited from the experiment harness): every work
+// item derives its randomness from a rand.Rand seeded seed+i, never
+// from a source shared across goroutines, so which worker runs an item
+// — and in what order — cannot change any result. Cancellation is the
+// one deliberate exception: once ctx is done, items that have not
+// started are skipped and report ctx.Err(), so the set of completed
+// items under cancellation depends on scheduling (results produced
+// before the cancel remain deterministic).
+package pool
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+)
+
+// Each runs fn(i, rng) for every i in [0, n) across up to workers
+// goroutines and returns the lowest-index error (deterministic, unlike
+// first-completed). Each invocation gets its own rand.Rand seeded
+// seed+i. workers <= 1 degenerates to a plain loop. A done ctx stops
+// new items from starting; skipped items fail with ctx.Err(). In-flight
+// items are not interrupted — fn must watch ctx itself if it can block.
+func Each(ctx context.Context, seed int64, n, workers int, fn func(i int, rng *rand.Rand) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i, rand.New(rand.NewSource(seed+int64(i)))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = fn(i, rand.New(rand.NewSource(seed+int64(i))))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

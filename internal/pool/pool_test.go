@@ -1,0 +1,83 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Draws must be a function of the item index, not the worker count.
+func TestEachSeededDeterminism(t *testing.T) {
+	draw := func(workers int) []float64 {
+		out := make([]float64, 32)
+		err := Each(context.Background(), 7, len(out), workers, func(i int, rng *rand.Rand) error {
+			out[i] = rng.Float64()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := draw(1)
+	for _, w := range []int{2, 4, 9} {
+		got := draw(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: item %d drew %v, serial drew %v", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestEachLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom")
+	err := Each(context.Background(), 1, 16, 4, func(i int, _ *rand.Rand) error {
+		if i == 3 || i == 11 {
+			return fmt.Errorf("item %d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 3: boom" {
+		t.Fatalf("want lowest-index error, got %v", err)
+	}
+}
+
+func TestEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	err := Each(ctx, 1, 100, 2, func(i int, _ *rand.Rand) error {
+		mu.Lock()
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran == 100 {
+		t.Fatal("cancellation did not stop new items")
+	}
+}
+
+func TestEachEmptyAndSingle(t *testing.T) {
+	if err := Each(context.Background(), 1, 0, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := Each(context.Background(), 1, 1, 8, func(i int, _ *rand.Rand) error {
+		calls++
+		return nil
+	}); err != nil || calls != 1 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+// job is one strategy-generation request moving through the queue.
+// All mutable fields are guarded by mu; the HTTP handlers read
+// through status() while a worker advances the state machine
+// queued → running → done | failed | cancelled.
+type job struct {
+	mu sync.Mutex
+
+	id       string
+	workload string
+	cacheKey string
+	spec     traceio.SearchSpec
+	// model is the resolved workload; set at submission, read by the
+	// worker, never mutated after.
+	model *workload.Model
+
+	state     string
+	cached    bool
+	err       error
+	submitted time.Time
+	queueDur  time.Duration
+	searchDur time.Duration
+	result    *traceio.StrategyResponse
+}
+
+func (j *job) status() *traceio.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &traceio.JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Workload:     j.workload,
+		Cached:       j.cached,
+		QueueMillis:  float64(j.queueDur) / float64(time.Millisecond),
+		SearchMillis: float64(j.searchDur) / float64(time.Millisecond),
+		Result:       j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+}
+
+// jobStore indexes jobs by ID and assigns sequential IDs. Completed
+// jobs are retained (they are small — results live mostly in the
+// shared cache) up to a bound, evicting the oldest terminal jobs
+// first.
+type jobStore struct {
+	mu    sync.Mutex
+	next  uint64
+	m     map[string]*job
+	order []string // insertion order, for bounded retention
+	cap   int
+}
+
+func newJobStore(capacity int) *jobStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobStore{m: make(map[string]*job), cap: capacity}
+}
+
+func (s *jobStore) add(j *job) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	j.id = fmt.Sprintf("j%08d", s.next)
+	s.m[j.id] = j
+	s.order = append(s.order, j.id)
+	// Evict oldest terminal jobs beyond capacity; never evict live
+	// ones — a client must always be able to poll a job it submitted.
+	for len(s.m) > s.cap {
+		evicted := false
+		for i, id := range s.order {
+			cand := s.m[id]
+			if cand == nil {
+				continue
+			}
+			cand.mu.Lock()
+			terminal := cand.state == traceio.JobDone ||
+				cand.state == traceio.JobFailed || cand.state == traceio.JobCancelled
+			cand.mu.Unlock()
+			if terminal {
+				delete(s.m, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is live; let the store grow
+		}
+	}
+	return j.id
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.m[id]
+	return j, ok
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"npudvfs/internal/traceio"
+)
+
+// strategyCache is a fixed-capacity LRU over completed strategies,
+// keyed by traceio.CacheKey (trace fingerprint + canonical search
+// config). Entries are immutable once inserted: the stored
+// StrategyResponse is shared between the cache and every job that hit
+// it, so callers must not mutate it.
+type strategyCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val *traceio.StrategyResponse
+}
+
+func newStrategyCache(capacity int) *strategyCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &strategyCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *strategyCache) Get(key string) (*traceio.StrategyResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *strategyCache) Put(key string, val *traceio.StrategyResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *strategyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is dvfsd's hand-rolled instrumentation, rendered in the
+// Prometheus text exposition format by render(). The dependency-free
+// subset used here (counters, gauges, fixed-bucket cumulative
+// histograms) is all the service needs; pulling in a client library
+// would violate the repo's stdlib-only rule.
+type metrics struct {
+	mu sync.Mutex
+	// jobsTotal counts jobs by terminal state (done, failed,
+	// cancelled).
+	jobsTotal map[string]uint64
+	// queueDepth and running are instantaneous gauges.
+	queueDepth int
+	running    int
+	cacheHits  uint64
+	cacheMiss  uint64
+	// stageSeconds holds one latency histogram per pipeline stage:
+	// queue (submit → dequeue), model (profiling + fitting) and search
+	// (the GA).
+	stageSeconds map[string]*histogram
+}
+
+// stageBuckets spans sub-millisecond cache bookkeeping to multi-minute
+// searches.
+var stageBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+type histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []uint64  // per-bucket (non-cumulative) observation counts
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{bounds: stageBuckets, counts: make([]uint64, len(stageBuckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.total++
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobsTotal:    make(map[string]uint64),
+		stageSeconds: make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) jobFinished(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal[state]++
+}
+
+func (m *metrics) setQueueDepth(depth int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = depth
+}
+
+func (m *metrics) runningDelta(d int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running += d
+}
+
+func (m *metrics) cacheHit(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMiss++
+	}
+}
+
+func (m *metrics) observeStage(stage string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stageSeconds[stage]
+	if !ok {
+		h = newHistogram()
+		m.stageSeconds[stage] = h
+	}
+	h.observe(seconds)
+}
+
+// snapshotJobs returns a copy of the per-state job counters (used by
+// tests and by render).
+func (m *metrics) snapshotJobs() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.jobsTotal))
+	for k, v := range m.jobsTotal {
+		out[k] = v
+	}
+	return out
+}
+
+// render writes the Prometheus text exposition format. Series are
+// emitted in sorted label order so the output is deterministic.
+func (m *metrics) render(w io.Writer, cacheLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP dvfsd_jobs_total Jobs by terminal state.")
+	fmt.Fprintln(w, "# TYPE dvfsd_jobs_total counter")
+	states := make([]string, 0, len(m.jobsTotal))
+	for s := range m.jobsTotal {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "dvfsd_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+	}
+
+	fmt.Fprintln(w, "# HELP dvfsd_queue_depth Jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE dvfsd_queue_depth gauge")
+	fmt.Fprintf(w, "dvfsd_queue_depth %d\n", m.queueDepth)
+
+	fmt.Fprintln(w, "# HELP dvfsd_jobs_running Jobs currently in a worker.")
+	fmt.Fprintln(w, "# TYPE dvfsd_jobs_running gauge")
+	fmt.Fprintf(w, "dvfsd_jobs_running %d\n", m.running)
+
+	fmt.Fprintln(w, "# HELP dvfsd_cache_hits_total Strategy cache hits.")
+	fmt.Fprintln(w, "# TYPE dvfsd_cache_hits_total counter")
+	fmt.Fprintf(w, "dvfsd_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintln(w, "# HELP dvfsd_cache_misses_total Strategy cache misses.")
+	fmt.Fprintln(w, "# TYPE dvfsd_cache_misses_total counter")
+	fmt.Fprintf(w, "dvfsd_cache_misses_total %d\n", m.cacheMiss)
+	fmt.Fprintln(w, "# HELP dvfsd_cache_entries Strategies currently cached.")
+	fmt.Fprintln(w, "# TYPE dvfsd_cache_entries gauge")
+	fmt.Fprintf(w, "dvfsd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintln(w, "# HELP dvfsd_stage_seconds Per-stage job latency.")
+	fmt.Fprintln(w, "# TYPE dvfsd_stage_seconds histogram")
+	stages := make([]string, 0, len(m.stageSeconds))
+	for s := range m.stageSeconds {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		h := m.stageSeconds[s]
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "dvfsd_stage_seconds_bucket{stage=%q,le=%q} %d\n", s, formatBound(ub), cum)
+		}
+		fmt.Fprintf(w, "dvfsd_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", s, h.total)
+		fmt.Fprintf(w, "dvfsd_stage_seconds_sum{stage=%q} %g\n", s, h.sum)
+		fmt.Fprintf(w, "dvfsd_stage_seconds_count{stage=%q} %d\n", s, h.total)
+	}
+}
+
+func formatBound(ub float64) string { return fmt.Sprintf("%g", ub) }

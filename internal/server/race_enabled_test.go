@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The heavy determinism case skips under -race (its claim is
+// numerical, covered by the regular suite); the concurrency tests run
+// under -race unconditionally — that is their point.
+const raceEnabled = true

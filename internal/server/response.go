@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/preprocess"
+	"npudvfs/internal/traceio"
+)
+
+// buildResponse packages a completed search: the strategy in its wire
+// form plus model-predicted deltas against the fixed-maximum baseline,
+// computed with the same evaluator the GA scored individuals on — so
+// the reported numbers are exactly what the search optimized, with no
+// extra simulation runs on the serving path.
+func buildResponse(workloadName string, spec traceio.SearchSpec, ms *experiments.Models,
+	lab *experiments.Lab, cfg core.Config, strat *core.Strategy,
+	stages []preprocess.Stage, gaRes *ga.Result) (*traceio.StrategyResponse, error) {
+
+	var pretty bytes.Buffer
+	if err := traceio.WriteStrategy(&pretty, strat); err != nil {
+		return nil, err
+	}
+	// Store the strategy compacted: the HTTP layer re-indents embedded
+	// RawMessages when encoding responses, so compact bytes are the
+	// stable canonical form the determinism contract is stated over.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, pretty.Bytes()); err != nil {
+		return nil, err
+	}
+
+	ev, err := core.NewEvaluator(ms.Input(lab.Chip), cfg, stages)
+	if err != nil {
+		return nil, err
+	}
+	baselineInd := make([]int, ev.Genes())
+	for i := range baselineInd {
+		baselineInd[i] = ev.BaselineIndex()
+	}
+	basePred, err := ev.Predict(baselineInd)
+	if err != nil {
+		return nil, err
+	}
+	bestPred, err := ev.Predict(gaRes.Best)
+	if err != nil {
+		return nil, err
+	}
+
+	return &traceio.StrategyResponse{
+		Workload:    workloadName,
+		Fingerprint: traceio.Fingerprint(ms.Workload.Trace),
+		Strategy:    json.RawMessage(buf.Bytes()),
+		Search:      spec,
+		Stages:      len(stages),
+		Switches:    strat.Switches(),
+		Evaluations: gaRes.Evaluations,
+		BestScore:   gaRes.BestScore,
+		Predicted: traceio.PredictedDeltas{
+			BaselineTimeMicros: basePred.TimeMicros,
+			TimeMicros:         bestPred.TimeMicros,
+			BaselineSoCWatts:   basePred.SoCWatts,
+			SoCWatts:           bestPred.SoCWatts,
+			BaselineCoreWatts:  basePred.CoreWatts,
+			CoreWatts:          bestPred.CoreWatts,
+			PerfLossPct:        100 * (bestPred.TimeMicros/basePred.TimeMicros - 1),
+			SoCSavingPct:       100 * (1 - bestPred.SoCWatts/basePred.SoCWatts),
+			CoreSavingPct:      100 * (1 - bestPred.CoreWatts/basePred.CoreWatts),
+		},
+	}, nil
+}

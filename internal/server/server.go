@@ -1,0 +1,346 @@
+// Package server implements dvfsd, the DVFS strategy service: an HTTP
+// daemon that accepts workload traces (the traceio wire format), runs
+// the Fig. 1 modeling + genetic-search pipeline on a bounded worker
+// pool, and returns strategies with model-predicted energy/perf
+// deltas. Completed strategies are cached in an LRU keyed by canonical
+// trace fingerprint + search config, so resubmitting a trace is a
+// sub-millisecond hit instead of a multi-second search.
+//
+// Determinism contract: the pipeline is the exact one cmd/dvfs-run
+// executes (same Lab seed, same profiler offsets, same GA), so for the
+// same trace and search spec the served strategy is byte-identical to
+// the batch path's — and byte-identical across resubmissions whether
+// they hit the cache or re-run the search.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"npudvfs/internal/core"
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent searches (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; submissions beyond
+	// it are rejected with 503 (default 16).
+	QueueDepth int
+	// CacheSize is the strategy LRU capacity (default 128).
+	CacheSize int
+	// DefaultTimeout bounds a single job's model+search wall time when
+	// the request does not set timeout_ms (default 10 minutes).
+	DefaultTimeout time.Duration
+	// Lab is the simulated accelerator the service optimizes for; nil
+	// means experiments.NewLab().
+	Lab *experiments.Lab
+	// Bundles maps lower-cased workload names to pre-fitted models
+	// (dvfsd -load-models): jobs for these workloads skip calibration
+	// and fit-frequency profiling.
+	Bundles map[string]*traceio.ModelBundle
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 16
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Minute
+	}
+	if c.Lab == nil {
+		c.Lab = experiments.NewLab()
+	}
+}
+
+// Server is the dvfsd service. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	lab   *experiments.Lab
+	cache *strategyCache
+	jobs  *jobStore
+	met   *metrics
+	mux   *http.ServeMux
+
+	queue chan *job
+	// baseCtx parents every job context; cancelAll force-cancels
+	// in-flight searches when a shutdown deadline expires.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	workers   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		lab:       cfg.Lab,
+		cache:     newStrategyCache(cfg.CacheSize),
+		jobs:      newJobStore(4 * cfg.QueueDepth),
+		met:       newMetrics(),
+		mux:       http.NewServeMux(),
+		queue:     make(chan *job, cfg.QueueDepth),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.mux.HandleFunc("POST /v1/strategies", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface, suitable for http.Server and
+// httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting jobs and drains the queue and in-flight
+// searches. If ctx expires first, remaining searches are
+// force-cancelled (they unwind at the next GA generation boundary) and
+// Shutdown waits for the workers to exit before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker consumes jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.met.setQueueDepth(len(s.queue))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one search under the job's deadline.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.state = traceio.JobRunning
+	j.queueDur = time.Since(j.submitted)
+	spec := j.spec
+	m := j.model
+	j.mu.Unlock()
+	s.met.observeStage("queue", j.queueDur.Seconds())
+	s.met.runningDelta(1)
+	defer s.met.runningDelta(-1)
+
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMillis > 0 {
+		timeout = time.Duration(spec.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+
+	start := time.Now()
+	resp, modelDur, err := s.generate(ctx, m, spec)
+	searchDur := time.Since(start)
+	s.met.observeStage("model", modelDur.Seconds())
+	s.met.observeStage("search", (searchDur - modelDur).Seconds())
+
+	j.mu.Lock()
+	j.searchDur = searchDur
+	switch {
+	case err == nil:
+		j.state = traceio.JobDone
+		j.result = resp
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		j.state = traceio.JobCancelled
+		j.err = err
+	default:
+		j.state = traceio.JobFailed
+		j.err = err
+	}
+	state := j.state
+	j.mu.Unlock()
+	s.met.jobFinished(state)
+	if state == traceio.JobDone {
+		s.cache.Put(j.cacheKey, resp)
+	}
+}
+
+// generate runs the modeling + search pipeline for one workload. It
+// returns how much of the wall time went into model building so the
+// two stages can be observed separately.
+func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.SearchSpec) (*traceio.StrategyResponse, time.Duration, error) {
+	modelStart := time.Now()
+	if err := ctx.Err(); err != nil {
+		// A force-cancelled queued job must not start a multi-second
+		// model build it would only throw away.
+		return nil, 0, fmt.Errorf("server: cancelled before model building: %w", err)
+	}
+	var (
+		ms  *experiments.Models
+		err error
+	)
+	if b, ok := s.cfg.Bundles[strings.ToLower(m.Name)]; ok {
+		ms, err = s.lab.ModelsFromBundle(m, b)
+	} else {
+		ms, err = s.lab.BuildModels(m, true)
+	}
+	if err != nil {
+		return nil, time.Since(modelStart), err
+	}
+	modelDur := time.Since(modelStart)
+	if err := ctx.Err(); err != nil {
+		return nil, modelDur, fmt.Errorf("server: cancelled after model building: %w", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.PerfLossTarget = spec.TargetLoss
+	cfg.FAIMicros = spec.FAIMillis * 1000
+	cfg.GA.PopSize = spec.Pop
+	cfg.GA.Generations = spec.Gens
+	cfg.GA.Seed = spec.Seed
+	strat, stages, gaRes, err := core.GenerateContext(ctx, ms.Input(s.lab.Chip), cfg)
+	if err != nil {
+		return nil, modelDur, err
+	}
+
+	resp, err := buildResponse(m.Name, spec, ms, s.lab, cfg, strat, stages, gaRes)
+	return resp, modelDur, err
+}
+
+// handleSubmit is POST /v1/strategies. A cache hit answers 200 with an
+// already-done job; otherwise the job is queued and answered 202.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req traceio.StrategyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	m, err := req.Resolve()
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, traceio.ErrUnknownWorkload) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	key := traceio.CacheKey(traceio.Fingerprint(m.Trace), req.Search)
+
+	if resp, ok := s.cache.Get(key); ok {
+		s.met.cacheHit(true)
+		j := &job{
+			workload:  m.Name,
+			cacheKey:  key,
+			spec:      req.Search,
+			state:     traceio.JobDone,
+			cached:    true,
+			submitted: time.Now(),
+			result:    resp,
+		}
+		s.jobs.add(j)
+		s.met.jobFinished(traceio.JobDone)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	s.met.cacheHit(false)
+
+	j := &job{
+		workload:  m.Name,
+		cacheKey:  key,
+		spec:      req.Search,
+		model:     m,
+		state:     traceio.JobQueued,
+		submitted: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.jobs.add(j)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("queue full (%d jobs waiting); retry later", s.cfg.QueueDepth))
+		return
+	}
+	s.met.setQueueDepth(len(s.queue))
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.cache.Len())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, traceio.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,218 @@
+package traceio
+
+// This file defines the wire contract of the dvfsd strategy service
+// (internal/server): request/response schemas for the
+// POST /v1/strategies and GET /v1/jobs/{id} endpoints, the canonical
+// trace fingerprint, and the strategy-cache key. It lives in traceio —
+// not in the server — so cmd/dvfsctl and other clients can share the
+// exact types and key derivation without importing the daemon.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"npudvfs/internal/op"
+	"npudvfs/internal/workload"
+)
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// ErrUnknownWorkload marks a request naming a workload absent from the
+// registry; the server maps it to 404 instead of the generic 400.
+var ErrUnknownWorkload = errors.New("traceio: unknown workload")
+
+// SearchSpec is the client-tunable part of a strategy search. The zero
+// value means "server defaults"; Canonicalize resolves it to explicit
+// values so equal effective configurations hash identically.
+type SearchSpec struct {
+	// TargetLoss is the allowed relative performance loss (paper
+	// default 0.02).
+	TargetLoss float64 `json:"target_loss,omitempty"`
+	// FAIMillis is the frequency adjustment interval in milliseconds
+	// (paper default 5).
+	FAIMillis float64 `json:"fai_ms,omitempty"`
+	// Pop and Gens size the genetic search (defaults 200/600, matching
+	// cmd/dvfs-run).
+	Pop  int   `json:"pop,omitempty"`
+	Gens int   `json:"gens,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMillis bounds the search wall time; 0 uses the server
+	// default. The timeout is intentionally NOT part of the cache key:
+	// it cannot change a completed search's result, only whether it
+	// completes.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// Canonicalize fills defaults and validates ranges. The defaults equal
+// the cmd/dvfs-run flag defaults so a server-generated strategy is
+// byte-identical to the batch path's for the same workload and seed.
+func (s *SearchSpec) Canonicalize() error {
+	if s.TargetLoss == 0 {
+		s.TargetLoss = 0.02
+	}
+	if s.FAIMillis == 0 {
+		s.FAIMillis = 5
+	}
+	if s.Pop == 0 {
+		s.Pop = 200
+	}
+	if s.Gens == 0 {
+		s.Gens = 600
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch {
+	case s.TargetLoss < 0 || s.TargetLoss >= 1:
+		return fmt.Errorf("traceio: target_loss %g outside [0, 1)", s.TargetLoss)
+	case s.FAIMillis < 0:
+		return fmt.Errorf("traceio: fai_ms %g negative", s.FAIMillis)
+	case s.Pop < 2:
+		return fmt.Errorf("traceio: pop %d below 2", s.Pop)
+	case s.Gens < 1:
+		return fmt.Errorf("traceio: gens %d below 1", s.Gens)
+	case s.TimeoutMillis < 0:
+		return fmt.Errorf("traceio: timeout_ms %d negative", s.TimeoutMillis)
+	}
+	return nil
+}
+
+// ConfigHash is a short stable digest of everything in the spec that
+// can influence the generated strategy. Call after Canonicalize.
+func (s SearchSpec) ConfigHash() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("v1|loss=%g|fai=%g|pop=%d|gens=%d|seed=%d",
+		s.TargetLoss, s.FAIMillis, s.Pop, s.Gens, s.Seed)))
+	return hex.EncodeToString(h[:8])
+}
+
+// StrategyRequest is the body of POST /v1/strategies. Exactly one of
+// Workload (a registry name) or Trace (an inline workload in the
+// WriteWorkload wire format) must be set.
+type StrategyRequest struct {
+	Workload string          `json:"workload,omitempty"`
+	Trace    json.RawMessage `json:"trace,omitempty"`
+	Search   SearchSpec      `json:"search"`
+}
+
+// Resolve validates the request, canonicalizes the search spec and
+// returns the workload model it refers to.
+func (r *StrategyRequest) Resolve() (*workload.Model, error) {
+	if err := r.Search.Canonicalize(); err != nil {
+		return nil, err
+	}
+	switch {
+	case r.Workload == "" && len(r.Trace) == 0:
+		return nil, fmt.Errorf("traceio: request names no workload and carries no trace")
+	case r.Workload != "" && len(r.Trace) != 0:
+		return nil, fmt.Errorf("traceio: workload %q and inline trace are mutually exclusive", r.Workload)
+	case r.Workload != "":
+		m, err := workload.ByName(r.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownWorkload, r.Workload, workload.Names())
+		}
+		return m, nil
+	default:
+		m, err := ReadWorkload(bytes.NewReader(r.Trace))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+}
+
+// Fingerprint returns the canonical SHA-256 digest of a trace. Only
+// the operator specs enter the hash — the workload's display name does
+// not — so a named registry workload and the identical trace submitted
+// inline share one cache entry.
+func Fingerprint(trace []op.Spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|%d ops\n", len(trace))
+	for i := range trace {
+		j := specToJSON(&trace[i])
+		// encoding/json emits struct fields in declaration order, so
+		// this line is a stable canonical form of the spec.
+		b, _ := json.Marshal(j)
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheKey combines the trace fingerprint with the canonical search
+// configuration: two requests collide exactly when the deterministic
+// search would redo identical work.
+func CacheKey(fingerprint string, s SearchSpec) string {
+	return fingerprint + ":" + s.ConfigHash()
+}
+
+// PredictedDeltas reports the model-predicted effect of a strategy
+// against the fixed-maximum-frequency baseline. These come from the
+// same evaluator the GA scored with (Sect. 6.3), not from measured
+// execution.
+type PredictedDeltas struct {
+	BaselineTimeMicros float64 `json:"baseline_time_us"`
+	TimeMicros         float64 `json:"time_us"`
+	BaselineSoCWatts   float64 `json:"baseline_soc_w"`
+	SoCWatts           float64 `json:"soc_w"`
+	BaselineCoreWatts  float64 `json:"baseline_core_w"`
+	CoreWatts          float64 `json:"core_w"`
+	// Derived percentages (positive loss = slower, positive saving =
+	// less power).
+	PerfLossPct   float64 `json:"perf_loss_pct"`
+	SoCSavingPct  float64 `json:"soc_saving_pct"`
+	CoreSavingPct float64 `json:"core_saving_pct"`
+}
+
+// StrategyResponse is the payload of a completed job.
+type StrategyResponse struct {
+	Workload    string `json:"workload"`
+	Fingerprint string `json:"fingerprint"`
+	// Strategy is the generated policy in the WriteStrategy wire
+	// format, ready for traceio.ReadStrategy or dvfs-run
+	// -load-strategy.
+	Strategy json.RawMessage `json:"strategy"`
+	// Search provenance: the canonical spec the strategy was generated
+	// under, and the GA's work/convergence summary.
+	Search      SearchSpec `json:"search"`
+	Stages      int        `json:"stages"`
+	Switches    int        `json:"switches"`
+	Evaluations int        `json:"evaluations"`
+	BestScore   float64    `json:"best_score"`
+
+	Predicted PredictedDeltas `json:"predicted"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id} and of the 202 response
+// to POST /v1/strategies.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Workload string `json:"workload"`
+	// Cached marks jobs answered from the strategy cache without a
+	// search.
+	Cached bool `json:"cached"`
+	// Error is set for failed and cancelled jobs.
+	Error string `json:"error,omitempty"`
+	// QueueMillis and SearchMillis are per-stage latencies (0 until
+	// the stage completes).
+	QueueMillis  float64 `json:"queue_ms"`
+	SearchMillis float64 `json:"search_ms"`
+	// Result is set once State is done.
+	Result *StrategyResponse `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -32,6 +32,8 @@
 package npudvfs
 
 import (
+	"context"
+
 	"npudvfs/internal/adaptive"
 	"npudvfs/internal/core"
 	"npudvfs/internal/dualdvfs"
@@ -44,6 +46,8 @@ import (
 	"npudvfs/internal/powermodel"
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/profiler"
+	"npudvfs/internal/server"
+	"npudvfs/internal/server/client"
 	"npudvfs/internal/thermal"
 	"npudvfs/internal/traceio"
 	"npudvfs/internal/vf"
@@ -235,3 +239,50 @@ func CalibrateUncoreDyn(rig *PowerRig, probeScale float64, samples int) (float64
 
 // PowerRig bundles the live system power calibration measures.
 type PowerRig = powermodel.Rig
+
+// GenerateStrategyContext is GenerateStrategy under a context: the
+// genetic search observes cancellation at generation boundaries, so a
+// timed-out request stops burning CPU within milliseconds.
+func GenerateStrategyContext(ctx context.Context, in StrategyInput, cfg StrategyConfig) (*Strategy, error) {
+	strat, _, _, err := core.GenerateContext(ctx, in, cfg)
+	return strat, err
+}
+
+// Serving layer (DESIGN.md §8): dvfsd exposes the Fig. 1 pipeline over
+// HTTP with a bounded worker pool and a strategy cache.
+type (
+	// Server is the dvfsd strategy service.
+	Server = server.Server
+	// ServerConfig sizes its worker pool, queue, cache and deadlines.
+	ServerConfig = server.Config
+	// Client talks to a running dvfsd.
+	Client = client.Client
+	// StrategyRequest is the POST /v1/strategies body.
+	StrategyRequest = traceio.StrategyRequest
+	// SearchSpec is its client-tunable search configuration.
+	SearchSpec = traceio.SearchSpec
+	// JobStatus is the job-polling response, carrying the strategy and
+	// predicted deltas once done.
+	JobStatus = traceio.JobStatus
+	// ModelBundle is the serialized form of a workload's fitted
+	// models, the warm-start artifact of dvfsd -load-models.
+	ModelBundle = traceio.ModelBundle
+)
+
+// NewServer starts the service's worker pool; expose it with
+// (*Server).Handler and stop it with (*Server).Shutdown.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client { return client.New(baseURL) }
+
+// FingerprintTrace returns the canonical trace digest the strategy
+// cache is keyed by.
+func FingerprintTrace(trace []OpSpec) string { return traceio.Fingerprint(trace) }
+
+// SaveModels and LoadModels persist fitted perf/power models; a loaded
+// bundle skips calibration and profiling (Lab.ModelsFromBundle).
+func SaveModels(path string, b *ModelBundle) error { return traceio.SaveModels(path, b) }
+
+// LoadModels reads a bundle written by SaveModels.
+func LoadModels(path string) (*ModelBundle, error) { return traceio.LoadModels(path) }

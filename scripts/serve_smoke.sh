@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the dvfsd serving layer.
+#
+# Boots dvfsd on a random port, generates a strategy through the HTTP
+# API with dvfsctl, and asserts:
+#   1. the served strategy is byte-identical to the cmd/dvfs-run batch
+#      path for the same workload/seed (the determinism contract),
+#   2. resubmission is served from the cache (hit counter in /metrics),
+#   3. /metrics reports the completed jobs,
+#   4. SIGTERM shuts the daemon down gracefully (exit 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "serve-smoke: building dvfsd, dvfsctl, dvfs-run"
+go build -o "$tmp/dvfsd" ./cmd/dvfsd
+go build -o "$tmp/dvfsctl" ./cmd/dvfsctl
+go build -o "$tmp/dvfs-run" ./cmd/dvfs-run
+
+echo "serve-smoke: batch reference run (also saves the model bundle)"
+"$tmp/dvfs-run" -model resnet50 -pop 16 -gens 8 -seed 7 \
+    -save-models "$tmp/models.json" -save-strategy "$tmp/batch.json" -no-measure >/dev/null
+
+echo "serve-smoke: starting dvfsd on a random port"
+"$tmp/dvfsd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -workers 1 \
+    -load-models "$tmp/models.json" >"$tmp/dvfsd.log" 2>&1 &
+pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$tmp/dvfsd.log" >&2; fail "dvfsd died on startup"; }
+    sleep 0.1
+done
+[ -s "$tmp/addr" ] || fail "dvfsd never wrote its address file"
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: dvfsd is at $addr"
+
+echo "serve-smoke: submitting resnet50 via dvfsctl"
+"$tmp/dvfsctl" -addr "$addr" submit -workload resnet50 -pop 16 -gens 8 -seed 7 \
+    -save "$tmp/served.json"
+
+diff -u "$tmp/batch.json" "$tmp/served.json" \
+    || fail "served strategy differs from the batch path"
+echo "serve-smoke: served strategy is byte-identical to the batch path"
+
+metrics=$("$tmp/dvfsctl" -addr "$addr" metrics)
+echo "$metrics" | grep -q 'dvfsd_jobs_total{state="done"} 1' \
+    || fail "/metrics does not show one completed job:"$'\n'"$metrics"
+
+echo "serve-smoke: resubmitting (must hit the strategy cache)"
+resubmit=$("$tmp/dvfsctl" -addr "$addr" submit -workload resnet50 -pop 16 -gens 8 -seed 7)
+echo "$resubmit" | grep -q 'served from cache' \
+    || fail "resubmission was not served from cache:"$'\n'"$resubmit"
+
+metrics=$("$tmp/dvfsctl" -addr "$addr" metrics)
+echo "$metrics" | grep -q 'dvfsd_cache_hits_total 1' \
+    || fail "/metrics does not count the cache hit:"$'\n'"$metrics"
+echo "$metrics" | grep -q 'dvfsd_jobs_total{state="done"} 2' \
+    || fail "/metrics does not show both completed jobs:"$'\n'"$metrics"
+
+echo "serve-smoke: graceful shutdown"
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    cat "$tmp/dvfsd.log" >&2
+    fail "dvfsd did not exit cleanly on SIGTERM"
+fi
+pid=""
+grep -q 'drained cleanly' "$tmp/dvfsd.log" || fail "dvfsd did not drain cleanly"
+
+echo "serve-smoke: PASS"
