@@ -1,17 +1,30 @@
-# Tier-1 verification: build, vet, full test suite, then the race
-# detector over every package (the repo ships concurrency — shared
-# Executors, GA worker pools, the parallel experiment harness and the
-# dvfsd serving layer — so a race-clean run is part of "tests pass"),
-# and finally the dvfsd end-to-end smoke.
-.PHONY: verify build test vet race short bench serve-smoke
+# Tier-1 verification: build, vet, formatting, the dvfslint analyzer
+# suite, full test suite, then the race detector over every package
+# (the repo ships concurrency — shared Executors, GA worker pools, the
+# parallel experiment harness and the dvfsd serving layer — so a
+# race-clean run is part of "tests pass"), and finally the dvfsd
+# end-to-end smoke.
+.PHONY: verify build test vet fmt-check lint race short bench serve-smoke
 
-verify: build vet test race serve-smoke
+verify: build vet fmt-check lint test race serve-smoke
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# dvfslint enforces the determinism & concurrency contracts
+# (DESIGN.md §9): seeded randomness only, tolerance-based float
+# comparison, ctx-cancellable searches, paired locks, tracked
+# goroutines. Run a subset with e.g.:
+#   go run ./cmd/dvfslint -rules detrand,floateq
+lint:
+	go run ./cmd/dvfslint
 
 test:
 	go test ./...

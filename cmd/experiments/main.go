@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -53,17 +55,31 @@ func main() {
 		names = strings.Split(*run, ",")
 	}
 
+	// ^C cancels cleanly: unstarted experiments are skipped and every
+	// running search unwinds at its next generation boundary, so the
+	// reports already written to stdout stay intact.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	lab := experiments.NewLab()
 	lab.Parallel = *parallel
 	start := time.Now()
-	outcomes, err := lab.RunSuite(names, *parallel, *timeout)
+	outcomes, err := lab.RunSuiteContext(ctx, names, *parallel, *timeout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		// An interrupted run still reports whatever finished; anything
+		// else (unknown names, ...) is fatal before any work ran.
+		if ctx.Err() == nil || len(outcomes) == 0 {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
 	}
 
 	failed := 0
 	for _, o := range outcomes {
+		if o.Name == "" {
+			continue // skipped after interrupt: never ran
+		}
 		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", o.Name, o.Elapsed.Seconds())
 		if o.Err != nil {
 			failed++
@@ -88,7 +104,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total: %.1fs (%d experiments, parallel=%d)\n",
 		time.Since(start).Seconds(), len(outcomes), *parallel)
-	if failed > 0 {
+	if failed > 0 || err != nil {
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"npudvfs/internal/core"
+	"npudvfs/internal/stats"
 	"npudvfs/internal/vf"
 )
 
@@ -129,7 +130,7 @@ func (c *Controller) step(dir float64) bool {
 	for i := range c.strategy.Points {
 		p := &c.strategy.Points[i]
 		next := c.curve.Nearest(p.FreqMHz + stepMHz)
-		if next != p.FreqMHz {
+		if !stats.Approx(next, p.FreqMHz) {
 			p.FreqMHz = next
 			changed = true
 		}

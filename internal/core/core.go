@@ -39,6 +39,7 @@ import (
 	"npudvfs/internal/powermodel"
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/profiler"
+	"npudvfs/internal/stats"
 )
 
 // FreqPoint is one frequency-change instruction of a strategy.
@@ -87,7 +88,7 @@ func (s *Strategy) FreqAt(opIndex int) float64 {
 func (s *Strategy) Switches() int {
 	n := 0
 	for i := 1; i < len(s.Points); i++ {
-		if s.Points[i].FreqMHz != s.Points[i-1].FreqMHz {
+		if !stats.Approx(s.Points[i].FreqMHz, s.Points[i-1].FreqMHz) {
 			n++
 		}
 	}
@@ -101,10 +102,11 @@ func (s *Strategy) UncoreSwitches() int {
 	prev := 1.0
 	for _, p := range s.Points {
 		scale := p.UncoreScale
+		//lint:allow floateq exact sentinel: 0 means "uncore scale unset"
 		if scale == 0 {
 			scale = 1
 		}
-		if scale != prev {
+		if !stats.Approx(scale, prev) {
 			n++
 		}
 		prev = scale
@@ -120,6 +122,7 @@ func (s *Strategy) UncoreScaleAt(opIndex int) float64 {
 		if p.OpIndex > opIndex {
 			break
 		}
+		//lint:allow floateq exact sentinel: 0 means "uncore scale unset"
 		if p.UncoreScale != 0 {
 			scale = p.UncoreScale
 		} else {
@@ -275,6 +278,7 @@ func (p *problem) Score(ind []int) float64 {
 // profiled iteration and returns the strategy, the stage list and the
 // GA convergence result.
 func Generate(in Input, cfg Config) (*Strategy, []preprocess.Stage, *ga.Result, error) {
+	//lint:allow ctxflow context-free convenience wrapper; cancellable callers use GenerateContext
 	return GenerateContext(context.Background(), in, cfg)
 }
 
@@ -391,7 +395,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	// Locate the prior LFC frequency on the grid.
 	p.priorIdx = p.baselineIdx
 	for i, f := range grid {
-		if f == cfg.PriorLFCMHz {
+		if stats.Approx(f, cfg.PriorLFCMHz) {
 			p.priorIdx = i
 		}
 	}
@@ -447,7 +451,7 @@ func assignmentToStrategy(p *problem, ind []int) *Strategy {
 	last := -1.0
 	for si, g := range ind {
 		f := p.grid[g]
-		if f == last {
+		if stats.Approx(f, last) {
 			continue
 		}
 		s.Points = append(s.Points, FreqPoint{

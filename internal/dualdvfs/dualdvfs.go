@@ -27,6 +27,7 @@ import (
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/profiler"
+	"npudvfs/internal/stats"
 )
 
 // Config tunes two-domain strategy generation.
@@ -204,6 +205,7 @@ func (p *problem) Score(ind []int) float64 {
 
 // Generate searches (core frequency, uncore scale) pairs per stage.
 func Generate(in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Result, error) {
+	//lint:allow ctxflow context-free convenience wrapper; cancellable callers use GenerateContext
 	return GenerateContext(context.Background(), in, cfg)
 }
 
@@ -233,7 +235,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	scales := append([]float64(nil), cfg.UncoreScales...)
 	hasOne := false
 	for _, s := range scales {
-		if s == 1 {
+		if stats.Approx(s, 1) {
 			hasOne = true
 		}
 		if s <= 0 || s > 1 {
@@ -258,7 +260,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	// Scaled chips for white-box timing.
 	chips := make([]*npu.Chip, len(scales))
 	for i, s := range scales {
-		if s == 1 {
+		if stats.Approx(s, 1) {
 			chips[i] = in.Chip
 		} else {
 			chips[i] = in.Chip.WithUncoreScale(s)
@@ -271,7 +273,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	p.baselineIdx = p.alleleOf(len(grid)-1, one)
 	priorF := len(grid) - 1
 	for i, f := range grid {
-		if f == cfg.PriorLFCMHz {
+		if stats.Approx(f, cfg.PriorLFCMHz) {
 			priorF = i
 		}
 	}
@@ -333,7 +335,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 
 func indexOf(xs []float64, want float64) int {
 	for i, x := range xs {
-		if x == want {
+		if stats.Approx(x, want) {
 			return i
 		}
 	}
@@ -348,7 +350,7 @@ func (p *problem) strategy(ind []int) *core.Strategy {
 		pr := p.pairOf(allele)
 		f := p.grid[pr.freqIdx]
 		scale := p.scales[pr.scaleIdx]
-		if f == lastF && scale == lastS {
+		if stats.Approx(f, lastF) && stats.Approx(scale, lastS) {
 			continue
 		}
 		s.Points = append(s.Points, core.FreqPoint{

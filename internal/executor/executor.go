@@ -26,6 +26,7 @@ import (
 	"npudvfs/internal/npu"
 	"npudvfs/internal/op"
 	"npudvfs/internal/powersim"
+	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
 )
 
@@ -132,6 +133,7 @@ func New(chip *npu.Chip, ground *powersim.Ground) *Executor {
 // and on a racing miss both builders compute the same deterministic
 // view, so whichever wins the write lock publishes it first.
 func (e *Executor) viewAt(scale float64) scaledView {
+	//lint:allow floateq exact sentinels: 0 = unset, 1 = stock; the scaled-view cache below is keyed by the exact scale value
 	if scale == 0 || scale == 1 {
 		return scaledView{chip: e.Chip, ground: e.Ground}
 	}
@@ -279,7 +281,7 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 		for i := range plan {
 			p := &plan[i]
 			if p.dispatched && !p.applied && p.effectTime <= t {
-				if p.freqMHz != freq {
+				if !stats.Approx(p.freqMHz, freq) {
 					freq = p.freqMHz
 					res.Switches++
 				}

@@ -34,7 +34,7 @@ type AdaptiveResult struct {
 }
 
 // Adaptive runs the closed loop on BERT.
-func (l *Lab) Adaptive() (*AdaptiveResult, error) { return l.adaptiveClosedLoop(context.Background()) }
+func (l *Lab) Adaptive() (*AdaptiveResult, error) { return l.adaptiveClosedLoop(context.Background()) } //lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 
 func (l *Lab) adaptiveClosedLoop(ctx context.Context) (*AdaptiveResult, error) {
 	m := workload.BERT()

@@ -8,6 +8,7 @@ import (
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/op"
+	"npudvfs/internal/stats"
 )
 
 // AttributionRow aggregates the strategy's behaviour at one frequency.
@@ -40,6 +41,7 @@ type AttributionResult struct {
 // policy this way: LFC frequencies land around 1200 MHz while HFC
 // stays at the maximum.
 func (l *Lab) Attribution(target float64) (*AttributionResult, error) {
+	//lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 	return l.attribution(context.Background(), target)
 }
 
@@ -71,7 +73,7 @@ func (l *Lab) attribution(ctx context.Context, target float64) (*AttributionResu
 			a = &agg{}
 			byFreq[f] = a
 		}
-		if f != lastFreq {
+		if !stats.Approx(f, lastFreq) {
 			a.stages++
 			lastFreq = f
 		}

@@ -11,6 +11,7 @@ import (
 	"npudvfs/internal/executor"
 	"npudvfs/internal/ga"
 	"npudvfs/internal/preprocess"
+	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
 	"npudvfs/internal/workload"
 )
@@ -39,7 +40,7 @@ type CoarseResult struct {
 
 // CoarseGrained sweeps every fixed frequency on GPT-3 and contrasts
 // the best compliant one with the fine-grained strategy.
-func (l *Lab) CoarseGrained() (*CoarseResult, error) { return l.coarseGrained(context.Background()) }
+func (l *Lab) CoarseGrained() (*CoarseResult, error) { return l.coarseGrained(context.Background()) } //lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 
 func (l *Lab) coarseGrained(ctx context.Context) (*CoarseResult, error) {
 	gpt, err := l.gpt3Models()
@@ -137,7 +138,7 @@ func (p *hardwareProblem) strategy(ind []int) *core.Strategy {
 	last := -1.0
 	for si, g := range ind {
 		f := p.grid[g]
-		if f == last {
+		if stats.Approx(f, last) {
 			continue
 		}
 		s.Points = append(s.Points, core.FreqPoint{
@@ -198,6 +199,7 @@ type ModelFreeResult struct {
 // budget admits only a few dozen hardware evaluations (the paper
 // counts 30 in five minutes), far too few for a thousand-gene search.
 func (l *Lab) ModelFree(budgetSec float64) (*ModelFreeResult, error) {
+	//lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 	return l.modelFree(context.Background(), budgetSec)
 }
 

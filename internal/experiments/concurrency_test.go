@@ -197,7 +197,7 @@ func TestRunOneTimeout(t *testing.T) {
 		<-ctx.Done()
 		return nil, fmt.Errorf("search cancelled mid-flight: %w", ctx.Err())
 	}}
-	o := runOne(l, aware, 30*time.Millisecond)
+	o := runOne(context.Background(), l, aware, 30*time.Millisecond)
 	if o.Err == nil || !strings.Contains(o.Err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got %v", o.Err)
 	}
@@ -218,7 +218,7 @@ func TestRunOneTimeout(t *testing.T) {
 		<-release
 		return fakeResult("too late"), nil
 	}}
-	o = runOne(l, deaf, 30*time.Millisecond)
+	o = runOne(context.Background(), l, deaf, 30*time.Millisecond)
 	close(release) // let the abandoned goroutine exit
 	if o.Err == nil || !strings.Contains(o.Err.Error(), "abandoned") {
 		t.Fatalf("want abandoned error, got %v", o.Err)
@@ -237,7 +237,7 @@ func TestRunOneTimeout(t *testing.T) {
 		time.Sleep(20 * time.Millisecond) // unwind takes a moment, but well inside cancelGrace
 		return fakeResult("just made it"), nil
 	}}
-	o = runOne(l, lagged, 30*time.Millisecond)
+	o = runOne(context.Background(), l, lagged, 30*time.Millisecond)
 	if o.Err != nil || o.Report != "just made it" {
 		t.Fatalf("grace-window result should be reported: got report %q, err %v", o.Report, o.Err)
 	}
@@ -245,7 +245,7 @@ func TestRunOneTimeout(t *testing.T) {
 	fast := Spec{Name: "fast", Run: func(context.Context, *Lab) (fmt.Stringer, error) {
 		return fakeResult("done"), nil
 	}}
-	o = runOne(l, fast, time.Minute)
+	o = runOne(context.Background(), l, fast, time.Minute)
 	if o.Err != nil || o.Report != "done" {
 		t.Fatalf("fast spec under timeout: got report %q, err %v", o.Report, o.Err)
 	}

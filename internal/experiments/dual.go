@@ -28,7 +28,7 @@ type DualResult struct {
 
 // DualDomain runs both searches on GPT-3 at a 4% loss target (2%
 // leaves little room for the extra knob) and measures the strategies.
-func (l *Lab) DualDomain() (*DualResult, error) { return l.dualDomain(context.Background()) }
+func (l *Lab) DualDomain() (*DualResult, error) { return l.dualDomain(context.Background()) } //lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 
 func (l *Lab) dualDomain(ctx context.Context) (*DualResult, error) {
 	gpt, err := l.gpt3Models()

@@ -214,7 +214,7 @@ func (l *Lab) Fig15() (*Fig15Result, error) {
 
 func durAt(s *profiler.Series, f float64) float64 {
 	for i, ff := range s.FreqMHz {
-		if ff == f {
+		if stats.Approx(ff, f) {
 			return s.Micros[i]
 		}
 	}
@@ -339,6 +339,7 @@ func (l *Lab) FitCost() (*FitCostResult, error) {
 	series := profiler.BuildInstanceSeries(profiles)
 	res := &FitCostResult{Operators: len(series)}
 
+	//lint:allow detrand wall-clock timing only: FitCost measures fit latency; excluded from the byte-identity suite
 	start := time.Now()
 	for _, s := range series {
 		if fs, ts, ok := perfmodel.SelectPoints(s, FitFreqs); ok {
@@ -347,8 +348,10 @@ func (l *Lab) FitCost() (*FitCostResult, error) {
 			}
 		}
 	}
+	//lint:allow detrand wall-clock timing only: FitCost measures fit latency; excluded from the byte-identity suite
 	res.Func2Millis = float64(time.Since(start).Microseconds()) / 1000
 
+	//lint:allow detrand wall-clock timing only: FitCost measures fit latency; excluded from the byte-identity suite
 	start = time.Now()
 	for _, s := range series {
 		if fs, ts, ok := perfmodel.SelectPoints(s, []float64{1000, 1400, 1800}); ok {
@@ -357,6 +360,7 @@ func (l *Lab) FitCost() (*FitCostResult, error) {
 			}
 		}
 	}
+	//lint:allow detrand wall-clock timing only: FitCost measures fit latency; excluded from the byte-identity suite
 	res.Func1Millis = float64(time.Since(start).Microseconds()) / 1000
 	if res.Func2Millis > 0 {
 		res.Speedup = res.Func1Millis / res.Func2Millis

@@ -128,7 +128,7 @@ func (l *Lab) predictMeanPower(ms *Models, fMHz float64) (float64, error) {
 	}
 	gi := -1
 	for i, f := range ev.Grid() {
-		if f == fMHz {
+		if stats.Approx(f, fMHz) {
 			gi = i
 		}
 	}

@@ -146,13 +146,23 @@ type Outcome struct {
 // exactly. Errors are per-outcome, not returned, so one failing
 // experiment cannot hide the others' results.
 func (l *Lab) RunSuite(names []string, parallel int, timeout time.Duration) ([]Outcome, error) {
+	//lint:allow ctxflow context-free convenience wrapper; cancellable callers use RunSuiteContext
+	return l.RunSuiteContext(context.Background(), names, parallel, timeout)
+}
+
+// RunSuiteContext is RunSuite under a caller-supplied root context:
+// cancelling ctx stops unstarted experiments from launching and
+// reaches every running search at its next generation boundary.
+// cmd/experiments wires an interrupt-cancelled context here so ^C
+// drains the suite instead of killing it mid-write.
+func (l *Lab) RunSuiteContext(ctx context.Context, names []string, parallel int, timeout time.Duration) ([]Outcome, error) {
 	specs, err := Select(names)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Outcome, len(specs))
-	perr := pool.Each(context.Background(), l.Seed, len(specs), parallel, func(i int, _ *rand.Rand) error {
-		out[i] = runOne(l, specs[i], timeout)
+	perr := pool.Each(ctx, l.Seed, len(specs), parallel, func(i int, _ *rand.Rand) error {
+		out[i] = runOne(ctx, l, specs[i], timeout)
 		return nil
 	})
 	return out, perr
@@ -172,13 +182,15 @@ const cancelGrace = time.Second
 // completion — and its eventual result is discarded). The two cases
 // report distinct errors: only the clean one satisfies
 // errors.Is(err, context.DeadlineExceeded).
-func runOne(l *Lab, s Spec, timeout time.Duration) Outcome {
+func runOne(ctx context.Context, l *Lab, s Spec, timeout time.Duration) Outcome {
+	//lint:allow detrand wall-clock timing only: feeds Outcome.Elapsed, which reports exclude
 	start := time.Now()
 	if timeout <= 0 {
-		res, err := s.Run(context.Background(), l)
+		res, err := s.Run(ctx, l)
+		//lint:allow detrand wall-clock timing only: feeds Outcome.Elapsed, which reports exclude
 		return finishOutcome(s.Name, res, err, time.Since(start))
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	type done struct {
 		res fmt.Stringer
@@ -191,7 +203,8 @@ func runOne(l *Lab, s Spec, timeout time.Duration) Outcome {
 	}()
 	cancelled := func(d done) Outcome {
 		return Outcome{
-			Name:    s.Name,
+			Name: s.Name,
+			//lint:allow detrand wall-clock timing only: feeds Outcome.Elapsed, which reports exclude
 			Elapsed: time.Since(start),
 			Err:     fmt.Errorf("experiments: %s timed out after %s (search cancelled): %w", s.Name, timeout, d.err),
 		}
@@ -201,6 +214,7 @@ func runOne(l *Lab, s Spec, timeout time.Duration) Outcome {
 		if d.err != nil && errors.Is(d.err, context.DeadlineExceeded) {
 			return cancelled(d)
 		}
+		//lint:allow detrand wall-clock timing only: feeds Outcome.Elapsed, which reports exclude
 		return finishOutcome(s.Name, d.res, d.err, time.Since(start))
 	case <-ctx.Done():
 		grace := time.NewTimer(cancelGrace)
@@ -213,6 +227,7 @@ func runOne(l *Lab, s Spec, timeout time.Duration) Outcome {
 			// Finished (or failed for an unrelated reason) in the
 			// grace window: a result that just beat the deadline is
 			// better reported than discarded.
+			//lint:allow detrand wall-clock timing only: feeds Outcome.Elapsed, which reports exclude
 			return finishOutcome(s.Name, d.res, d.err, time.Since(start))
 		case <-grace.C:
 			return Outcome{
@@ -231,4 +246,3 @@ func finishOutcome(name string, res fmt.Stringer, err error, elapsed time.Durati
 	}
 	return o
 }
-

@@ -32,7 +32,7 @@ type FAISweepResult struct {
 
 // FAISweep generates and measures GPT-3 strategies across adjustment
 // intervals from 5 ms to 1 s.
-func (l *Lab) FAISweep() (*FAISweepResult, error) { return l.faiSweep(context.Background()) }
+func (l *Lab) FAISweep() (*FAISweepResult, error) { return l.faiSweep(context.Background()) } //lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 
 func (l *Lab) faiSweep(ctx context.Context) (*FAISweepResult, error) {
 	gpt, err := l.gpt3Models()
@@ -104,6 +104,7 @@ type SeedsResult struct {
 // SeedsRobustness repeats the 2%-target GPT-3 optimization with n GA
 // seeds.
 func (l *Lab) SeedsRobustness(n int) (*SeedsResult, error) {
+	//lint:allow ctxflow context-free convenience wrapper; the harness passes its ctx to the unexported variant
 	return l.seedsRobustness(context.Background(), n)
 }
 

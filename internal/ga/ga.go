@@ -130,6 +130,7 @@ type scored struct {
 // Run executes the genetic search to completion. It is RunContext
 // without a cancellation point.
 func Run(p Problem, cfg Config) (*Result, error) {
+	//lint:allow ctxflow context-free convenience wrapper; cancellable callers use RunContext
 	return RunContext(context.Background(), p, cfg)
 }
 

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation contract from PR 2: only cmd/*
+// binaries and tests may mint root contexts, so any deadline installed
+// at the edge provably reaches ga.Run's generation boundaries. It has
+// two checks:
+//
+//  1. context.Background()/context.TODO() inside internal/* non-test
+//     code is flagged — a root context minted mid-stack silently
+//     detaches everything below it from the caller's deadline.
+//  2. An exported function or method in internal/* that loops over
+//     generations or specs (the long-running search shapes) but whose
+//     signature has no context.Context parameter is flagged — it has
+//     no way to observe cancellation at all.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "root contexts in internal/*; exported generation/spec loops without a ctx parameter",
+	Run: func(p *Package, report func(pos token.Pos, format string, args ...any)) {
+		if !isInternalPkg(p.ImportPath) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn := calleeFunc(p, call); isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+						report(call.Pos(), "context.%s() mints a root context in internal package %s; accept a ctx from the caller (only cmd/* and tests may create roots)", fn.Name(), pkgBase(p.ImportPath))
+					}
+				}
+				return true
+			})
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig, ok := obj.Type().(*types.Signature)
+				if !ok || signatureHasContext(sig) {
+					continue
+				}
+				if loop := searchLoop(p, fd.Body); loop != nil {
+					report(fd.Pos(), "exported %s loops over generations/specs but has no context.Context parameter; long searches must be cancellable (add a ctx or an unexported ctx-taking core)", fd.Name.Name)
+				}
+			}
+		}
+	},
+}
+
+// searchLoop returns a for/range statement in body that iterates over
+// generations or specs — the shapes of the repo's long-running search
+// loops — or nil. Detection is intentionally name-based: a range whose
+// subject mentions spec/generation, or a classic for whose variables
+// do ("for gen := 0; gen < cfg.Generations; gen++").
+func searchLoop(p *Package, body *ast.BlockStmt) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if mentionsSearchNoun(renderExpr(p, s.X)) {
+				found = s
+				return false
+			}
+		case *ast.ForStmt:
+			text := ""
+			if s.Init != nil {
+				text += renderStmt(p, s.Init) + " "
+			}
+			if s.Cond != nil {
+				text += renderExpr(p, s.Cond)
+			}
+			if mentionsSearchNoun(text) {
+				found = s
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsSearchNoun(text string) bool {
+	text = strings.ToLower(text)
+	return strings.Contains(text, "spec") || strings.Contains(text, "generation") || strings.Contains(text, "gen ") || strings.HasPrefix(text, "gen")
+}
+
+func renderStmt(p *Package, s ast.Stmt) string {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		parts := make([]string, 0, len(st.Lhs))
+		for _, e := range st.Lhs {
+			parts = append(parts, renderExpr(p, e))
+		}
+		return strings.Join(parts, ", ")
+	case *ast.ExprStmt:
+		return renderExpr(p, st.X)
+	}
+	return ""
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// toleranceHelperPkg is the one package allowed to compare floats with
+// ==/!=: it is where the approved tolerance helpers (stats.AlmostEqual,
+// stats.Approx) and the numerical kernels that need exact sentinel
+// arithmetic live.
+const toleranceHelperPkg = "npudvfs/internal/stats"
+
+// FloatEq flags == and != where either operand is float-typed, outside
+// internal/stats. Exact float equality on a compute path is how two
+// byte-identical runs diverge after an innocuous refactor reorders an
+// addition; route comparisons through stats.AlmostEqual/stats.Approx,
+// or annotate genuinely-exact sentinel checks (x == 0 guards, NaN
+// self-comparison) with //lint:allow floateq <reason>.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag float ==/!= outside the internal/stats tolerance helpers",
+	Run: func(p *Package, report func(pos token.Pos, format string, args ...any)) {
+		if p.ImportPath == toleranceHelperPkg || pkgBase(p.ImportPath) == "stats" {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt := p.Info.TypeOf(be.X)
+				yt := p.Info.TypeOf(be.Y)
+				if isFloat(xt) || isFloat(yt) {
+					report(be.OpPos, "float comparison %s %s %s; use stats.AlmostEqual/stats.Approx, or annotate an exact sentinel check with %s floateq <reason>",
+						renderExpr(p, be.X), be.Op, renderExpr(p, be.Y), allowPrefix)
+				}
+				return true
+			})
+		}
+	},
+}

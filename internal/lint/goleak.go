@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// trackedPoolPkg is the worker-pool package whose use counts as
+// goroutine tracking: pool.Each joins all its workers before
+// returning.
+const trackedPoolPkg = "npudvfs/internal/pool"
+
+// GoLeak is a lightweight, static version of the goroutine-leak checks
+// the PR 2 shutdown tests chase dynamically. A `go` statement is
+// flagged unless the goroutine's body (its closure, or the same-package
+// function it calls) shows one of the accepted tracking shapes:
+//
+//   - it touches a sync.WaitGroup (Done/Add/Wait or any reference),
+//   - it communicates on a channel (send, receive, select, or close),
+//     making it joinable by a reader, or
+//   - it delegates to internal/pool, whose Each joins its workers.
+//
+// Goroutines launched through a function in another package are not
+// flagged (their body is out of view); everything else that runs
+// untracked can outlive shutdown and is exactly what the dvfsd drain
+// tests exist to catch.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go statements must be tracked by a WaitGroup, a channel, or internal/pool",
+	Run: func(p *Package, report func(pos token.Pos, format string, args ...any)) {
+		decls := packageFuncDecls(p)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				// The statement's own expressions (the closure body,
+				// the call arguments) are always in view.
+				if nodeTracksGoroutine(p, g.Call) {
+					return true
+				}
+				// go pkgLocalFunc(...): follow into the body.
+				if fn := calleeFunc(p, g.Call); fn != nil {
+					if fn.Pkg() != nil && fn.Pkg().Path() != p.ImportPath {
+						return true // out-of-package target: body not in view
+					}
+					if decl := decls[fn]; decl != nil && decl.Body != nil && nodeTracksGoroutine(p, decl.Body) {
+						return true
+					}
+				}
+				report(g.Pos(), "untracked goroutine: references no sync.WaitGroup, channel, or internal/pool, so nothing can join it at shutdown; track it or justify with %s goleak <reason>", allowPrefix)
+				return true
+			})
+		}
+	},
+}
+
+// packageFuncDecls maps each function object to its declaration so the
+// analyzer can follow `go f()` into same-package bodies.
+func packageFuncDecls(p *Package) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// nodeTracksGoroutine reports whether the subtree shows one of the
+// accepted tracking shapes.
+func nodeTracksGoroutine(p *Package, root ast.Node) bool {
+	tracked := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			tracked = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				tracked = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tracked = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					tracked = true
+				}
+			}
+			if fn := calleeFunc(p, n); fn != nil && funcPkgPath(fn) == trackedPoolPkg {
+				tracked = true
+			}
+		case *ast.Ident:
+			if isWaitGroupObj(p.Info.Uses[n]) {
+				tracked = true
+			}
+		case *ast.SelectorExpr:
+			if isWaitGroupObj(p.Info.Uses[n.Sel]) {
+				tracked = true
+			}
+		}
+		return !tracked
+	})
+	return tracked
+}
+
+// isWaitGroupObj reports whether obj is (or dereferences to) a
+// sync.WaitGroup variable or field.
+func isWaitGroupObj(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "WaitGroup" && o.Pkg() != nil && o.Pkg().Path() == "sync"
+}

@@ -1,0 +1,202 @@
+// Package lint is dvfslint: a project-specific static-analysis suite,
+// built entirely on the stdlib go/ast + go/types toolchain, that
+// mechanically enforces the repository's determinism and concurrency
+// contracts (DESIGN.md §9). It ships five analyzers:
+//
+//	detrand    — no process-global math/rand or wall-clock reads in
+//	             deterministic packages
+//	floateq    — no float ==/!= outside internal/stats tolerance helpers
+//	ctxflow    — no root contexts minted in internal/*; exported
+//	             generation/spec loops must accept a context.Context
+//	lockpair   — every mutex Lock/RLock pairs with an Unlock/RUnlock in
+//	             the same function
+//	goleak     — every `go` statement must be tracked by a WaitGroup, a
+//	             result channel, or internal/pool
+//
+// A diagnostic is suppressed only by an explicit justification on the
+// flagged line (or the line above):
+//
+//	//lint:allow <rule> <reason>
+//
+// so every exemption is reviewable in-tree.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: [rule] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the rule name used in output and //lint:allow directives.
+	Name string
+	// Doc is a one-line description for -list.
+	Doc string
+	// Run reports findings via report; suppression and sorting are the
+	// engine's job.
+	Run func(p *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Analyzers returns the full suite in canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak}
+}
+
+// SelectAnalyzers resolves a comma-separated rule list ("" or "all"
+// selects the full suite) against the registry.
+func SelectAnalyzers(rules string) ([]*Analyzer, error) {
+	all := Analyzers()
+	rules = strings.TrimSpace(rules)
+	if rules == "" || rules == "all" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		a, ok := byName[r]
+		if !ok {
+			names := make([]string, len(all))
+			for i, a := range all {
+				names[i] = a.Name
+			}
+			return nil, fmt.Errorf("lint: unknown rule %q (available: %s)", r, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no rules selected")
+	}
+	return out, nil
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	rule   string
+	reason string
+	line   int
+	pos    token.Pos
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts every //lint:allow directive in the file, and
+// reports malformed ones (a directive with no reason silently
+// suppressing nothing is worse than an error).
+func parseAllows(p *Package, f *ast.File, report func(pos token.Pos, format string, args ...any)) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				report(c.Pos(), "malformed directive %q: want %s <rule> <reason>", c.Text, allowPrefix)
+				continue
+			}
+			out = append(out, allowDirective{
+				rule:   fields[0],
+				reason: strings.Join(fields[1:], " "),
+				line:   p.Fset.Position(c.Pos()).Line,
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the package, applies //lint:allow
+// suppression, and returns the surviving diagnostics sorted by
+// position.
+func Run(p *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	collect := func(rule string) func(pos token.Pos, format string, args ...any) {
+		return func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     p.Fset.Position(pos),
+				Rule:    rule,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	// Allow directives apply per file; malformed ones are findings of
+	// the pseudo-rule "directive".
+	allowed := map[string]map[int]bool{} // rule -> line -> allowed
+	for _, f := range p.Files {
+		for _, a := range parseAllows(p, f, collect("directive")) {
+			m := allowed[a.rule]
+			if m == nil {
+				m = map[int]bool{}
+				allowed[a.rule] = m
+			}
+			m[a.line] = true
+		}
+	}
+	for _, a := range analyzers {
+		a.Run(p, collect(a.Name))
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		// A directive suppresses a diagnostic on its own line or the
+		// line directly below (comment-above style).
+		if m := allowed[d.Rule]; m != nil && (m[d.Pos.Line] || m[d.Pos.Line-1]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// RunAll loads every package under root and runs the analyzers over
+// each, returning all surviving diagnostics sorted per package.
+func RunAll(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ld, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := ld.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, p := range pkgs {
+		out = append(out, Run(p, analyzers)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests mount testdata/src/<name> under a synthetic
+// module-internal import path (so package-scoped rules like detrand's
+// deterministic-package list fire) and compare the analyzer output
+// against `// want rule `substring`` expectations written on the
+// flagged lines.
+
+// loadTestPkg loads testdata/src/<name> as importPath.
+func loadTestPkg(t *testing.T, name, importPath string) *Package {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	ld.Mount(importPath, dir)
+	p, err := ld.Load(importPath)
+	if err != nil {
+		t.Fatalf("load %s (%s): %v", name, importPath, err)
+	}
+	return p
+}
+
+// want is one expectation: a diagnostic of rule whose message contains
+// substr, on the line the comment sits on.
+type want struct {
+	rule    string
+	substr  string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("(\\w+) `([^`]*)`")
+
+// collectWants parses `// want rule `substring“ comments; several
+// rule/substring pairs may share one comment.
+func collectWants(p *Package) map[int][]*want {
+	wants := map[int][]*want{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					wants[line] = append(wants[line], &want{rule: m[1], substr: m[2]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(ws []*want, d Diagnostic) bool {
+	for _, w := range ws {
+		if !w.matched && w.rule == d.Rule && strings.Contains(d.Message, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// checkGolden runs the analyzers and requires an exact bijection
+// between diagnostics and want comments.
+func checkGolden(t *testing.T, p *Package, analyzers []*Analyzer) {
+	t.Helper()
+	wants := collectWants(p)
+	for _, d := range Run(p, analyzers) {
+		if !matchWant(wants[d.Pos.Line], d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("line %d: missing diagnostic [%s] containing %q", line, w.rule, w.substr)
+			}
+		}
+	}
+}
+
+func TestDetRandGolden(t *testing.T) {
+	p := loadTestPkg(t, "ga", "npudvfs/internal/ga")
+	checkGolden(t, p, []*Analyzer{DetRand})
+}
+
+// TestDetRandScopedToDeterministicPkgs mounts the same file outside the
+// deterministic list and expects silence: detrand is package-scoped.
+func TestDetRandScopedToDeterministicPkgs(t *testing.T) {
+	p := loadTestPkg(t, "ga", "npudvfs/internal/telemetry")
+	if diags := Run(p, []*Analyzer{DetRand}); len(diags) != 0 {
+		t.Fatalf("detrand fired outside the deterministic packages: %v", diags)
+	}
+}
+
+func TestFloatEqGolden(t *testing.T) {
+	p := loadTestPkg(t, "floateq", "npudvfs/internal/floateq")
+	checkGolden(t, p, []*Analyzer{FloatEq})
+}
+
+// TestFloatEqSkipsStats: internal/stats hosts the tolerance helpers, so
+// its exact comparisons are by design.
+func TestFloatEqSkipsStats(t *testing.T) {
+	p := loadTestPkg(t, "stats", "npudvfs/internal/stats")
+	if diags := Run(p, []*Analyzer{FloatEq}); len(diags) != 0 {
+		t.Fatalf("floateq fired inside internal/stats: %v", diags)
+	}
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	p := loadTestPkg(t, "ctxflow", "npudvfs/internal/ctxflow")
+	checkGolden(t, p, []*Analyzer{CtxFlow})
+}
+
+func TestLockPairGolden(t *testing.T) {
+	p := loadTestPkg(t, "lockpair", "npudvfs/internal/lockpair")
+	checkGolden(t, p, []*Analyzer{LockPair})
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	p := loadTestPkg(t, "goleak", "npudvfs/internal/goleak")
+	checkGolden(t, p, []*Analyzer{GoLeak})
+}
+
+// TestCleanPackage runs the full suite over a contract-respecting file
+// mounted as a deterministic package and expects zero findings.
+func TestCleanPackage(t *testing.T) {
+	p := loadTestPkg(t, "clean", "npudvfs/internal/core")
+	if diags := Run(p, Analyzers()); len(diags) != 0 {
+		t.Fatalf("clean package produced findings: %v", diags)
+	}
+}
+
+// mountSource type-checks src as a synthetic package under importPath.
+func mountSource(t *testing.T, importPath, filename, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, filename), []byte(src), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	ld.Mount(importPath, dir)
+	p, err := ld.Load(importPath)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return p
+}
+
+// TestMalformedDirective: an //lint:allow with no reason must surface
+// as a "directive" finding, not silently suppress. This cannot live in
+// a want-golden file — the trailing want comment would itself read as
+// the directive's reason.
+func TestMalformedDirective(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/badlint", "bad.go", `package badlint
+
+func f() int {
+	//lint:allow floateq
+	return 1
+}
+`)
+	diags := Run(p, Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "directive" || !strings.Contains(d.Message, "malformed directive") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestAllowWrongRuleDoesNotSuppress: a directive only suppresses its
+// named rule.
+func TestAllowWrongRuleDoesNotSuppress(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/wrongrule", "wrong.go", `package wrongrule
+
+func g(a, b float64) bool {
+	//lint:allow detrand misdirected suppression
+	return a == b
+}
+`)
+	diags := Run(p, []*Analyzer{FloatEq})
+	if len(diags) != 1 || diags[0].Rule != "floateq" {
+		t.Fatalf("got %v, want one floateq finding", diags)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	for _, rules := range []string{"", "all"} {
+		as, err := SelectAnalyzers(rules)
+		if err != nil || len(as) != len(Analyzers()) {
+			t.Fatalf("SelectAnalyzers(%q) = %d analyzers, err %v", rules, len(as), err)
+		}
+	}
+	as, err := SelectAnalyzers("detrand,floateq")
+	if err != nil {
+		t.Fatalf("SelectAnalyzers subset: %v", err)
+	}
+	if len(as) != 2 || as[0].Name != "detrand" || as[1].Name != "floateq" {
+		t.Fatalf("SelectAnalyzers subset = %v", as)
+	}
+	if _, err := SelectAnalyzers("bogus"); err == nil || !strings.Contains(err.Error(), "unknown rule") {
+		t.Fatalf("SelectAnalyzers(bogus) err = %v, want unknown-rule error", err)
+	}
+	if _, err := SelectAnalyzers(","); err == nil {
+		t.Fatalf("SelectAnalyzers(\",\") selected nothing but returned no error")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "internal/ga/ga.go", Line: 42},
+		Rule:    "detrand",
+		Message: "math/rand.Intn uses the process-global RNG",
+	}
+	got := d.String()
+	want := "internal/ga/ga.go:42: [detrand] math/rand.Intn uses the process-global RNG"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockPair flags a mu.Lock()/mu.RLock() call with no matching
+// mu.Unlock()/mu.RUnlock() anywhere in the same function body (direct
+// or deferred, including inside deferred closures). It is a
+// shape check, not a path-sensitive prover: a lock whose unlock lives
+// in a different function is almost always either a bug or a design
+// worth an explicit //lint:allow lockpair <reason>.
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "every mutex Lock/RLock must pair with an Unlock/RUnlock in the same function",
+	Run: func(p *Package, report func(pos token.Pos, format string, args ...any)) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkLockPairs(p, fn.Body, report)
+					}
+				case *ast.FuncLit:
+					checkLockPairs(p, fn.Body, report)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// lockKinds maps an acquire method to its required release.
+var lockKinds = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+// checkLockPairs inspects one function body. Acquire calls are
+// attributed to the innermost function literal that contains them
+// (nested literals are visited separately by the analyzer), while
+// release calls anywhere in the subtree count — `defer func() {
+// mu.Unlock() }()` is a legitimate pairing.
+func checkLockPairs(p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	type acquire struct {
+		pos  token.Pos
+		recv string // rendered receiver expression, e.g. "s.mu"
+		kind string // "Lock" or "RLock"
+	}
+	var acquires []acquire
+	released := map[string]bool{} // recv + "." + release method
+
+	walk := func(n ast.Node, topLevel bool) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		release := name == "Unlock" || name == "RUnlock"
+		_, isAcquire := lockKinds[name]
+		if !release && !isAcquire {
+			return true
+		}
+		if fn := calleeFunc(p, call); !isSyncMethod(fn, name) {
+			return true
+		}
+		recv := renderExpr(p, sel.X)
+		if release {
+			released[recv+"."+name] = true
+		} else if topLevel {
+			acquires = append(acquires, acquire{pos: call.Pos(), recv: recv, kind: name})
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Releases inside nested literals still count; acquires do
+			// not — the literal gets its own checkLockPairs visit from
+			// the analyzer's file walk.
+			ast.Inspect(n, func(m ast.Node) bool { return walk(m, false) })
+			return false
+		}
+		return walk(n, true)
+	})
+	for _, a := range acquires {
+		want := lockKinds[a.kind]
+		if !released[a.recv+"."+want] {
+			report(a.pos, "%s.%s() has no matching %s.%s() in this function; release on every path (usually defer %s.%s()) or justify with %s lockpair <reason>",
+				a.recv, a.kind, a.recv, want, a.recv, want, allowPrefix)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package clean is dvfslint golden-test input: mounted as
+// npudvfs/internal/core (a deterministic package), it follows every
+// contract and must produce zero findings under the full suite.
+package clean
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+)
+
+// Pipeline is a contract-respecting miniature of the repo's shapes.
+type Pipeline struct {
+	mu    sync.Mutex
+	cache map[int]float64
+}
+
+// RunContext seeds its own RNG, observes ctx, and pairs its locks.
+func (p *Pipeline) RunContext(ctx context.Context, seed int64, n int) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += p.score(i, rng.Float64())
+	}
+	return total, nil
+}
+
+func (p *Pipeline) score(i int, draw float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.cache[i]; ok {
+		return v
+	}
+	if p.cache == nil {
+		p.cache = map[int]float64{}
+	}
+	p.cache[i] = draw
+	return draw
+}
+
+// Fan joins its goroutines through a WaitGroup.
+func Fan(workers int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			fn(w)
+		}()
+	}
+	wg.Wait()
+}

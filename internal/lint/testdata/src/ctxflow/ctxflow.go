@@ -1,0 +1,65 @@
+// Package ctxflow is dvfslint golden-test input for the ctxflow
+// analyzer. The test mounts it as npudvfs/internal/ctxflow.
+package ctxflow
+
+import "context"
+
+// Searcher fakes the repo's long-running search shapes.
+type Searcher struct{ generations int }
+
+// Background mints a root context mid-stack: flagged.
+func (s *Searcher) Background() context.Context {
+	return context.Background() // want ctxflow `context.Background() mints a root context`
+}
+
+func todo() context.Context {
+	return context.TODO() // want ctxflow `context.TODO() mints a root context`
+}
+
+// Search is an exported spec loop with no ctx parameter: flagged.
+func (s *Searcher) Search(specs []int) int { // want ctxflow `loops over generations/specs but has no context.Context parameter`
+	total := 0
+	for _, spec := range specs {
+		total += spec
+	}
+	return total
+}
+
+// Evolve is an exported generation loop with no ctx parameter: flagged.
+func Evolve(generations int) int { // want ctxflow `loops over generations/specs but has no context.Context parameter`
+	sum := 0
+	for gen := 0; gen < generations; gen++ {
+		sum += gen
+	}
+	return sum
+}
+
+// SearchContext is the approved shape: the loop can observe ctx.
+func (s *Searcher) SearchContext(ctx context.Context, specs []int) int {
+	total := 0
+	for _, spec := range specs {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += spec
+	}
+	return total
+}
+
+// evolve is unexported: callers inside the package are expected to
+// hold a ctx already, so it is not flagged.
+func evolve(generations int) int {
+	sum := 0
+	for gen := 0; gen < generations; gen++ {
+		sum += gen
+	}
+	return sum
+}
+
+// Run shows an in-tree justified suppression of the root-context rule.
+func Run(s *Searcher) int {
+	//lint:allow ctxflow context-free convenience wrapper; cancellable callers use SearchContext
+	return s.SearchContext(context.Background(), []int{1, 2, 3})
+}

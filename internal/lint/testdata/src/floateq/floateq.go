@@ -1,0 +1,27 @@
+// Package floateq is dvfslint golden-test input for the floateq
+// analyzer. The test mounts it as npudvfs/internal/floateq.
+package floateq
+
+// compare mixes float and integer comparisons: only the float ones are
+// findings.
+func compare(a, b float64, n, m int) bool {
+	if a == b { // want floateq `float comparison a == b`
+		return true
+	}
+	if n == m { // integers: exact equality is fine
+		return false
+	}
+	return a != 0 // want floateq `float comparison a != 0`
+}
+
+// mixed flags a comparison where only one operand is float-typed.
+func mixed(x float64) bool {
+	return x == 3 // want floateq `float comparison x == 3`
+}
+
+// isNaN shows an in-tree justified suppression: NaN self-comparison is
+// exact by design.
+func isNaN(x float64) bool {
+	//lint:allow floateq exact NaN self-comparison
+	return x != x
+}

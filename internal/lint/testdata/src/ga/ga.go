@@ -1,0 +1,36 @@
+// Package ga is dvfslint golden-test input for the detrand analyzer.
+// The test mounts it as npudvfs/internal/ga, one of the deterministic
+// packages.
+package ga
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalRand exercises the forbidden process-global RNG entry points.
+func globalRand() int {
+	n := rand.Intn(10)                 // want detrand `math/rand.Intn uses the process-global RNG`
+	f := rand.Float64()                // want detrand `math/rand.Float64 uses the process-global RNG`
+	rand.Shuffle(n, func(i, j int) {}) // want detrand `math/rand.Shuffle uses the process-global RNG`
+	_ = f
+	return n
+}
+
+// seededRand is the approved shape: an explicit, seedable source.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// wallClock exercises the forbidden wall-clock reads.
+func wallClock() time.Duration {
+	start := time.Now()      // want detrand `time.Now reads the wall clock`
+	return time.Since(start) // want detrand `time.Since reads the wall clock`
+}
+
+// timedDiagnostics shows an in-tree justified suppression.
+func timedDiagnostics() time.Time {
+	//lint:allow detrand wall-clock timing only: feeds a duration field excluded from reports
+	return time.Now()
+}

@@ -1,0 +1,72 @@
+// Package goleak is dvfslint golden-test input for the goleak
+// analyzer.
+package goleak
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"npudvfs/internal/pool"
+)
+
+// FireAndForget launches a goroutine nothing can join: flagged.
+func FireAndForget(work func()) {
+	go work() // want goleak `untracked goroutine`
+}
+
+// spin is a same-package helper that tracks nothing.
+func spin() {
+	for i := 0; i < 1000; i++ {
+		_ = i
+	}
+}
+
+// Launch follows the go statement into spin's body: flagged.
+func Launch() {
+	go spin() // want goleak `untracked goroutine`
+}
+
+// Tracked joins its goroutines through a WaitGroup: clean.
+func Tracked(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Result makes the goroutine joinable through a result channel: clean.
+func Result() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// Pooled delegates to internal/pool, whose Each joins its workers:
+// clean.
+func Pooled(ctx context.Context) {
+	go func() {
+		_ = pool.Each(ctx, 1, 4, 2, func(int, *rand.Rand) error { return nil })
+	}()
+}
+
+// External targets another package: its body is out of view, so it is
+// assumed managed.
+func External(d time.Duration) {
+	go time.Sleep(d)
+}
+
+// Daemon shows an in-tree justified suppression.
+func Daemon() {
+	//lint:allow goleak process-lifetime daemon; exits with the process
+	go func() {
+		for {
+			_ = struct{}{}
+		}
+	}()
+}

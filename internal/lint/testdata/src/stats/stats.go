@@ -1,0 +1,17 @@
+// Package stats is dvfslint golden-test input: mounted as
+// npudvfs/internal/stats, the approved tolerance-helper package where
+// exact float comparison is the whole point. No findings expected.
+package stats
+
+// AlmostEqual is a stand-in for the real helper; the exact comparisons
+// below must not be flagged here.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -120,6 +120,7 @@ func (c *Chip) SaturationMHz(portC, l2Hit float64) float64 {
 // bandwidth limited, stall cycles grow linearly with f); the second
 // below it (core-side port limited, constant cycles).
 func (c *Chip) transferCycles(m, portC, l2Hit, fMHz float64) float64 {
+	//lint:allow floateq exact sentinel: zero bytes moved short-circuits to zero cycles
 	if m == 0 {
 		return 0
 	}

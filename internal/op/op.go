@@ -169,6 +169,7 @@ func (s *Spec) Validate() error {
 		if s.LoadBytes < 0 || s.StoreBytes < 0 || s.CoreCycles < 0 {
 			return fmt.Errorf("op %s: negative timeline quantity", s.Key())
 		}
+		//lint:allow floateq exact sentinel: validation rejects all-zero work, not near-zero work
 		if s.LoadBytes == 0 && s.StoreBytes == 0 && s.CoreCycles == 0 {
 			return fmt.Errorf("op %s: compute operator with no work", s.Key())
 		}

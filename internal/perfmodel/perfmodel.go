@@ -56,7 +56,7 @@ func FitFunc2(freqMHz, micros []float64) (Model, error) {
 	}
 	if len(freqMHz) == 2 {
 		f1, f2 := freqMHz[0], freqMHz[1]
-		if f1 == f2 {
+		if stats.Approx(f1, f2) {
 			return Model{}, fmt.Errorf("perfmodel: duplicate fit frequency %g", f1)
 		}
 		// A·f1² + C = T1·f1 ; A·f2² + C = T2·f2.
@@ -236,7 +236,7 @@ func SelectPoints(s *profiler.Series, freqs []float64) (fs, ts []float64, ok boo
 	for _, want := range freqs {
 		found := false
 		for i, f := range s.FreqMHz {
-			if f == want {
+			if stats.Approx(f, want) {
 				fs = append(fs, f)
 				ts = append(ts, s.Micros[i])
 				found = true

@@ -74,9 +74,11 @@ func (c *Chart) SVG() (string, error) {
 		return "", fmt.Errorf("plot: chart %q has no finite points", c.Title)
 	}
 	// Degenerate ranges expand symmetrically so lines stay visible.
+	//lint:allow floateq exact degenerate-range check; only a truly collapsed axis needs widening
 	if xmax == xmin {
 		xmin, xmax = xmin-1, xmax+1
 	}
+	//lint:allow floateq exact degenerate-range check; only a truly collapsed axis needs widening
 	if ymax == ymin {
 		ymin, ymax = ymin-1, ymax+1
 	}

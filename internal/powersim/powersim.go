@@ -176,6 +176,7 @@ func (g *Ground) achievedBW(s *op.Spec, fMHz float64) float64 {
 // bus, AICPU) while the given trace entry runs.
 func (g *Ground) UncorePower(s *op.Spec, fMHz, deltaT float64) float64 {
 	p := g.UncoreIdle + g.UncoreGamma*deltaT
+	//lint:allow floateq exact sentinel: 1 is the nominal scale, copied verbatim from config
 	if scale := g.UncoreScale; scale > 0 && scale != 1 {
 		// Downclocking the uncore shrinks its clock-proportional idle
 		// power (frequency and, mildly, voltage).

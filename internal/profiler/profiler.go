@@ -81,6 +81,7 @@ func (p *Profile) weightedMean(get func(*Record) float64) float64 {
 		num += get(r) * r.DurMicros
 		den += r.DurMicros
 	}
+	//lint:allow floateq exact sentinel: division guard against a zero-duration profile
 	if den == 0 {
 		return 0
 	}

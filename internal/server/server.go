@@ -92,6 +92,7 @@ type Server struct {
 // New starts the worker pool and returns the service.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
+	//lint:allow ctxflow daemon lifecycle root: New owns the process-long context that Shutdown cancels
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,

@@ -264,6 +264,33 @@ func CurveFit(model ModelFunc, xs, ys, p0 []float64, opt LMOptions) ([]float64, 
 	return p, cur, nil
 }
 
+// DefaultTol is the tolerance Approx uses: tight enough that any two
+// values that were computed differently on purpose stay distinguishable,
+// loose enough to absorb non-associative float noise from refactors.
+const DefaultTol = 1e-9
+
+// AlmostEqual reports whether a and b agree to within tol, using an
+// absolute floor of tol for sub-unit magnitudes and a relative bound
+// above it. It is the approved way to compare floats on compute paths
+// (dvfslint's floateq rule forbids raw ==/!= outside this package).
+// Exact equality — including matching infinities — short-circuits;
+// NaN never equals anything, and an infinity never equals a finite
+// value (without the explicit check, Inf-x = Inf and tol*Inf = Inf
+// would make them compare equal).
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	d := math.Abs(a - b)
+	return d <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// Approx is AlmostEqual at DefaultTol.
+func Approx(a, b float64) bool { return AlmostEqual(a, b, DefaultTol) }
+
 // AbsRelError returns |pred - actual| / |actual|.
 func AbsRelError(pred, actual float64) float64 {
 	if actual == 0 {

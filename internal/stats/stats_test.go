@@ -246,3 +246,42 @@ func TestQuickLinFitExact(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"exact", 1.5, 1.5, 1e-9, true},
+		{"within-rel", 1e9, 1e9 + 0.5, 1e-9, true},
+		{"outside-rel", 1e9, 1e9 + 10, 1e-9, false},
+		{"abs-floor-small", 1e-12, 0, 1e-9, true},
+		{"small-distinct", 1e-6, 2e-6, 1e-9, false},
+		{"inf-same", math.Inf(1), math.Inf(1), 1e-9, true},
+		{"inf-vs-finite", math.Inf(1), 1e300, 1e-9, false},
+		{"nan", math.NaN(), math.NaN(), 1e-9, false},
+		{"neg-symmetric", -3.0, -3.0 - 1e-12, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: AlmostEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+		if got := AlmostEqual(c.b, c.a, c.tol); got != c.want {
+			t.Errorf("%s: AlmostEqual not symmetric for (%v, %v)", c.name, c.a, c.b)
+		}
+	}
+}
+
+func TestApprox(t *testing.T) {
+	if !Approx(0.1+0.2, 0.3) {
+		t.Error("Approx(0.1+0.2, 0.3) = false; the helper exists for exactly this case")
+	}
+	if Approx(0.3, 0.3001) {
+		t.Error("Approx(0.3, 0.3001) = true, want false")
+	}
+	if !Approx(0, 0) {
+		t.Error("Approx(0, 0) = false")
+	}
+}

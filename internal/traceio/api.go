@@ -58,9 +58,11 @@ type SearchSpec struct {
 // the cmd/dvfs-run flag defaults so a server-generated strategy is
 // byte-identical to the batch path's for the same workload and seed.
 func (s *SearchSpec) Canonicalize() error {
+	//lint:allow floateq exact sentinel: 0 means "use the default", mirroring the flag default
 	if s.TargetLoss == 0 {
 		s.TargetLoss = 0.02
 	}
+	//lint:allow floateq exact sentinel: 0 means "use the default", mirroring the flag default
 	if s.FAIMillis == 0 {
 		s.FAIMillis = 5
 	}

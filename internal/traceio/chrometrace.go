@@ -83,6 +83,7 @@ func WriteChromeTrace(w io.Writer, prof *profiler.Profile, strat *core.Strategy)
 	if strat != nil {
 		for _, p := range strat.Points {
 			args := map[string]any{"freq_mhz": p.FreqMHz, "op_index": p.OpIndex}
+			//lint:allow floateq exact sentinels: 0 = unset, 1 = nominal scale
 			if p.UncoreScale != 0 && p.UncoreScale != 1 {
 				args["uncore_scale"] = p.UncoreScale
 			}

@@ -117,6 +117,7 @@ func (c *Curve) Nearest(fMHz float64) float64 {
 func (c *Curve) Contains(fMHz float64) bool {
 	grid := c.Grid()
 	i := sort.SearchFloat64s(grid, fMHz)
+	//lint:allow floateq exact by contract: grid points are constructed identically by Grid/Nearest and Contains is documented as exact membership
 	return i < len(grid) && grid[i] == fMHz
 }
 
