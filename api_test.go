@@ -59,7 +59,7 @@ func TestFacadeConstructors(t *testing.T) {
 	if NewProfiler(chip, 1) == nil {
 		t.Error("nil profiler")
 	}
-	m, err := FitPerfModel([]float64{1000, 1800}, []float64{100, 90})
+	m, err := FitPerfModel([]MHz{1000, 1800}, []Micros{100, 90})
 	if err != nil {
 		t.Fatal(err)
 	}

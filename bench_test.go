@@ -16,6 +16,7 @@ import (
 	"npudvfs/internal/ga"
 	"npudvfs/internal/perfmodel"
 	"npudvfs/internal/profiler"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -307,8 +308,8 @@ func (p *evProblem) Seeds() [][]int {
 // BenchmarkFitFunc2Micro measures the raw cost of one direct Func. 2
 // solve, the inner loop of model construction.
 func BenchmarkFitFunc2Micro(b *testing.B) {
-	fs := []float64{1000, 1800}
-	ts := []float64{123.4, 98.7}
+	fs := []units.MHz{1000, 1800}
+	ts := []units.Micros{123.4, 98.7}
 	for i := 0; i < b.N; i++ {
 		if _, err := perfmodel.FitFunc2(fs, ts); err != nil {
 			b.Fatal(err)

@@ -26,6 +26,7 @@ import (
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/traceio"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -89,7 +90,7 @@ func main() {
 		}
 		cfg := core.DefaultConfig()
 		cfg.PerfLossTarget = *target
-		cfg.FAIMicros = *faiMs * 1000
+		cfg.FAIMicros = units.Millis(*faiMs).Micros()
 		cfg.GA.PopSize = *pop
 		cfg.GA.Generations = *gens
 		cfg.GA.Seed = *seed

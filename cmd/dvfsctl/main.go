@@ -27,6 +27,7 @@ import (
 
 	"npudvfs/internal/server/client"
 	"npudvfs/internal/traceio"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -87,7 +88,7 @@ func searchFlags(fs *flag.FlagSet) func() traceio.SearchSpec {
 	timeoutMs := fs.Int("timeout-ms", 0, "per-job search deadline in ms (0 = server default)")
 	return func() traceio.SearchSpec {
 		return traceio.SearchSpec{
-			TargetLoss: *target, FAIMillis: *fai,
+			TargetLoss: *target, FAIMillis: units.Millis(*fai),
 			Pop: *pop, Gens: *gens, Seed: *seed, TimeoutMillis: *timeoutMs,
 		}
 	}

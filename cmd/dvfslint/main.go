@@ -28,12 +28,13 @@ import (
 
 func main() {
 	var (
-		rules = flag.String("rules", "all", "comma-separated rule subset to run (e.g. detrand,floateq), or all")
-		dir   = flag.String("dir", ".", "directory inside the module to analyze")
-		list  = flag.Bool("list", false, "list available rules and exit")
+		rules   = flag.String("rules", "all", "comma-separated rule subset to run (e.g. detrand,floateq), or all")
+		dir     = flag.String("dir", ".", "directory inside the module to analyze")
+		list    = flag.Bool("list", false, "list available rules and exit")
+		workers = flag.Int("j", 0, "worker-pool size for package analysis (0 = min(GOMAXPROCS, 8))")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dvfslint [-rules r1,r2] [-dir path] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dvfslint [-rules r1,r2] [-dir path] [-j n] [-list] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags, err := lint.RunAll(root, analyzers)
+	diags, err := lint.RunAllWorkers(root, analyzers, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

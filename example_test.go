@@ -10,13 +10,13 @@ import (
 // the two parameters of T(f) = A·f + C/f are solved exactly, and the
 // model interpolates the whole DVFS range (Sect. 4.3).
 func ExampleFitPerfModel() {
-	freqs := []float64{1000, 1800}
-	times := []float64{120.0, 90.0} // µs measured at the two endpoints
+	freqs := []npudvfs.MHz{1000, 1800}
+	times := []npudvfs.Micros{120.0, 90.0} // µs measured at the two endpoints
 	m, err := npudvfs.FitPerfModel(freqs, times)
 	if err != nil {
 		panic(err)
 	}
-	for _, f := range []float64{1000, 1400, 1800} {
+	for _, f := range []npudvfs.MHz{1000, 1400, 1800} {
 		fmt.Printf("%.0f MHz -> %.1f us\n", f, m.Micros(f))
 	}
 	// Output:
@@ -29,7 +29,7 @@ func ExampleFitPerfModel() {
 // 1300 MHz knee, linear above it.
 func ExampleAscendVFCurve() {
 	curve := npudvfs.AscendVFCurve()
-	for _, f := range []float64{1000, 1300, 1800} {
+	for _, f := range []npudvfs.MHz{1000, 1300, 1800} {
 		fmt.Printf("%.0f MHz -> %.3f V\n", f, curve.Voltage(f))
 	}
 	// Output:

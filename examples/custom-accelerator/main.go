@@ -21,6 +21,7 @@ func main() {
 	// 1. Describe the custom accelerator. A "GPU-like" part: 16 wide
 	//    cores, 2.4 TB/s HBM, 6 TB/s L2, DVFS from 800 to 2000 MHz
 	//    with the voltage knee at 1400 MHz.
+	//lint:allow unitcheck custom chip definition: this example authors its own V-F table
 	curve, err := vf.New(800, 2000, 100, 1400, 0.70, 0.95)
 	if err != nil {
 		log.Fatal(err)
@@ -80,7 +81,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := npudvfs.DefaultStrategyConfig()
-	cfg.PriorLFCMHz = 1600 // must be a point on this chip's grid
+	cfg.PriorLFCMHz = 1600 //lint:allow unitcheck seed frequency for the GA prior, a point on this chip's custom grid
 	cfg.GA.PopSize = 80
 	cfg.GA.Generations = 200
 	strat, err := npudvfs.GenerateStrategy(ms.Input(lab.Chip), cfg)
@@ -95,7 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("custom accelerator %q: grid %v MHz\n", chip.Name, []float64{curve.Min(), curve.Max()})
+	fmt.Printf("custom accelerator %q: grid %v MHz\n", chip.Name, []npudvfs.MHz{curve.Min(), curve.Max()})
 	fmt.Printf("iteration: %.2f ms -> %.2f ms (%+.2f%%)\n",
 		base.TimeMicros/1000, dvfs.TimeMicros/1000, 100*(dvfs.TimeMicros/base.TimeMicros-1))
 	fmt.Printf("AICore:    %.2f W -> %.2f W (%+.2f%%)\n",

@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := lab.MeasureFixed(m, 1800)
+	base, err := lab.MeasureFixed(m, lab.Chip.Curve.Max())
 	if err != nil {
 		log.Fatal(err)
 	}

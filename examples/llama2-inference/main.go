@@ -22,12 +22,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d trace entries per decode step\n\n", m.Name, m.Ops())
-	base, err := lab.MeasureFixed(m, 1800)
+	base, err := lab.MeasureFixed(m, lab.Chip.Curve.Max())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%8s %12s %12s %12s\n", "MHz", "step", "SoC", "AICore")
-	for _, f := range []float64{1800, 1600, 1400, 1300, 1200, 1000} {
+	for _, f := range []npudvfs.MHz{1800, 1600, 1400, 1300, 1200, 1000} { //lint:allow unitcheck demo sweep over vf.Ascend grid points (paper Fig. 19 frequencies)
 		r, err := lab.MeasureFixed(m, f)
 		if err != nil {
 			log.Fatal(err)

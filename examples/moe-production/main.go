@@ -59,24 +59,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := lab.MeasureFixed(m, 1800)
+	base, err := lab.MeasureFixed(m, lab.Chip.Curve.Max())
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctl, err := npudvfs.NewAdaptiveController(lab.Chip.Curve, deployed, base.TimeMicros, cfg.PerfLossTarget)
+	ctl, err := npudvfs.NewAdaptiveController(lab.Chip.Curve, deployed, npudvfs.Micros(base.TimeMicros), cfg.PerfLossTarget)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ex := npudvfs.NewExecutor(lab.Chip, lab.Ground)
 	state := npudvfs.NewThermalState(npudvfs.DefaultThermal())
-	state.SetTemp(base.EndTempC) // start warmed up
+	state.SetTemp(npudvfs.Celsius(base.EndTempC)) // start warmed up
 	fmt.Printf("\nbaseline: %.1f ms, %.2f W AICore\n", base.TimeMicros/1000, base.MeanCoreW)
 	for iter := 0; iter < 8; iter++ {
 		res, err := ex.Run(m.Trace, ctl.Strategy(), state, npudvfs.DefaultExecutorOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
-		adj := ctl.Observe(res.TimeMicros)
+		adj := ctl.Observe(npudvfs.Micros(res.TimeMicros))
 		fmt.Printf("iter %d: %.1f ms (%+.2f%%), AICore %.2f W (%+.2f%%)  [%v]\n",
 			iter, res.TimeMicros/1000,
 			100*(res.TimeMicros/base.TimeMicros-1),

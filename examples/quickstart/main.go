@@ -27,15 +27,15 @@ func main() {
 
 	// 2. "Profile" it at the two endpoints of the DVFS range and fit
 	//    the production performance model T(f) = A·f + C/f (Sect. 4.3).
-	fit := []float64{1000, 1800}
-	times := []float64{chip.Time(&gelu, 1000), chip.Time(&gelu, 1800)}
+	fit := []npudvfs.MHz{1000, 1800} //lint:allow unitcheck the DVFS window edges (vf.Ascend Min/Max), spelled out for the walkthrough
+	times := []npudvfs.Micros{npudvfs.Micros(chip.Time(&gelu, 1000)), npudvfs.Micros(chip.Time(&gelu, 1800))}
 	model, err := npudvfs.FitPerfModel(fit, times)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Gelu time vs core frequency (measured | Func.2 prediction):")
 	for _, f := range chip.Curve.Grid() {
-		fmt.Printf("  %4.0f MHz  %7.2f us | %7.2f us\n", f, chip.Time(&gelu, f), model.Micros(f))
+		fmt.Printf("  %4.0f MHz  %7.2f us | %7.2f us\n", f, chip.Time(&gelu, float64(f)), model.Micros(f))
 	}
 	fs := chip.SaturationMHz(chip.CLoad, gelu.L2Hit)
 	fmt.Printf("uncore saturation at %.0f MHz: below it the kernel speeds up with f, above it it does not\n\n", fs)
@@ -59,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := lab.MeasureFixed(m, 1800)
+	base, err := lab.MeasureFixed(m, lab.Chip.Curve.Max())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 	"npudvfs/internal/vf"
 )
 
@@ -50,7 +51,7 @@ func (a Adjustment) String() string {
 type Controller struct {
 	curve          *vf.Curve
 	strategy       *core.Strategy
-	baselineMicros float64
+	baselineMicros units.Micros
 	target         float64
 	// lowBand is the fraction of the target below which the
 	// controller may step down (before any violation).
@@ -65,14 +66,14 @@ type Controller struct {
 // New builds a controller around a generated strategy. baselineMicros
 // is the measured baseline iteration duration at maximum frequency;
 // target is the allowed relative loss (e.g. 0.02).
-func New(curve *vf.Curve, strategy *core.Strategy, baselineMicros, target float64) (*Controller, error) {
+func New(curve *vf.Curve, strategy *core.Strategy, baselineMicros units.Micros, target float64) (*Controller, error) {
 	switch {
 	case curve == nil:
 		return nil, fmt.Errorf("adaptive: nil curve")
 	case strategy == nil || len(strategy.Points) == 0:
 		return nil, fmt.Errorf("adaptive: empty strategy")
 	case baselineMicros <= 0:
-		return nil, fmt.Errorf("adaptive: baseline duration %g", baselineMicros)
+		return nil, fmt.Errorf("adaptive: baseline duration %g", float64(baselineMicros))
 	case target <= 0:
 		return nil, fmt.Errorf("adaptive: loss target %g", target)
 	}
@@ -97,11 +98,11 @@ func (c *Controller) Adjustments() int { return c.adjustments }
 
 // Observe ingests one measured iteration duration and possibly adjusts
 // the strategy.
-func (c *Controller) Observe(iterMicros float64) Adjustment {
-	if iterMicros <= 0 {
+func (c *Controller) Observe(iter units.Micros) Adjustment {
+	if iter <= 0 {
 		return None
 	}
-	loss := iterMicros/c.baselineMicros - 1
+	loss := float64(iter/c.baselineMicros) - 1
 	switch {
 	case loss > c.target:
 		c.ratcheted = true
@@ -124,9 +125,9 @@ func (c *Controller) Observe(iterMicros float64) Adjustment {
 // step moves every adjustable point by dir grid steps; returns whether
 // anything changed. Raising skips points already at maximum; lowering
 // skips points already at minimum.
-func (c *Controller) step(dir float64) bool {
+func (c *Controller) step(dir int) bool {
 	changed := false
-	stepMHz := c.curve.Step() * dir
+	stepMHz := c.curve.Step() * units.MHz(dir)
 	for i := range c.strategy.Points {
 		p := &c.strategy.Points[i]
 		next := c.curve.Nearest(p.FreqMHz + stepMHz)

@@ -8,6 +8,7 @@ import (
 	"npudvfs/internal/npu"
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/vf"
 	"npudvfs/internal/workload"
 )
@@ -119,7 +120,7 @@ func TestClosedLoopConvergesUnderTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	const target = 0.02
-	ctl, err := New(chip.Curve, aggressiveStrategy(chip, len(m.Trace)), base.TimeMicros, target)
+	ctl, err := New(chip.Curve, aggressiveStrategy(chip, len(m.Trace)), units.Micros(base.TimeMicros), target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestClosedLoopConvergesUnderTarget(t *testing.T) {
 			t.Fatal(err)
 		}
 		lastLoss = res.TimeMicros/base.TimeMicros - 1
-		if ctl.Observe(res.TimeMicros) == None && lastLoss <= target {
+		if ctl.Observe(units.Micros(res.TimeMicros)) == None && lastLoss <= target {
 			converged = true
 			break
 		}
@@ -149,7 +150,7 @@ func TestClosedLoopConvergesUnderTarget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ctl.Observe(res.TimeMicros)
+		ctl.Observe(units.Micros(res.TimeMicros))
 	}
 	if ctl.Adjustments() != edits {
 		t.Errorf("controller kept editing after convergence: %d -> %d", edits, ctl.Adjustments())

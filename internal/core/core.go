@@ -40,6 +40,7 @@ import (
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 )
 
 // FreqPoint is one frequency-change instruction of a strategy.
@@ -48,9 +49,9 @@ type FreqPoint struct {
 	// in effect (the start of a stage).
 	OpIndex int
 	// TimeMicros is the switch point on the baseline timeline.
-	TimeMicros float64
+	TimeMicros units.Micros
 	// FreqMHz is the core frequency to set.
-	FreqMHz float64
+	FreqMHz units.MHz
 	// UncoreScale is the uncore frequency relative to nominal; 0
 	// means "leave at nominal" (the paper's platform cannot tune the
 	// uncore, Sect. 8.2 — non-zero values are used by the two-domain
@@ -67,12 +68,12 @@ type Strategy struct {
 	Points []FreqPoint
 	// BaselineMHz is the reference frequency the strategy was
 	// generated against.
-	BaselineMHz float64
+	BaselineMHz units.MHz
 }
 
 // FreqAt returns the frequency the strategy prescribes for a trace
 // index.
-func (s *Strategy) FreqAt(opIndex int) float64 {
+func (s *Strategy) FreqAt(opIndex int) units.MHz {
 	f := s.BaselineMHz
 	for _, p := range s.Points {
 		if p.OpIndex > opIndex {
@@ -136,7 +137,7 @@ func (s *Strategy) UncoreScaleAt(opIndex int) float64 {
 type Config struct {
 	// FAIMicros is the frequency adjustment interval used for
 	// candidate merging (the paper uses 5 ms).
-	FAIMicros float64
+	FAIMicros units.Micros
 	// PerfLossTarget is the allowed relative performance loss, e.g.
 	// 0.02 for the paper's production setting.
 	PerfLossTarget float64
@@ -144,7 +145,7 @@ type Config struct {
 	GA ga.Config
 	// PriorLFCMHz is the frequency assigned to LFC stages in the
 	// prior seed individual (Sect. 6.3.1; the paper uses 1600).
-	PriorLFCMHz float64
+	PriorLFCMHz units.MHz
 	// Guard shrinks the loss target used internally to absorb model
 	// and actuation error, so measured loss lands under the target.
 	// The paper's measured losses run at 80-90% of each target
@@ -161,7 +162,7 @@ func DefaultConfig() Config {
 		FAIMicros:      5000,
 		PerfLossTarget: 0.02,
 		GA:             ga.DefaultConfig(),
-		PriorLFCMHz:    1600,
+		PriorLFCMHz:    1600, //lint:allow unitcheck paper prior-individual LFC frequency (Sect. 6.3.1), a vf.Ascend grid point
 		Guard:          0.5,
 	}
 }
@@ -183,17 +184,17 @@ type Input struct {
 // Prediction summarizes the model-predicted behaviour of an
 // assignment.
 type Prediction struct {
-	TimeMicros float64
-	SoCWatts   float64
-	CoreWatts  float64
-	DeltaT     float64
+	TimeMicros units.Micros
+	SoCWatts   units.Watt
+	CoreWatts  units.Watt
+	DeltaT     units.Celsius
 }
 
 // problem is the ga.Problem for stage-frequency assignment. All
 // per-stage, per-frequency quantities are precomputed so Score is a
 // cheap accumulation, making the 200x600 search run in seconds.
 type problem struct {
-	grid   []float64
+	grid   []units.MHz
 	stages []preprocess.Stage
 	// stageTime[s][g]: predicted stage duration at grid[g], µs.
 	stageTime [][]float64
@@ -204,7 +205,7 @@ type problem struct {
 	// stageVT[s][g]: ∫V dt (V·µs) for the temperature term.
 	stageVT [][]float64
 
-	k                float64
+	k                units.CelsiusPerWatt
 	gammaSoC         float64
 	gammaCore        float64
 	temperatureAware bool
@@ -248,15 +249,16 @@ func (p *problem) predict(ind []int) Prediction {
 	vMean := vt / t  // time-weighted mean voltage
 	deltaT := 0.0
 	if p.temperatureAware {
-		deltaT, _ = powermodel.SolveDeltaT(p.k, func(dt float64) float64 {
-			return soc0 + p.gammaSoC*dt*vMean
+		dt, _ := powermodel.SolveDeltaT(p.k, func(dt units.Celsius) units.Watt {
+			return units.Watt(soc0 + p.gammaSoC*float64(dt)*vMean)
 		})
+		deltaT = float64(dt)
 	}
 	return Prediction{
-		TimeMicros: t,
-		SoCWatts:   soc0 + p.gammaSoC*deltaT*vMean,
-		CoreWatts:  coreE/t + p.gammaCore*deltaT*vMean,
-		DeltaT:     deltaT,
+		TimeMicros: units.Micros(t),
+		SoCWatts:   units.Watt(soc0 + p.gammaSoC*deltaT*vMean),
+		CoreWatts:  units.Watt(coreE/t + p.gammaCore*deltaT*vMean),
+		DeltaT:     units.Celsius(deltaT),
 	}
 }
 
@@ -265,8 +267,8 @@ func (p *problem) Score(ind []int) float64 {
 	if pred.TimeMicros <= 0 || pred.SoCWatts <= 0 {
 		return 0
 	}
-	per := 1 / pred.TimeMicros
-	score := p.perBaseline * p.perBaseline / pred.SoCWatts
+	per := 1 / float64(pred.TimeMicros)
+	score := p.perBaseline * p.perBaseline / float64(pred.SoCWatts)
 	if per >= p.perLB {
 		return 2 * score
 	}
@@ -292,7 +294,7 @@ func GenerateContext(ctx context.Context, in Input, cfg Config) (*Strategy, []pr
 		return nil, nil, nil, err
 	}
 	results := classify.Trace(in.Profile)
-	stages, err := preprocess.Stages(in.Profile, results, cfg.FAIMicros)
+	stages, err := preprocess.Stages(in.Profile, results, float64(cfg.FAIMicros))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -344,7 +346,7 @@ func (e *Evaluator) Predict(ind []int) (Prediction, error) {
 func (e *Evaluator) Genes() int { return e.prob.Genes() }
 
 // Grid returns the frequency grid indexed by gene values.
-func (e *Evaluator) Grid() []float64 { return e.prob.grid }
+func (e *Evaluator) Grid() []units.MHz { return e.prob.grid }
 
 // BaselineIndex returns the gene value of the baseline frequency.
 func (e *Evaluator) BaselineIndex() int { return e.prob.baselineIdx }
@@ -409,19 +411,19 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 		p.stageCoreE[si] = make([]float64, len(grid))
 		p.stageVT[si] = make([]float64, len(grid))
 		for gi, f := range grid {
-			v := in.Chip.Curve.Voltage(f)
+			v := float64(in.Chip.Curve.Voltage(f))
 			for i := st.OpStart; i < st.OpEnd; i++ {
 				rec := &in.Profile.Records[i]
 				dur := rec.DurMicros
 				if rec.Spec.Class == op.Compute {
 					if m, ok := in.Perf[rec.Spec.Key()]; ok {
-						dur = m.Micros(f)
+						dur = float64(m.Micros(f))
 					}
 				}
 				core, soc := in.Power.OpPowerAt(rec.Spec.Key(), f, 0)
 				p.stageTime[si][gi] += dur
-				p.stageSocE[si][gi] += soc * dur
-				p.stageCoreE[si][gi] += core * dur
+				p.stageSocE[si][gi] += float64(soc) * dur
+				p.stageCoreE[si][gi] += float64(core) * dur
 				p.stageVT[si][gi] += v * dur
 			}
 		}
@@ -439,7 +441,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	if guard <= 0 || guard > 1 {
 		guard = 1
 	}
-	p.perBaseline = 1 / basePred.TimeMicros
+	p.perBaseline = 1 / float64(basePred.TimeMicros)
 	p.perLB = p.perBaseline * (1 - cfg.PerfLossTarget*guard)
 	return p, nil
 }
@@ -448,7 +450,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 // a deduplicated switch-point strategy.
 func assignmentToStrategy(p *problem, ind []int) *Strategy {
 	s := &Strategy{BaselineMHz: p.grid[p.baselineIdx]}
-	last := -1.0
+	last := units.MHz(-1)
 	for si, g := range ind {
 		f := p.grid[g]
 		if stats.Approx(f, last) {
@@ -456,7 +458,7 @@ func assignmentToStrategy(p *problem, ind []int) *Strategy {
 		}
 		s.Points = append(s.Points, FreqPoint{
 			OpIndex:    p.stages[si].OpStart,
-			TimeMicros: p.stages[si].StartMicros,
+			TimeMicros: units.Micros(p.stages[si].StartMicros),
 			FreqMHz:    f,
 		})
 		last = f

@@ -13,6 +13,7 @@ import (
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -79,7 +80,7 @@ func buildFixture() fixture {
 	for _, s := range series {
 		list = append(list, s)
 	}
-	perf := perfmodel.FitSeries(list, []float64{1000, 1800})
+	perf := perfmodel.FitSeries(list, []units.MHz{1000, 1800})
 	baseline, err := prof.Run(trace, 1800)
 	if err != nil {
 		return fixture{err: err}
@@ -168,7 +169,7 @@ func TestGeneratedStrategySavesPowerWithinLossTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loss := pred.TimeMicros/base.TimeMicros - 1
+	loss := float64(pred.TimeMicros/base.TimeMicros) - 1
 	if loss > cfg.PerfLossTarget+0.02 {
 		t.Errorf("predicted performance loss %.3f exceeds target %.3f", loss, cfg.PerfLossTarget)
 	}
@@ -180,8 +181,8 @@ func TestGeneratedStrategySavesPowerWithinLossTarget(t *testing.T) {
 	}
 	// The paper's headline shape: AICore savings out-proportion SoC
 	// savings because the uncore is untunable (Sect. 8.2).
-	coreSave := 1 - pred.CoreWatts/base.CoreWatts
-	socSave := 1 - pred.SoCWatts/base.SoCWatts
+	coreSave := 1 - float64(pred.CoreWatts/base.CoreWatts)
+	socSave := 1 - float64(pred.SoCWatts/base.SoCWatts)
 	if coreSave <= socSave {
 		t.Errorf("AICore relative saving (%.3f) should exceed SoC saving (%.3f)", coreSave, socSave)
 	}
@@ -209,7 +210,7 @@ func TestLooserTargetSavesMorePower(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return pred.CoreWatts
+		return float64(pred.CoreWatts)
 	}
 	tight := socAt(0.02)
 	loose := socAt(0.10)
@@ -229,7 +230,7 @@ func TestStrategyFreqAtAndSwitches(t *testing.T) {
 	}
 	cases := []struct {
 		op   int
-		want float64
+		want units.MHz
 	}{{0, 1800}, {4, 1800}, {5, 1200}, {8, 1200}, {9, 1800}, {100, 1800}}
 	for _, tc := range cases {
 		if got := s.FreqAt(tc.op); got != tc.want {
@@ -300,7 +301,7 @@ func TestPriorSeedIsFeasibleAndCompetitive(t *testing.T) {
 	}
 	basePred := prob.predict(seeds[0])
 	priorPred := prob.predict(seeds[1])
-	if loss := priorPred.TimeMicros/basePred.TimeMicros - 1; loss > cfg.PerfLossTarget {
+	if loss := float64(priorPred.TimeMicros/basePred.TimeMicros) - 1; loss > cfg.PerfLossTarget {
 		t.Errorf("prior individual predicted loss %.4f violates the 2%% bound", loss)
 	}
 }
@@ -336,7 +337,7 @@ func TestDeltaTSelfConsistency(t *testing.T) {
 		t.Fatalf("baseline ΔT = %g, want positive", pred.DeltaT)
 	}
 	// ΔT must satisfy Eq. 15 against the predicted SoC power.
-	if got := prob.k * pred.SoCWatts; math.Abs(got-pred.DeltaT) > 0.01 {
+	if got := prob.k.Times(pred.SoCWatts); math.Abs(float64(got-pred.DeltaT)) > 0.01 {
 		t.Errorf("ΔT = %g inconsistent with k·P = %g", pred.DeltaT, got)
 	}
 }
@@ -368,13 +369,13 @@ func TestEvaluatorMatchesDirectSummation(t *testing.T) {
 		for i := st.OpStart; i < st.OpEnd; i++ {
 			rec := &f.input.Profile.Records[i]
 			if m, ok := f.input.Perf[rec.Spec.Key()]; ok && rec.Spec.Class == 0 /* Compute */ {
-				direct += m.Micros(fm)
+				direct += float64(m.Micros(fm))
 			} else {
 				direct += rec.DurMicros
 			}
 		}
 	}
-	if rel := math.Abs(pred.TimeMicros-direct) / direct; rel > 1e-9 {
+	if rel := math.Abs(float64(pred.TimeMicros)-direct) / direct; rel > 1e-9 {
 		t.Errorf("evaluator time %.3f diverges from direct sum %.3f", pred.TimeMicros, direct)
 	}
 }

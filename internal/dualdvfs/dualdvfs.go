@@ -28,6 +28,7 @@ import (
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 )
 
 // Config tunes two-domain strategy generation.
@@ -36,14 +37,14 @@ type Config struct {
 	// nominal; 1.0 is added automatically if missing.
 	UncoreScales []float64
 	// FAIMicros, PerfLossTarget, Guard and GA mirror core.Config.
-	FAIMicros      float64
+	FAIMicros      units.Micros
 	PerfLossTarget float64
 	Guard          float64
 	GA             ga.Config
 	// PriorLFCMHz seeds LFC stages of the prior individual at this
 	// core frequency (uncore at nominal: scaling the uncore down on a
 	// memory-bound stage costs time directly).
-	PriorLFCMHz float64
+	PriorLFCMHz units.MHz
 	// PriorHFCScale seeds HFC stages at this uncore scale (core at
 	// maximum): compute-bound stages hide memory latency under the
 	// core computation, so their uncore can be downclocked nearly for
@@ -60,7 +61,7 @@ func DefaultConfig() Config {
 		PerfLossTarget: 0.02,
 		Guard:          0.7,
 		GA:             ga.DefaultConfig(),
-		PriorLFCMHz:    1600,
+		PriorLFCMHz:    1600, //lint:allow unitcheck paper prior-individual LFC frequency (Sect. 6.3.1), a vf.Ascend grid point
 		PriorHFCScale:  0.95,
 	}
 }
@@ -91,11 +92,12 @@ func CalibrateUncore(rig *powermodel.Rig, probeScale float64, samples int) (floa
 	if samples <= 0 {
 		samples = 64
 	}
-	const fMHz = 1500
+	//lint:allow unitcheck fixed mid-window probe frequency for the uncore idle measurement; any in-window point works, 1500 kept for reproducibility
+	const probeF = units.MHz(1500)
 	read := func(g *powersim.Ground) float64 {
 		sum := 0.0
 		for i := 0; i < samples; i++ {
-			sum += rig.Sensor.Power(g.SoCPower(nil, fMHz, 0))
+			sum += rig.Sensor.Power(g.SoCPower(nil, float64(probeF), 0))
 		}
 		return sum / float64(samples)
 	}
@@ -117,7 +119,7 @@ type pair struct {
 }
 
 type problem struct {
-	grid   []float64
+	grid   []units.MHz
 	scales []float64
 	stages []preprocess.Stage
 
@@ -127,7 +129,7 @@ type problem struct {
 	stageCoreE [][]float64
 	stageVT    [][]float64
 
-	k                float64
+	k                units.CelsiusPerWatt
 	gammaSoC         float64
 	gammaCore        float64
 	temperatureAware bool
@@ -177,15 +179,16 @@ func (p *problem) predict(ind []int) core.Prediction {
 	vMean := vt / t
 	deltaT := 0.0
 	if p.temperatureAware {
-		deltaT, _ = powermodel.SolveDeltaT(p.k, func(dt float64) float64 {
-			return soc0 + p.gammaSoC*dt*vMean
+		dt, _ := powermodel.SolveDeltaT(p.k, func(dt units.Celsius) units.Watt {
+			return units.Watt(soc0 + p.gammaSoC*float64(dt)*vMean)
 		})
+		deltaT = float64(dt)
 	}
 	return core.Prediction{
-		TimeMicros: t,
-		SoCWatts:   soc0 + p.gammaSoC*deltaT*vMean,
-		CoreWatts:  coreE/t + p.gammaCore*deltaT*vMean,
-		DeltaT:     deltaT,
+		TimeMicros: units.Micros(t),
+		SoCWatts:   units.Watt(soc0 + p.gammaSoC*deltaT*vMean),
+		CoreWatts:  units.Watt(coreE/t + p.gammaCore*deltaT*vMean),
+		DeltaT:     units.Celsius(deltaT),
 	}
 }
 
@@ -194,8 +197,8 @@ func (p *problem) Score(ind []int) float64 {
 	if pred.TimeMicros <= 0 || pred.SoCWatts <= 0 {
 		return 0
 	}
-	per := 1 / pred.TimeMicros
-	score := p.perBaseline * p.perBaseline / pred.SoCWatts
+	per := 1 / float64(pred.TimeMicros)
+	score := p.perBaseline * p.perBaseline / float64(pred.SoCWatts)
 	if per >= p.perLB {
 		return 2 * score
 	}
@@ -216,7 +219,7 @@ func GenerateContext(ctx context.Context, in Input, cfg Config) (*core.Strategy,
 		return nil, nil, nil, fmt.Errorf("dualdvfs: incomplete input")
 	}
 	results := classify.Trace(in.Profile)
-	stages, err := preprocess.Stages(in.Profile, results, cfg.FAIMicros)
+	stages, err := preprocess.Stages(in.Profile, results, float64(cfg.FAIMicros))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -295,7 +298,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 		p.stageCoreE[si] = make([]float64, nAlleles)
 		p.stageVT[si] = make([]float64, nAlleles)
 		for fi, f := range grid {
-			v := in.Chip.Curve.Voltage(f)
+			v := float64(in.Chip.Curve.Voltage(f))
 			for sc, scale := range scales {
 				allele := p.alleleOf(fi, sc)
 				dynSaving := in.UncoreDynW * (1 - scale*scale)
@@ -304,13 +307,13 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 					dur := rec.DurMicros
 					if rec.Spec.Class == op.Compute {
 						// White-box timing on the scaled chip.
-						dur = chips[sc].Time(rec.Spec, f)
+						dur = chips[sc].Time(rec.Spec, float64(f))
 					}
 					coreP, socP := in.Power.OpPowerAt(rec.Spec.Key(), f, 0)
-					socP -= dynSaving
+					soc := float64(socP) - dynSaving
 					p.stageTime[si][allele] += dur
-					p.stageSocE[si][allele] += socP * dur
-					p.stageCoreE[si][allele] += coreP * dur
+					p.stageSocE[si][allele] += soc * dur
+					p.stageCoreE[si][allele] += float64(coreP) * dur
 					p.stageVT[si][allele] += v * dur
 				}
 			}
@@ -328,7 +331,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	if guard <= 0 || guard > 1 {
 		guard = 1
 	}
-	p.perBaseline = 1 / basePred.TimeMicros
+	p.perBaseline = 1 / float64(basePred.TimeMicros)
 	p.perLB = p.perBaseline * (1 - cfg.PerfLossTarget*guard)
 	return p, nil
 }
@@ -345,7 +348,7 @@ func indexOf(xs []float64, want float64) int {
 // strategy converts an assignment to a two-domain strategy.
 func (p *problem) strategy(ind []int) *core.Strategy {
 	s := &core.Strategy{BaselineMHz: p.grid[len(p.grid)-1]}
-	lastF, lastS := -1.0, -1.0
+	lastF, lastS := units.MHz(-1), -1.0
 	for si, allele := range ind {
 		pr := p.pairOf(allele)
 		f := p.grid[pr.freqIdx]
@@ -355,7 +358,7 @@ func (p *problem) strategy(ind []int) *core.Strategy {
 		}
 		s.Points = append(s.Points, core.FreqPoint{
 			OpIndex:     p.stages[si].OpStart,
-			TimeMicros:  p.stages[si].StartMicros,
+			TimeMicros:  units.Micros(p.stages[si].StartMicros),
 			FreqMHz:     f,
 			UncoreScale: scale,
 		})

@@ -13,6 +13,7 @@ import (
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -178,7 +179,7 @@ func TestDualStrategyBeatsCoreOnlySoCSavings(t *testing.T) {
 }
 
 func TestPairAlleleRoundTrip(t *testing.T) {
-	p := &problem{grid: []float64{1000, 1100, 1200}, scales: []float64{1, 0.9}}
+	p := &problem{grid: []units.MHz{1000, 1100, 1200}, scales: []float64{1, 0.9}}
 	for fi := range p.grid {
 		for sc := range p.scales {
 			got := p.pairOf(p.alleleOf(fi, sc))

@@ -28,6 +28,7 @@ import (
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 )
 
 // Options controls actuation behaviour.
@@ -202,7 +203,7 @@ func (e *Executor) planSwitches(trace []op.Spec, strat *core.Strategy, opt Optio
 	for i := range trace {
 		starts[i] = now
 		view := e.viewAt(strat.UncoreScaleAt(i))
-		now += view.chip.Time(&trace[i], strat.FreqAt(i))
+		now += view.chip.Time(&trace[i], float64(strat.FreqAt(i)))
 	}
 	var plan []pendingSwitch
 	for _, pt := range strat.Points {
@@ -227,7 +228,7 @@ func (e *Executor) planSwitches(trace []op.Spec, strat *core.Strategy, opt Optio
 			triggerOp:    trigger,
 			targetOp:     pt.OpIndex,
 			offsetMicros: offset,
-			freqMHz:      pt.FreqMHz,
+			freqMHz:      float64(pt.FreqMHz),
 			uncoreScale:  pt.UncoreScale,
 		})
 	}
@@ -265,10 +266,10 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 		jitter = rand.New(rand.NewSource(opt.JitterSeed))
 	}
 	plan := e.planSwitches(trace, strat, opt)
-	freq := strat.Points[0].FreqMHz
+	freq := float64(strat.Points[0].FreqMHz)
 	scale := strat.Points[0].UncoreScale
 	if strat.Points[0].OpIndex != 0 {
-		freq = strat.BaselineMHz
+		freq = float64(strat.BaselineMHz)
 		scale = 0
 	}
 	view := e.viewAt(scale)
@@ -294,12 +295,12 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 		if dur <= 0 {
 			return
 		}
-		deltaT := th.DeltaT()
+		deltaT := float64(th.DeltaT())
 		soc := view.ground.SoCPower(s, freq, deltaT)
 		coreP := view.ground.AICorePower(s, freq, deltaT)
 		res.EnergySoCJ += soc * dur * 1e-6
 		res.EnergyCoreJ += coreP * dur * 1e-6
-		th.Step(dur, soc)
+		th.Step(units.Micros(dur), units.Watt(soc))
 	}
 
 	for i := range trace {
@@ -371,16 +372,16 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 		res.MeanSoCW = res.EnergySoCJ * 1e6 / now
 		res.MeanCoreW = res.EnergyCoreJ * 1e6 / now
 	}
-	res.EndTempC = th.TempC()
+	res.EndTempC = float64(th.TempC())
 	return res, nil
 }
 
 // FixedStrategy returns a strategy that pins the whole iteration to
 // one frequency — the baseline configuration of the evaluation.
-func FixedStrategy(fMHz float64) *core.Strategy {
+func FixedStrategy(f units.MHz) *core.Strategy {
 	return &core.Strategy{
-		BaselineMHz: fMHz,
-		Points:      []core.FreqPoint{{OpIndex: 0, FreqMHz: fMHz}},
+		BaselineMHz: f,
+		Points:      []core.FreqPoint{{OpIndex: 0, FreqMHz: f}},
 	}
 }
 
@@ -395,7 +396,7 @@ func (e *Executor) RunStable(trace []op.Spec, strat *core.Strategy, th *thermal.
 			return nil, err
 		}
 		last = res
-		if diff := th.Equilibrium(res.MeanSoCW) - th.TempC(); diff < tolC && diff > -tolC {
+		if diff := float64(th.Equilibrium(units.Watt(res.MeanSoCW)) - th.TempC()); diff < tolC && diff > -tolC {
 			break
 		}
 	}

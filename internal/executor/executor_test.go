@@ -12,6 +12,7 @@ import (
 	"npudvfs/internal/op"
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -90,7 +91,7 @@ func TestMidTraceSwitchTakesEffect(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		start += e.Chip.Time(&trace[i], 1800)
 	}
-	strat.Points[1].TimeMicros = start
+	strat.Points[1].TimeMicros = units.Micros(start)
 	res, err := e.Run(trace, strat, th(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +125,7 @@ func TestSyncStallsWhenLatencyCannotBeAnticipated(t *testing.T) {
 		BaselineMHz: 1800,
 		Points: []core.FreqPoint{
 			{OpIndex: 0, FreqMHz: 1800},
-			{OpIndex: 1, TimeMicros: opDur, FreqMHz: 1200},
+			{OpIndex: 1, TimeMicros: units.Micros(opDur), FreqMHz: 1200},
 		},
 	}
 	// Latency far exceeds one op duration: the trigger can only be op
@@ -150,7 +151,7 @@ func TestNoSyncLandsLate(t *testing.T) {
 		BaselineMHz: 1800,
 		Points: []core.FreqPoint{
 			{OpIndex: 0, FreqMHz: 1800},
-			{OpIndex: 1, TimeMicros: opDur, FreqMHz: 1000},
+			{OpIndex: 1, TimeMicros: units.Micros(opDur), FreqMHz: 1000},
 		},
 	}
 	opt := Options{SetFreqLatencyMicros: 1000, ExtraDelayMicros: opDur * 2, Sync: false}
@@ -194,7 +195,7 @@ func TestTemperatureRisesAcrossIterations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if state.TempC() <= first.EndTempC {
+	if float64(state.TempC()) <= first.EndTempC {
 		t.Errorf("temperature did not keep rising: %g vs %g", state.TempC(), first.EndTempC)
 	}
 }
@@ -207,8 +208,8 @@ func TestRunStableApproachesEquilibrium(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(state.Equilibrium(res.MeanSoCW)-state.TempC()) > 1 {
-		t.Errorf("not at equilibrium: T=%g, Teq=%g", state.TempC(), state.Equilibrium(res.MeanSoCW))
+	if math.Abs(float64(state.Equilibrium(units.Watt(res.MeanSoCW))-state.TempC())) > 1 {
+		t.Errorf("not at equilibrium: T=%g, Teq=%g", state.TempC(), state.Equilibrium(units.Watt(res.MeanSoCW)))
 	}
 }
 
@@ -262,7 +263,7 @@ func TestQuickRandomStrategiesBounded(t *testing.T) {
 	grid := e.Chip.Curve.Grid()
 	for trial := 0; trial < 25; trial++ {
 		strat := &core.Strategy{BaselineMHz: 1800}
-		prev := -1.0
+		prev := units.MHz(-1)
 		for op := 0; op < len(trace); op += 1 + rng.Intn(60) {
 			f := grid[rng.Intn(len(grid))]
 			if f == prev {
@@ -272,7 +273,7 @@ func TestQuickRandomStrategiesBounded(t *testing.T) {
 			for i := 0; i < op; i++ {
 				start += e.Chip.Time(&trace[i], 1800)
 			}
-			strat.Points = append(strat.Points, core.FreqPoint{OpIndex: op, TimeMicros: start, FreqMHz: f})
+			strat.Points = append(strat.Points, core.FreqPoint{OpIndex: op, TimeMicros: units.Micros(start), FreqMHz: f})
 			prev = f
 		}
 		if len(strat.Points) == 0 {

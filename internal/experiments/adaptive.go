@@ -9,6 +9,7 @@ import (
 	"npudvfs/internal/core"
 	"npudvfs/internal/executor"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -53,13 +54,13 @@ func (l *Lab) adaptiveClosedLoop(ctx context.Context) (*AdaptiveResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := adaptive.New(l.Chip.Curve, strat, base.TimeMicros, cfg.PerfLossTarget)
+	ctl, err := adaptive.New(l.Chip.Curve, strat, units.Micros(base.TimeMicros), cfg.PerfLossTarget)
 	if err != nil {
 		return nil, err
 	}
 	ex := executor.New(l.Chip, l.Ground)
 	th := thermal.NewState(l.Thermal)
-	th.SetTemp(base.EndTempC)
+	th.SetTemp(units.Celsius(base.EndTempC))
 	res := &AdaptiveResult{Target: cfg.PerfLossTarget}
 	for i := 0; i < 25; i++ {
 		meas, err := ex.Run(m.Trace, ctl.Strategy(), th, executor.DefaultOptions())
@@ -67,7 +68,7 @@ func (l *Lab) adaptiveClosedLoop(ctx context.Context) (*AdaptiveResult, error) {
 			return nil, err
 		}
 		loss := meas.TimeMicros/base.TimeMicros - 1
-		adj := ctl.Observe(meas.TimeMicros)
+		adj := ctl.Observe(units.Micros(meas.TimeMicros))
 		res.Iters = append(res.Iters, AdaptiveIter{
 			Iteration:  i,
 			LossPct:    loss * 100,

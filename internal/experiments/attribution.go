@@ -9,6 +9,7 @@ import (
 	"npudvfs/internal/core"
 	"npudvfs/internal/op"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 )
 
 // AttributionRow aggregates the strategy's behaviour at one frequency.
@@ -61,9 +62,9 @@ func (l *Lab) attribution(ctx context.Context, target float64) (*AttributionResu
 		stages, ops, sens, mem int
 		time                   float64
 	}
-	byFreq := map[float64]*agg{}
+	byFreq := map[units.MHz]*agg{}
 	prof := gpt.Baseline
-	lastFreq := -1.0
+	lastFreq := units.MHz(-1)
 	var total float64
 	for i := range prof.Records {
 		rec := &prof.Records[i]
@@ -93,7 +94,7 @@ func (l *Lab) attribution(ctx context.Context, target float64) (*AttributionResu
 	res := &AttributionResult{Workload: gpt.Workload.Name, SetFreq: strat.Switches(), Target: target}
 	for f, a := range byFreq {
 		res.Rows = append(res.Rows, AttributionRow{
-			FreqMHz:       f,
+			FreqMHz:       float64(f),
 			Stages:        a.stages,
 			TimeSharePct:  100 * a.time / total,
 			Ops:           a.ops,

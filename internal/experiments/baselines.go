@@ -13,6 +13,7 @@ import (
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -52,14 +53,14 @@ func (l *Lab) coarseGrained(ctx context.Context) (*CoarseResult, error) {
 		return nil, err
 	}
 	res := &CoarseResult{LossTarget: 0.02}
-	res.BestFixed = CoarseRow{MHz: l.Chip.Curve.Max()}
+	res.BestFixed = CoarseRow{MHz: float64(l.Chip.Curve.Max())}
 	for _, f := range l.Chip.Curve.Grid() {
 		meas, err := l.MeasureFixed(gpt.Workload, f)
 		if err != nil {
 			return nil, err
 		}
 		row := CoarseRow{
-			MHz:           f,
+			MHz:           float64(f),
 			PerfLoss:      meas.TimeMicros/base.TimeMicros - 1,
 			SoCReduction:  1 - meas.MeanSoCW/base.MeanSoCW,
 			CoreReduction: 1 - meas.MeanCoreW/base.MeanCoreW,
@@ -134,7 +135,7 @@ func (p *hardwareProblem) Seeds() [][]int {
 }
 
 func (p *hardwareProblem) strategy(ind []int) *core.Strategy {
-	s := &core.Strategy{BaselineMHz: p.grid[len(p.grid)-1]}
+	s := &core.Strategy{BaselineMHz: units.MHz(p.grid[len(p.grid)-1])}
 	last := -1.0
 	for si, g := range ind {
 		f := p.grid[g]
@@ -143,8 +144,8 @@ func (p *hardwareProblem) strategy(ind []int) *core.Strategy {
 		}
 		s.Points = append(s.Points, core.FreqPoint{
 			OpIndex:    p.stages[si].OpStart,
-			TimeMicros: p.stages[si].StartMicros,
-			FreqMHz:    f,
+			TimeMicros: units.Micros(p.stages[si].StartMicros),
+			FreqMHz:    units.MHz(f),
 		})
 		last = f
 	}
@@ -159,7 +160,7 @@ func (p *hardwareProblem) strategy(ind []int) *core.Strategy {
 // stress test exercises it from many goroutines.
 func (p *hardwareProblem) Score(ind []int) float64 {
 	th := thermal.NewState(p.lab.Thermal)
-	th.SetTemp(p.warmTempC)
+	th.SetTemp(units.Celsius(p.warmTempC))
 	res, err := p.ex.Run(p.workload.Trace, p.strategy(ind), th, executor.DefaultOptions())
 	if err != nil {
 		return 0
@@ -214,7 +215,7 @@ func (l *Lab) modelFree(ctx context.Context, budgetSec float64) (*ModelFreeResul
 		return nil, err
 	}
 	results := classify.Trace(ms.Baseline)
-	stages, err := preprocess.Stages(ms.Baseline, results, core.DefaultConfig().FAIMicros)
+	stages, err := preprocess.Stages(ms.Baseline, results, float64(core.DefaultConfig().FAIMicros))
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +230,7 @@ func (l *Lab) modelFree(ctx context.Context, budgetSec float64) (*ModelFreeResul
 		workload:  m,
 		ex:        executor.New(l.Chip, l.Ground),
 		stages:    stages,
-		grid:      l.Chip.Curve.Grid(),
+		grid:      units.Floats(l.Chip.Curve.Grid()),
 		baseT:     base.TimeMicros,
 		baseP:     base.MeanSoCW,
 		perLB:     (1 / base.TimeMicros) * (1 - 0.02),

@@ -43,8 +43,8 @@ func (r *Fig4Result) Chart() *plot.Chart {
 func (r *Fig9Result) Chart() *plot.Chart {
 	s := plot.Series{Name: "voltage"}
 	for _, p := range r.Points {
-		s.X = append(s.X, p.MHz)
-		s.Y = append(s.Y, p.Volts)
+		s.X = append(s.X, float64(p.MHz))
+		s.Y = append(s.Y, float64(p.Volts))
 	}
 	return &plot.Chart{
 		Title:  "Fig. 9 - voltage vs frequency",

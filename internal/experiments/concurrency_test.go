@@ -14,6 +14,7 @@ import (
 	"npudvfs/internal/ga"
 	"npudvfs/internal/op"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -49,11 +50,11 @@ func (p *sharedExecProblem) Seeds() [][]int { return nil }
 
 func (p *sharedExecProblem) Score(ind []int) float64 {
 	step := len(p.trace) / len(ind)
-	strat := &core.Strategy{BaselineMHz: p.grid[len(p.grid)-1]}
+	strat := &core.Strategy{BaselineMHz: units.MHz(p.grid[len(p.grid)-1])}
 	for i, g := range ind {
 		strat.Points = append(strat.Points, core.FreqPoint{
 			OpIndex:     i * step,
-			FreqMHz:     p.grid[g],
+			FreqMHz:     units.MHz(p.grid[g]),
 			UncoreScale: p.scales[g%len(p.scales)],
 		})
 	}
@@ -82,7 +83,7 @@ func TestGASharedExecutorStress(t *testing.T) {
 			lab:    lab,
 			ex:     executor.New(lab.Chip, lab.Ground),
 			trace:  trace,
-			grid:   lab.Chip.Curve.Grid(),
+			grid:   units.Floats(lab.Chip.Curve.Grid()),
 			scales: []float64{0, 0.8, 0.9, 0.95, 1.05},
 		}
 	}

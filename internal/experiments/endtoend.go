@@ -11,6 +11,7 @@ import (
 	"npudvfs/internal/executor"
 	"npudvfs/internal/ga"
 	"npudvfs/internal/pool"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -229,7 +230,7 @@ func (l *Lab) fig18(ctx context.Context) (*Fig18Result, error) {
 		return nil, err
 	}
 	res := &Fig18Result{}
-	run := func(name string, faiMicros float64, opt executor.Options, seed int64) error {
+	run := func(name string, faiMicros units.Micros, opt executor.Options, seed int64) error {
 		cfg := core.DefaultConfig()
 		cfg.FAIMicros = faiMicros
 		cfg.GA.Seed = seed
@@ -299,11 +300,11 @@ type InferenceResult struct {
 // Inference measures a Llama2 decode step at 1800 vs 1300 MHz.
 func (l *Lab) Inference() (*InferenceResult, error) {
 	m := workload.Llama2Inference()
-	base, err := l.MeasureFixed(m, 1800)
+	base, err := l.MeasureFixed(m, l.Chip.Curve.Max())
 	if err != nil {
 		return nil, err
 	}
-	low, err := l.MeasureFixed(m, 1300)
+	low, err := l.MeasureFixed(m, 1300) //lint:allow unitcheck paper low-frequency comparison point for the decode step (the vf.Ascend knee)
 	if err != nil {
 		return nil, err
 	}

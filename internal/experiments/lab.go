@@ -20,22 +20,23 @@ import (
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/thermal"
 	"npudvfs/internal/traceio"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
 // FitFreqs are the two frequencies the power model is built from
 // (Sect. 7.3: data at 1000 and 1800 MHz builds the model).
-var FitFreqs = []float64{1000, 1800}
+var FitFreqs = []units.MHz{1000, 1800} //lint:allow unitcheck paper measurement-plan frequencies (Sect. 7.3), the vf.Ascend window edges
 
 // PerfFitFreqs are the frequencies per-operator performance models are
 // fitted from. Like the paper, Func. 2's two parameters are solved
 // exactly from the grid endpoints, which makes predictions exact at
 // the frequencies LFC stages most often land on; the guard band in
 // core.Config absorbs the model's mid-grid optimism.
-var PerfFitFreqs = []float64{1000, 1800}
+var PerfFitFreqs = []units.MHz{1000, 1800} //lint:allow unitcheck paper measurement-plan frequencies (Sect. 7.3), the vf.Ascend window edges
 
 // EvalFreqs are the interior frequencies predictions are validated at.
-var EvalFreqs = []float64{1100, 1200, 1300, 1400, 1500, 1600, 1700}
+var EvalFreqs = []units.MHz{1100, 1200, 1300, 1400, 1500, 1600, 1700} //lint:allow unitcheck paper validation frequencies: the interior vf.Ascend grid points
 
 // Lab is the shared experimental setup: the simulated chip, its
 // ground-truth power, thermal constants, and the one-time offline
@@ -115,13 +116,13 @@ func (l *Lab) Offline() (*powermodel.Offline, error) {
 
 // TimingProfiles profiles the model once per frequency (timing and
 // ratios only).
-func (l *Lab) TimingProfiles(m *workload.Model, freqs []float64) ([]*profiler.Profile, error) {
+func (l *Lab) TimingProfiles(m *workload.Model, freqs []units.MHz) ([]*profiler.Profile, error) {
 	p := l.profiler(100)
 	var out []*profiler.Profile
 	for _, f := range freqs {
-		prof, err := p.Run(m.Trace, f)
+		prof, err := p.Run(m.Trace, float64(f))
 		if err != nil {
-			return nil, fmt.Errorf("profiling %s at %g MHz: %w", m.Name, f, err)
+			return nil, fmt.Errorf("profiling %s at %g MHz: %w", m.Name, float64(f), err)
 		}
 		out = append(out, prof)
 	}
@@ -130,17 +131,17 @@ func (l *Lab) TimingProfiles(m *workload.Model, freqs []float64) ([]*profiler.Pr
 
 // PowerProfiles collects thermally stable power profiles of the model
 // at each frequency.
-func (l *Lab) PowerProfiles(m *workload.Model, freqs []float64) ([]*profiler.Profile, error) {
+func (l *Lab) PowerProfiles(m *workload.Model, freqs []units.MHz) ([]*profiler.Profile, error) {
 	p := l.profiler(200)
 	var out []*profiler.Profile
 	for _, f := range freqs {
 		th := thermal.NewState(l.Thermal)
-		if _, err := p.WarmupIterations(m.Trace, f, l.Ground, th, 4000, 0.5); err != nil {
-			return nil, fmt.Errorf("warming %s at %g MHz: %w", m.Name, f, err)
+		if _, err := p.WarmupIterations(m.Trace, float64(f), l.Ground, th, 4000, 0.5); err != nil {
+			return nil, fmt.Errorf("warming %s at %g MHz: %w", m.Name, float64(f), err)
 		}
-		prof, err := p.RunPower(m.Trace, f, l.Ground, th)
+		prof, err := p.RunPower(m.Trace, float64(f), l.Ground, th)
 		if err != nil {
-			return nil, fmt.Errorf("power-profiling %s at %g MHz: %w", m.Name, f, err)
+			return nil, fmt.Errorf("power-profiling %s at %g MHz: %w", m.Name, float64(f), err)
 		}
 		out = append(out, prof)
 	}
@@ -174,12 +175,12 @@ func (l *Lab) BuildModels(m *workload.Model, temperatureAware bool) (*Models, er
 	}
 	// Performance fitting adds one timing-only profile at the middle
 	// frequency to the two power-profiled endpoints.
-	mid, err := l.TimingProfiles(m, []float64{1400})
+	mid, err := l.TimingProfiles(m, []units.MHz{1400}) //lint:allow unitcheck paper mid-grid fit-supplement frequency (Sect. 7.2), a vf.Ascend grid point
 	if err != nil {
 		return nil, err
 	}
 	perf := perfmodel.FitSeries(seriesList(append(profiles, mid...)), PerfFitFreqs)
-	baseline, err := l.profiler(300).Run(m.Trace, l.Chip.Curve.Max())
+	baseline, err := l.profiler(300).Run(m.Trace, float64(l.Chip.Curve.Max()))
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +220,7 @@ func (l *Lab) ModelsFromBundle(m *workload.Model, b *traceio.ModelBundle) (*Mode
 	if b.Workload != "" && !strings.EqualFold(b.Workload, m.Name) {
 		return nil, fmt.Errorf("experiments: bundle fitted on %q, not %q", b.Workload, m.Name)
 	}
-	baseline, err := l.profiler(300).Run(m.Trace, l.Chip.Curve.Max())
+	baseline, err := l.profiler(300).Run(m.Trace, float64(l.Chip.Curve.Max()))
 	if err != nil {
 		return nil, err
 	}
@@ -233,10 +234,10 @@ func (l *Lab) ModelsFromBundle(m *workload.Model, b *traceio.ModelBundle) (*Mode
 
 // MeasureFixed executes the workload at a fixed frequency until
 // thermally stable and returns the measured result.
-func (l *Lab) MeasureFixed(m *workload.Model, fMHz float64) (*executor.Result, error) {
+func (l *Lab) MeasureFixed(m *workload.Model, f units.MHz) (*executor.Result, error) {
 	ex := executor.New(l.Chip, l.Ground)
 	th := thermal.NewState(l.Thermal)
-	return ex.RunStable(m.Trace, executor.FixedStrategy(fMHz), th, executor.DefaultOptions(), 4000, 0.5)
+	return ex.RunStable(m.Trace, executor.FixedStrategy(f), th, executor.DefaultOptions(), 4000, 0.5)
 }
 
 // MeasureStrategy executes the workload under a strategy until

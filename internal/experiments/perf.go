@@ -9,6 +9,7 @@ import (
 	"npudvfs/internal/perfmodel"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 	"npudvfs/internal/vf"
 	"npudvfs/internal/workload"
 )
@@ -83,10 +84,10 @@ func (l *Lab) Fig4() *Fig4Result {
 	chip := *l.Chip
 	chip.CStore = chip.BWUncore(spec.L2Hit) / (1200 * float64(chip.Cores))
 	a := perfmodel.Analytic{Chip: &chip, Spec: spec}
-	res := &Fig4Result{BreakpointsMHz: a.Breakpoints(1000, 1800, 1)}
+	res := &Fig4Result{BreakpointsMHz: units.Floats(a.Breakpoints(l.Chip.Curve.Min(), l.Chip.Curve.Max(), 1))}
 	var prev float64
 	for f := 1000.0; f <= 1800; f += 25 {
-		c := a.Cycles(f)
+		c := a.Cycles(units.MHz(f))
 		res.MHz = append(res.MHz, f)
 		res.Cycles = append(res.Cycles, c)
 		if len(res.Cycles) > 1 {
@@ -162,6 +163,10 @@ type Fig15Result struct {
 	MeanError [3]float64
 }
 
+// threeFitFreqs is the three-point fit plan used by Func. 1 and
+// Func. 3 (Sect. 7.2: fits at 1000, 1400, 1800 MHz).
+var threeFitFreqs = []units.MHz{1000, 1400, 1800} //lint:allow unitcheck paper three-point fit frequencies (Sect. 7.2), vf.Ascend grid points
+
 // MinModelMicros is the duration threshold below which operators are
 // excluded from performance-model evaluation (Sect. 7.2: sub-20 µs
 // operators are 58.3% of the population but 0.9% of time).
@@ -173,8 +178,8 @@ const MinModelMicros = 20.0
 // 1400, 1800 MHz); Func. 2 fits two (1000, 1800 MHz).
 func (l *Lab) Fig15() (*Fig15Result, error) {
 	res := &Fig15Result{}
-	threeFreqs := []float64{1000, 1400, 1800}
-	allFreqs := append(append([]float64{}, FitFreqs...), EvalFreqs...)
+	threeFreqs := threeFitFreqs
+	allFreqs := append(append([]units.MHz{}, FitFreqs...), EvalFreqs...)
 	for _, m := range workload.PerfEvalModels() {
 		profiles, err := l.TimingProfiles(m, allFreqs)
 		if err != nil {
@@ -265,17 +270,17 @@ type Fig16Result struct {
 func (l *Lab) Fig16() (*Fig16Result, error) {
 	specs := workload.RepresentativeOps()
 	m := &workload.Model{Name: "fig16", Trace: specs}
-	allFreqs := append(append([]float64{}, FitFreqs...), EvalFreqs...)
+	allFreqs := append(append([]units.MHz{}, FitFreqs...), EvalFreqs...)
 	profiles, err := l.TimingProfiles(m, allFreqs)
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig16Result{}
-	threeFreqs := []float64{1000, 1400, 1800}
+	threeFreqs := threeFitFreqs
 	for _, s := range profiler.BuildInstanceSeries(profiles) {
 		row := Fig16Row{Name: s.Spec.Name}
 		evalFs, evalTs, _ := perfmodel.SelectPoints(s, EvalFreqs)
-		row.MHz, row.RealUs = evalFs, evalTs
+		row.MHz, row.RealUs = units.Floats(evalFs), units.Floats(evalTs)
 		fs3, ts3, _ := perfmodel.SelectPoints(s, threeFreqs)
 		fs2, ts2, _ := perfmodel.SelectPoints(s, FitFreqs)
 		if m1, err := perfmodel.FitFunc1(fs3, ts3); err == nil {
@@ -295,10 +300,10 @@ func (l *Lab) Fig16() (*Fig16Result, error) {
 	return res, nil
 }
 
-func predictAll(m perfmodel.TimeModel, fs []float64) []float64 {
+func predictAll(m perfmodel.TimeModel, fs []units.MHz) []float64 {
 	out := make([]float64, len(fs))
 	for i, f := range fs {
-		out[i] = m.Micros(f)
+		out[i] = float64(m.Micros(f))
 	}
 	return out
 }
@@ -332,7 +337,7 @@ type FitCostResult struct {
 // series.
 func (l *Lab) FitCost() (*FitCostResult, error) {
 	m := workload.ShuffleNetV2Plus()
-	profiles, err := l.TimingProfiles(m, []float64{1000, 1400, 1800})
+	profiles, err := l.TimingProfiles(m, threeFitFreqs)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +359,7 @@ func (l *Lab) FitCost() (*FitCostResult, error) {
 	//lint:allow detrand wall-clock timing only: FitCost measures fit latency; excluded from the byte-identity suite
 	start = time.Now()
 	for _, s := range series {
-		if fs, ts, ok := perfmodel.SelectPoints(s, []float64{1000, 1400, 1800}); ok {
+		if fs, ts, ok := perfmodel.SelectPoints(s, threeFitFreqs); ok {
 			if _, err := perfmodel.FitFunc1Iterative(fs, ts); err != nil {
 				return nil, err
 			}

@@ -8,6 +8,7 @@ import (
 	"npudvfs/internal/preprocess"
 	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -32,7 +33,7 @@ type Fig10Result struct {
 // Fig10 warms single-operator workloads to equilibrium at several
 // frequencies and regresses temperature against SoC power.
 func (l *Lab) Fig10() (*Fig10Result, error) {
-	res := &Fig10Result{TrueK: l.Thermal.KCPerWatt}
+	res := &Fig10Result{TrueK: float64(l.Thermal.KCPerWatt)}
 	subjects := []struct {
 		name string
 		m    *workload.Model
@@ -52,9 +53,9 @@ func (l *Lab) Fig10() (*Fig10Result, error) {
 				return nil, err
 			}
 			line.PowerW = append(line.PowerW, prof.MeanSoCW())
-			line.TempC = append(line.TempC, th.TempC())
+			line.TempC = append(line.TempC, float64(th.TempC()))
 			allP = append(allP, prof.MeanSoCW())
-			allT = append(allT, th.TempC())
+			allT = append(allT, float64(th.TempC()))
 		}
 		res.Lines = append(res.Lines, line)
 	}
@@ -117,7 +118,7 @@ func table2Workloads() []*workload.Model {
 
 // predictMeanPower predicts the workload's thermally-settled mean SoC
 // power at a uniform frequency using the full model stack.
-func (l *Lab) predictMeanPower(ms *Models, fMHz float64) (float64, error) {
+func (l *Lab) predictMeanPower(ms *Models, fMHz units.MHz) (float64, error) {
 	stage := []preprocess.Stage{{
 		OpStart: 0, OpEnd: len(ms.Baseline.Records),
 		DurMicros: ms.Baseline.TotalMicros,
@@ -133,13 +134,13 @@ func (l *Lab) predictMeanPower(ms *Models, fMHz float64) (float64, error) {
 		}
 	}
 	if gi < 0 {
-		return 0, fmt.Errorf("experiments: %g MHz not on the grid", fMHz)
+		return 0, fmt.Errorf("experiments: %g MHz not on the grid", float64(fMHz))
 	}
 	pred, err := ev.Predict([]int{gi})
 	if err != nil {
 		return 0, err
 	}
-	return pred.SoCWatts, nil
+	return float64(pred.SoCWatts), nil
 }
 
 // Table2 builds power models for each validation workload at the fit
@@ -170,7 +171,7 @@ func (l *Lab) Table2() (*Table2Result, error) {
 			}
 			relErr := stats.AbsRelError(pred, meas.MeanSoCW)
 			res.Entries = append(res.Entries, Table2Entry{
-				Workload: m.Name, MHz: f, PredW: pred, MeasW: meas.MeanSoCW, RelErr: relErr,
+				Workload: m.Name, MHz: float64(f), PredW: pred, MeasW: meas.MeanSoCW, RelErr: relErr,
 			})
 			errsAware = append(errsAware, relErr)
 			predBlind, err := l.predictMeanPower(&blind, f)

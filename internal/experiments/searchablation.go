@@ -58,11 +58,11 @@ func greedySearch(ev *core.Evaluator, stages []preprocess.Stage, perLB float64) 
 			ind[s]--
 			p := predict(ind)
 			ind[s]++
-			if 1/p.TimeMicros < perLB {
+			if 1/float64(p.TimeMicros) < perLB {
 				continue
 			}
-			dPower := cur.SoCWatts - p.SoCWatts
-			dTime := p.TimeMicros - cur.TimeMicros
+			dPower := float64(cur.SoCWatts - p.SoCWatts)
+			dTime := float64(p.TimeMicros - cur.TimeMicros)
 			if dPower <= 0 {
 				continue
 			}
@@ -167,7 +167,7 @@ func (l *Lab) searchAblation(ctx context.Context) (*SearchAblationResult, error)
 	if err != nil {
 		return nil, err
 	}
-	perLB := (1 / basePred.TimeMicros) * (1 - cfg.PerfLossTarget*guard)
+	perLB := (1 / float64(basePred.TimeMicros)) * (1 - cfg.PerfLossTarget*guard)
 
 	//lint:allow detrand wall-clock timing only: SearchSec; search ablation is excluded from the byte-identity suite
 	start = time.Now()

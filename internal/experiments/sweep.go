@@ -10,6 +10,7 @@ import (
 	"npudvfs/internal/core"
 	"npudvfs/internal/executor"
 	"npudvfs/internal/pool"
+	"npudvfs/internal/units"
 )
 
 // FAISweepRow is one frequency-adjustment-interval measurement.
@@ -43,11 +44,11 @@ func (l *Lab) faiSweep(ctx context.Context) (*FAISweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	fais := []float64{5, 10, 20, 50, 100, 250, 500, 1000}
+	fais := []units.Millis{5, 10, 20, 50, 100, 250, 500, 1000}
 	rows := make([]FAISweepRow, len(fais))
 	err = pool.Each(ctx, l.Seed, len(fais), l.workers(), func(i int, _ *rand.Rand) error {
 		cfg := core.DefaultConfig()
-		cfg.FAIMicros = fais[i] * 1000
+		cfg.FAIMicros = fais[i].Micros()
 		cfg.GA.Seed = int64(820 + i)
 		strat, stages, _, err := core.GenerateContext(ctx, gpt.Input(l.Chip), cfg)
 		if err != nil {
@@ -58,7 +59,7 @@ func (l *Lab) faiSweep(ctx context.Context) (*FAISweepResult, error) {
 			return err
 		}
 		rows[i] = FAISweepRow{
-			FAIMillis:     fais[i],
+			FAIMillis:     float64(fais[i]),
 			Stages:        len(stages),
 			SetFreq:       strat.Switches(),
 			PerfLoss:      meas.TimeMicros/base.TimeMicros - 1,

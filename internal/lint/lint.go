@@ -1,7 +1,7 @@
 // Package lint is dvfslint: a project-specific static-analysis suite,
 // built entirely on the stdlib go/ast + go/types toolchain, that
-// mechanically enforces the repository's determinism and concurrency
-// contracts (DESIGN.md §9). It ships five analyzers:
+// mechanically enforces the repository's determinism, concurrency and
+// dimensional-safety contracts (DESIGN.md §9). It ships six analyzers:
 //
 //	detrand    — no process-global math/rand or wall-clock reads in
 //	             deterministic packages
@@ -12,13 +12,18 @@
 //	             the same function
 //	goleak     — every `go` statement must be tracked by a WaitGroup, a
 //	             result channel, or internal/pool
+//	unitcheck  — no raw-float64 physical quantities in the typed
+//	             packages, no cross-unit arithmetic laundered through
+//	             float64, no bare frequency literals outside internal/vf
 //
 // A diagnostic is suppressed only by an explicit justification on the
 // flagged line (or the line above):
 //
 //	//lint:allow <rule> <reason>
 //
-// so every exemption is reviewable in-tree.
+// so every exemption is reviewable in-tree. A directive that suppresses
+// nothing is itself a finding: stale exemptions otherwise outlive the
+// code they excused and silently blanket future violations.
 package lint
 
 import (
@@ -54,7 +59,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak}
+	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak, UnitCheck}
 }
 
 // SelectAnalyzers resolves a comma-separated rule list ("" or "all"
@@ -95,6 +100,7 @@ func SelectAnalyzers(rules string) ([]*Analyzer, error) {
 type allowDirective struct {
 	rule   string
 	reason string
+	file   string
 	line   int
 	pos    token.Pos
 }
@@ -117,10 +123,12 @@ func parseAllows(p *Package, f *ast.File, report func(pos token.Pos, format stri
 				report(c.Pos(), "malformed directive %q: want %s <rule> <reason>", c.Text, allowPrefix)
 				continue
 			}
+			cpos := p.Fset.Position(c.Pos())
 			out = append(out, allowDirective{
 				rule:   fields[0],
 				reason: strings.Join(fields[1:], " "),
-				line:   p.Fset.Position(c.Pos()).Line,
+				file:   cpos.Filename,
+				line:   cpos.Line,
 				pos:    c.Pos(),
 			})
 		}
@@ -142,17 +150,35 @@ func Run(p *Package, analyzers []*Analyzer) []Diagnostic {
 			})
 		}
 	}
-	// Allow directives apply per file; malformed ones are findings of
-	// the pseudo-rule "directive".
-	allowed := map[string]map[int]bool{} // rule -> line -> allowed
+	// Allow directives apply per file — the index is keyed by filename
+	// AND line, so a directive in one file can never absorb (and mark
+	// itself used against) a finding at the same line number of a
+	// sibling file. Malformed ones are findings of the pseudo-rule
+	// "directive". Each directive tracks whether it suppressed
+	// anything: a no-op exemption is itself a finding.
+	type fileLine struct {
+		file string
+		line int
+	}
+	type allowState struct {
+		d    allowDirective
+		used bool
+	}
+	allowed := map[string]map[fileLine]*allowState{} // rule -> file:line -> state
+	var states []*allowState                         // in parse order, for deterministic reporting
 	for _, f := range p.Files {
 		for _, a := range parseAllows(p, f, collect("directive")) {
 			m := allowed[a.rule]
 			if m == nil {
-				m = map[int]bool{}
+				m = map[fileLine]*allowState{}
 				allowed[a.rule] = m
 			}
-			m[a.line] = true
+			key := fileLine{a.file, a.line}
+			if m[key] == nil {
+				st := &allowState{d: a}
+				m[key] = st
+				states = append(states, st)
+			}
 		}
 	}
 	for _, a := range analyzers {
@@ -161,11 +187,35 @@ func Run(p *Package, analyzers []*Analyzer) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
 		// A directive suppresses a diagnostic on its own line or the
-		// line directly below (comment-above style).
-		if m := allowed[d.Rule]; m != nil && (m[d.Pos.Line] || m[d.Pos.Line-1]) {
-			continue
+		// line directly below (comment-above style), in the same file.
+		if m := allowed[d.Rule]; m != nil {
+			if st := m[fileLine{d.Pos.Filename, d.Pos.Line}]; st != nil {
+				st.used = true
+				continue
+			}
+			if st := m[fileLine{d.Pos.Filename, d.Pos.Line - 1}]; st != nil {
+				st.used = true
+				continue
+			}
 		}
 		out = append(out, d)
+	}
+	// An unused directive is reported only when its rule actually ran
+	// this invocation — a floateq exemption is not stale just because
+	// the caller selected -rules detrand.
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	for _, st := range states {
+		if !st.used && selected[st.d.rule] {
+			out = append(out, Diagnostic{
+				Pos:  p.Fset.Position(st.d.pos),
+				Rule: "directive",
+				Message: fmt.Sprintf("unused directive %s %s %s: no [%s] finding on this line or the one below — remove the stale exemption",
+					allowPrefix, st.d.rule, st.d.reason, st.d.rule),
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -185,18 +235,9 @@ func Run(p *Package, analyzers []*Analyzer) []Diagnostic {
 
 // RunAll loads every package under root and runs the analyzers over
 // each, returning all surviving diagnostics sorted per package.
+// Packages are type-checked and analyzed by a bounded worker pool
+// scheduled along the module's import DAG (see RunAllWorkers); the
+// output is byte-identical to a sequential run.
 func RunAll(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	ld, err := NewLoader(root)
-	if err != nil {
-		return nil, err
-	}
-	pkgs, err := ld.LoadAll()
-	if err != nil {
-		return nil, err
-	}
-	var out []Diagnostic
-	for _, p := range pkgs {
-		out = append(out, Run(p, analyzers)...)
-	}
-	return out, nil
+	return RunAllWorkers(root, analyzers, 0)
 }

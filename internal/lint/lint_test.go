@@ -104,11 +104,18 @@ func TestDetRandGolden(t *testing.T) {
 }
 
 // TestDetRandScopedToDeterministicPkgs mounts the same file outside the
-// deterministic list and expects silence: detrand is package-scoped.
+// deterministic list and expects no detrand findings: the rule is
+// package-scoped. The file's //lint:allow detrand directive correctly
+// surfaces as unused there — with the rule scoped off, the exemption
+// suppresses nothing.
 func TestDetRandScopedToDeterministicPkgs(t *testing.T) {
 	p := loadTestPkg(t, "ga", "npudvfs/internal/telemetry")
-	if diags := Run(p, []*Analyzer{DetRand}); len(diags) != 0 {
-		t.Fatalf("detrand fired outside the deterministic packages: %v", diags)
+	for _, d := range Run(p, []*Analyzer{DetRand}) {
+		if d.Rule == "detrand" {
+			t.Errorf("detrand fired outside the deterministic packages: %s", d)
+		} else if d.Rule != "directive" || !strings.Contains(d.Message, "unused directive") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
 	}
 }
 
@@ -139,6 +146,50 @@ func TestLockPairGolden(t *testing.T) {
 func TestGoLeakGolden(t *testing.T) {
 	p := loadTestPkg(t, "goleak", "npudvfs/internal/goleak")
 	checkGolden(t, p, []*Analyzer{GoLeak})
+}
+
+func TestUnitCheckGolden(t *testing.T) {
+	p := loadTestPkg(t, "unitcheck", "npudvfs/internal/perfmodel")
+	checkGolden(t, p, []*Analyzer{UnitCheck})
+}
+
+// TestUnitCheckSignatureRuleScoped: rule (a) polices only the packages
+// that were moved to units types; a numeric kernel keeping raw float64
+// (profiler, stats, ga, ...) is by design.
+func TestUnitCheckSignatureRuleScoped(t *testing.T) {
+	const src = `package profiler
+
+func tune(freqMHz float64) float64 { return freqMHz }
+`
+	p := mountSource(t, "npudvfs/internal/profiler", "tune.go", src)
+	if diags := Run(p, []*Analyzer{UnitCheck}); len(diags) != 0 {
+		t.Fatalf("unitcheck fired outside the units-typed packages: %v", diags)
+	}
+	p = mountSource(t, "npudvfs/internal/core", "tune.go", src)
+	diags := Run(p, []*Analyzer{UnitCheck})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"freqMHz"`) {
+		t.Fatalf("got %v, want one raw-float64 finding for freqMHz inside a typed package", diags)
+	}
+}
+
+// TestUnitCheckFreqLiteralExemptInVF: internal/vf owns the V-F table,
+// so its frequency literals are the source of truth, not duplicates.
+func TestUnitCheckFreqLiteralExemptInVF(t *testing.T) {
+	const src = `package vf
+
+import "npudvfs/internal/units"
+
+var probe = units.MHz(1500)
+`
+	p := mountSource(t, "npudvfs/internal/vf", "probe.go", src)
+	if diags := Run(p, []*Analyzer{UnitCheck}); len(diags) != 0 {
+		t.Fatalf("unitcheck flagged a frequency literal inside internal/vf: %v", diags)
+	}
+	p = mountSource(t, "npudvfs/internal/telemetry", "probe.go", src)
+	diags := Run(p, []*Analyzer{UnitCheck})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "bare frequency literal 1500") {
+		t.Fatalf("got %v, want one bare-frequency-literal finding outside internal/vf", diags)
+	}
 }
 
 // TestCleanPackage runs the full suite over a contract-respecting file
@@ -208,6 +259,111 @@ func g(a, b float64) bool {
 	diags := Run(p, []*Analyzer{FloatEq})
 	if len(diags) != 1 || diags[0].Rule != "floateq" {
 		t.Fatalf("got %v, want one floateq finding", diags)
+	}
+}
+
+// mountSources mounts several files as one synthetic package.
+func mountSources(t *testing.T, importPath string, files map[string]string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	ld.Mount(importPath, dir)
+	p, err := ld.Load(importPath)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return p
+}
+
+// TestUnusedAllowDirective: a directive that suppresses nothing is a
+// "directive" finding — but only when its rule was actually selected,
+// so running a rule subset never flags exemptions for the other rules.
+// (mountSource, not a golden file: a want comment on the directive's
+// line would be swallowed as part of the directive's reason.)
+func TestUnusedAllowDirective(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/staleallow", "stale.go", `package staleallow
+
+//lint:allow floateq stale exemption; the comparison below is integral
+func same(a, b int) bool {
+	return a == b
+}
+`)
+	diags := Run(p, Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "directive" || !strings.Contains(d.Message, "unused directive") || !strings.Contains(d.Message, "floateq") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+	if diags := Run(p, []*Analyzer{DetRand}); len(diags) != 0 {
+		t.Fatalf("unused floateq directive reported under -rules detrand: %v", diags)
+	}
+}
+
+// TestUsedAllowDirectiveNotReported: a directive that suppresses a
+// finding (same line or the line below) is not stale.
+func TestUsedAllowDirectiveNotReported(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/liveallow", "live.go", `package liveallow
+
+func same(a, b float64) bool {
+	//lint:allow floateq exact sentinel comparison by design
+	return a == b
+}
+`)
+	if diags := Run(p, []*Analyzer{FloatEq}); len(diags) != 0 {
+		t.Fatalf("used directive produced findings: %v", diags)
+	}
+}
+
+// TestAllowDirectiveScopedToFile: a directive in one file must not
+// absorb a finding at the same line number of a sibling file — the
+// suppression index is keyed by file AND line. Regression test: the
+// collision both leaked the suppression across files and marked the
+// wrong directive as used.
+func TestAllowDirectiveScopedToFile(t *testing.T) {
+	p := mountSources(t, "npudvfs/internal/xfile", map[string]string{
+		"a.go": `package xfile
+
+func cmp(a, b float64) bool {
+	return a == b
+}
+`,
+		"b.go": `package xfile
+
+func ok() int {
+	//lint:allow floateq directive in a sibling file at the same line number
+	return 1
+}
+`,
+	})
+	diags := Run(p, []*Analyzer{FloatEq})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (the unsuppressed finding and the stale directive): %v", len(diags), diags)
+	}
+	var sawFinding, sawStale bool
+	for _, d := range diags {
+		switch {
+		case d.Rule == "floateq" && strings.HasSuffix(d.Pos.Filename, "a.go"):
+			sawFinding = true
+		case d.Rule == "directive" && strings.HasSuffix(d.Pos.Filename, "b.go") && strings.Contains(d.Message, "unused directive"):
+			sawStale = true
+		}
+	}
+	if !sawFinding || !sawStale {
+		t.Fatalf("cross-file suppression leaked: %v", diags)
 	}
 }
 

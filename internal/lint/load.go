@@ -126,6 +126,24 @@ func (l *Loader) Mount(importPath, dir string) {
 // LoadAll loads every package under the module root, skipping testdata
 // and hidden directories, and returns them sorted by import path.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.moduleDirs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		p, err := l.Load(l.dirImportPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// moduleDirs returns every package directory under the module root,
+// sorted, skipping testdata and hidden directories.
+func (l *Loader) moduleDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -147,23 +165,17 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var out []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(l.Root, dir)
-		if err != nil {
-			return nil, err
-		}
-		ip := l.Module
-		if rel != "." {
-			ip = l.Module + "/" + filepath.ToSlash(rel)
-		}
-		p, err := l.Load(ip)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+	return dirs, nil
+}
+
+// dirImportPath maps a directory under the module root to its import
+// path.
+func (l *Loader) dirImportPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
 	}
-	return out, nil
+	return l.Module + "/" + filepath.ToSlash(rel)
 }
 
 func hasGoFiles(dir string) bool {
@@ -213,8 +225,25 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	return p, nil
 }
 
-// check parses and type-checks the non-test files of one directory.
-func (l *Loader) check(importPath, dir string) (*Package, error) {
+// loadParsed type-checks pre-parsed files and publishes the package in
+// the cache. It is the parallel driver's entry point: the driver's
+// import-DAG scheduling guarantees every module-internal dependency is
+// already cached, so the type-checker's importer callbacks are pure
+// cache hits and never re-enter a concurrent load.
+func (l *Loader) loadParsed(importPath, dir string, files []*ast.File) (*Package, error) {
+	p, err := l.checkParsed(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.pkgs[importPath] = p
+	l.mu.Unlock()
+	return p, nil
+}
+
+// parseDir parses the non-test files of one directory into the shared
+// FileSet (which is safe for concurrent use).
+func parseDir(dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -234,6 +263,20 @@ func (l *Loader) check(importPath, dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
 	}
+	return files, nil
+}
+
+// check parses and type-checks the non-test files of one directory.
+func (l *Loader) check(importPath, dir string) (*Package, error) {
+	files, err := parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkParsed(importPath, dir, files)
+}
+
+// checkParsed type-checks pre-parsed files as one package.
+func (l *Loader) checkParsed(importPath, dir string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -279,5 +322,13 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 		return p.Pkg, nil
 	}
 	li.l.mu.Unlock()
+	// The compiler's source importer is not safe for concurrent use;
+	// serialize stdlib imports across the parallel driver's workers
+	// (it caches internally, so contention is a first-touch cost).
+	srcImportMu.Lock()
+	defer srcImportMu.Unlock()
 	return sourceImporter().ImportFrom(path, dir, mode)
 }
+
+// srcImportMu serializes calls into the shared source importer.
+var srcImportMu sync.Mutex

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// This file is the parallel whole-module driver behind RunAll. The
+// sequential loader spent most of a `make lint` run type-checking the
+// module's packages one after another; here the packages are scheduled
+// onto a bounded worker pool along the module's import DAG, so
+// independent subtrees (cmd/*, examples/*, the leaf internal packages)
+// type-check and analyze concurrently while dependents wait only for
+// their own imports. Determinism is preserved by construction: results
+// are collected per package index and flattened in sorted import-path
+// order, so the output is byte-identical to a sequential run at any
+// worker count.
+
+// pkgNode is one module package in the driver's dependency graph.
+type pkgNode struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+	dependents []int // packages importing this one
+	blocking   int   // unfinished module-internal imports
+	skip       bool  // a dependency failed; don't attempt this package
+}
+
+// defaultLintWorkers bounds the pool when the caller passes 0.
+func defaultLintWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunAllWorkers is RunAll with an explicit worker-pool bound;
+// workers <= 0 selects min(GOMAXPROCS, 8).
+func RunAllWorkers(root string, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	ld, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ld.moduleDirs()
+	if err != nil {
+		return nil, err
+	}
+	// Parse everything up front: the import graph comes from the ASTs,
+	// and the type-check workers reuse them without re-reading disk.
+	nodes := make([]pkgNode, len(dirs))
+	index := map[string]int{}
+	for i, dir := range dirs {
+		files, err := parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = pkgNode{importPath: ld.dirImportPath(dir), dir: dir, files: files}
+		index[nodes[i].importPath] = i
+	}
+	for i := range nodes {
+		for _, dep := range moduleImports(ld.Module, nodes[i].files) {
+			if j, ok := index[dep]; ok && j != i {
+				nodes[j].dependents = append(nodes[j].dependents, i)
+				nodes[i].blocking++
+			}
+		}
+	}
+	if err := checkAcyclic(nodes); err != nil {
+		return nil, err
+	}
+
+	// Every node is enqueued exactly once, when its last dependency
+	// completes; the buffer therefore never fills and sends never
+	// block. The final completion closes the channel.
+	ready := make(chan int, len(nodes))
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	results := make([][]Diagnostic, len(nodes))
+	errs := make([]error, len(nodes))
+	for i := range nodes {
+		if nodes[i].blocking == 0 {
+			ready <- i
+		}
+	}
+	if len(nodes) == 0 {
+		close(ready)
+	}
+	if workers <= 0 {
+		workers = defaultLintWorkers()
+	}
+	if workers > len(nodes) && len(nodes) > 0 {
+		workers = len(nodes)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ready {
+				n := &nodes[idx]
+				var diags []Diagnostic
+				var err error
+				// skip is written before this node's enqueue (under mu)
+				// and read after the channel receive, so no lock needed.
+				if !n.skip {
+					p, e := ld.loadParsed(n.importPath, n.dir, n.files)
+					if e != nil {
+						err = e
+					} else {
+						diags = Run(p, analyzers)
+					}
+				}
+				mu.Lock()
+				results[idx] = diags
+				errs[idx] = err
+				failed := err != nil || n.skip
+				for _, d := range n.dependents {
+					if failed {
+						nodes[d].skip = true
+					}
+					nodes[d].blocking--
+					if nodes[d].blocking == 0 {
+						ready <- d
+					}
+				}
+				done++
+				if done == len(nodes) {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// First error in import-path order, independent of scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []Diagnostic
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// moduleImports extracts the module-internal import paths of a
+// package's files (the module root package counts).
+func moduleImports(module string, files []*ast.File) []string {
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == module || (len(path) > len(module) && path[:len(module)+1] == module+"/") {
+				out = append(out, path)
+			}
+		}
+	}
+	return out
+}
+
+// checkAcyclic verifies the import graph terminates: Go forbids import
+// cycles, but a malformed tree must fail loudly here rather than
+// deadlock the ready queue.
+func checkAcyclic(nodes []pkgNode) error {
+	blocking := make([]int, len(nodes))
+	var queue []int
+	for i := range nodes {
+		blocking[i] = nodes[i].blocking
+		if blocking[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, d := range nodes[i].dependents {
+			if blocking[d]--; blocking[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != len(nodes) {
+		var stuck []string
+		for i := range nodes {
+			if blocking[i] > 0 {
+				stuck = append(stuck, nodes[i].importPath)
+			}
+		}
+		return fmt.Errorf("lint: import cycle among %v", stuck)
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestRepoLintClean is the gate the Makefile's lint target mirrors: the
 // full analyzer suite over the whole module must produce zero
@@ -20,5 +23,30 @@ func TestRepoLintClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestRunAllWorkersDeterministic: the parallel driver must produce
+// byte-identical output at any worker count — results are collected per
+// package index and flattened in sorted import-path order, so the
+// schedule cannot leak into the report.
+func TestRunAllWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	seq, err := RunAllWorkers(root, Analyzers(), 1)
+	if err != nil {
+		t.Fatalf("RunAllWorkers(1): %v", err)
+	}
+	par, err := RunAllWorkers(root, Analyzers(), 8)
+	if err != nil {
+		t.Fatalf("RunAllWorkers(8): %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel output diverged from sequential:\nseq: %v\npar: %v", seq, par)
 	}
 }

@@ -1,0 +1,104 @@
+// Package unitcheck exercises the dimensional-safety analyzer: rule
+// (a) raw lexicon-named float64 signatures, rule (b) cross-unit
+// arithmetic laundered through float64, rule (c) bare frequency
+// literals materializing as units.MHz. The golden test mounts this
+// file as npudvfs/internal/perfmodel, a units-typed package, so all
+// three rules are in force.
+package unitcheck
+
+import "npudvfs/internal/units"
+
+// --- rule (a): raw float64 physical quantities in signatures ---
+
+type opSpec struct {
+	FreqMHz float64 // want unitcheck `raw float64 field "FreqMHz"`
+	Cycles  float64 // a count, not a physical quantity: silent
+	PowerW  float64 // want unitcheck `raw float64 field "PowerW"`
+}
+
+func scaleAll(freqsMHz []float64, k float64) []float64 { // want unitcheck `raw []float64 parameter "freqsMHz"`
+	out := make([]float64, len(freqsMHz))
+	for i, f := range freqsMHz {
+		out[i] = f * k
+	}
+	return out
+}
+
+func hottest() (tempC float64) { // want unitcheck `raw float64 result "tempC"`
+	return 85
+}
+
+// typed signatures are the fix, not a finding
+func clamped(f units.MHz, lo units.MHz) units.MHz {
+	if f < lo {
+		return lo
+	}
+	return f
+}
+
+// --- rule (b): cross-unit arithmetic laundered through float64 ---
+
+func mixedLocals(f units.MHz, t units.Micros) float64 {
+	x := float64(f)
+	y := float64(t)
+	return x + y // want unitcheck `unit mismatch: x (units.MHz) + y (units.Micros)`
+}
+
+func mixedDirect(f units.MHz, t units.Micros) bool {
+	return float64(f) > float64(t) // want unitcheck `unit mismatch`
+}
+
+func mixedAccum(f units.MHz, t units.Micros) float64 {
+	acc := float64(f)
+	acc += float64(t) // want unitcheck `unit mismatch`
+	return acc
+}
+
+func sameUnit(a, b units.MHz) float64 {
+	return float64(a) - float64(b) // same dimension: silent
+}
+
+func dimensionChange(f units.MHz, t units.Micros) float64 {
+	return float64(f) * float64(t) // multiplication changes dimension: silent
+}
+
+func unitlessOffset(f units.MHz) float64 {
+	return float64(f) + 0.5 // literal offsets carry no unit: silent
+}
+
+// --- rule (c): bare frequency literals outside internal/vf ---
+
+const probeFreq = units.MHz(1500) // want unitcheck `bare frequency literal 1500 converted to units.MHz`
+
+var sparseGrid = []units.MHz{1000, 1800} // want unitcheck `1000` unitcheck `1800`
+
+var declaredFreq units.MHz = 1450 // want unitcheck `declared as units.MHz`
+
+var unsetFreq = units.MHz(-1) // sentinel ±1: silent
+
+type point struct {
+	F units.MHz
+	V units.Volt
+}
+
+func mkPoint() point {
+	return point{F: 1200, V: 0.75} // want unitcheck `assigned to a units.MHz field`
+}
+
+func reassign(f units.MHz) units.MHz {
+	f = 1350 // want unitcheck `assigned to a units.MHz variable`
+	return f
+}
+
+func takeFreq(f units.MHz) units.MHz { return f }
+
+func callSite() units.MHz {
+	return takeFreq(1550) // want unitcheck `passed as a units.MHz argument`
+}
+
+func threshold(f units.MHz) bool {
+	if f > 1700 { // want unitcheck `compared against a units.MHz value`
+		return true
+	}
+	return f != 0 // sentinel zero: silent
+}

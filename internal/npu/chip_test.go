@@ -58,7 +58,7 @@ func TestThroughputSaturates(t *testing.T) {
 		t.Fatalf("test premise: HBM saturation %g MHz should be below 1000", fs)
 	}
 	for _, f := range c.Curve.Grid() {
-		tp := c.Throughput(c.CLoad, l2Hit, f)
+		tp := c.Throughput(c.CLoad, l2Hit, float64(f))
 		if tp != c.BWUncore(l2Hit) {
 			t.Errorf("Throughput(%g MHz) = %g, want saturated %g", f, tp, c.BWUncore(l2Hit))
 		}
@@ -246,7 +246,7 @@ func TestQuickRatiosBounded(t *testing.T) {
 		s.StoreBytes = float64(store % (1 << 23))
 		s.CoreCycles = float64(1 + coreCycles%300000)
 		s.L2Hit = math.Abs(l2) - math.Floor(math.Abs(l2)) // into [0,1)
-		f := c.Curve.Grid()[int(fsel)%9]
+		f := float64(c.Curve.Grid()[int(fsel)%9])
 		ratios := c.Ratios(s, f)
 		for _, r := range ratios {
 			if r < 0 || r > 1+1e-9 || math.IsNaN(r) {

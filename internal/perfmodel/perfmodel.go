@@ -16,6 +16,10 @@
 // in f² and 1), which is why it fits thousands of operators orders of
 // magnitude faster than curve_fit-style iterative fitting, with
 // comparable accuracy — the trade-off quantified in Sect. 7.2.
+//
+// Frequencies and durations cross this package's API as units.MHz and
+// units.Micros; the fit coefficients (A, B, C) stay raw float64 — they
+// are mixed-dimension regression parameters, not physical quantities.
 package perfmodel
 
 import (
@@ -26,12 +30,13 @@ import (
 	"npudvfs/internal/op"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 )
 
 // TimeModel predicts operator execution time from core frequency.
 type TimeModel interface {
-	// Micros returns the predicted duration in µs at fMHz.
-	Micros(fMHz float64) float64
+	// Micros returns the predicted duration at frequency f.
+	Micros(f units.MHz) units.Micros
 }
 
 // Model is Func. 2, the production model: T(f) = A·f + C/f, i.e.
@@ -41,34 +46,41 @@ type Model struct {
 }
 
 // Micros implements TimeModel.
-func (m Model) Micros(fMHz float64) float64 { return m.A*fMHz + m.C/fMHz }
+func (m Model) Micros(f units.MHz) units.Micros {
+	x := float64(f)
+	return units.Micros(m.A*x + m.C/x)
+}
 
-// Cycles returns the modeled cycle count at fMHz.
-func (m Model) Cycles(fMHz float64) float64 { return m.A*fMHz*fMHz + m.C }
+// Cycles returns the modeled cycle count at frequency f.
+func (m Model) Cycles(f units.MHz) float64 {
+	x := float64(f)
+	return m.A*x*x + m.C
+}
 
 // FitFunc2 fits Func. 2 from measured (frequency, duration) pairs.
 // Two points solve the parameters exactly; more points use linear
 // least squares on Cycle = A·f² + C. This is the direct calculation
 // the paper credits for Func. 2's ~24x fitting-speed advantage.
-func FitFunc2(freqMHz, micros []float64) (Model, error) {
-	if err := checkSeries(freqMHz, micros, 2); err != nil {
+func FitFunc2(freqs []units.MHz, durs []units.Micros) (Model, error) {
+	if err := checkSeries(freqs, durs, 2); err != nil {
 		return Model{}, err
 	}
-	if len(freqMHz) == 2 {
-		f1, f2 := freqMHz[0], freqMHz[1]
+	fs, ts := units.Floats(freqs), units.Floats(durs)
+	if len(fs) == 2 {
+		f1, f2 := fs[0], fs[1]
 		if stats.Approx(f1, f2) {
 			return Model{}, fmt.Errorf("perfmodel: duplicate fit frequency %g", f1)
 		}
 		// A·f1² + C = T1·f1 ; A·f2² + C = T2·f2.
-		c1, c2 := micros[0]*f1, micros[1]*f2
+		c1, c2 := ts[0]*f1, ts[1]*f2
 		a := (c2 - c1) / (f2*f2 - f1*f1)
 		return Model{A: a, C: c1 - a*f1*f1}, nil
 	}
-	design := make([][]float64, len(freqMHz))
-	cycles := make([]float64, len(freqMHz))
-	for i, f := range freqMHz {
+	design := make([][]float64, len(fs))
+	cycles := make([]float64, len(fs))
+	for i, f := range fs {
 		design[i] = []float64{f * f, 1}
-		cycles[i] = micros[i] * f
+		cycles[i] = ts[i] * f
 	}
 	beta, err := stats.LeastSquares(design, cycles)
 	if err != nil {
@@ -83,21 +95,23 @@ type QuadModel struct {
 }
 
 // Micros implements TimeModel.
-func (m QuadModel) Micros(fMHz float64) float64 {
-	return (m.A*fMHz*fMHz + m.B*fMHz + m.C) / fMHz
+func (m QuadModel) Micros(f units.MHz) units.Micros {
+	x := float64(f)
+	return units.Micros((m.A*x*x + m.B*x + m.C) / x)
 }
 
 // FitFunc1 fits Func. 1 from at least three (frequency, duration)
 // pairs via least squares on the quadratic cycle form.
-func FitFunc1(freqMHz, micros []float64) (QuadModel, error) {
-	if err := checkSeries(freqMHz, micros, 3); err != nil {
+func FitFunc1(freqs []units.MHz, durs []units.Micros) (QuadModel, error) {
+	if err := checkSeries(freqs, durs, 3); err != nil {
 		return QuadModel{}, err
 	}
-	cycles := make([]float64, len(freqMHz))
-	for i, f := range freqMHz {
-		cycles[i] = micros[i] * f
+	fs, ts := units.Floats(freqs), units.Floats(durs)
+	cycles := make([]float64, len(fs))
+	for i, f := range fs {
+		cycles[i] = ts[i] * f
 	}
-	beta, err := stats.PolyFit(freqMHz, cycles, 2)
+	beta, err := stats.PolyFit(fs, cycles, 2)
 	if err != nil {
 		return QuadModel{}, err
 	}
@@ -113,21 +127,23 @@ type ExpModel struct {
 }
 
 // Micros implements TimeModel.
-func (m ExpModel) Micros(fMHz float64) float64 {
-	return (m.A*math.Exp(m.B*fMHz/1000) + m.C) / fMHz
+func (m ExpModel) Micros(f units.MHz) units.Micros {
+	x := float64(f)
+	return units.Micros((m.A*math.Exp(m.B*x/1000) + m.C) / x)
 }
 
 // FitFunc3 fits Func. 3 by Levenberg-Marquardt from at least three
 // pairs.
-func FitFunc3(freqMHz, micros []float64) (ExpModel, error) {
-	if err := checkSeries(freqMHz, micros, 3); err != nil {
+func FitFunc3(freqs []units.MHz, durs []units.Micros) (ExpModel, error) {
+	if err := checkSeries(freqs, durs, 3); err != nil {
 		return ExpModel{}, err
 	}
-	cycles := make([]float64, len(freqMHz))
-	ghz := make([]float64, len(freqMHz))
+	fs, ts := units.Floats(freqs), units.Floats(durs)
+	cycles := make([]float64, len(fs))
+	ghz := make([]float64, len(fs))
 	meanCyc := 0.0
-	for i, f := range freqMHz {
-		cycles[i] = micros[i] * f
+	for i, f := range fs {
+		cycles[i] = ts[i] * f
 		ghz[i] = f / 1000
 		meanCyc += cycles[i]
 	}
@@ -161,14 +177,15 @@ func FitFunc3(freqMHz, micros []float64) (ExpModel, error) {
 // the paper's fit-cost comparison (Sect. 4.3), where Func. 1 was fitted
 // with scipy's iterative curve_fit (105,930 ms for ShuffleNetV2Plus)
 // while Func. 2's parameters were computed directly (4,386 ms).
-func FitFunc1Iterative(freqMHz, micros []float64) (QuadModel, error) {
-	if err := checkSeries(freqMHz, micros, 3); err != nil {
+func FitFunc1Iterative(freqs []units.MHz, durs []units.Micros) (QuadModel, error) {
+	if err := checkSeries(freqs, durs, 3); err != nil {
 		return QuadModel{}, err
 	}
-	cycles := make([]float64, len(freqMHz))
+	fs, ts := units.Floats(freqs), units.Floats(durs)
+	cycles := make([]float64, len(fs))
 	meanCyc := 0.0
-	for i, f := range freqMHz {
-		cycles[i] = micros[i] * f
+	for i, f := range fs {
+		cycles[i] = ts[i] * f
 		meanCyc += cycles[i]
 	}
 	meanCyc /= float64(len(cycles))
@@ -176,26 +193,26 @@ func FitFunc1Iterative(freqMHz, micros []float64) (QuadModel, error) {
 		return p[0]*x*x + p[1]*x + p[2]
 	}
 	p0 := []float64{meanCyc / (1400 * 1400), 0, meanCyc * 0.3}
-	p, _, err := stats.CurveFit(model, freqMHz, cycles, p0, stats.DefaultLMOptions())
+	p, _, err := stats.CurveFit(model, fs, cycles, p0, stats.DefaultLMOptions())
 	if err != nil {
 		return QuadModel{}, err
 	}
 	return QuadModel{A: p[0], B: p[1], C: p[2]}, nil
 }
 
-func checkSeries(freqMHz, micros []float64, minPts int) error {
-	if len(freqMHz) != len(micros) {
-		return fmt.Errorf("perfmodel: %d frequencies vs %d durations", len(freqMHz), len(micros))
+func checkSeries(freqs []units.MHz, durs []units.Micros, minPts int) error {
+	if len(freqs) != len(durs) {
+		return fmt.Errorf("perfmodel: %d frequencies vs %d durations", len(freqs), len(durs))
 	}
-	if len(freqMHz) < minPts {
-		return fmt.Errorf("perfmodel: need at least %d points, have %d", minPts, len(freqMHz))
+	if len(freqs) < minPts {
+		return fmt.Errorf("perfmodel: need at least %d points, have %d", minPts, len(freqs))
 	}
-	for i, f := range freqMHz {
+	for i, f := range freqs {
 		if f <= 0 {
-			return fmt.Errorf("perfmodel: non-positive frequency %g at %d", f, i)
+			return fmt.Errorf("perfmodel: non-positive frequency %g at %d", float64(f), i)
 		}
-		if micros[i] <= 0 {
-			return fmt.Errorf("perfmodel: non-positive duration %g at %d", micros[i], i)
+		if durs[i] <= 0 {
+			return fmt.Errorf("perfmodel: non-positive duration %g at %d", float64(durs[i]), i)
 		}
 	}
 	return nil
@@ -203,10 +220,10 @@ func checkSeries(freqMHz, micros []float64, minPts int) error {
 
 // Errors returns the relative prediction errors of a model against
 // measured (frequency, duration) pairs.
-func Errors(m TimeModel, freqMHz, micros []float64) []float64 {
-	errs := make([]float64, len(freqMHz))
-	for i, f := range freqMHz {
-		errs[i] = stats.AbsRelError(m.Micros(f), micros[i])
+func Errors(m TimeModel, freqs []units.MHz, durs []units.Micros) []float64 {
+	errs := make([]float64, len(freqs))
+	for i, f := range freqs {
+		errs[i] = stats.AbsRelError(float64(m.Micros(f)), float64(durs[i]))
 	}
 	return errs
 }
@@ -214,7 +231,7 @@ func Errors(m TimeModel, freqMHz, micros []float64) []float64 {
 // FitSeries fits the production Func. 2 model for every series,
 // sub-selecting the given fit frequencies from each series' samples.
 // Series missing any fit frequency are skipped.
-func FitSeries(series []*profiler.Series, fitFreqs []float64) map[string]Model {
+func FitSeries(series []*profiler.Series, fitFreqs []units.MHz) map[string]Model {
 	models := make(map[string]Model, len(series))
 	for _, s := range series {
 		fs, ts, ok := SelectPoints(s, fitFreqs)
@@ -231,14 +248,16 @@ func FitSeries(series []*profiler.Series, fitFreqs []float64) map[string]Model {
 }
 
 // SelectPoints extracts the (frequency, duration) samples of a series
-// at the requested frequencies. ok is false if any is missing.
-func SelectPoints(s *profiler.Series, freqs []float64) (fs, ts []float64, ok bool) {
+// at the requested frequencies. ok is false if any is missing. The
+// profiler records raw float64 samples; this is the boundary where
+// they acquire units.
+func SelectPoints(s *profiler.Series, freqs []units.MHz) (fs []units.MHz, ts []units.Micros, ok bool) {
 	for _, want := range freqs {
 		found := false
 		for i, f := range s.FreqMHz {
-			if stats.Approx(f, want) {
-				fs = append(fs, f)
-				ts = append(ts, s.Micros[i])
+			if stats.Approx(f, float64(want)) {
+				fs = append(fs, units.MHz(f))
+				ts = append(ts, units.Micros(s.Micros[i]))
 				found = true
 				break
 			}
@@ -259,25 +278,27 @@ type Analytic struct {
 	Spec *op.Spec
 }
 
-// Cycles returns the exact cycle count at fMHz.
-func (a Analytic) Cycles(fMHz float64) float64 { return a.Chip.Cycles(a.Spec, fMHz) }
+// Cycles returns the exact cycle count at frequency f.
+func (a Analytic) Cycles(f units.MHz) float64 { return a.Chip.Cycles(a.Spec, float64(f)) }
 
 // Micros implements TimeModel.
-func (a Analytic) Micros(fMHz float64) float64 { return a.Chip.Time(a.Spec, fMHz) }
+func (a Analytic) Micros(f units.MHz) units.Micros {
+	return units.Micros(a.Chip.Time(a.Spec, float64(f)))
+}
 
-// Breakpoints returns the frequencies inside (loMHz, hiMHz) where the
+// Breakpoints returns the frequencies inside (lo, hi) where the
 // cycle-frequency function changes slope, found by scanning for
 // second-difference jumps on a fine grid. These are the segment
 // boundaries of the piecewise-linear function (Fig. 4).
-func (a Analytic) Breakpoints(loMHz, hiMHz, stepMHz float64) []float64 {
-	var pts []float64
-	if stepMHz <= 0 || hiMHz <= loMHz {
+func (a Analytic) Breakpoints(lo, hi, step units.MHz) []units.MHz {
+	var pts []units.MHz
+	if step <= 0 || hi <= lo {
 		return pts
 	}
 	var prevSlope float64
 	first := true
-	for f := loMHz; f+stepMHz <= hiMHz; f += stepMHz {
-		slope := (a.Cycles(f+stepMHz) - a.Cycles(f)) / stepMHz
+	for f := lo; f+step <= hi; f += step {
+		slope := (a.Cycles(f+step) - a.Cycles(f)) / float64(step)
 		if !first {
 			// A genuine kink changes the slope by more than
 			// numerical noise.

@@ -8,15 +8,16 @@ import (
 	"npudvfs/internal/op"
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
-var gridEval = []float64{1100, 1200, 1300, 1500, 1600, 1700}
+var gridEval = []units.MHz{1100, 1200, 1300, 1500, 1600, 1700}
 
 func TestFitFunc2ExactOnOwnForm(t *testing.T) {
 	truth := Model{A: 0.01, C: 40000}
-	freqs := []float64{1000, 1800}
-	ts := []float64{truth.Micros(1000), truth.Micros(1800)}
+	freqs := []units.MHz{1000, 1800}
+	ts := []units.Micros{truth.Micros(1000), truth.Micros(1800)}
 	m, err := FitFunc2(freqs, ts)
 	if err != nil {
 		t.Fatal(err)
@@ -28,8 +29,9 @@ func TestFitFunc2ExactOnOwnForm(t *testing.T) {
 
 func TestFitFunc2LeastSquaresPath(t *testing.T) {
 	truth := Model{A: 0.02, C: 90000}
-	var fs, ts []float64
-	for f := 1000.0; f <= 1800; f += 100 {
+	var fs []units.MHz
+	var ts []units.Micros
+	for f := units.MHz(1000); f <= 1800; f += 100 {
 		fs = append(fs, f)
 		ts = append(ts, truth.Micros(f))
 	}
@@ -44,14 +46,14 @@ func TestFitFunc2LeastSquaresPath(t *testing.T) {
 
 func TestFitFunc1ExactOnOwnForm(t *testing.T) {
 	truth := QuadModel{A: 0.008, B: 5, C: 30000}
-	fs := []float64{1000, 1400, 1800}
-	ts := []float64{truth.Micros(1000), truth.Micros(1400), truth.Micros(1800)}
+	fs := []units.MHz{1000, 1400, 1800}
+	ts := []units.Micros{truth.Micros(1000), truth.Micros(1400), truth.Micros(1800)}
 	m, err := FitFunc1(fs, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range gridEval {
-		if e := stats.AbsRelError(m.Micros(f), truth.Micros(f)); e > 1e-9 {
+		if e := stats.AbsRelError(float64(m.Micros(f)), float64(truth.Micros(f))); e > 1e-9 {
 			t.Errorf("Func1 self-fit error %g at %g MHz", e, f)
 		}
 	}
@@ -59,8 +61,8 @@ func TestFitFunc1ExactOnOwnForm(t *testing.T) {
 
 func TestFitFunc3RecoversExponential(t *testing.T) {
 	truth := ExpModel{A: 5000, B: 2, C: 20000}
-	fs := []float64{1000, 1200, 1400, 1600, 1800}
-	ts := make([]float64, len(fs))
+	fs := []units.MHz{1000, 1200, 1400, 1600, 1800}
+	ts := make([]units.Micros, len(fs))
 	for i, f := range fs {
 		ts[i] = truth.Micros(f)
 	}
@@ -69,7 +71,7 @@ func TestFitFunc3RecoversExponential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range gridEval {
-		if e := stats.AbsRelError(m.Micros(f), truth.Micros(f)); e > 0.01 {
+		if e := stats.AbsRelError(float64(m.Micros(f)), float64(truth.Micros(f))); e > 0.01 {
 			t.Errorf("Func3 self-fit error %g at %g MHz", e, f)
 		}
 	}
@@ -79,25 +81,25 @@ func TestFitFunc3RecoversExponential(t *testing.T) {
 }
 
 func TestFitValidation(t *testing.T) {
-	if _, err := FitFunc2([]float64{1000}, []float64{5}); err == nil {
+	if _, err := FitFunc2([]units.MHz{1000}, []units.Micros{5}); err == nil {
 		t.Error("one point: want error")
 	}
-	if _, err := FitFunc2([]float64{1000, 1000}, []float64{5, 5}); err == nil {
+	if _, err := FitFunc2([]units.MHz{1000, 1000}, []units.Micros{5, 5}); err == nil {
 		t.Error("duplicate frequencies: want error")
 	}
-	if _, err := FitFunc2([]float64{1000, -1800}, []float64{5, 4}); err == nil {
+	if _, err := FitFunc2([]units.MHz{1000, -1800}, []units.Micros{5, 4}); err == nil {
 		t.Error("negative frequency: want error")
 	}
-	if _, err := FitFunc2([]float64{1000, 1800}, []float64{5, 0}); err == nil {
+	if _, err := FitFunc2([]units.MHz{1000, 1800}, []units.Micros{5, 0}); err == nil {
 		t.Error("zero duration: want error")
 	}
-	if _, err := FitFunc1([]float64{1000, 1800}, []float64{5, 4}); err == nil {
+	if _, err := FitFunc1([]units.MHz{1000, 1800}, []units.Micros{5, 4}); err == nil {
 		t.Error("Func1 with two points: want error")
 	}
-	if _, err := FitFunc3([]float64{1000, 1800}, []float64{5, 4}); err == nil {
+	if _, err := FitFunc3([]units.MHz{1000, 1800}, []units.Micros{5, 4}); err == nil {
 		t.Error("Func3 with two points: want error")
 	}
-	if _, err := FitFunc2([]float64{1000, 1800}, []float64{5}); err == nil {
+	if _, err := FitFunc2([]units.MHz{1000, 1800}, []units.Micros{5}); err == nil {
 		t.Error("length mismatch: want error")
 	}
 }
@@ -109,15 +111,15 @@ func TestFunc2AccurateOnSimulatedOperators(t *testing.T) {
 	chip := npu.Default()
 	for _, s := range workload.RepresentativeOps() {
 		spec := s
-		fit := []float64{1000, 1800}
-		ts := []float64{chip.Time(&spec, 1000), chip.Time(&spec, 1800)}
+		fit := []units.MHz{1000, 1800}
+		ts := []units.Micros{units.Micros(chip.Time(&spec, 1000)), units.Micros(chip.Time(&spec, 1800))}
 		m, err := FitFunc2(fit, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var errs []float64
 		for _, f := range gridEval {
-			e := stats.AbsRelError(m.Micros(f), chip.Time(&spec, f))
+			e := stats.AbsRelError(float64(m.Micros(f)), chip.Time(&spec, float64(f)))
 			errs = append(errs, e)
 			if e > 0.10 {
 				t.Errorf("%s at %g MHz: error %.3f, want < 10%% (worst-case tail)", spec.Name, f, e)
@@ -134,7 +136,7 @@ func TestAnalyticMatchesChip(t *testing.T) {
 	specs := workload.RepresentativeOps()
 	a := Analytic{Chip: chip, Spec: &specs[0]}
 	for _, f := range chip.Curve.Grid() {
-		if a.Micros(f) != chip.Time(&specs[0], f) {
+		if float64(a.Micros(f)) != chip.Time(&specs[0], float64(f)) {
 			t.Errorf("analytic time diverges from chip at %g MHz", f)
 		}
 	}
@@ -158,7 +160,7 @@ func TestAnalyticBreakpointsInsideWindow(t *testing.T) {
 	fsLd := chip.SaturationMHz(chip.CLoad, spec.L2Hit)
 	found := false
 	for _, b := range bps {
-		if math.Abs(b-fsLd) < 5 {
+		if math.Abs(float64(b)-fsLd) < 5 {
 			found = true
 		}
 	}
@@ -169,15 +171,15 @@ func TestAnalyticBreakpointsInsideWindow(t *testing.T) {
 
 func TestErrorsHelper(t *testing.T) {
 	m := Model{A: 0.01, C: 10000}
-	fs := []float64{1000, 2000}
-	exact := []float64{m.Micros(1000), m.Micros(2000)}
+	fs := []units.MHz{1000, 2000}
+	exact := []units.Micros{m.Micros(1000), m.Micros(2000)}
 	errs := Errors(m, fs, exact)
 	for i, e := range errs {
 		if e > 1e-12 {
 			t.Errorf("error[%d] = %g, want 0", i, e)
 		}
 	}
-	errs = Errors(m, []float64{1000}, []float64{2 * m.Micros(1000)})
+	errs = Errors(m, []units.MHz{1000}, []units.Micros{2 * m.Micros(1000)})
 	if math.Abs(errs[0]-0.5) > 1e-12 {
 		t.Errorf("error = %g, want 0.5", errs[0])
 	}
@@ -189,7 +191,7 @@ func TestFitSeriesAndSelectPoints(t *testing.T) {
 	trace := workload.RepresentativeOps()
 	var profiles []*profiler.Profile
 	for _, f := range chip.Curve.Grid() {
-		prof, err := p.Run(trace, f)
+		prof, err := p.Run(trace, float64(f))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +201,7 @@ func TestFitSeriesAndSelectPoints(t *testing.T) {
 	if len(series) != len(trace) {
 		t.Fatalf("got %d series, want %d", len(series), len(trace))
 	}
-	models := FitSeries(series, []float64{1000, 1800})
+	models := FitSeries(series, []units.MHz{1000, 1800})
 	if len(models) != len(trace) {
 		t.Fatalf("got %d models, want %d", len(models), len(trace))
 	}
@@ -207,7 +209,7 @@ func TestFitSeriesAndSelectPoints(t *testing.T) {
 	for _, s := range series {
 		m := models[s.Key]
 		for _, f := range gridEval {
-			e := stats.AbsRelError(m.Micros(f), chip.Time(s.Spec, f))
+			e := stats.AbsRelError(float64(m.Micros(f)), chip.Time(s.Spec, float64(f)))
 			errs = append(errs, e)
 			if e > 0.10 {
 				t.Errorf("%s at %g: error %.3f", s.Key, f, e)
@@ -218,11 +220,11 @@ func TestFitSeriesAndSelectPoints(t *testing.T) {
 		t.Errorf("mean fit error %.3f, want < 5%%", mean)
 	}
 	// Requesting a frequency that was never profiled fails selection.
-	if _, _, ok := SelectPoints(series[0], []float64{999}); ok {
+	if _, _, ok := SelectPoints(series[0], []units.MHz{999}); ok {
 		t.Error("SelectPoints with missing frequency returned ok")
 	}
 	// FitSeries skips series lacking the fit frequencies.
-	if got := FitSeries(series, []float64{999, 1800}); len(got) != 0 {
+	if got := FitSeries(series, []units.MHz{999, 1800}); len(got) != 0 {
 		t.Errorf("FitSeries with missing frequency produced %d models", len(got))
 	}
 }

@@ -17,6 +17,11 @@
 //
 // Both an AICore model and a SoC model are built; the SoC model mirrors
 // the AICore formulation (Eq. 16).
+//
+// Physical quantities cross this package's API as units types
+// (units.MHz, units.Volt, units.Watt, units.Celsius); the fitted
+// coefficients (α, β, γ, θ) stay raw float64 — they carry composite
+// dimensions no single unit type captures.
 package powermodel
 
 import (
@@ -29,6 +34,7 @@ import (
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 )
 
 // Domain holds the fitted load-independent and leakage parameters for
@@ -40,10 +46,11 @@ type Domain struct {
 	Gamma float64
 }
 
-// Idle returns the domain's load-independent power at fMHz with
+// Idle returns the domain's load-independent power at frequency f with
 // voltage v, excluding the temperature term.
-func (d Domain) Idle(fMHz, v float64) float64 {
-	return d.Beta*fMHz*v*v + d.Theta*v
+func (d Domain) Idle(f units.MHz, v units.Volt) units.Watt {
+	x, w := float64(f), float64(v)
+	return units.Watt(d.Beta*x*w*w + d.Theta*w)
 }
 
 // Offline holds all hardware-level parameters extracted by the
@@ -52,11 +59,11 @@ type Offline struct {
 	Chip *npu.Chip
 	// AICore and SoC are the two modeled power domains.
 	AICore, SoC Domain
-	// K is k of Eq. 15: equilibrium °C per SoC watt.
-	K float64
+	// K is k of Eq. 15: equilibrium temperature rise per SoC watt.
+	K units.CelsiusPerWatt
 	// AmbientC is the zero-power die temperature used to convert
 	// temperature readings into ΔT.
-	AmbientC float64
+	AmbientC units.Celsius
 }
 
 // Rig bundles the live system the calibration procedures measure:
@@ -69,12 +76,14 @@ type Rig struct {
 	Thermal thermal.Params
 }
 
-// sample reads n noisy power/temperature samples of the idle chip at
-// fMHz with the given ΔT and returns mean AICore and SoC power.
-func (r *Rig) sampleIdle(fMHz, deltaT float64, n int) (core, soc float64) {
+// sampleIdle reads n noisy power/temperature samples of the idle chip
+// at frequency f with the given ΔT and returns mean AICore and SoC
+// power. The raw float64 returns feed straight into the 2x2 solve.
+func (r *Rig) sampleIdle(f units.MHz, deltaT units.Celsius, n int) (core, soc float64) {
+	x, dt := float64(f), float64(deltaT)
 	for i := 0; i < n; i++ {
-		core += r.Sensor.Power(r.Ground.AICorePower(nil, fMHz, deltaT))
-		soc += r.Sensor.Power(r.Ground.SoCPower(nil, fMHz, deltaT))
+		core += r.Sensor.Power(r.Ground.AICorePower(nil, x, dt))
+		soc += r.Sensor.Power(r.Ground.SoCPower(nil, x, dt))
 	}
 	return core / float64(n), soc / float64(n)
 }
@@ -82,30 +91,30 @@ func (r *Rig) sampleIdle(fMHz, deltaT float64, n int) (core, soc float64) {
 // CalibrateOptions tunes the offline phase.
 type CalibrateOptions struct {
 	// LoMHz and HiMHz are the two idle measurement frequencies.
-	LoMHz, HiMHz float64
+	LoMHz, HiMHz units.MHz
 	// IdleSamples is the number of sensor readings averaged per idle
 	// measurement.
 	IdleSamples int
 	// CooldownSamples and CooldownStepMicros define the
 	// power/temperature decay capture after the test load.
 	CooldownSamples    int
-	CooldownStepMicros float64
+	CooldownStepMicros units.Micros
 	// EquilibriumFreqs are the frequencies the test load is run at to
 	// collect (P_soc, T) equilibrium pairs for fitting k.
-	EquilibriumFreqs []float64
+	EquilibriumFreqs []units.MHz
 }
 
 // DefaultCalibrateOptions returns the values used by the paper
-// reproduction: idle at 1000/1800 MHz, a 40-point cooldown capture,
-// and equilibrium runs at four frequencies.
+// reproduction: idle at the edges of the reference DVFS window, a
+// 40-point cooldown capture, and equilibrium runs at four frequencies.
 func DefaultCalibrateOptions() CalibrateOptions {
 	return CalibrateOptions{
-		LoMHz:              1000,
-		HiMHz:              1800,
+		LoMHz:              1000, //lint:allow unitcheck paper calibration frequency (window floor)
+		HiMHz:              1800, //lint:allow unitcheck paper calibration frequency (window ceiling)
 		IdleSamples:        64,
 		CooldownSamples:    40,
 		CooldownStepMicros: 2e5,
-		EquilibriumFreqs:   []float64{1000, 1300, 1500, 1800},
+		EquilibriumFreqs:   []units.MHz{1000, 1300, 1500, 1800}, //lint:allow unitcheck paper equilibrium-run frequencies (Fig. 10)
 	}
 }
 
@@ -124,10 +133,10 @@ func Calibrate(rig *Rig, testLoad []op.Spec, opt CalibrateOptions) (*Offline, er
 	// Step 1 - idle power at two frequencies, cold chip (ΔT = 0):
 	// solve Beta/Theta for each domain from the 2x2 system
 	//   P(f) = Beta·f·V² + Theta·V.
-	f1, f2 := opt.LoMHz, opt.HiMHz
-	v1, v2 := curve.Voltage(f1), curve.Voltage(f2)
-	c1, s1 := rig.sampleIdle(f1, 0, opt.IdleSamples)
-	c2, s2 := rig.sampleIdle(f2, 0, opt.IdleSamples)
+	f1, f2 := float64(opt.LoMHz), float64(opt.HiMHz)
+	v1, v2 := float64(curve.Voltage(opt.LoMHz)), float64(curve.Voltage(opt.HiMHz))
+	c1, s1 := rig.sampleIdle(opt.LoMHz, 0, opt.IdleSamples)
+	c2, s2 := rig.sampleIdle(opt.HiMHz, 0, opt.IdleSamples)
 	solve := func(p1, p2 float64) (Domain, error) {
 		a := [][]float64{{f1 * v1 * v1, v1}, {f2 * v2 * v2, v2}}
 		x, err := stats.SolveLinear(a, []float64{p1, p2})
@@ -150,19 +159,19 @@ func Calibrate(rig *Rig, testLoad []op.Spec, opt CalibrateOptions) (*Offline, er
 	prof := profiler.Profiler{Chip: rig.Chip, Sensor: rig.Sensor, TimeNoiseFrac: 0.01}
 	th := thermal.NewState(rig.Thermal)
 	coolF := opt.HiMHz
-	if _, err := prof.WarmupIterations(testLoad, coolF, rig.Ground, th, 4000, 0.5); err != nil {
+	if _, err := prof.WarmupIterations(testLoad, float64(coolF), rig.Ground, th, 4000, 0.5); err != nil {
 		return nil, fmt.Errorf("powermodel: warm-up: %w", err)
 	}
-	vCool := curve.Voltage(coolF)
+	vCool := float64(curve.Voltage(coolF))
 	var temps, cores, socs []float64
 	for i := 0; i < opt.CooldownSamples; i++ {
-		deltaT := th.DeltaT()
-		pc := rig.Ground.AICorePower(nil, coolF, deltaT)
-		ps := rig.Ground.SoCPower(nil, coolF, deltaT)
-		temps = append(temps, rig.Sensor.Temp(th.TempC()))
+		deltaT := float64(th.DeltaT())
+		pc := rig.Ground.AICorePower(nil, float64(coolF), deltaT)
+		ps := rig.Ground.SoCPower(nil, float64(coolF), deltaT)
+		temps = append(temps, rig.Sensor.Temp(float64(th.TempC())))
 		cores = append(cores, rig.Sensor.Power(pc))
 		socs = append(socs, rig.Sensor.Power(ps))
-		th.Step(opt.CooldownStepMicros, ps)
+		th.Step(opt.CooldownStepMicros, units.Watt(ps))
 	}
 	_, slopeCore, err := stats.LinFit(temps, cores)
 	if err != nil {
@@ -180,18 +189,18 @@ func Calibrate(rig *Rig, testLoad []op.Spec, opt CalibrateOptions) (*Offline, er
 	var eqP, eqT []float64
 	for _, f := range opt.EquilibriumFreqs {
 		thEq := thermal.NewState(rig.Thermal)
-		p, err := prof.WarmupIterations(testLoad, f, rig.Ground, thEq, 4000, 0.5)
+		p, err := prof.WarmupIterations(testLoad, float64(f), rig.Ground, thEq, 4000, 0.5)
 		if err != nil {
-			return nil, fmt.Errorf("powermodel: equilibrium run at %g MHz: %w", f, err)
+			return nil, fmt.Errorf("powermodel: equilibrium run at %g MHz: %w", float64(f), err)
 		}
 		eqP = append(eqP, p.MeanSoCW())
-		eqT = append(eqT, rig.Sensor.Temp(thEq.TempC()))
+		eqT = append(eqT, rig.Sensor.Temp(float64(thEq.TempC())))
 	}
 	_, k, err := stats.LinFit(eqP, eqT)
 	if err != nil {
 		return nil, fmt.Errorf("powermodel: equilibrium fit: %w", err)
 	}
-	off.K = k
+	off.K = units.CelsiusPerWatt(k)
 	return off, nil
 }
 
@@ -221,8 +230,8 @@ type Model struct {
 }
 
 // Build runs the online phase: it extracts per-operator α values from
-// power-collecting profiles (one per build frequency, typically 1000
-// and 1800 MHz), subtracting idle and temperature terms per Eq. 14.
+// power-collecting profiles (one per build frequency, typically the
+// window edges), subtracting idle and temperature terms per Eq. 14.
 // With temperatureAware false, the temperature term is not subtracted,
 // so its energy is absorbed into α — the paper's γ=0 ablation.
 func Build(off *Offline, profiles []*profiler.Profile, temperatureAware bool) (*Model, error) {
@@ -246,8 +255,8 @@ func Build(off *Offline, profiles []*profiler.Profile, temperatureAware bool) (*
 				continue
 			}
 			f := r.FreqMHz
-			v := curve.Voltage(f)
-			deltaT := r.TempC - off.AmbientC
+			v := float64(curve.Voltage(units.MHz(f)))
+			deltaT := r.TempC - float64(off.AmbientC)
 			tempCore, tempSoC := 0.0, 0.0
 			if temperatureAware {
 				tempCore = off.AICore.Gamma * deltaT * v
@@ -259,11 +268,13 @@ func Build(off *Offline, profiles []*profiler.Profile, temperatureAware bool) (*
 				a = &acc{compute: r.Spec.Class == op.Compute}
 				sums[key] = a
 			}
+			idleCore := float64(off.AICore.Idle(units.MHz(f), units.Volt(v)))
+			idleSoC := float64(off.SoC.Idle(units.MHz(f), units.Volt(v)))
 			if a.compute {
-				a.core += (r.AICoreW - off.AICore.Idle(f, v) - tempCore) / (f * v * v)
-				a.soc += (r.SoCW - off.SoC.Idle(f, v) - tempSoC) / (f * v * v)
+				a.core += (r.AICoreW - idleCore - tempCore) / (f * v * v)
+				a.soc += (r.SoCW - idleSoC - tempSoC) / (f * v * v)
 			} else {
-				a.extra += r.SoCW - off.SoC.Idle(f, v) - tempSoC
+				a.extra += r.SoCW - idleSoC - tempSoC
 			}
 			a.n++
 		}
@@ -291,37 +302,38 @@ func (m *Model) gamma() (core, soc float64) {
 }
 
 // OpPowerAt predicts the instantaneous AICore and SoC power of an
-// operator at frequency fMHz with temperature rise deltaT. Unknown
-// keys predict idle power.
-func (m *Model) OpPowerAt(key string, fMHz, deltaT float64) (core, soc float64) {
-	v := m.Chip.Curve.Voltage(fMHz)
+// operator at frequency f with temperature rise deltaT. Unknown keys
+// predict idle power.
+func (m *Model) OpPowerAt(key string, f units.MHz, deltaT units.Celsius) (core, soc units.Watt) {
+	x, dt := float64(f), float64(deltaT)
+	v := float64(m.Chip.Curve.Voltage(f))
 	gc, gs := m.gamma()
-	core = m.AICore.Idle(fMHz, v) + gc*deltaT*v
-	soc = m.SoC.Idle(fMHz, v) + gs*deltaT*v
+	pc := float64(m.AICore.Idle(f, units.Volt(v))) + gc*dt*v
+	ps := float64(m.SoC.Idle(f, units.Volt(v))) + gs*dt*v
 	p, ok := m.Ops[key]
 	if !ok {
-		return core, soc
+		return units.Watt(pc), units.Watt(ps)
 	}
 	if p.Compute {
-		core += p.AlphaCore * fMHz * v * v
-		soc += p.AlphaSoC * fMHz * v * v
+		pc += p.AlphaCore * x * v * v
+		ps += p.AlphaSoC * x * v * v
 	} else {
-		soc += p.ExtraSoC
+		ps += p.ExtraSoC
 	}
-	return core, soc
+	return units.Watt(pc), units.Watt(ps)
 }
 
 // SolveDeltaT solves the self-consistent temperature rise of Sect. 5.4:
 // ΔT = k·P_soc(ΔT). It iterates from ΔT = 0 as in the paper, which
 // converges within a few rounds; iters reports how many were used.
-func SolveDeltaT(k float64, psoc func(deltaT float64) float64) (deltaT float64, iters int) {
+func SolveDeltaT(k units.CelsiusPerWatt, psoc func(deltaT units.Celsius) units.Watt) (deltaT units.Celsius, iters int) {
 	const (
 		maxIters = 16
 		tol      = 1e-6
 	)
 	for iters = 0; iters < maxIters; iters++ {
-		next := k * psoc(deltaT)
-		if math.Abs(next-deltaT) < tol {
+		next := k.Times(psoc(deltaT))
+		if math.Abs(float64(next-deltaT)) < tol {
 			return next, iters + 1
 		}
 		deltaT = next

@@ -11,6 +11,7 @@ import (
 	"npudvfs/internal/profiler"
 	"npudvfs/internal/stats"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -68,8 +69,8 @@ func TestCalibrateRecoversAICoreIdleTerms(t *testing.T) {
 	for _, f := range rig.Chip.Curve.Grid() {
 		v := rig.Chip.Curve.Voltage(f)
 		pred := off.AICore.Idle(f, v)
-		truth := g.AICoreIdle(f, 0)
-		if e := stats.AbsRelError(pred, truth); e > 0.05 {
+		truth := g.AICoreIdle(float64(f), 0)
+		if e := stats.AbsRelError(float64(pred), truth); e > 0.05 {
 			t.Errorf("idle prediction at %g MHz: error %g", f, e)
 		}
 	}
@@ -82,7 +83,7 @@ func TestCalibrateRecoversGamma(t *testing.T) {
 		t.Errorf("GammaCore = %g, truth %g", off.AICore.Gamma, g.GammaCore)
 	}
 	// SoC gamma folds in the uncore leakage slope: γ_soc·V ≈ γ_core·V + UncoreGamma.
-	v := rig.Chip.Curve.Voltage(1800)
+	v := float64(rig.Chip.Curve.Voltage(rig.Chip.Curve.Max()))
 	wantSlope := g.GammaCore*v + g.UncoreGamma
 	if rel := math.Abs(off.SoC.Gamma*v-wantSlope) / wantSlope; rel > 0.25 {
 		t.Errorf("SoC cooling slope = %g, want ~%g", off.SoC.Gamma*v, wantSlope)
@@ -91,7 +92,7 @@ func TestCalibrateRecoversGamma(t *testing.T) {
 
 func TestCalibrateRecoversK(t *testing.T) {
 	rig, off := calibrated(t)
-	if rel := math.Abs(off.K-rig.Thermal.KCPerWatt) / rig.Thermal.KCPerWatt; rel > 0.1 {
+	if rel := math.Abs(float64(off.K-rig.Thermal.KCPerWatt)) / float64(rig.Thermal.KCPerWatt); rel > 0.1 {
 		t.Errorf("K = %g, truth %g", off.K, rig.Thermal.KCPerWatt)
 	}
 }
@@ -137,10 +138,10 @@ func TestBuildAndPredictAcrossFrequencies(t *testing.T) {
 	// frequency. Average error should be single-digit percent
 	// (Table 2 reports 4.62%).
 	var errsCore, errsSoC []float64
-	for _, f := range []float64{1100, 1300, 1500, 1700} {
+	for _, f := range []units.MHz{1100, 1300, 1500, 1700} {
 		th := thermal.NewState(rig.Thermal)
 		p := profiler.Profiler{Chip: rig.Chip} // noiseless observation of truth
-		if _, err := p.WarmupIterations(trace, f, rig.Ground, th, 4000, 0.5); err != nil {
+		if _, err := p.WarmupIterations(trace, float64(f), rig.Ground, th, 4000, 0.5); err != nil {
 			t.Fatal(err)
 		}
 		deltaT := th.DeltaT()
@@ -148,10 +149,10 @@ func TestBuildAndPredictAcrossFrequencies(t *testing.T) {
 		for i := range reps {
 			s := &reps[i]
 			predCore, predSoC := m.OpPowerAt(s.Key(), f, deltaT)
-			trueCore := rig.Ground.AICorePower(s, f, deltaT)
-			trueSoC := rig.Ground.SoCPower(s, f, deltaT)
-			errsCore = append(errsCore, stats.AbsRelError(predCore, trueCore))
-			errsSoC = append(errsSoC, stats.AbsRelError(predSoC, trueSoC))
+			trueCore := rig.Ground.AICorePower(s, float64(f), float64(deltaT))
+			trueSoC := rig.Ground.SoCPower(s, float64(f), float64(deltaT))
+			errsCore = append(errsCore, stats.AbsRelError(float64(predCore), trueCore))
+			errsSoC = append(errsSoC, stats.AbsRelError(float64(predSoC), trueSoC))
 		}
 	}
 	if mean := stats.Mean(errsCore); mean > 0.08 {
@@ -188,11 +189,11 @@ func TestTemperatureTermImprovesHotIdlePrediction(t *testing.T) {
 	// of AICore leakage (Sect. 7.3 measures 3-8 W). The γ-aware model
 	// must track it; the γ=0 model misses it on idle prediction.
 	const deltaT = 30.0
-	f := 1500.0
-	truth := rig.Ground.AICorePower(nil, f, deltaT)
+	f := units.MHz(1500)
+	truth := rig.Ground.AICorePower(nil, float64(f), deltaT)
 	awareCore, _ := aware.OpPowerAt("nonexistent", f, deltaT)
 	blindCore, _ := blind.OpPowerAt("nonexistent", f, deltaT)
-	if eAware, eBlind := math.Abs(awareCore-truth), math.Abs(blindCore-truth); eAware >= eBlind {
+	if eAware, eBlind := math.Abs(float64(awareCore)-truth), math.Abs(float64(blindCore)-truth); eAware >= eBlind {
 		t.Errorf("temperature-aware idle error %g W should beat blind %g W", eAware, eBlind)
 	}
 }
@@ -223,7 +224,7 @@ func TestNonComputeOpsGetConstantExtra(t *testing.T) {
 	_, socHi := m.OpPowerAt("AllReduce", 1800, 10)
 	idleLo := off.SoC.Idle(1000, rig.Chip.Curve.Voltage(1000))
 	idleHi := off.SoC.Idle(1800, rig.Chip.Curve.Voltage(1800))
-	if math.Abs((socHi-idleHi)-(socLo-idleLo)) > 1 {
+	if math.Abs(float64((socHi-idleHi)-(socLo-idleLo))) > 1 {
 		t.Errorf("non-compute extra varies with frequency: %g vs %g", socHi-idleHi, socLo-idleLo)
 	}
 }
@@ -231,11 +232,11 @@ func TestNonComputeOpsGetConstantExtra(t *testing.T) {
 func TestSolveDeltaTConvergesQuickly(t *testing.T) {
 	// Linear self-consistency: P = 200 + 0.3·ΔT, k = 0.12 — the exact
 	// fixpoint is ΔT = k·200/(1-0.3k).
-	k := 0.12
-	psoc := func(dt float64) float64 { return 200 + 0.3*dt }
+	k := units.CelsiusPerWatt(0.12)
+	psoc := func(dt units.Celsius) units.Watt { return units.Watt(200 + 0.3*float64(dt)) }
 	dt, iters := SolveDeltaT(k, psoc)
-	want := k * 200 / (1 - 0.3*k)
-	if math.Abs(dt-want) > 1e-3 {
+	want := float64(k) * 200 / (1 - 0.3*float64(k))
+	if math.Abs(float64(dt)-want) > 1e-3 {
 		t.Errorf("fixpoint = %g, want %g", dt, want)
 	}
 	if iters > 8 {

@@ -21,6 +21,7 @@ import (
 
 	"npudvfs/internal/npu"
 	"npudvfs/internal/op"
+	"npudvfs/internal/units"
 )
 
 // Ground computes the true (noise-free) power of the chip.
@@ -133,7 +134,7 @@ func (g *Ground) Activity(s *op.Spec) float64 {
 // that the analytic model cannot see.
 func (g *Ground) Alpha(s *op.Spec, fMHz float64) float64 {
 	base := g.AlphaScale * g.Activity(s)
-	span := g.Chip.Curve.Max() - g.Chip.Curve.Min()
+	span := float64(g.Chip.Curve.Max() - g.Chip.Curve.Min())
 	drift := g.DriftFrac * driftCoef(s.Key()) * (fMHz - g.RefMHz) / span
 	return base * (1 + drift)
 }
@@ -142,7 +143,7 @@ func (g *Ground) Alpha(s *op.Spec, fMHz float64) float64 {
 // fMHz and temperature rise deltaT (Eq. 12 plus the static leakage
 // term, which persists at idle).
 func (g *Ground) AICoreIdle(fMHz, deltaT float64) float64 {
-	v := g.Chip.Curve.Voltage(fMHz)
+	v := float64(g.Chip.Curve.Voltage(units.MHz(fMHz)))
 	return g.BetaCore*fMHz*v*v + g.ThetaCore*v + g.GammaCore*deltaT*v
 }
 
@@ -154,7 +155,7 @@ func (g *Ground) AICorePower(s *op.Spec, fMHz, deltaT float64) float64 {
 	if s == nil || s.Class != op.Compute {
 		return p
 	}
-	v := g.Chip.Curve.Voltage(fMHz)
+	v := float64(g.Chip.Curve.Voltage(units.MHz(fMHz)))
 	return p + g.Alpha(s, fMHz)*fMHz*v*v
 }
 
@@ -187,7 +188,7 @@ func (g *Ground) UncorePower(s *op.Spec, fMHz, deltaT float64) float64 {
 	}
 	switch s.Class {
 	case op.Compute:
-		v := g.Chip.Curve.Voltage(fMHz)
+		v := float64(g.Chip.Curve.Voltage(units.MHz(fMHz)))
 		p += g.UncoreBWCoef * g.achievedBW(s, fMHz)
 		p += g.UncoreCoupling * g.Alpha(s, fMHz) * fMHz * v * v
 	case op.AICPU:

@@ -6,6 +6,7 @@ import (
 
 	"npudvfs/internal/npu"
 	"npudvfs/internal/op"
+	"npudvfs/internal/units"
 )
 
 func computeSpec() *op.Spec {
@@ -29,7 +30,7 @@ func TestIdlePowerRisesWithFrequency(t *testing.T) {
 	g := ground()
 	prev := 0.0
 	for _, f := range g.Chip.Curve.Grid() {
-		p := g.AICoreIdle(f, 0)
+		p := g.AICoreIdle(float64(f), 0)
 		if p <= prev {
 			t.Errorf("idle power not increasing at %g MHz: %g <= %g", f, p, prev)
 		}
@@ -45,7 +46,7 @@ func TestIdlePowerRisesWithTemperature(t *testing.T) {
 		t.Errorf("leakage must grow with ΔT: %g <= %g", hot, cold)
 	}
 	// Eq. 10: the growth is linear in ΔT with slope γV.
-	v := g.Chip.Curve.Voltage(1500)
+	v := float64(g.Chip.Curve.Voltage(1500))
 	want := g.GammaCore * 30 * v
 	if math.Abs((hot-cold)-want) > 1e-9 {
 		t.Errorf("temperature term = %g, want %g", hot-cold, want)
@@ -55,7 +56,7 @@ func TestIdlePowerRisesWithTemperature(t *testing.T) {
 func TestActivePowerExceedsIdle(t *testing.T) {
 	g := ground()
 	s := computeSpec()
-	for _, f := range g.Chip.Curve.Grid() {
+	for _, f := range units.Floats(g.Chip.Curve.Grid()) {
 		idle := g.AICorePower(nil, f, 10)
 		active := g.AICorePower(s, f, 10)
 		if active <= idle {
@@ -90,7 +91,7 @@ func TestAlphaDriftBoundedAndDeterministic(t *testing.T) {
 	g := ground()
 	s := computeSpec()
 	base := g.Alpha(s, g.RefMHz)
-	for _, f := range g.Chip.Curve.Grid() {
+	for _, f := range units.Floats(g.Chip.Curve.Grid()) {
 		a := g.Alpha(s, f)
 		if rel := math.Abs(a-base) / base; rel > g.DriftFrac+1e-12 {
 			t.Errorf("drift at %g MHz = %g, exceeds bound %g", f, rel, g.DriftFrac)

@@ -17,6 +17,7 @@ import (
 	"npudvfs/internal/op"
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 )
 
 // Record is one profiled trace entry.
@@ -163,18 +164,18 @@ func (p *Profiler) RunPower(trace []op.Spec, fMHz float64, g *powersim.Ground, t
 	}
 	for i := range prof.Records {
 		r := &prof.Records[i]
-		deltaT := th.DeltaT()
+		deltaT := float64(th.DeltaT())
 		core := g.AICorePower(r.Spec, fMHz, deltaT)
 		soc := g.SoCPower(r.Spec, fMHz, deltaT)
-		th.Step(r.DurMicros, soc)
+		th.Step(units.Micros(r.DurMicros), units.Watt(soc))
 		if p.Sensor != nil {
 			r.AICoreW = p.Sensor.Power(core)
 			r.SoCW = p.Sensor.Power(soc)
-			r.TempC = p.Sensor.Temp(th.TempC())
+			r.TempC = p.Sensor.Temp(float64(th.TempC()))
 		} else {
 			r.AICoreW = core
 			r.SoCW = soc
-			r.TempC = th.TempC()
+			r.TempC = float64(th.TempC())
 		}
 	}
 	return prof, nil
@@ -193,7 +194,7 @@ func (p *Profiler) WarmupIterations(trace []op.Spec, fMHz float64, g *powersim.G
 			return nil, err
 		}
 		last = prof
-		if abs(th.TempC()-th.Equilibrium(prof.MeanSoCW())) < tolC {
+		if abs(float64(th.TempC()-th.Equilibrium(units.Watt(prof.MeanSoCW())))) < tolC {
 			break
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"npudvfs/internal/op"
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/thermal"
+	"npudvfs/internal/units"
 )
 
 func smallTrace() []op.Spec {
@@ -112,7 +113,7 @@ func TestRunPowerPopulatesTelemetry(t *testing.T) {
 		if r.SoCW <= r.AICoreW {
 			t.Errorf("record %d: SoC power %g <= AICore %g", i, r.SoCW, r.AICoreW)
 		}
-		if r.TempC < thermal.Default().AmbientC {
+		if r.TempC < float64(thermal.Default().AmbientC) {
 			t.Errorf("record %d: temperature %g below ambient", i, r.TempC)
 		}
 	}
@@ -150,8 +151,8 @@ func TestWarmupConverges(t *testing.T) {
 	}
 	// At stability, the temperature should be near the equilibrium
 	// for the mean SoC power.
-	teq := th.Equilibrium(prof.MeanSoCW())
-	if math.Abs(th.TempC()-teq) > 2 {
+	teq := th.Equilibrium(units.Watt(prof.MeanSoCW()))
+	if math.Abs(float64(th.TempC()-teq)) > 2 {
 		t.Errorf("warmed temp %g not near equilibrium %g", th.TempC(), teq)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"npudvfs/internal/traceio"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -41,8 +42,8 @@ func (j *job) status() *traceio.JobStatus {
 		State:        j.state,
 		Workload:     j.workload,
 		Cached:       j.cached,
-		QueueMillis:  float64(j.queueDur) / float64(time.Millisecond),
-		SearchMillis: float64(j.searchDur) / float64(time.Millisecond),
+		QueueMillis:  units.Millis(float64(j.queueDur) / float64(time.Millisecond)),
+		SearchMillis: units.Millis(float64(j.searchDur) / float64(time.Millisecond)),
 		Result:       j.result,
 	}
 	if j.err != nil {

@@ -65,9 +65,9 @@ func buildResponse(workloadName string, spec traceio.SearchSpec, ms *experiments
 			SoCWatts:           bestPred.SoCWatts,
 			BaselineCoreWatts:  basePred.CoreWatts,
 			CoreWatts:          bestPred.CoreWatts,
-			PerfLossPct:        100 * (bestPred.TimeMicros/basePred.TimeMicros - 1),
-			SoCSavingPct:       100 * (1 - bestPred.SoCWatts/basePred.SoCWatts),
-			CoreSavingPct:      100 * (1 - bestPred.CoreWatts/basePred.CoreWatts),
+			PerfLossPct:        100 * (float64(bestPred.TimeMicros)/float64(basePred.TimeMicros) - 1),
+			SoCSavingPct:       100 * (1 - float64(bestPred.SoCWatts)/float64(basePred.SoCWatts)),
+			CoreSavingPct:      100 * (1 - float64(bestPred.CoreWatts)/float64(basePred.CoreWatts)),
 		},
 	}, nil
 }

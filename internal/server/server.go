@@ -233,7 +233,7 @@ func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.S
 
 	cfg := core.DefaultConfig()
 	cfg.PerfLossTarget = spec.TargetLoss
-	cfg.FAIMicros = spec.FAIMillis * 1000
+	cfg.FAIMicros = spec.FAIMillis.Micros()
 	cfg.GA.PopSize = spec.Pop
 	cfg.GA.Generations = spec.Gens
 	cfg.GA.Seed = spec.Seed

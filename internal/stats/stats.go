@@ -276,20 +276,25 @@ const DefaultTol = 1e-9
 // Exact equality — including matching infinities — short-circuits;
 // NaN never equals anything, and an infinity never equals a finite
 // value (without the explicit check, Inf-x = Inf and tol*Inf = Inf
-// would make them compare equal).
-func AlmostEqual(a, b, tol float64) bool {
-	if a == b {
+// would make them compare equal). It is generic over defined float64
+// types so unit-typed quantities (units.MHz, units.Micros, …) compare
+// without laundering through float64 — and because both arguments
+// share one type parameter, comparing an MHz against a Micros is a
+// compile error, matching unitcheck's arithmetic rule.
+func AlmostEqual[T ~float64](a, b T, tol float64) bool {
+	x, y := float64(a), float64(b)
+	if x == y {
 		return true
 	}
-	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+	if math.IsInf(x, 0) || math.IsInf(y, 0) {
 		return false
 	}
-	d := math.Abs(a - b)
-	return d <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	d := math.Abs(x - y)
+	return d <= tol*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
 }
 
 // Approx is AlmostEqual at DefaultTol.
-func Approx(a, b float64) bool { return AlmostEqual(a, b, DefaultTol) }
+func Approx[T ~float64](a, b T) bool { return AlmostEqual(a, b, DefaultTol) }
 
 // AbsRelError returns |pred - actual| / |actual|.
 func AbsRelError(pred, actual float64) float64 {

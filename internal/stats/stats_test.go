@@ -281,7 +281,7 @@ func TestApprox(t *testing.T) {
 	if Approx(0.3, 0.3001) {
 		t.Error("Approx(0.3, 0.3001) = true, want false")
 	}
-	if !Approx(0, 0) {
+	if !Approx(0.0, 0.0) {
 		t.Error("Approx(0, 0) = false")
 	}
 }

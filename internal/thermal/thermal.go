@@ -9,17 +9,21 @@
 // decay after a load completes that Sect. 5.4.2 exploits to measure γ.
 package thermal
 
-import "math"
+import (
+	"math"
+
+	"npudvfs/internal/units"
+)
 
 // Params holds the physical constants of the thermal model.
 type Params struct {
-	// AmbientC is T_0 of Eq. 15 in °C: the die temperature at zero
-	// power (tracks the inlet/ambient temperature).
-	AmbientC float64
+	// AmbientC is T_0 of Eq. 15: the die temperature at zero power
+	// (tracks the inlet/ambient temperature).
+	AmbientC units.Celsius
 	// KCPerWatt is k of Eq. 15: equilibrium °C per watt of SoC power.
-	KCPerWatt float64
-	// TauMicros is the package thermal time constant in µs.
-	TauMicros float64
+	KCPerWatt units.CelsiusPerWatt
+	// TauMicros is the package thermal time constant.
+	TauMicros units.Micros
 }
 
 // Default returns the constants used by the reproduction experiments:
@@ -32,7 +36,7 @@ func Default() Params {
 // create with NewState.
 type State struct {
 	Params
-	tempC float64
+	tempC units.Celsius
 }
 
 // NewState returns a State at thermal equilibrium with zero power.
@@ -40,30 +44,30 @@ func NewState(p Params) *State {
 	return &State{Params: p, tempC: p.AmbientC}
 }
 
-// TempC returns the current die temperature in °C.
-func (s *State) TempC() float64 { return s.tempC }
+// TempC returns the current die temperature.
+func (s *State) TempC() units.Celsius { return s.tempC }
 
 // DeltaT returns the current temperature rise over ambient, the ΔT of
 // Eq. 10.
-func (s *State) DeltaT() float64 { return s.tempC - s.AmbientC }
+func (s *State) DeltaT() units.Celsius { return s.tempC - s.AmbientC }
 
 // Equilibrium returns the steady-state temperature for a SoC power, per
 // Eq. 15.
-func (s *State) Equilibrium(psocWatts float64) float64 {
-	return s.AmbientC + s.KCPerWatt*psocWatts
+func (s *State) Equilibrium(psoc units.Watt) units.Celsius {
+	return s.AmbientC + s.KCPerWatt.Times(psoc)
 }
 
-// Step advances the temperature by dtMicros of operation at the given
-// SoC power, relaxing exponentially toward the equilibrium point.
-func (s *State) Step(dtMicros, psocWatts float64) {
-	if dtMicros <= 0 {
+// Step advances the temperature by dt of operation at the given SoC
+// power, relaxing exponentially toward the equilibrium point.
+func (s *State) Step(dt units.Micros, psoc units.Watt) {
+	if dt <= 0 {
 		return
 	}
-	teq := s.Equilibrium(psocWatts)
-	decay := math.Exp(-dtMicros / s.TauMicros)
-	s.tempC = teq + (s.tempC-teq)*decay
+	teq := s.Equilibrium(psoc)
+	decay := math.Exp(-float64(dt) / float64(s.TauMicros))
+	s.tempC = teq + (s.tempC-teq)*units.Celsius(decay)
 }
 
 // SetTemp forces the temperature, used to start experiments from a
 // warmed-up state.
-func (s *State) SetTemp(tC float64) { s.tempC = tC }
+func (s *State) SetTemp(t units.Celsius) { s.tempC = t }

@@ -11,7 +11,7 @@ func TestEquilibriumLinearInPower(t *testing.T) {
 	t300 := s.Equilibrium(300)
 	t400 := s.Equilibrium(400)
 	// Fig. 10: temperature is linear in SoC power.
-	if math.Abs((t300-t200)-(t400-t300)) > 1e-12 {
+	if math.Abs(float64((t300-t200)-(t400-t300))) > 1e-12 {
 		t.Errorf("equilibrium not linear: %g %g %g", t200, t300, t400)
 	}
 	if t200 <= Default().AmbientC {
@@ -26,7 +26,7 @@ func TestStepApproachesEquilibrium(t *testing.T) {
 	teq := s.Equilibrium(power)
 	// After 5 time constants, within ~0.7% of equilibrium.
 	s.Step(5*p.TauMicros, power)
-	if math.Abs(s.TempC()-teq) > 0.01*(teq-p.AmbientC) {
+	if math.Abs(float64(s.TempC()-teq)) > 0.01*float64(teq-p.AmbientC) {
 		t.Errorf("after 5 tau: T = %g, want ~%g", s.TempC(), teq)
 	}
 }
@@ -62,7 +62,7 @@ func TestStepExactExponential(t *testing.T) {
 	s.Step(1e6, power) // exactly one time constant
 	teq := 30 + 0.1*100
 	want := teq + (30-teq)*math.Exp(-1)
-	if math.Abs(s.TempC()-want) > 1e-9 {
+	if math.Abs(float64(s.TempC())-want) > 1e-9 {
 		t.Errorf("T after 1 tau = %g, want %g", s.TempC(), want)
 	}
 }
@@ -75,7 +75,7 @@ func TestStepIndependentOfSubdivision(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b.Step(1e4, 280)
 	}
-	if math.Abs(a.TempC()-b.TempC()) > 1e-9 {
+	if math.Abs(float64(a.TempC()-b.TempC())) > 1e-9 {
 		t.Errorf("subdivided stepping diverged: %g vs %g", a.TempC(), b.TempC())
 	}
 }
@@ -96,7 +96,7 @@ func TestDeltaTAndSetTemp(t *testing.T) {
 		t.Errorf("initial DeltaT = %g, want 0", s.DeltaT())
 	}
 	s.SetTemp(60)
-	if s.TempC() != 60 || math.Abs(s.DeltaT()-25) > 1e-12 {
+	if s.TempC() != 60 || math.Abs(float64(s.DeltaT()-25)) > 1e-12 {
 		t.Errorf("SetTemp: T=%g DeltaT=%g", s.TempC(), s.DeltaT())
 	}
 }

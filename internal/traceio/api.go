@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"npudvfs/internal/op"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -41,7 +42,7 @@ type SearchSpec struct {
 	TargetLoss float64 `json:"target_loss,omitempty"`
 	// FAIMillis is the frequency adjustment interval in milliseconds
 	// (paper default 5).
-	FAIMillis float64 `json:"fai_ms,omitempty"`
+	FAIMillis units.Millis `json:"fai_ms,omitempty"`
 	// Pop and Gens size the genetic search (defaults 200/600, matching
 	// cmd/dvfs-run).
 	Pop  int   `json:"pop,omitempty"`
@@ -79,7 +80,7 @@ func (s *SearchSpec) Canonicalize() error {
 	case s.TargetLoss < 0 || s.TargetLoss >= 1:
 		return fmt.Errorf("traceio: target_loss %g outside [0, 1)", s.TargetLoss)
 	case s.FAIMillis < 0:
-		return fmt.Errorf("traceio: fai_ms %g negative", s.FAIMillis)
+		return fmt.Errorf("traceio: fai_ms %g negative", float64(s.FAIMillis))
 	case s.Pop < 2:
 		return fmt.Errorf("traceio: pop %d below 2", s.Pop)
 	case s.Gens < 1:
@@ -163,12 +164,12 @@ func CacheKey(fingerprint string, s SearchSpec) string {
 // same evaluator the GA scored with (Sect. 6.3), not from measured
 // execution.
 type PredictedDeltas struct {
-	BaselineTimeMicros float64 `json:"baseline_time_us"`
-	TimeMicros         float64 `json:"time_us"`
-	BaselineSoCWatts   float64 `json:"baseline_soc_w"`
-	SoCWatts           float64 `json:"soc_w"`
-	BaselineCoreWatts  float64 `json:"baseline_core_w"`
-	CoreWatts          float64 `json:"core_w"`
+	BaselineTimeMicros units.Micros `json:"baseline_time_us"`
+	TimeMicros         units.Micros `json:"time_us"`
+	BaselineSoCWatts   units.Watt   `json:"baseline_soc_w"`
+	SoCWatts           units.Watt   `json:"soc_w"`
+	BaselineCoreWatts  units.Watt   `json:"baseline_core_w"`
+	CoreWatts          units.Watt   `json:"core_w"`
 	// Derived percentages (positive loss = slower, positive saving =
 	// less power).
 	PerfLossPct   float64 `json:"perf_loss_pct"`
@@ -208,8 +209,8 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// QueueMillis and SearchMillis are per-stage latencies (0 until
 	// the stage completes).
-	QueueMillis  float64 `json:"queue_ms"`
-	SearchMillis float64 `json:"search_ms"`
+	QueueMillis  units.Millis `json:"queue_ms"`
+	SearchMillis units.Millis `json:"search_ms"`
 	// Result is set once State is done.
 	Result *StrategyResponse `json:"result,omitempty"`
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -31,6 +32,52 @@ func FuzzReadStrategy(f *testing.F) {
 		}
 		if s2.BaselineMHz != s.BaselineMHz || len(s2.Points) != len(s.Points) {
 			t.Fatal("round trip changed the strategy")
+		}
+	})
+}
+
+// FuzzSearchSpecHash ensures the search-spec cache key is stable: for
+// any spec the canonicalizer accepts, ConfigHash is a fixed-width hex
+// digest, canonicalization is idempotent (re-canonicalizing changes
+// neither the spec nor the hash), and the timeout — deliberately
+// excluded from the key, since it cannot change a completed search's
+// result — never perturbs it.
+func FuzzSearchSpecHash(f *testing.F) {
+	f.Add(0.0, 0.0, 0, 0, int64(0), 0)
+	f.Add(0.02, 5.0, 200, 600, int64(1), 30000)
+	f.Add(0.1, 1.0, 8, 40, int64(9), 0)
+	f.Add(-0.5, 2.0, 10, 10, int64(3), 100)
+	f.Add(0.999, 1e6, 1, 1, int64(-7), -1)
+	f.Fuzz(func(t *testing.T, loss, fai float64, pop, gens int, seed int64, timeout int) {
+		spec := SearchSpec{
+			TargetLoss:    loss,
+			FAIMillis:     units.Millis(fai),
+			Pop:           pop,
+			Gens:          gens,
+			Seed:          seed,
+			TimeoutMillis: timeout,
+		}
+		if err := spec.Canonicalize(); err != nil {
+			return
+		}
+		h := spec.ConfigHash()
+		if len(h) != 16 {
+			t.Fatalf("ConfigHash %q is not 16 hex chars", h)
+		}
+		again := spec
+		if err := again.Canonicalize(); err != nil {
+			t.Fatalf("re-canonicalizing an accepted spec failed: %v", err)
+		}
+		if again != spec {
+			t.Fatalf("Canonicalize is not idempotent: %+v != %+v", again, spec)
+		}
+		if again.ConfigHash() != h {
+			t.Fatalf("hash changed across re-canonicalization: %s != %s", again.ConfigHash(), h)
+		}
+		retimed := spec
+		retimed.TimeoutMillis = spec.TimeoutMillis + 1
+		if retimed.ConfigHash() != h {
+			t.Fatal("TimeoutMillis leaked into ConfigHash; the timeout must not invalidate cached strategies")
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 
 	"npudvfs/internal/perfmodel"
 	"npudvfs/internal/powermodel"
+	"npudvfs/internal/units"
 )
 
 // ModelBundle is the serializable form of a workload's fitted models:
@@ -44,8 +45,8 @@ type opPowerJSON struct {
 type powerJSON struct {
 	AICore           domainJSON             `json:"aicore"`
 	SoC              domainJSON             `json:"soc"`
-	K                float64                `json:"k"`
-	AmbientC         float64                `json:"ambient_c"`
+	K                units.CelsiusPerWatt   `json:"k"`
+	AmbientC         units.Celsius          `json:"ambient_c"`
 	TemperatureAware bool                   `json:"temperature_aware"`
 	Ops              map[string]opPowerJSON `json:"ops"`
 }

@@ -15,6 +15,7 @@ import (
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/op"
+	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
@@ -175,16 +176,19 @@ func LoadWorkload(path string) (*workload.Model, error) {
 }
 
 // strategyJSON is the wire form of a DVFS strategy.
+// strategyJSON carries the units types directly: a defined float64
+// type marshals byte-identically to float64, so the wire format is
+// unchanged while decoded values arrive pre-dimensioned.
 type strategyJSON struct {
-	BaselineMHz float64     `json:"baseline_mhz"`
+	BaselineMHz units.MHz   `json:"baseline_mhz"`
 	Points      []pointJSON `json:"points"`
 }
 
 type pointJSON struct {
-	OpIndex     int     `json:"op_index"`
-	TimeMicros  float64 `json:"time_us"`
-	FreqMHz     float64 `json:"freq_mhz"`
-	UncoreScale float64 `json:"uncore_scale,omitempty"`
+	OpIndex     int          `json:"op_index"`
+	TimeMicros  units.Micros `json:"time_us"`
+	FreqMHz     units.MHz    `json:"freq_mhz"`
+	UncoreScale float64      `json:"uncore_scale,omitempty"`
 }
 
 // WriteStrategy serializes a strategy to w.
@@ -212,13 +216,13 @@ func ReadStrategy(r io.Reader) (*core.Strategy, error) {
 		return nil, fmt.Errorf("traceio: decoding strategy: %w", err)
 	}
 	if in.BaselineMHz <= 0 {
-		return nil, fmt.Errorf("traceio: baseline frequency %g", in.BaselineMHz)
+		return nil, fmt.Errorf("traceio: baseline frequency %g", float64(in.BaselineMHz))
 	}
 	s := &core.Strategy{BaselineMHz: in.BaselineMHz}
 	prev := -1
 	for i, p := range in.Points {
 		if p.FreqMHz <= 0 {
-			return nil, fmt.Errorf("traceio: point %d has frequency %g", i, p.FreqMHz)
+			return nil, fmt.Errorf("traceio: point %d has frequency %g", i, float64(p.FreqMHz))
 		}
 		if p.UncoreScale < 0 || p.UncoreScale > 1 {
 			return nil, fmt.Errorf("traceio: point %d has uncore scale %g", i, p.UncoreScale)

@@ -1,0 +1,109 @@
+// Package units defines the typed physical quantities used across the
+// model stack. Every quantity the paper's equations manipulate — core
+// frequency (MHz), operator time (µs), rail voltage (V), domain power
+// (W), die temperature (°C), energy (mJ) — gets a defined type, so a
+// GHz/MHz slip or an Eq. 16 `P·t` energy term fed a frequency is a
+// compile error at package boundaries instead of a silently corrupted
+// `T(f) = a·f + c/f` fit (Func. 2, Sect. 4) or `P = αfV² + βfV² +
+// γΔT·V + θV` prediction (Eq. 11, Sect. 5).
+//
+// Defined float64 types convert freely to float64 inside expressions,
+// so the type system alone cannot catch cross-unit arithmetic once a
+// value has been laundered through float64. The dvfslint `unitcheck`
+// analyzer closes that gap: it tracks unit provenance through float64
+// conversions and flags additive arithmetic that mixes units, raw
+// float64 signatures with physical-quantity names in the typed
+// packages, and bare frequency literals outside the V-F table package
+// (internal/vf).
+//
+// Conventions (unchanged from the seed): a frequency in MHz is
+// numerically cycles per microsecond, so Cycles = f·t needs no
+// conversion constants; energy in W·µs is a microjoule, and the
+// Millijoule type stores the /1000 of that.
+package units
+
+// MHz is a core-domain frequency in megahertz. The DVFS window of the
+// reference platform is 1000-1800 MHz (Fig. 9); frequency constants
+// belong in internal/vf, not scattered through the models (enforced by
+// unitcheck).
+type MHz float64
+
+// Micros is a duration in microseconds, the timeline unit of the
+// performance model (Sect. 4).
+type Micros float64
+
+// Millis is a duration in milliseconds, used by wire schemas and
+// latency reporting (the FAI is quoted in ms in the paper).
+type Millis float64
+
+// Volt is a rail voltage in volts, selected by the firmware V-F table.
+type Volt float64
+
+// Watt is a power in watts (AICore or SoC domain).
+type Watt float64
+
+// Celsius is a die temperature in °C — either absolute (T of Eq. 15)
+// or a rise over ambient (the ΔT of Eq. 10; °C and ΔT share a scale,
+// only the zero point differs).
+type Celsius float64
+
+// Millijoule is an energy in millijoules, the `P·t` integral of
+// Eq. 16.
+type Millijoule float64
+
+// CelsiusPerWatt is the thermal resistance k of Eq. 15: equilibrium
+// temperature rise per watt of SoC power.
+type CelsiusPerWatt float64
+
+// WattPerMHz is a per-frequency power coefficient, the slope form the
+// idle-power fit of Eq. 12 works in.
+type WattPerMHz float64
+
+// Micros converts a millisecond duration to microseconds.
+func (m Millis) Micros() Micros { return Micros(float64(m) * 1000) }
+
+// Millis converts a microsecond duration to milliseconds.
+func (t Micros) Millis() Millis { return Millis(float64(t) / 1000) }
+
+// Cycles returns the core cycles elapsed over t at frequency f. MHz is
+// numerically cycles/µs, so this is a bare product — but routing it
+// through a named helper keeps the dimension change auditable.
+func (f MHz) Cycles(t Micros) float64 { return float64(f) * float64(t) }
+
+// GHz returns the frequency in gigahertz (the exponent scale of
+// Func. 3).
+func (f MHz) GHz() float64 { return float64(f) / 1000 }
+
+// Energy integrates power over a duration: W·µs = µJ, stored as mJ.
+func Energy(p Watt, t Micros) Millijoule {
+	return Millijoule(float64(p) * float64(t) / 1000)
+}
+
+// Over returns the mean power of an energy spread over a duration, the
+// inverse of Energy.
+func (e Millijoule) Over(t Micros) Watt {
+	return Watt(float64(e) * 1000 / float64(t))
+}
+
+// Over returns the per-frequency coefficient of a power at a
+// frequency.
+func (p Watt) Over(f MHz) WattPerMHz { return WattPerMHz(float64(p) / float64(f)) }
+
+// Times scales the thermal resistance by a SoC power, yielding the
+// equilibrium temperature rise of Eq. 15.
+func (k CelsiusPerWatt) Times(p Watt) Celsius {
+	return Celsius(float64(k) * float64(p))
+}
+
+// Floats copies a slice of any unit type to raw float64, the boundary
+// crossing into the unitless numeric kernels of internal/stats.
+func Floats[T ~float64](xs []T) []float64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

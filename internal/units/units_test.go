@@ -1,0 +1,55 @@
+package units
+
+import "testing"
+
+func TestDurationConversions(t *testing.T) {
+	if got := Millis(5).Micros(); got != 5000 {
+		t.Fatalf("Millis(5).Micros() = %v, want 5000", got)
+	}
+	if got := Micros(2500).Millis(); got != 2.5 {
+		t.Fatalf("Micros(2500).Millis() = %v, want 2.5", got)
+	}
+	// Round-trip is exact for values without sub-ns fractions.
+	if got := Micros(123456).Millis().Micros(); got != 123456 {
+		t.Fatalf("round trip = %v, want 123456", got)
+	}
+}
+
+func TestFrequencyHelpers(t *testing.T) {
+	if got := MHz(1500).Cycles(Micros(2)); got != 3000 {
+		t.Fatalf("Cycles = %v, want 3000", got)
+	}
+	if got := MHz(1500).GHz(); got != 1.5 {
+		t.Fatalf("GHz = %v, want 1.5", got)
+	}
+}
+
+func TestEnergyHelpers(t *testing.T) {
+	// 4 W over 500 µs = 2000 µJ = 2 mJ.
+	e := Energy(Watt(4), Micros(500))
+	if e != 2 {
+		t.Fatalf("Energy = %v, want 2", e)
+	}
+	if got := e.Over(Micros(500)); got != 4 {
+		t.Fatalf("Over = %v, want 4", got)
+	}
+}
+
+func TestCoefficientHelpers(t *testing.T) {
+	if got := Watt(30).Over(MHz(1500)); got != 0.02 {
+		t.Fatalf("Watt.Over = %v, want 0.02", got)
+	}
+	if got := CelsiusPerWatt(0.5).Times(Watt(20)); got != 10 {
+		t.Fatalf("Times = %v, want 10", got)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	if Floats[MHz](nil) != nil {
+		t.Fatalf("Floats(nil) should be nil")
+	}
+	fs := Floats([]MHz{1000, 1800})
+	if len(fs) != 2 || fs[0] != 1000 || fs[1] != 1800 {
+		t.Fatalf("Floats = %v", fs)
+	}
+}

@@ -7,34 +7,36 @@
 // voltage constant, and above the knee the voltage rises linearly with
 // frequency. The same positive correlation is observed on NVIDIA GPUs.
 //
-// Conventions used across this repository: frequencies are expressed in
-// MHz and voltages in volts. Because times elsewhere are expressed in
-// microseconds, a frequency in MHz is numerically equal to cycles per
-// microsecond, which keeps cycle arithmetic free of unit constants.
+// Quantities carry the defined types of internal/units (units.MHz,
+// units.Volt). This package is the one place frequency constants are
+// allowed to appear as bare literals — everything else must derive its
+// operating points from a Curve (enforced by dvfslint's unitcheck
+// rule).
 package vf
 
 import (
 	"fmt"
 	"math"
 	"sort"
+
+	"npudvfs/internal/units"
 )
 
 // Curve describes a firmware voltage-frequency table: a frequency grid
 // with automatic voltage adaptation. The zero value is not usable; build
 // one with New or use Ascend for the paper's reference platform.
 type Curve struct {
-	minMHz  float64
-	maxMHz  float64
-	stepMHz float64
-	kneeMHz float64 // below this the voltage is flat
-	vFlat   float64 // volts at and below the knee
-	vMax    float64 // volts at maxMHz
+	minMHz  units.MHz
+	maxMHz  units.MHz
+	stepMHz units.MHz
+	kneeMHz units.MHz  // below this the voltage is flat
+	vFlat   units.Volt // volts at and below the knee
+	vMax    units.Volt // volts at maxMHz
 }
 
-// New builds a voltage-frequency curve. Frequencies are in MHz, voltages
-// in volts. The curve holds vFlat below kneeMHz and rises linearly from
-// vFlat at kneeMHz to vMax at maxMHz.
-func New(minMHz, maxMHz, stepMHz, kneeMHz, vFlat, vMax float64) (*Curve, error) {
+// New builds a voltage-frequency curve. The curve holds vFlat below
+// kneeMHz and rises linearly from vFlat at kneeMHz to vMax at maxMHz.
+func New(minMHz, maxMHz, stepMHz, kneeMHz units.MHz, vFlat, vMax units.Volt) (*Curve, error) {
 	switch {
 	case minMHz <= 0 || maxMHz <= minMHz:
 		return nil, fmt.Errorf("vf: invalid frequency range [%g, %g] MHz", minMHz, maxMHz)
@@ -67,64 +69,64 @@ func Ascend() *Curve {
 	return c
 }
 
-// Min returns the lowest supported frequency in MHz.
-func (c *Curve) Min() float64 { return c.minMHz }
+// Min returns the lowest supported frequency.
+func (c *Curve) Min() units.MHz { return c.minMHz }
 
-// Max returns the highest supported frequency in MHz.
-func (c *Curve) Max() float64 { return c.maxMHz }
+// Max returns the highest supported frequency.
+func (c *Curve) Max() units.MHz { return c.maxMHz }
 
-// Step returns the grid step in MHz.
-func (c *Curve) Step() float64 { return c.stepMHz }
+// Step returns the grid step.
+func (c *Curve) Step() units.MHz { return c.stepMHz }
 
-// Knee returns the frequency in MHz below which voltage is flat.
-func (c *Curve) Knee() float64 { return c.kneeMHz }
+// Knee returns the frequency below which voltage is flat.
+func (c *Curve) Knee() units.MHz { return c.kneeMHz }
 
-// Grid returns the supported frequency points in MHz, ascending.
-func (c *Curve) Grid() []float64 {
-	n := int(math.Round((c.maxMHz-c.minMHz)/c.stepMHz)) + 1
-	grid := make([]float64, 0, n)
+// Grid returns the supported frequency points, ascending.
+func (c *Curve) Grid() []units.MHz {
+	n := int(math.Round(float64((c.maxMHz-c.minMHz)/c.stepMHz))) + 1
+	grid := make([]units.MHz, 0, n)
 	for i := 0; i < n; i++ {
-		grid = append(grid, c.minMHz+float64(i)*c.stepMHz)
+		grid = append(grid, c.minMHz+units.MHz(i)*c.stepMHz)
 	}
 	return grid
 }
 
-// Voltage returns the firmware-selected voltage in volts for a core
-// frequency in MHz. Frequencies outside the supported range are clamped,
-// matching firmware behaviour.
-func (c *Curve) Voltage(fMHz float64) float64 {
+// Voltage returns the firmware-selected voltage for a core frequency.
+// Frequencies outside the supported range are clamped, matching
+// firmware behaviour.
+func (c *Curve) Voltage(fMHz units.MHz) units.Volt {
 	f := c.Clamp(fMHz)
 	if f <= c.kneeMHz {
 		return c.vFlat
 	}
-	frac := (f - c.kneeMHz) / (c.maxMHz - c.kneeMHz)
-	return c.vFlat + frac*(c.vMax-c.vFlat)
+	frac := float64((f - c.kneeMHz) / (c.maxMHz - c.kneeMHz))
+	return c.vFlat + units.Volt(frac)*(c.vMax-c.vFlat)
 }
 
 // Clamp limits fMHz to the supported range.
-func (c *Curve) Clamp(fMHz float64) float64 {
-	return math.Min(c.maxMHz, math.Max(c.minMHz, fMHz))
+func (c *Curve) Clamp(fMHz units.MHz) units.MHz {
+	return units.MHz(math.Min(float64(c.maxMHz), math.Max(float64(c.minMHz), float64(fMHz))))
 }
 
 // Nearest snaps fMHz to the closest grid point.
-func (c *Curve) Nearest(fMHz float64) float64 {
+func (c *Curve) Nearest(fMHz units.MHz) units.MHz {
 	f := c.Clamp(fMHz)
-	steps := math.Round((f - c.minMHz) / c.stepMHz)
-	return c.minMHz + steps*c.stepMHz
+	steps := math.Round(float64((f - c.minMHz) / c.stepMHz))
+	return c.minMHz + units.MHz(steps)*c.stepMHz
 }
 
 // Contains reports whether fMHz is exactly one of the grid points.
-func (c *Curve) Contains(fMHz float64) bool {
-	grid := c.Grid()
-	i := sort.SearchFloat64s(grid, fMHz)
+func (c *Curve) Contains(fMHz units.MHz) bool {
+	grid := units.Floats(c.Grid())
+	i := sort.SearchFloat64s(grid, float64(fMHz))
 	//lint:allow floateq exact by contract: grid points are constructed identically by Grid/Nearest and Contains is documented as exact membership
-	return i < len(grid) && grid[i] == fMHz
+	return i < len(grid) && grid[i] == float64(fMHz)
 }
 
 // Point is one (frequency, voltage) operating point.
 type Point struct {
-	MHz   float64
-	Volts float64
+	MHz   units.MHz
+	Volts units.Volt
 }
 
 // Points returns the full operating-point table, ascending by frequency.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"npudvfs/internal/units"
 )
 
 func TestAscendGrid(t *testing.T) {
@@ -24,7 +26,7 @@ func TestAscendGrid(t *testing.T) {
 
 func TestVoltageFlatBelowKnee(t *testing.T) {
 	c := Ascend()
-	for _, f := range []float64{1000, 1100, 1200, 1300} {
+	for _, f := range []units.MHz{1000, 1100, 1200, 1300} {
 		if v := c.Voltage(f); v != 0.75 {
 			t.Errorf("Voltage(%g) = %g, want 0.75 (flat below knee)", f, v)
 		}
@@ -41,14 +43,14 @@ func TestVoltageLinearAboveKnee(t *testing.T) {
 	// Midpoint of the rising segment must be the midpoint voltage.
 	vMid := c.Voltage(1550)
 	want := (v13 + v18) / 2
-	if math.Abs(vMid-want) > 1e-12 {
+	if math.Abs(float64(vMid-want)) > 1e-12 {
 		t.Errorf("Voltage(1550) = %g, want %g (linear above knee)", vMid, want)
 	}
 }
 
 func TestVoltageMonotone(t *testing.T) {
 	c := Ascend()
-	prev := 0.0
+	prev := units.Volt(0)
 	for _, f := range c.Grid() {
 		v := c.Voltage(f)
 		if v < prev {
@@ -61,7 +63,7 @@ func TestVoltageMonotone(t *testing.T) {
 func TestClampAndNearest(t *testing.T) {
 	c := Ascend()
 	cases := []struct {
-		in, clamp, near float64
+		in, clamp, near units.MHz
 	}{
 		{900, 1000, 1000},
 		{1000, 1000, 1000},
@@ -101,8 +103,9 @@ func TestPointsMatchesVoltage(t *testing.T) {
 
 func TestNewValidation(t *testing.T) {
 	cases := []struct {
-		name                              string
-		min, max, step, knee, vFlat, vMax float64
+		name                 string
+		min, max, step, knee units.MHz
+		vFlat, vMax          units.Volt
 	}{
 		{"reversed range", 1800, 1000, 100, 1300, 0.75, 0.83},
 		{"zero step", 1000, 1800, 0, 1300, 0.75, 0.83},
@@ -126,8 +129,8 @@ func TestQuickNearestOnGrid(t *testing.T) {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return true
 		}
-		n := c.Nearest(f)
-		v := c.Voltage(f)
+		n := c.Nearest(units.MHz(f))
+		v := c.Voltage(units.MHz(f))
 		return c.Contains(n) && v >= 0.75 && v <= 0.83
 	}
 	if err := quick.Check(prop, nil); err != nil {

@@ -50,8 +50,30 @@ import (
 	"npudvfs/internal/server/client"
 	"npudvfs/internal/thermal"
 	"npudvfs/internal/traceio"
+	"npudvfs/internal/units"
 	"npudvfs/internal/vf"
 	"npudvfs/internal/workload"
+)
+
+// Physical quantities. The model stack carries frequencies, times,
+// voltages, powers and temperatures as these defined types; the
+// dvfslint unitcheck rule keeps raw float64 from leaking back into the
+// model APIs.
+type (
+	// MHz is an AICore frequency in megahertz.
+	MHz = units.MHz
+	// Micros is a duration in microseconds.
+	Micros = units.Micros
+	// Millis is a duration in milliseconds.
+	Millis = units.Millis
+	// Volt is a supply voltage.
+	Volt = units.Volt
+	// Watt is a power.
+	Watt = units.Watt
+	// Celsius is a temperature.
+	Celsius = units.Celsius
+	// Millijoule is an energy.
+	Millijoule = units.Millijoule
 )
 
 // Hardware abstraction.
@@ -144,9 +166,9 @@ func WorkloadNames() []string { return workload.Names() }
 // NewProfiler returns a profiler with realistic measurement noise.
 func NewProfiler(chip *Chip, seed int64) *Profiler { return profiler.New(chip, seed) }
 
-// FitPerfModel fits Func. 2 from measured (frequency MHz, duration µs)
+// FitPerfModel fits Func. 2 from measured (frequency, duration)
 // pairs; two pairs solve it exactly (Sect. 4.3).
-func FitPerfModel(freqMHz, micros []float64) (PerfModel, error) {
+func FitPerfModel(freqMHz []MHz, micros []Micros) (PerfModel, error) {
 	return perfmodel.FitFunc2(freqMHz, micros)
 }
 
@@ -166,7 +188,7 @@ func DefaultStrategyConfig() StrategyConfig { return core.DefaultConfig() }
 func DefaultExecutorOptions() ExecutorOptions { return executor.DefaultOptions() }
 
 // FixedStrategy pins the whole iteration to one frequency.
-func FixedStrategy(fMHz float64) *Strategy { return executor.FixedStrategy(fMHz) }
+func FixedStrategy(f MHz) *Strategy { return executor.FixedStrategy(f) }
 
 // NewExecutor returns an executor over the chip with its ground-truth
 // power.
@@ -195,7 +217,7 @@ type AdaptiveController = adaptive.Controller
 // NewAdaptiveController wraps a strategy with the production feedback
 // guard. baselineMicros is the measured baseline iteration duration
 // and target the allowed relative loss.
-func NewAdaptiveController(curve *VFCurve, s *Strategy, baselineMicros, target float64) (*AdaptiveController, error) {
+func NewAdaptiveController(curve *VFCurve, s *Strategy, baselineMicros Micros, target float64) (*AdaptiveController, error) {
 	return adaptive.New(curve, s, baselineMicros, target)
 }
 
