@@ -35,8 +35,16 @@ race:
 short:
 	go test -short ./...
 
+# Runs the four hot-path benchmarks and writes results/BENCH_5.json
+# (with speedup_vs_seed ratios against the frozen baseline in
+# results/BENCH_5_SEED.json). See DESIGN.md §10 for how to read it.
 bench:
-	go test -bench=. -benchmem
+	./scripts/bench.sh
+
+# Every benchmark in the repo, once each — the CI smoke that they
+# still compile and run.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
 
 # Boots dvfsd on a random port, submits the quickstart trace through
 # dvfsctl, asserts the served strategy matches the batch path and that

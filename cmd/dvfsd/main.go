@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof handlers on the -pprof listener
 	"os"
 	"os/signal"
 	"strings"
@@ -43,7 +44,26 @@ func main() {
 	drain := flag.Duration("drain", time.Minute, "shutdown drain budget before force-cancelling")
 	loadModels := flag.String("load-models", "",
 		"comma-separated model bundle files (dvfs-run -save-models); jobs for these workloads skip calibration and profiling")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listener: %w", err))
+		}
+		fmt.Printf("dvfsd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		// The profiling listener lives for the whole process; it is
+		// torn down by process exit, not by the drain sequence.
+		//lint:allow goleak process-lifetime pprof listener; profiling must outlive the drain to observe it
+		go func() {
+			// net/http/pprof registers on http.DefaultServeMux.
+			if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "dvfsd: pprof server:", err)
+			}
+		}()
+	}
 
 	bundles, err := loadBundles(*loadModels)
 	if err != nil {

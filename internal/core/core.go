@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"npudvfs/internal/classify"
+	"npudvfs/internal/evaltab"
 	"npudvfs/internal/ga"
 	"npudvfs/internal/npu"
 	"npudvfs/internal/op"
@@ -191,27 +192,19 @@ type Prediction struct {
 }
 
 // problem is the ga.Problem for stage-frequency assignment. All
-// per-stage, per-frequency quantities are precomputed so Score is a
-// cheap accumulation, making the 200x600 search run in seconds.
+// per-stage, per-frequency quantities are precomputed into a flat
+// structure-of-arrays table (evaltab) so Score is a cheap contiguous
+// accumulation, making the 200x600 search run in seconds. It also
+// implements ga.PartialScorer, so the engine scores crossover and
+// mutation children by O(changed genes) delta updates.
 type problem struct {
 	grid   []units.MHz
 	stages []preprocess.Stage
-	// stageTime[s][g]: predicted stage duration at grid[g], µs.
-	stageTime [][]float64
-	// stageSocE/stageCoreE[s][g]: predicted energy (W·µs) excluding
-	// the temperature term.
-	stageSocE  [][]float64
-	stageCoreE [][]float64
-	// stageVT[s][g]: ∫V dt (V·µs) for the temperature term.
-	stageVT [][]float64
+	// tab holds the per-(stage, grid index) quadruples — predicted
+	// duration, SoC/AICore energies excluding the temperature term,
+	// ∫V dt — plus the Eq. 17 scoring parameters.
+	tab *evaltab.Table
 
-	k                units.CelsiusPerWatt
-	gammaSoC         float64
-	gammaCore        float64
-	temperatureAware bool
-
-	perBaseline float64 // 1/µs at the all-baseline assignment
-	perLB       float64
 	baselineIdx int // grid index of the baseline frequency
 	priorIdx    int // grid index of the prior LFC frequency
 }
@@ -233,48 +226,29 @@ func (p *problem) Seeds() [][]int {
 }
 
 // predict computes iteration time, mean powers and the self-consistent
-// temperature rise for an assignment.
+// temperature rise for an assignment. Over a fixed assignment the SoC
+// power is affine in ΔT, so the fixed point is solved in closed form
+// (powermodel.SolveDeltaTLinear) instead of iterating.
 func (p *problem) predict(ind []int) Prediction {
-	var t, socE, coreE, vt float64
-	for s, g := range ind {
-		t += p.stageTime[s][g]
-		socE += p.stageSocE[s][g]
-		coreE += p.stageCoreE[s][g]
-		vt += p.stageVT[s][g]
-	}
-	if t <= 0 {
-		return Prediction{}
-	}
-	soc0 := socE / t // mean SoC power before the temperature term
-	vMean := vt / t  // time-weighted mean voltage
-	deltaT := 0.0
-	if p.temperatureAware {
-		dt, _ := powermodel.SolveDeltaT(p.k, func(dt units.Celsius) units.Watt {
-			return units.Watt(soc0 + p.gammaSoC*float64(dt)*vMean)
-		})
-		deltaT = float64(dt)
-	}
+	pr := p.tab.Predict(ind)
 	return Prediction{
-		TimeMicros: units.Micros(t),
-		SoCWatts:   units.Watt(soc0 + p.gammaSoC*deltaT*vMean),
-		CoreWatts:  units.Watt(coreE/t + p.gammaCore*deltaT*vMean),
-		DeltaT:     units.Celsius(deltaT),
+		TimeMicros: units.Micros(pr.TimeMicros),
+		SoCWatts:   units.Watt(pr.SoCWatts),
+		CoreWatts:  units.Watt(pr.CoreWatts),
+		DeltaT:     units.Celsius(pr.DeltaTC),
 	}
 }
 
-func (p *problem) Score(ind []int) float64 {
-	pred := p.predict(ind)
-	if pred.TimeMicros <= 0 || pred.SoCWatts <= 0 {
-		return 0
-	}
-	per := 1 / float64(pred.TimeMicros)
-	score := p.perBaseline * p.perBaseline / float64(pred.SoCWatts)
-	if per >= p.perLB {
-		return 2 * score
-	}
-	rel := per / p.perLB
-	return score * rel * rel
+func (p *problem) Score(ind []int) float64 { return p.tab.Score(ind) }
+
+// Partial-sum scoring hooks (ga.PartialScorer). Safe for concurrent
+// use: the table is read-only after buildProblem.
+func (p *problem) SumCount() int                      { return evaltab.Quad }
+func (p *problem) InitSums(ind []int, sums []float64) { p.tab.InitSums(ind, sums) }
+func (p *problem) UpdateSums(sums []float64, gene, oldAllele, newAllele int) {
+	p.tab.UpdateSums(sums, gene, oldAllele, newAllele)
 }
+func (p *problem) ScoreSums(sums []float64) float64 { return p.tab.ScoreSums(sums) }
 
 // Generate runs the full strategy-generation pipeline of Fig. 1 on a
 // profiled iteration and returns the strategy, the stage list and the
@@ -351,6 +325,12 @@ func (e *Evaluator) Grid() []units.MHz { return e.prob.grid }
 // BaselineIndex returns the gene value of the baseline frequency.
 func (e *Evaluator) BaselineIndex() int { return e.prob.baselineIdx }
 
+// Problem exposes the evaluator's precomputed assignment problem as a
+// ga.Problem (it also satisfies ga.PartialScorer, enabling the
+// engine's incremental scoring). Useful for benchmarks and for callers
+// that drive ga.Run directly against a prebuilt evaluator.
+func (e *Evaluator) Problem() ga.Problem { return e.prob }
+
 // Strategy converts an assignment into a deduplicated switch-point
 // strategy.
 func (e *Evaluator) Strategy(ind []int) *Strategy {
@@ -384,15 +364,16 @@ func validateInput(in Input) error {
 func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, error) {
 	grid := in.Chip.Curve.Grid()
 	p := &problem{
-		grid:             grid,
-		stages:           stages,
-		k:                in.Power.K,
-		temperatureAware: in.Power.TemperatureAware,
-		baselineIdx:      len(grid) - 1,
+		grid:        grid,
+		stages:      stages,
+		tab:         evaltab.New(len(stages), len(grid)),
+		baselineIdx: len(grid) - 1,
 	}
-	if p.temperatureAware {
-		p.gammaCore = in.Power.AICore.Gamma
-		p.gammaSoC = in.Power.SoC.Gamma
+	p.tab.K = float64(in.Power.K)
+	p.tab.TemperatureAware = in.Power.TemperatureAware
+	if p.tab.TemperatureAware {
+		p.tab.GammaCore = in.Power.AICore.Gamma
+		p.tab.GammaSoC = in.Power.SoC.Gamma
 	}
 	// Locate the prior LFC frequency on the grid.
 	p.priorIdx = p.baselineIdx
@@ -401,15 +382,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 			p.priorIdx = i
 		}
 	}
-	p.stageTime = make([][]float64, len(stages))
-	p.stageSocE = make([][]float64, len(stages))
-	p.stageCoreE = make([][]float64, len(stages))
-	p.stageVT = make([][]float64, len(stages))
 	for si, st := range stages {
-		p.stageTime[si] = make([]float64, len(grid))
-		p.stageSocE[si] = make([]float64, len(grid))
-		p.stageCoreE[si] = make([]float64, len(grid))
-		p.stageVT[si] = make([]float64, len(grid))
 		for gi, f := range grid {
 			v := float64(in.Chip.Curve.Voltage(f))
 			for i := st.OpStart; i < st.OpEnd; i++ {
@@ -421,10 +394,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 					}
 				}
 				core, soc := in.Power.OpPowerAt(rec.Spec.Key(), f, 0)
-				p.stageTime[si][gi] += dur
-				p.stageSocE[si][gi] += float64(soc) * dur
-				p.stageCoreE[si][gi] += float64(core) * dur
-				p.stageVT[si][gi] += v * dur
+				p.tab.Add(si, gi, dur, float64(soc)*dur, float64(core)*dur, v*dur)
 			}
 		}
 	}
@@ -441,8 +411,8 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	if guard <= 0 || guard > 1 {
 		guard = 1
 	}
-	p.perBaseline = 1 / float64(basePred.TimeMicros)
-	p.perLB = p.perBaseline * (1 - cfg.PerfLossTarget*guard)
+	p.tab.PerBaseline = 1 / float64(basePred.TimeMicros)
+	p.tab.PerLB = p.tab.PerBaseline * (1 - cfg.PerfLossTarget*guard)
 	return p, nil
 }
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"npudvfs/internal/classify"
+	"npudvfs/internal/ga"
+	"npudvfs/internal/preprocess"
+)
+
+// TestSameSeedStrategyIdenticalAcrossWorkers pins the determinism
+// contract end to end on the real problem: the same GA seed must yield
+// a byte-identical strategy no matter how many scoring workers run.
+func TestSameSeedStrategyIdenticalAcrossWorkers(t *testing.T) {
+	f := sharedFixture(t)
+	cfg := testConfig(0.02)
+	cfg.GA.Generations = 40
+	var refStrat *Strategy
+	var refRes *ga.Result
+	for i, workers := range []int{1, 4, 16} {
+		cfg.GA.Workers = workers
+		strat, _, res, err := Generate(f.input, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refStrat, refRes = strat, res
+			continue
+		}
+		if !reflect.DeepEqual(strat.Points, refStrat.Points) {
+			t.Fatalf("workers=%d: strategy diverged from workers=1:\n%v\nvs\n%v", workers, strat.Points, refStrat.Points)
+		}
+		if res.BestScore != refRes.BestScore || !reflect.DeepEqual(res.Best, refRes.Best) {
+			t.Fatalf("workers=%d: GA result diverged (%v vs %v)", workers, res.BestScore, refRes.BestScore)
+		}
+	}
+}
+
+// TestDeltaScoringMatchesFullOnRealProblem drives the PartialScorer
+// surface of the real BERT problem with randomized delta chains and
+// bounds the drift from a full re-walk at 1e-9 relative.
+func TestDeltaScoringMatchesFullOnRealProblem(t *testing.T) {
+	f := sharedFixture(t)
+	cfg := testConfig(0.02)
+	results := classify.Trace(f.input.Profile)
+	stages, err := preprocess.Stages(f.input.Profile, results, float64(cfg.FAIMicros))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(f.input, cfg, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, ok := ev.Problem().(ga.PartialScorer)
+	if !ok {
+		t.Fatal("core problem does not implement ga.PartialScorer")
+	}
+	n, alleles := ps.Genes(), ps.Alleles()
+	rng := rand.New(rand.NewSource(7))
+	ind := make([]int, n)
+	for i := range ind {
+		ind[i] = rng.Intn(alleles)
+	}
+	sums := make([]float64, ps.SumCount())
+	ps.InitSums(ind, sums)
+	if got, want := ps.ScoreSums(sums), ps.Score(ind); got != want {
+		t.Fatalf("ScoreSums∘InitSums = %g, Score = %g (contract requires bit-identity)", got, want)
+	}
+	fresh := make([]float64, ps.SumCount())
+	for step := 0; step < 2000; step++ {
+		gene := rng.Intn(n)
+		next := rng.Intn(alleles)
+		ps.UpdateSums(sums, gene, ind[gene], next)
+		ind[gene] = next
+		ps.InitSums(ind, fresh)
+		ds, fs := ps.ScoreSums(sums), ps.ScoreSums(fresh)
+		if math.Abs(ds-fs)/math.Max(math.Abs(fs), 1e-300) > 1e-9 {
+			t.Fatalf("step %d: delta score %g drifted from full score %g", step, ds, fs)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"npudvfs/internal/classify"
 	"npudvfs/internal/core"
+	"npudvfs/internal/evaltab"
 	"npudvfs/internal/ga"
 	"npudvfs/internal/npu"
 	"npudvfs/internal/op"
@@ -123,19 +124,11 @@ type problem struct {
 	scales []float64
 	stages []preprocess.Stage
 
-	// Per stage, per pair-allele predictions.
-	stageTime  [][]float64
-	stageSocE  [][]float64
-	stageCoreE [][]float64
-	stageVT    [][]float64
+	// tab holds the per-(stage, pair-allele) prediction quadruples in
+	// the flat SoA layout shared with core (see internal/evaltab); it
+	// also implements the ga.PartialScorer delta-scoring hooks.
+	tab *evaltab.Table
 
-	k                units.CelsiusPerWatt
-	gammaSoC         float64
-	gammaCore        float64
-	temperatureAware bool
-
-	perBaseline float64
-	perLB       float64
 	baselineIdx int // allele of (f_max, scale 1)
 	priorLFCIdx int // prior allele for LFC stages
 	priorHFCIdx int // prior allele for HFC stages
@@ -165,46 +158,25 @@ func (p *problem) Seeds() [][]int {
 }
 
 func (p *problem) predict(ind []int) core.Prediction {
-	var t, socE, coreE, vt float64
-	for s, g := range ind {
-		t += p.stageTime[s][g]
-		socE += p.stageSocE[s][g]
-		coreE += p.stageCoreE[s][g]
-		vt += p.stageVT[s][g]
-	}
-	if t <= 0 {
-		return core.Prediction{}
-	}
-	soc0 := socE / t
-	vMean := vt / t
-	deltaT := 0.0
-	if p.temperatureAware {
-		dt, _ := powermodel.SolveDeltaT(p.k, func(dt units.Celsius) units.Watt {
-			return units.Watt(soc0 + p.gammaSoC*float64(dt)*vMean)
-		})
-		deltaT = float64(dt)
-	}
+	pr := p.tab.Predict(ind)
 	return core.Prediction{
-		TimeMicros: units.Micros(t),
-		SoCWatts:   units.Watt(soc0 + p.gammaSoC*deltaT*vMean),
-		CoreWatts:  units.Watt(coreE/t + p.gammaCore*deltaT*vMean),
-		DeltaT:     units.Celsius(deltaT),
+		TimeMicros: units.Micros(pr.TimeMicros),
+		SoCWatts:   units.Watt(pr.SoCWatts),
+		CoreWatts:  units.Watt(pr.CoreWatts),
+		DeltaT:     units.Celsius(pr.DeltaTC),
 	}
 }
 
-func (p *problem) Score(ind []int) float64 {
-	pred := p.predict(ind)
-	if pred.TimeMicros <= 0 || pred.SoCWatts <= 0 {
-		return 0
-	}
-	per := 1 / float64(pred.TimeMicros)
-	score := p.perBaseline * p.perBaseline / float64(pred.SoCWatts)
-	if per >= p.perLB {
-		return 2 * score
-	}
-	rel := per / p.perLB
-	return score * rel * rel
+func (p *problem) Score(ind []int) float64 { return p.tab.Score(ind) }
+
+// Partial-sum scoring hooks (ga.PartialScorer). Safe for concurrent
+// use: the table is read-only after buildProblem.
+func (p *problem) SumCount() int                      { return evaltab.Quad }
+func (p *problem) InitSums(ind []int, sums []float64) { p.tab.InitSums(ind, sums) }
+func (p *problem) UpdateSums(sums []float64, gene, oldAllele, newAllele int) {
+	p.tab.UpdateSums(sums, gene, oldAllele, newAllele)
 }
+func (p *problem) ScoreSums(sums []float64) float64 { return p.tab.ScoreSums(sums) }
 
 // Generate searches (core frequency, uncore scale) pairs per stage.
 func Generate(in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Result, error) {
@@ -250,15 +222,16 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	}
 	grid := in.Chip.Curve.Grid()
 	p := &problem{
-		grid:             grid,
-		scales:           scales,
-		stages:           stages,
-		k:                in.Power.K,
-		temperatureAware: in.Power.TemperatureAware,
+		grid:   grid,
+		scales: scales,
+		stages: stages,
+		tab:    evaltab.New(len(stages), len(grid)*len(scales)),
 	}
-	if p.temperatureAware {
-		p.gammaCore = in.Power.AICore.Gamma
-		p.gammaSoC = in.Power.SoC.Gamma
+	p.tab.K = float64(in.Power.K)
+	p.tab.TemperatureAware = in.Power.TemperatureAware
+	if p.tab.TemperatureAware {
+		p.tab.GammaCore = in.Power.AICore.Gamma
+		p.tab.GammaSoC = in.Power.SoC.Gamma
 	}
 	// Scaled chips for white-box timing.
 	chips := make([]*npu.Chip, len(scales))
@@ -287,16 +260,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	}
 	p.priorHFCIdx = p.alleleOf(len(grid)-1, hfcScale)
 
-	nAlleles := p.Alleles()
-	p.stageTime = make([][]float64, len(stages))
-	p.stageSocE = make([][]float64, len(stages))
-	p.stageCoreE = make([][]float64, len(stages))
-	p.stageVT = make([][]float64, len(stages))
 	for si, st := range stages {
-		p.stageTime[si] = make([]float64, nAlleles)
-		p.stageSocE[si] = make([]float64, nAlleles)
-		p.stageCoreE[si] = make([]float64, nAlleles)
-		p.stageVT[si] = make([]float64, nAlleles)
 		for fi, f := range grid {
 			v := float64(in.Chip.Curve.Voltage(f))
 			for sc, scale := range scales {
@@ -311,10 +275,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 					}
 					coreP, socP := in.Power.OpPowerAt(rec.Spec.Key(), f, 0)
 					soc := float64(socP) - dynSaving
-					p.stageTime[si][allele] += dur
-					p.stageSocE[si][allele] += soc * dur
-					p.stageCoreE[si][allele] += float64(coreP) * dur
-					p.stageVT[si][allele] += v * dur
+					p.tab.Add(si, allele, dur, soc*dur, float64(coreP)*dur, v*dur)
 				}
 			}
 		}
@@ -331,8 +292,8 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	if guard <= 0 || guard > 1 {
 		guard = 1
 	}
-	p.perBaseline = 1 / float64(basePred.TimeMicros)
-	p.perLB = p.perBaseline * (1 - cfg.PerfLossTarget*guard)
+	p.tab.PerBaseline = 1 / float64(basePred.TimeMicros)
+	p.tab.PerLB = p.tab.PerBaseline * (1 - cfg.PerfLossTarget*guard)
 	return p, nil
 }
 

@@ -200,12 +200,33 @@ func validateStrategy(trace []op.Spec, strat *core.Strategy) error {
 func (e *Executor) planSwitches(trace []op.Spec, strat *core.Strategy, opt Options) []pendingSwitch {
 	starts := make([]float64, len(trace))
 	now := 0.0
+	// Walk the sorted points with a cursor instead of calling
+	// FreqAt/UncoreScaleAt (each O(points)) per operator, caching the
+	// current scaled view — the timeline build is O(ops+points).
+	freq := float64(strat.BaselineMHz)
+	scale := 1.0
+	view := e.viewAt(scale)
+	pi := 0
 	for i := range trace {
+		for pi < len(strat.Points) && strat.Points[pi].OpIndex <= i {
+			pt := &strat.Points[pi]
+			freq = float64(pt.FreqMHz)
+			s := pt.UncoreScale
+			//lint:allow floateq exact sentinel: 0 means "uncore scale unset"
+			if s == 0 {
+				s = 1
+			}
+			//lint:allow floateq exact scale values key the cached view; a repeated point carries the identical float
+			if s != scale {
+				scale = s
+				view = e.viewAt(scale)
+			}
+			pi++
+		}
 		starts[i] = now
-		view := e.viewAt(strat.UncoreScaleAt(i))
-		now += view.chip.Time(&trace[i], float64(strat.FreqAt(i)))
+		now += view.chip.Time(&trace[i], freq)
 	}
-	var plan []pendingSwitch
+	plan := make([]pendingSwitch, 0, len(strat.Points))
 	for _, pt := range strat.Points {
 		if pt.OpIndex == 0 {
 			continue // initial frequency, applied before execution
@@ -276,12 +297,23 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 
 	res := &Result{}
 	now := 0.0
-	next := 0 // next plan entry to dispatch or apply
-	// advanceTo applies every pending effect up to time t.
+	// Monotone cursors over the plan, which is ordered by targetOp with
+	// non-decreasing triggerOp (strategy points are strictly ascending
+	// and the anticipated dispatch times inherit the timeline's order).
+	// [applyLo, dispatchHi) is the in-flight window — dispatched but
+	// not yet all applied — and every scan below touches only it, so
+	// Run is O(ops+plan) instead of rescanning the whole plan per
+	// operator. The window stays tiny (switch spacing is the FAI,
+	// actuation latency ~1 ms), but applied entries need not be
+	// contiguous under jitter, so applyLo only advances over the
+	// applied prefix.
+	applyLo, dispatchHi, syncCur := 0, 0, 0
+	// applyEffects applies every pending effect up to time t, in plan
+	// index order (the order the seed implementation applied them).
 	applyEffects := func(t float64) {
-		for i := range plan {
-			p := &plan[i]
-			if p.dispatched && !p.applied && p.effectTime <= t {
+		for j := applyLo; j < dispatchHi; j++ {
+			p := &plan[j]
+			if !p.applied && p.effectTime <= t {
 				if !stats.Approx(p.freqMHz, freq) {
 					freq = p.freqMHz
 					res.Switches++
@@ -289,6 +321,9 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 				view = e.viewAt(p.uncoreScale)
 				p.applied = true
 			}
+		}
+		for applyLo < dispatchHi && plan[applyLo].applied {
+			applyLo++
 		}
 	}
 	integrate := func(s *op.Spec, dur float64) {
@@ -306,25 +341,28 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 	for i := range trace {
 		s := &trace[i]
 		// Dispatch SetFreq operators triggered by this op's start
-		// (plan entries are ordered by trigger).
-		for j := next; j < len(plan); j++ {
-			if plan[j].triggerOp > i {
-				break
+		// (plan entries are ordered by trigger, so the cursor never
+		// backtracks).
+		for dispatchHi < len(plan) && plan[dispatchHi].triggerOp <= i {
+			p := &plan[dispatchHi]
+			p.dispatched = true
+			p.effectTime = now + p.offsetMicros +
+				opt.SetFreqLatencyMicros + opt.ExtraDelayMicros
+			if jitter != nil {
+				p.effectTime += jitter.Float64() * opt.DelayJitterMicros
 			}
-			if plan[j].triggerOp == i && !plan[j].dispatched {
-				plan[j].dispatched = true
-				plan[j].effectTime = now + plan[j].offsetMicros +
-					opt.SetFreqLatencyMicros + opt.ExtraDelayMicros
-				if jitter != nil {
-					plan[j].effectTime += jitter.Float64() * opt.DelayJitterMicros
-				}
-			}
+			dispatchHi++
 		}
 		// Event Wait: before the target op of a synchronized switch
-		// starts, its frequency change must have completed.
+		// starts, its frequency change must have completed. targetOps
+		// are strictly ascending (validated), so a cursor finds the at
+		// most one entry targeting this op.
 		if opt.Sync {
-			for j := range plan {
-				p := &plan[j]
+			for syncCur < len(plan) && plan[syncCur].targetOp < i {
+				syncCur++
+			}
+			if syncCur < len(plan) {
+				p := &plan[syncCur]
 				if p.targetOp == i && p.dispatched && !p.applied && p.effectTime > now {
 					stall := p.effectTime - now
 					integrate(nil, stall) // idle while stalled
@@ -343,12 +381,13 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 			if dur <= 0 {
 				break
 			}
-			// Find the earliest pending effect inside (now, now+dur).
+			// Find the earliest pending effect inside (now, now+dur);
+			// only the in-flight window can hold one.
 			cut := now + dur
 			found := false
-			for j := range plan {
+			for j := applyLo; j < dispatchHi; j++ {
 				p := &plan[j]
-				if p.dispatched && !p.applied && p.effectTime > now && p.effectTime < cut {
+				if !p.applied && p.effectTime > now && p.effectTime < cut {
 					cut = p.effectTime
 					found = true
 				}
@@ -362,9 +401,6 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 			} else {
 				break
 			}
-		}
-		for next < len(plan) && plan[next].applied {
-			next++
 		}
 	}
 	res.TimeMicros = now

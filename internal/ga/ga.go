@@ -8,6 +8,18 @@
 // use of multiprocessing to evaluate tens of thousands of strategies
 // in minutes (Sect. 8.1). Problem implementations must therefore be
 // safe for concurrent Score calls.
+//
+// The engine is allocation-free in steady state: the two generations
+// live in preallocated double buffers whose gene (and partial-sum)
+// slices are recycled, and the selection prefix and cache-key scratch
+// buffers are reused across generations. Problems implementing
+// PartialScorer additionally get incremental (delta) scoring — a child
+// produced by tail-swap crossover or a mutation burst inherits its
+// parent's partial sums and applies O(changed genes) updates instead
+// of an O(genes) re-walk (Config.ExactRescore restores full
+// re-scoring). Neither engine choice changes the stochastic
+// trajectory: the RNG draw sequence is identical across scoring modes
+// and worker counts, so equal seeds reproduce runs.
 package ga
 
 import (
@@ -39,6 +51,34 @@ type Problem interface {
 	// (the paper seeds the baseline all-max-frequency individual and
 	// a prior LFC/HFC individual). May be nil.
 	Seeds() [][]int
+}
+
+// PartialScorer is an optional Problem extension enabling incremental
+// (delta) scoring. A conforming problem's fitness must be a pure
+// function of a fixed-size vector of running sums over the gene
+// vector: InitSums fills the vector with a full walk in ascending
+// gene order, UpdateSums adjusts it for one gene change in O(1), and
+// ScoreSums maps it to the fitness, with ScoreSums∘InitSums ≡ Score
+// bit-identically. The engine then scores a child by copying its
+// parent's sums and applying one delta per changed gene; the result
+// may differ from a full re-walk by floating-point reassociation
+// only, and the engine re-walks every individual at a fixed
+// generation cadence to keep the drift bounded (well under 1e-9
+// relative; see the equivalence tests). All methods must be safe for
+// concurrent calls, like Score. Incremental scoring bypasses the
+// memoized score cache — duplicate detection would cost the O(genes)
+// key build the delta path exists to avoid.
+type PartialScorer interface {
+	Problem
+	// SumCount returns the length of the partial-sum vector.
+	SumCount() int
+	// InitSums fills sums (length SumCount) from a full walk of ind.
+	InitSums(ind []int, sums []float64)
+	// UpdateSums applies the delta of rewriting one gene from
+	// oldAllele to newAllele.
+	UpdateSums(sums []float64, gene, oldAllele, newAllele int)
+	// ScoreSums maps accumulated sums to the fitness.
+	ScoreSums(sums []float64) float64
 }
 
 // Selection picks the parent-selection scheme. All schemes are
@@ -87,7 +127,26 @@ type Config struct {
 	// hardware-in-the-loop search, where every evaluation must spend
 	// real hardware time to keep the budget accounting honest.
 	NoScoreCache bool
+	// ExactRescore disables incremental (delta) scoring for
+	// PartialScorer problems, forcing a full Score per individual —
+	// the escape hatch for validating the delta path and for problems
+	// whose sums drift faster than the engine's refresh cadence.
+	ExactRescore bool
+	// ScoreCacheCap bounds the memoized score cache: 0 means
+	// DefaultScoreCacheCap, a negative value means unbounded, and a
+	// positive value is the entry cap. Long dvfsd-hosted searches on
+	// thousand-stage traces would otherwise grow the memoization map
+	// without limit.
+	ScoreCacheCap int
 }
+
+// DefaultScoreCacheCap is the score-cache entry bound when
+// Config.ScoreCacheCap is zero. At the paper's production settings a
+// search evaluates 200 + 600·198 ≈ 120k individuals; 16k entries keep
+// the recent generations (where nearly all repeats come from, via
+// elites and converged populations) while capping worst-case cache
+// memory on thousand-gene problems at tens of megabytes.
+const DefaultScoreCacheCap = 1 << 14
 
 // DefaultConfig returns the paper's search settings.
 func DefaultConfig() Config {
@@ -116,16 +175,42 @@ type Result struct {
 	// Evaluations counts individuals evaluated (including cache hits),
 	// the paper's "strategies assessed" number.
 	Evaluations int
+	// Generations counts generations actually run (equal to
+	// Config.Generations unless StaleLimit stopped the search early).
+	Generations int
 	// CacheHits counts evaluations served from the memoized score
 	// cache; Evaluations-CacheHits is the number of actual Score
-	// calls. CacheHits/Evaluations is the cache hit rate.
+	// calls. CacheHits/Evaluations is the cache hit rate. Always zero
+	// under incremental scoring, which bypasses the cache.
 	CacheHits int
+	// CacheCap is the entry bound the score cache ran under; 0 when
+	// the cache was disabled (NoScoreCache), bypassed (incremental
+	// scoring) or unbounded (negative ScoreCacheCap).
+	CacheCap int
+	// CacheEvictions counts entries dropped by the generation-stamped
+	// eviction policy to hold CacheCap.
+	CacheEvictions int
 }
 
+// scored is one population slot. genes and sums point into the
+// engine's preallocated double buffers and are recycled every
+// generation; resync marks a slot whose sums must be rebuilt by a
+// full InitSums walk before scoring (set when a crossover rewrote
+// more than half the genes, where deltas cost more than a re-walk).
 type scored struct {
-	genes []int
-	score float64
+	genes  []int
+	score  float64
+	sums   []float64
+	resync bool
 }
+
+// sumRefreshEvery is the generation cadence at which incremental
+// scoring re-walks every child's sums from scratch. Delta updates
+// differ from a re-walk by floating-point reassociation only
+// (~1 ulp per touched gene); refreshing every 64 generations bounds
+// the accumulated drift orders of magnitude below the 1e-9
+// equivalence budget while costing under 2% extra walks.
+const sumRefreshEvery = 64
 
 // Run executes the genetic search to completion. It is RunContext
 // without a cancellation point.
@@ -162,33 +247,77 @@ func RunContext(ctx context.Context, p Problem, cfg Config) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	r := &runState{
+		p:       p,
+		cfg:     cfg,
+		n:       n,
+		alleles: alleles,
+		workers: workers,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if ps, ok := p.(PartialScorer); ok && !cfg.ExactRescore && ps.SumCount() > 0 {
+		r.ps = ps
+		r.inc = true
+	}
+
+	// Double-buffered population: parent and child generations live in
+	// two slab-backed slot arrays whose gene (and partial-sum) slices
+	// are recycled every generation, so breeding allocates nothing in
+	// steady state. The one spare slot absorbs the discarded second
+	// child of the final pair when PopSize-Elitism is odd — it is bred
+	// and mutated like any child so the RNG draw sequence matches the
+	// historical implementation, then dropped unscored.
+	sumN := 0
+	if r.inc {
+		sumN = r.ps.SumCount()
+	}
+	slots := 2*cfg.PopSize + 1
+	geneBlock := make([]int, slots*n)
+	var sumBlock []float64
+	if r.inc {
+		sumBlock = make([]float64, slots*sumN)
+	}
+	buf := make([]scored, slots)
+	for i := range buf {
+		buf[i].genes = geneBlock[i*n : (i+1)*n : (i+1)*n]
+		if r.inc {
+			buf[i].sums = sumBlock[i*sumN : (i+1)*sumN : (i+1)*sumN]
+		}
+	}
+	pop, next, spare := buf[:cfg.PopSize], buf[cfg.PopSize:2*cfg.PopSize], &buf[2*cfg.PopSize]
 
 	// First generation: seeds plus random individuals.
-	pop := make([]scored, 0, cfg.PopSize)
+	filled := 0
 	for _, s := range p.Seeds() {
 		if len(s) != n {
 			return nil, fmt.Errorf("ga: seed of length %d, want %d", len(s), n)
 		}
-		pop = append(pop, scored{genes: append([]int(nil), s...)})
-		if len(pop) == cfg.PopSize {
+		copy(pop[filled].genes, s)
+		filled++
+		if filled == cfg.PopSize {
 			break
 		}
 	}
-	for len(pop) < cfg.PopSize {
-		g := make([]int, n)
+	for ; filled < cfg.PopSize; filled++ {
+		g := pop[filled].genes
 		for i := range g {
-			g[i] = rng.Intn(alleles)
+			g[i] = r.rng.Intn(alleles)
 		}
-		pop = append(pop, scored{genes: g})
 	}
 
-	var cache scoreCache
-	if !cfg.NoScoreCache {
-		cache = make(scoreCache)
+	if !cfg.NoScoreCache && !r.inc {
+		r.cache = newScoreCache(cfg.ScoreCacheCap)
+		r.repByKey = make(map[string]int)
+		r.keys = make([][]byte, cfg.PopSize)
 	}
-	res := &Result{}
-	res.CacheHits += scoreAll(p, pop, workers, cache)
+
+	res := &Result{History: make([]float64, 0, cfg.Generations+1)}
+	if r.inc {
+		r.scoreIncremental(pop, true)
+	} else {
+		res.CacheHits += r.scoreAll(pop, 0)
+	}
 	res.Evaluations += len(pop)
 
 	stale := 0
@@ -196,7 +325,7 @@ func RunContext(ctx context.Context, p Problem, cfg Config) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("ga: search cancelled at generation %d/%d: %w", gen, cfg.Generations, err)
 		}
-		sortByScore(pop)
+		r.sortByScore(pop)
 		res.History = append(res.History, pop[0].score)
 		if cfg.StaleLimit > 0 && gen > 0 {
 			if pop[0].score <= res.History[len(res.History)-2] {
@@ -209,67 +338,221 @@ func RunContext(ctx context.Context, p Problem, cfg Config) (*Result, error) {
 			}
 		}
 
-		next := make([]scored, 0, cfg.PopSize)
-		for i := 0; i < cfg.Elitism; i++ {
-			next = append(next, scored{genes: append([]int(nil), pop[i].genes...), score: pop[i].score})
-		}
-		prefix := buildPrefix(pop, cfg.Selection)
-		for len(next) < cfg.PopSize {
-			a := pick(pop, prefix, cfg.Selection, rng)
-			b := pick(pop, prefix, cfg.Selection, rng)
-			childA := append([]int(nil), a.genes...)
-			childB := append([]int(nil), b.genes...)
-			if rng.Float64() < cfg.CrossoverRate && n > 1 {
-				// Swap the last k genes (Sect. 6.3.3).
-				k := 1 + rng.Intn(n-1)
-				for i := n - k; i < n; i++ {
-					childA[i], childB[i] = childB[i], childA[i]
-				}
-			}
-			for _, child := range [][]int{childA, childB} {
-				if rng.Float64() < cfg.MutationRate {
-					// Rewrite a small burst of random genes; single-gene
-					// steps converge too slowly on thousand-stage
-					// problems.
-					burst := 1 + rng.Intn(3)
-					for m := 0; m < burst; m++ {
-						child[rng.Intn(n)] = rng.Intn(alleles)
-					}
-				}
-				if len(next) < cfg.PopSize {
-					next = append(next, scored{genes: child})
-				}
-			}
-		}
+		r.breed(pop, next, spare)
 		// Elites keep their scores; score the rest.
-		res.CacheHits += scoreAll(p, next[cfg.Elitism:], workers, cache)
-		res.Evaluations += len(next) - cfg.Elitism
-		pop = next
+		children := next[cfg.Elitism:]
+		if r.inc {
+			r.scoreIncremental(children, (gen+1)%sumRefreshEvery == 0)
+		} else {
+			res.CacheHits += r.scoreAll(children, gen+1)
+		}
+		res.Evaluations += len(children)
+		pop, next = next, pop
 	}
-	sortByScore(pop)
+	r.sortByScore(pop)
 	res.History = append(res.History, pop[0].score)
 	res.Best = append([]int(nil), pop[0].genes...)
 	res.BestScore = pop[0].score
 	res.History = append([]float64(nil), res.History...)
+	res.Generations = len(res.History) - 1
+	if r.cache != nil {
+		res.CacheCap = r.cache.cap
+		res.CacheEvictions = r.cache.evictions
+	}
 	return res, nil
 }
 
-// scoreCache memoizes sanitized fitness values by gene vector, so
-// individuals recurring across generations (elites' children, converged
-// populations) skip re-simulation. Accessed only from the generation
-// loop's goroutine; workers never touch it.
-type scoreCache map[string]float64
+// runState bundles the engine's per-run scratch so the generation loop
+// reuses every buffer: the selection prefix, the cache-key bytes, the
+// representative index sets and the worker todo list.
+type runState struct {
+	p       Problem
+	ps      PartialScorer
+	inc     bool // incremental scoring active
+	cfg     Config
+	n       int
+	alleles int
+	workers int
+	rng     *rand.Rand
 
-// geneKey encodes a gene vector as a compact byte string for cache
-// lookup.
-func geneKey(genes []int) string {
-	buf := make([]byte, 0, len(genes)*2)
+	cache    *scoreCache
+	keys     [][]byte
+	reps     []int
+	todo     []int
+	repByKey map[string]int
+	prefix   []float64
+	perm     []int32  // sortByScore: index permutation
+	permTmp  []int32  // sortByScore: merge scratch
+	slotTmp  []scored // sortByScore: permutation-apply scratch
+}
+
+// breed fills next from pop: elites first, then score-selected pairs
+// recombined by tail-swap crossover and burst mutation. The RNG draw
+// order (pick a, pick b, crossover roll, k, then per child the
+// mutation roll and burst draws) is fixed — tests pin same-seed
+// trajectories to it.
+func (r *runState) breed(pop, next []scored, spare *scored) {
+	for i := 0; i < r.cfg.Elitism; i++ {
+		dst := &next[i]
+		copy(dst.genes, pop[i].genes)
+		dst.score = pop[i].score
+		if r.inc {
+			copy(dst.sums, pop[i].sums)
+			dst.resync = false
+		}
+	}
+	r.prefix = buildPrefixInto(r.prefix, pop, r.cfg.Selection)
+	for made := r.cfg.Elitism; made < len(next); made += 2 {
+		a := pick(pop, r.prefix, r.cfg.Selection, r.rng)
+		b := pick(pop, r.prefix, r.cfg.Selection, r.rng)
+		childA := &next[made]
+		childB := spare
+		if made+1 < len(next) {
+			childB = &next[made+1]
+		}
+		r.beginChild(childA, a)
+		r.beginChild(childB, b)
+		if r.rng.Float64() < r.cfg.CrossoverRate && r.n > 1 {
+			// Swap the last k genes (Sect. 6.3.3).
+			k := 1 + r.rng.Intn(r.n-1)
+			r.crossTail(childA, childB, k)
+		}
+		r.mutate(childA)
+		r.mutate(childB)
+	}
+}
+
+// beginChild initializes a child slot as a copy of its parent.
+func (r *runState) beginChild(dst, parent *scored) {
+	copy(dst.genes, parent.genes)
+	if r.inc {
+		copy(dst.sums, parent.sums)
+		dst.resync = false
+	}
+}
+
+// crossTail swaps the last k genes of two children (each initialized
+// to one parent), applying partial-sum deltas per differing gene when
+// incremental scoring is on. When the tail covers more than half the
+// genes, deltas cost more than a fresh walk, so the children are
+// marked for resync instead.
+func (r *runState) crossTail(a, b *scored, k int) {
+	useDelta := r.inc && 2*k <= r.n
+	if r.inc && !useDelta {
+		a.resync, b.resync = true, true
+	}
+	for i := r.n - k; i < r.n; i++ {
+		ga, gb := a.genes[i], b.genes[i]
+		if ga != gb && useDelta {
+			r.ps.UpdateSums(a.sums, i, ga, gb)
+			r.ps.UpdateSums(b.sums, i, gb, ga)
+		}
+		a.genes[i], b.genes[i] = gb, ga
+	}
+}
+
+// mutate rewrites a small burst of random genes; single-gene steps
+// converge too slowly on thousand-stage problems.
+func (r *runState) mutate(c *scored) {
+	if r.rng.Float64() >= r.cfg.MutationRate {
+		return
+	}
+	burst := 1 + r.rng.Intn(3)
+	for m := 0; m < burst; m++ {
+		idx := r.rng.Intn(r.n)
+		val := r.rng.Intn(r.alleles)
+		if r.inc && !c.resync && c.genes[idx] != val {
+			r.ps.UpdateSums(c.sums, idx, c.genes[idx], val)
+		}
+		c.genes[idx] = val
+	}
+}
+
+// scoreIncremental scores slots from their partial sums, rebuilding
+// the sums with a full InitSums walk where marked (or for every slot
+// when refresh is set — the periodic drift-bounding re-walk). Runs
+// serially on the generation-loop goroutine: a delta score is tens of
+// nanoseconds, far below fan-out cost, and serial execution keeps the
+// result trivially independent of Config.Workers.
+func (r *runState) scoreIncremental(slots []scored, refresh bool) {
+	for i := range slots {
+		c := &slots[i]
+		if refresh || c.resync {
+			r.ps.InitSums(c.genes, c.sums)
+			c.resync = false
+		}
+		c.score = sanitize(r.ps.ScoreSums(c.sums))
+	}
+}
+
+// scoreCache memoizes sanitized fitness values by gene vector, so
+// individuals recurring across generations (elites' children,
+// converged populations) skip re-simulation. Accessed only from the
+// generation loop's goroutine; workers never touch it. Entries carry
+// the generation that last used them; when the map exceeds cap,
+// whole generation cohorts are evicted oldest-first (see maybeEvict).
+type scoreCache struct {
+	m         map[string]*cacheEntry
+	cap       int // entry bound; 0 = unbounded
+	evictions int
+}
+
+type cacheEntry struct {
+	score float64
+	gen   int // generation that last hit or inserted this entry
+}
+
+func newScoreCache(capCfg int) *scoreCache {
+	c := &scoreCache{m: make(map[string]*cacheEntry)}
+	switch {
+	case capCfg == 0:
+		c.cap = DefaultScoreCacheCap
+	case capCfg > 0:
+		c.cap = capCfg
+	}
+	return c
+}
+
+// maybeEvict drops the oldest generation cohorts once the map exceeds
+// cap, keeping the most recently used generations intact — entries
+// touched in the current generation always survive, so the cap is
+// soft by at most one generation's novel vectors. The outcome depends
+// only on the generation stamps, never on map iteration order, so
+// same-seed runs evict identically.
+func (c *scoreCache) maybeEvict(gen int) {
+	if c.cap <= 0 || len(c.m) <= c.cap {
+		return
+	}
+	counts := make([]int, gen+1)
+	for _, e := range c.m {
+		counts[e.gen]++
+	}
+	kept := counts[gen]
+	cutoff := gen
+	for g := gen - 1; g >= 0; g-- {
+		if kept+counts[g] > c.cap {
+			break
+		}
+		kept += counts[g]
+		cutoff = g
+	}
+	for k, e := range c.m {
+		if e.gen < cutoff {
+			delete(c.m, k)
+			c.evictions++
+		}
+	}
+}
+
+// appendGeneKey encodes a gene vector as compact varint bytes into
+// dst for cache lookup, reusing dst's capacity.
+func appendGeneKey(dst []byte, genes []int) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, g := range genes {
 		n := binary.PutUvarint(tmp[:], uint64(g))
-		buf = append(buf, tmp[:n]...)
+		dst = append(dst, tmp[:n]...)
 	}
-	return string(buf)
+	return dst
 }
 
 // sanitize maps NaN fitness to -Inf. A NaN score (e.g. an infeasible
@@ -285,55 +568,56 @@ func sanitize(score float64) float64 {
 	return score
 }
 
-// scoreAll evaluates fitness concurrently, memoizing through cache
-// (nil disables memoization), and reports how many individuals were
-// served without a Score call. Within one batch, duplicate gene
+// scoreAll evaluates fitness concurrently, memoizing through the
+// cache (nil disables memoization), and reports how many individuals
+// were served without a Score call. Within one batch, duplicate gene
 // vectors are scored once; across batches the cache carries scores
-// between generations.
-func scoreAll(p Problem, pop []scored, workers int, cache scoreCache) (hits int) {
-	if cache == nil {
-		scoreBatch(p, pop, indices(len(pop)), workers)
+// between generations. gen stamps touched entries for eviction.
+func (r *runState) scoreAll(pop []scored, gen int) (hits int) {
+	if r.cache == nil {
+		r.todo = r.todo[:0]
+		for i := range pop {
+			r.todo = append(r.todo, i)
+		}
+		scoreBatch(r.p, pop, r.todo, r.workers)
 		return 0
 	}
 	// Partition into cache hits, one representative per novel gene
-	// vector, and duplicates of a representative.
-	reps := make([]int, 0, len(pop))
-	repByKey := make(map[string]int)
-	keys := make([]string, len(pop))
+	// vector, and duplicates of a representative. Lookups through
+	// m[string(bytes)] compile to zero-copy map probes; a key string
+	// is only materialized once per novel vector.
+	keys := r.keys[:len(pop)]
+	r.reps = r.reps[:0]
+	clear(r.repByKey)
 	for i := range pop {
-		k := geneKey(pop[i].genes)
-		keys[i] = k
-		if s, ok := cache[k]; ok {
-			pop[i].score = s
+		keys[i] = appendGeneKey(keys[i][:0], pop[i].genes)
+		if e, ok := r.cache.m[string(keys[i])]; ok {
+			pop[i].score = e.score
+			e.gen = gen // refresh the stamp so hot entries survive eviction
 			hits++
 			continue
 		}
-		if _, ok := repByKey[k]; !ok {
-			repByKey[k] = i
-			reps = append(reps, i)
+		if _, ok := r.repByKey[string(keys[i])]; !ok {
+			r.repByKey[string(keys[i])] = i
+			r.reps = append(r.reps, i)
 		}
 	}
-	scoreBatch(p, pop, reps, workers)
-	for _, i := range reps {
-		cache[keys[i]] = pop[i].score
+	scoreBatch(r.p, pop, r.reps, r.workers)
+	// Insert the representatives, reusing the interned map keys; the
+	// cache contents are independent of this map's iteration order.
+	for k, i := range r.repByKey {
+		r.cache.m[k] = &cacheEntry{score: pop[i].score, gen: gen}
 	}
 	// Fill duplicates from the representatives just scored.
 	for i := range pop {
-		rep, ok := repByKey[keys[i]]
+		rep, ok := r.repByKey[string(keys[i])]
 		if ok && rep != i {
 			pop[i].score = pop[rep].score
 			hits++
 		}
 	}
+	r.cache.maybeEvict(gen)
 	return hits
-}
-
-func indices(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 // scoreBatch runs Score for the given population indices across the
@@ -367,25 +651,70 @@ func scoreBatch(p Problem, pop []scored, todo []int, workers int) {
 	wg.Wait()
 }
 
-func sortByScore(pop []scored) {
-	// Insertion sort on mostly-sorted small populations outperforms
-	// the generic sort here and keeps determinism trivially.
-	for i := 1; i < len(pop); i++ {
-		for j := i; j > 0 && pop[j].score > pop[j-1].score; j-- {
-			pop[j], pop[j-1] = pop[j-1], pop[j]
+// sortByScore orders pop descending by score, stably (equal scores
+// keep their prior relative order — the exact permutation the
+// historical insertion sort produced, which same-seed trajectory
+// tests pin). It merge-sorts an index permutation and applies it with
+// one pass of struct moves: freshly scored children are in random
+// score order, where an in-place insertion sort degenerates to O(n²)
+// moves of the wide population slots. All scratch is reused across
+// generations.
+func (r *runState) sortByScore(pop []scored) {
+	n := len(pop)
+	if cap(r.perm) < n {
+		r.perm = make([]int32, n)
+		r.permTmp = make([]int32, n)
+		r.slotTmp = make([]scored, n)
+	}
+	perm, tmp := r.perm[:n], r.permTmp[:n]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	// Bottom-up stable merge: on equal scores the left run wins,
+	// preserving original order.
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n-width; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if pop[perm[j]].score > pop[perm[i]].score {
+					tmp[k] = perm[j]
+					j++
+				} else {
+					tmp[k] = perm[i]
+					i++
+				}
+				k++
+			}
+			copy(tmp[k:hi], perm[i:mid])
+			copy(tmp[k+mid-i:hi], perm[j:hi])
+			copy(perm[lo:hi], tmp[lo:hi])
 		}
 	}
+	slots := r.slotTmp[:n]
+	for i, p := range perm {
+		slots[i] = pop[p]
+	}
+	copy(pop, slots)
 }
 
-// buildPrefix precomputes cumulative selection weights for the chosen
-// scheme. pop is sorted descending by score when this is called.
+// buildPrefixInto computes cumulative selection weights for the chosen
+// scheme into prefix's storage (grown once, reused every generation).
+// pop is sorted descending by score when this is called.
 // RankSelection weights fall quadratically with rank, which keeps
 // pressure even when compliant individuals' raw scores differ by
 // fractions of a percent — the steady state of the power-minimization
 // objective. RouletteSelection shifts scores to be non-negative and
 // weights proportionally. TournamentSelection needs no prefix.
-func buildPrefix(pop []scored, sel Selection) []float64 {
+func buildPrefixInto(prefix []float64, pop []scored, sel Selection) []float64 {
 	n := len(pop)
+	if cap(prefix) < n {
+		prefix = make([]float64, n)
+	}
+	prefix = prefix[:n]
 	switch sel {
 	case RouletteSelection:
 		// The shift baseline is the worst finite score: sanitized
@@ -400,7 +729,6 @@ func buildPrefix(pop []scored, sel Selection) []float64 {
 		if math.IsInf(minScore, 1) {
 			minScore = 0 // no finite scores at all
 		}
-		prefix := make([]float64, n)
 		sum := 0.0
 		for i, s := range pop {
 			if !math.IsInf(s.score, -1) {
@@ -410,9 +738,8 @@ func buildPrefix(pop []scored, sel Selection) []float64 {
 		}
 		return prefix
 	case TournamentSelection:
-		return nil
+		return prefix[:0]
 	default: // RankSelection
-		prefix := make([]float64, n)
 		sum := 0.0
 		for i := range pop {
 			w := float64(n-i) * float64(n-i)

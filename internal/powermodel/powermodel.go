@@ -323,6 +323,29 @@ func (m *Model) OpPowerAt(key string, f units.MHz, deltaT units.Celsius) (core, 
 	return units.Watt(pc), units.Watt(ps)
 }
 
+// SolveDeltaTLinear solves the Sect. 5.4 fixed point in closed form
+// for the affine case ΔT = k·(P0 + slope·ΔT), where P0 is the power at
+// ΔT = 0 and slope (W/°C) is dP_soc/dΔT — for the stage-table
+// evaluator, γ_soc times the time-weighted mean voltage. The iterative
+// scheme from ΔT = 0 is the geometric series k·P0·Σ(k·slope)^m, so the
+// closed form k·P0/(1-k·slope) is its exact limit; the two agree to
+// better than 1e-9 (proved in tests), but the closed form costs one
+// divide instead of a handful of callback rounds and allocates
+// nothing. When the loop gain k·slope reaches 1 the fixed point is
+// non-physical (thermal runaway) and the iterative solver's divergent
+// behaviour is preserved by falling back to it. Genuinely nonlinear
+// P_soc(ΔT) callers must keep using SolveDeltaT.
+func SolveDeltaTLinear(k units.CelsiusPerWatt, p0 units.Watt, slopeWPerC float64) units.Celsius {
+	gain := float64(k) * slopeWPerC
+	if gain >= 1 {
+		dt, _ := SolveDeltaT(k, func(deltaT units.Celsius) units.Watt {
+			return units.Watt(float64(p0) + slopeWPerC*float64(deltaT))
+		})
+		return dt
+	}
+	return units.Celsius(float64(k) * float64(p0) / (1 - gain))
+}
+
 // SolveDeltaT solves the self-consistent temperature rise of Sect. 5.4:
 // ΔT = k·P_soc(ΔT). It iterates from ΔT = 0 as in the paper, which
 // converges within a few rounds; iters reports how many were used.

@@ -244,6 +244,53 @@ func TestSolveDeltaTConvergesQuickly(t *testing.T) {
 	}
 }
 
+func TestSolveDeltaTLinearMatchesIterative(t *testing.T) {
+	// The closed form dt = k·p0/(1-k·slope) is the limit of the geometric
+	// series the iterative solver walks. Compare against an
+	// iterated-to-machine-precision reference (not SolveDeltaT itself,
+	// whose 1e-6 tolerance stops a few ulps short).
+	cases := []struct {
+		k     float64
+		p0    float64
+		slope float64
+	}{
+		{0.12, 200, 0.3},
+		{0.05, 350, 0},
+		{0.02, 80, 1.9},
+		{0.3, 15, 2.5},
+		{0.0007, 4200, 0.9},
+	}
+	for _, c := range cases {
+		got := float64(SolveDeltaTLinear(units.CelsiusPerWatt(c.k), units.Watt(c.p0), c.slope))
+		ref := 0.0
+		for i := 0; i < 200; i++ {
+			ref = c.k * (c.p0 + c.slope*ref)
+		}
+		if ref != 0 && math.Abs(got-ref)/math.Abs(ref) > 1e-9 {
+			t.Errorf("k=%g p0=%g slope=%g: closed form %g, iterative reference %g", c.k, c.p0, c.slope, got, ref)
+		}
+	}
+}
+
+func TestSolveDeltaTLinearRunawayFallsBackToIterative(t *testing.T) {
+	// gain = k·slope >= 1 has no finite fixpoint; the closed form would
+	// divide by zero or flip sign. The function must fall back to the
+	// bounded iterative solver and return whatever it returns.
+	k := units.CelsiusPerWatt(0.5)
+	p0 := units.Watt(100)
+	slope := 2.5 // gain = 1.25
+	got := SolveDeltaTLinear(k, p0, slope)
+	want, _ := SolveDeltaT(k, func(dt units.Celsius) units.Watt {
+		return units.Watt(float64(p0) + slope*float64(dt))
+	})
+	if got != want {
+		t.Errorf("runaway case: closed-form path returned %g, iterative fallback %g", got, want)
+	}
+	if math.IsNaN(float64(got)) || math.IsInf(float64(got), 0) {
+		t.Errorf("runaway case produced non-finite %g", got)
+	}
+}
+
 func TestOpPowerAtUnknownKeyIsIdle(t *testing.T) {
 	rig, off := calibrated(t)
 	m := &Model{Offline: off, Ops: map[string]OpPower{}, TemperatureAware: true}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
+
+	"npudvfs/internal/ga"
 )
 
 // metrics is dvfsd's hand-rolled instrumentation, rendered in the
@@ -26,6 +29,22 @@ type metrics struct {
 	// queue (submit → dequeue), model (profiling + fitting) and search
 	// (the GA).
 	stageSeconds map[string]*histogram
+	// GA throughput instrumentation: cumulative counters across all
+	// finished searches, plus per-workload gauges reflecting the most
+	// recent job (the operator-facing "how fast is the search engine
+	// right now" view).
+	gaEvals     uint64
+	gaGens      uint64
+	gaCacheHits uint64
+	gaJobs      map[string]gaJobStats
+}
+
+// gaJobStats is the last finished search's GA throughput for one
+// workload.
+type gaJobStats struct {
+	evalsPerSec  float64
+	cacheHitRate float64
+	generations  int
 }
 
 // stageBuckets spans sub-millisecond cache bookkeeping to multi-minute
@@ -58,7 +77,30 @@ func newMetrics() *metrics {
 	return &metrics{
 		jobsTotal:    make(map[string]uint64),
 		stageSeconds: make(map[string]*histogram),
+		gaJobs:       make(map[string]gaJobStats),
 	}
+}
+
+// observeGA records one finished search's GA counters: cumulative
+// totals plus the per-workload last-job gauges. The workload label is
+// normalized to lower case — the form requests name workloads in.
+// searchSeconds is the GA wall time (the search stage, model building
+// excluded).
+func (m *metrics) observeGA(workload string, res *ga.Result, searchSeconds float64) {
+	workload = strings.ToLower(workload)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gaEvals += uint64(res.Evaluations)
+	m.gaGens += uint64(res.Generations)
+	m.gaCacheHits += uint64(res.CacheHits)
+	st := gaJobStats{generations: res.Generations}
+	if searchSeconds > 0 {
+		st.evalsPerSec = float64(res.Evaluations) / searchSeconds
+	}
+	if res.Evaluations > 0 {
+		st.cacheHitRate = float64(res.CacheHits) / float64(res.Evaluations)
+	}
+	m.gaJobs[workload] = st
 }
 
 func (m *metrics) jobFinished(state string) {
@@ -146,6 +188,37 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	fmt.Fprintln(w, "# HELP dvfsd_cache_entries Strategies currently cached.")
 	fmt.Fprintln(w, "# TYPE dvfsd_cache_entries gauge")
 	fmt.Fprintf(w, "dvfsd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintln(w, "# HELP dvfsd_ga_evaluations_total Individuals evaluated by the GA across all searches.")
+	fmt.Fprintln(w, "# TYPE dvfsd_ga_evaluations_total counter")
+	fmt.Fprintf(w, "dvfsd_ga_evaluations_total %d\n", m.gaEvals)
+	fmt.Fprintln(w, "# HELP dvfsd_ga_generations_total GA generations completed across all searches.")
+	fmt.Fprintln(w, "# TYPE dvfsd_ga_generations_total counter")
+	fmt.Fprintf(w, "dvfsd_ga_generations_total %d\n", m.gaGens)
+	fmt.Fprintln(w, "# HELP dvfsd_ga_score_cache_hits_total GA score-cache hits across all searches.")
+	fmt.Fprintln(w, "# TYPE dvfsd_ga_score_cache_hits_total counter")
+	fmt.Fprintf(w, "dvfsd_ga_score_cache_hits_total %d\n", m.gaCacheHits)
+
+	workloads := make([]string, 0, len(m.gaJobs))
+	for wl := range m.gaJobs {
+		workloads = append(workloads, wl)
+	}
+	sort.Strings(workloads)
+	fmt.Fprintln(w, "# HELP dvfsd_job_ga_evals_per_sec GA evaluations per second of the last finished search.")
+	fmt.Fprintln(w, "# TYPE dvfsd_job_ga_evals_per_sec gauge")
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "dvfsd_job_ga_evals_per_sec{workload=%q} %g\n", wl, m.gaJobs[wl].evalsPerSec)
+	}
+	fmt.Fprintln(w, "# HELP dvfsd_job_ga_score_cache_hit_rate GA score-cache hit rate of the last finished search.")
+	fmt.Fprintln(w, "# TYPE dvfsd_job_ga_score_cache_hit_rate gauge")
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "dvfsd_job_ga_score_cache_hit_rate{workload=%q} %g\n", wl, m.gaJobs[wl].cacheHitRate)
+	}
+	fmt.Fprintln(w, "# HELP dvfsd_job_ga_generations GA generations completed by the last finished search.")
+	fmt.Fprintln(w, "# TYPE dvfsd_job_ga_generations gauge")
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "dvfsd_job_ga_generations{workload=%q} %d\n", wl, m.gaJobs[wl].generations)
+	}
 
 	fmt.Fprintln(w, "# HELP dvfsd_stage_seconds Per-stage job latency.")
 	fmt.Fprintln(w, "# TYPE dvfsd_stage_seconds histogram")

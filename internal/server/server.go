@@ -25,6 +25,7 @@ import (
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/experiments"
+	"npudvfs/internal/ga"
 	"npudvfs/internal/traceio"
 	"npudvfs/internal/workload"
 )
@@ -178,10 +179,13 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 
 	start := time.Now()
-	resp, modelDur, err := s.generate(ctx, m, spec)
+	resp, gaRes, modelDur, err := s.generate(ctx, m, spec)
 	searchDur := time.Since(start)
 	s.met.observeStage("model", modelDur.Seconds())
 	s.met.observeStage("search", (searchDur - modelDur).Seconds())
+	if gaRes != nil {
+		s.met.observeGA(j.workload, gaRes, (searchDur - modelDur).Seconds())
+	}
 
 	j.mu.Lock()
 	j.searchDur = searchDur
@@ -205,14 +209,15 @@ func (s *Server) runJob(j *job) {
 }
 
 // generate runs the modeling + search pipeline for one workload. It
-// returns how much of the wall time went into model building so the
-// two stages can be observed separately.
-func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.SearchSpec) (*traceio.StrategyResponse, time.Duration, error) {
+// returns the GA result (for the /metrics throughput gauges) and how
+// much of the wall time went into model building so the two stages can
+// be observed separately.
+func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.SearchSpec) (*traceio.StrategyResponse, *ga.Result, time.Duration, error) {
 	modelStart := time.Now()
 	if err := ctx.Err(); err != nil {
 		// A force-cancelled queued job must not start a multi-second
 		// model build it would only throw away.
-		return nil, 0, fmt.Errorf("server: cancelled before model building: %w", err)
+		return nil, nil, 0, fmt.Errorf("server: cancelled before model building: %w", err)
 	}
 	var (
 		ms  *experiments.Models
@@ -224,11 +229,11 @@ func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.S
 		ms, err = s.lab.BuildModels(m, true)
 	}
 	if err != nil {
-		return nil, time.Since(modelStart), err
+		return nil, nil, time.Since(modelStart), err
 	}
 	modelDur := time.Since(modelStart)
 	if err := ctx.Err(); err != nil {
-		return nil, modelDur, fmt.Errorf("server: cancelled after model building: %w", err)
+		return nil, nil, modelDur, fmt.Errorf("server: cancelled after model building: %w", err)
 	}
 
 	cfg := core.DefaultConfig()
@@ -239,11 +244,11 @@ func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.S
 	cfg.GA.Seed = spec.Seed
 	strat, stages, gaRes, err := core.GenerateContext(ctx, ms.Input(s.lab.Chip), cfg)
 	if err != nil {
-		return nil, modelDur, err
+		return nil, nil, modelDur, err
 	}
 
 	resp, err := buildResponse(m.Name, spec, ms, s.lab, cfg, strat, stages, gaRes)
-	return resp, modelDur, err
+	return resp, gaRes, modelDur, err
 }
 
 // handleSubmit is POST /v1/strategies. A cache hit answers 200 with an

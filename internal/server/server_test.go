@@ -252,9 +252,24 @@ func TestSubmitCompletesAndCacheHitOnResubmit(t *testing.T) {
 		"dvfsd_cache_misses_total 2",
 		`dvfsd_jobs_total{state="done"} 3`,
 		`dvfsd_stage_seconds_count{stage="search"} 2`,
+		`dvfsd_job_ga_evals_per_sec{workload="resnet50"}`,
+		`dvfsd_job_ga_score_cache_hit_rate{workload="resnet50"}`,
+		`dvfsd_job_ga_generations{workload="resnet50"}`,
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+	// Two searches ran (the cache hit runs no GA); the cumulative
+	// counters must reflect actual evaluations and generations.
+	for _, re := range []string{"\ndvfsd_ga_evaluations_total ", "\ndvfsd_ga_generations_total "} {
+		i := strings.Index(m, re)
+		if i < 0 {
+			t.Fatalf("metrics missing %q:\n%s", re, m)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(m[i+len(re):], "%g", &v); err != nil || v <= 0 {
+			t.Errorf("counter %q = %g (%v), want > 0", re, v, err)
 		}
 	}
 }
@@ -295,7 +310,10 @@ func TestQueueFullRejects(t *testing.T) {
 		defer cancel()
 		_ = s.Shutdown(ctx) // force-cancels the deep searches
 	})
-	slow := `{"workload": "resnet50", "search": {"pop": 200, "gens": 600, "seed": %d}}`
+	// Deep enough that the single worker is still busy while the later
+	// submissions arrive (the zero-allocation engine finishes a 200x600
+	// search in tens of milliseconds); the cleanup force-cancel reaps it.
+	slow := `{"workload": "resnet50", "search": {"pop": 200, "gens": 200000, "seed": %d}}`
 	saw503 := false
 	for i := 0; i < 4; i++ {
 		code, _ := submit(t, ts, fmt.Sprintf(slow, i+1))
@@ -430,8 +448,10 @@ func TestShutdownDeadlineForceCancels(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	var ids []string
 	for i := 0; i < 3; i++ {
+		// Deep searches that cannot finish inside the 100ms deadline;
+		// the forced cancellation reaps them at a generation boundary.
 		code, st := submit(t, ts, fmt.Sprintf(
-			`{"workload": "resnet50", "search": {"pop": 200, "gens": 600, "seed": %d}}`, 50+i))
+			`{"workload": "resnet50", "search": {"pop": 200, "gens": 200000, "seed": %d}}`, 50+i))
 		if code != http.StatusAccepted {
 			t.Fatalf("submit %d: code %d", i, code)
 		}

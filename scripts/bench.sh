@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmarks and emit results/BENCH_5.json.
+#
+# Runs the four perf-engineering benchmarks (Score, GAGeneration,
+# GASearch, ExecutorRun — see bench_test.go and DESIGN.md §10) with
+# -benchmem and converts `go test` output into a JSON document of
+# {ns_per_op, allocs_per_op, bytes_per_op, extra metrics}. When the
+# frozen seed baseline results/BENCH_5_SEED.json is present, a
+# speedup_vs_seed ratio (seed ns/op ÷ current ns/op) is computed per
+# benchmark.
+#
+# Usage: scripts/bench.sh [-benchtime 2s]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-2s}"
+out=results/BENCH_5.json
+seed=results/BENCH_5_SEED.json
+
+raw=$(go test -run '^$' \
+    -bench 'BenchmarkScore$|BenchmarkGAGeneration$|BenchmarkGASearch$|BenchmarkExecutorRun$' \
+    -benchmem -benchtime "$benchtime" .)
+echo "$raw"
+
+echo "$raw" | awk -v seedfile="$seed" '
+BEGIN {
+    nseed = 0
+    if ((getline line < seedfile) >= 0) {
+        buf = line
+        while ((getline line < seedfile) > 0) buf = buf "\n" line
+        close(seedfile)
+        # Minimal extraction: "name": {... "ns_per_op": N ...}
+        while (match(buf, /"Benchmark[A-Za-z]+": *\{[^}]*\}/)) {
+            entry = substr(buf, RSTART, RLENGTH)
+            buf = substr(buf, RSTART + RLENGTH)
+            if (match(entry, /"Benchmark[A-Za-z]+"/)) {
+                name = substr(entry, RSTART + 1, RLENGTH - 2)
+            }
+            if (match(entry, /"ns_per_op": *[0-9.eE+-]+/)) {
+                v = substr(entry, RSTART, RLENGTH)
+                sub(/^"ns_per_op": */, "", v)
+                seedns[name] = v + 0
+                nseed++
+            }
+        }
+    }
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+/^Benchmark/ {
+    name = $1
+    n = 0
+    delete f
+    f["iterations"] = $2 + 0
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        val = $i + 0
+        if (unit == "ns/op") f["ns_per_op"] = val
+        else if (unit == "B/op") f["bytes_per_op"] = val
+        else if (unit == "allocs/op") f["allocs_per_op"] = val
+        else { gsub(/[^A-Za-z0-9_]/, "_", unit); f[unit] = val }
+    }
+    names[++nb] = name
+    for (k in f) vals[name, k] = f[k]
+    keys[name] = ""
+    for (k in f) keys[name] = keys[name] k "\n"
+}
+END {
+    printf "{\n"
+    printf "  \"bench_id\": \"BENCH_5\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"'"$benchtime"'\",\n"
+    printf "  \"benchmarks\": {\n"
+    for (b = 1; b <= nb; b++) {
+        name = names[b]
+        printf "    \"%s\": {", name
+        first = 1
+        split(keys[name], ks, "\n")
+        for (ki in ks) {
+            k = ks[ki]
+            if (k == "") continue
+            if (!first) printf ", "
+            printf "\"%s\": %g", k, vals[name, k]
+            first = 0
+        }
+        if (name in seedns && vals[name, "ns_per_op"] > 0) {
+            printf ", \"speedup_vs_seed\": %.3f", seedns[name] / vals[name, "ns_per_op"]
+        }
+        printf "}%s\n", (b < nb ? "," : "")
+    }
+    printf "  }\n}\n"
+}' > "$out"
+
+echo "wrote $out"
+cat "$out"
