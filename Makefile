@@ -4,9 +4,9 @@
 # parallel experiment harness and the dvfsd serving layer — so a
 # race-clean run is part of "tests pass"), and finally the dvfsd
 # end-to-end smoke.
-.PHONY: verify build test vet fmt-check lint race short bench serve-smoke
+.PHONY: verify build test vet fmt-check lint race short bench serve-smoke load-smoke load-bench
 
-verify: build vet fmt-check lint test race serve-smoke
+verify: build vet fmt-check lint test race serve-smoke load-smoke
 
 build:
 	go build ./...
@@ -51,3 +51,15 @@ bench-smoke:
 # resubmission hits the cache, then shuts down gracefully.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Bounded dvfsload smoke: replays the three canonical mixes for ~1 s
+# each against fresh in-process daemons and sanity-checks the emitted
+# artifact (every mix present, non-zero QPS, no hard errors).
+load-smoke:
+	./scripts/load_smoke.sh
+
+# Full load benchmark: replays the canonical mixes at defaults and
+# writes results/BENCH_6.json with qps/p99 _vs_seed ratios against the
+# frozen baseline in results/BENCH_6_SEED.json. See DESIGN.md §11.
+load-bench:
+	go run ./cmd/dvfsload

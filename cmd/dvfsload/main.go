@@ -1,0 +1,230 @@
+// Command dvfsload replays deterministic mixed request streams against
+// dvfsd and writes the measured QPS/latency/saturation artifact —
+// results/BENCH_6.json under the default flags. See internal/loadgen
+// for the traffic model and DESIGN.md §11 for how to read the output.
+//
+// Usage:
+//
+//	dvfsload                          # self-served in-process daemon, all mixes
+//	dvfsload -addr 127.0.0.1:7077     # target an external daemon
+//	dvfsload -mixes hot -mode open -rate 200 -duration 5s
+//
+// Without -addr the tool boots one fresh in-process daemon per mix
+// (models built once), so mixes never contaminate each other's
+// strategy cache and the queue-depth curves start from empty.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/loadgen"
+	"npudvfs/internal/server"
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target daemon (host:port or URL); empty self-serves an in-process daemon per mix")
+	mixes := flag.String("mixes", "hot,cold,mixed", "comma-separated mixes to run (hot, cold, mixed)")
+	mode := flag.String("mode", "closed", "load mode: open (fixed arrival rate) or closed (N concurrent clients)")
+	rate := flag.Float64("rate", 50, "open-loop arrival rate, requests/s")
+	clients := flag.Int("clients", 4, "closed-loop concurrency")
+	duration := flag.Duration("duration", 2*time.Second, "offered-load window per mix")
+	seed := flag.Int64("seed", 1, "schedule seed (frozen-seed methodology: same seed, same request stream)")
+	workloadName := flag.String("workload", "resnet50", "registry workload to submit")
+	pop := flag.Int("pop", 16, "base GA population per request")
+	gens := flag.Int("gens", 8, "base GA generations per request")
+	poll := flag.Duration("poll", 2*time.Millisecond, "async-chain poll interval")
+	scrape := flag.Duration("scrape", 100*time.Millisecond, "mid-run /metrics scrape interval (0 disables)")
+	workers := flag.Int("workers", 2, "self-served daemon: concurrent searches")
+	queue := flag.Int("queue", 16, "self-served daemon: queue depth before 503")
+	loadModels := flag.String("load-models", "", "model bundle file for the self-served daemon (skips the in-process build)")
+	out := flag.String("out", "results/BENCH_6.json", "artifact path; empty prints the summary only")
+	baseline := flag.String("baseline", "results/BENCH_6_SEED.json", "frozen-seed baseline artifact for *_vs_seed ratios (skipped when absent)")
+	benchID := flag.String("bench-id", "BENCH_6", "artifact bench_id")
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	names := strings.Split(*mixes, ",")
+	specs := make([]loadgen.Spec, 0, len(names))
+	for _, n := range names {
+		m, err := loadgen.MixByName(n)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, loadgen.Spec{
+			Mix:      m,
+			Mode:     loadgen.Mode(*mode),
+			Rate:     *rate,
+			Clients:  *clients,
+			Duration: *duration,
+			Seed:     *seed,
+			Workload: *workloadName,
+			Search:   traceio.SearchSpec{Pop: *pop, Gens: *gens, Seed: *seed},
+			Poll:     *poll,
+			Scrape:   *scrape,
+		})
+	}
+
+	cfg := loadgen.ArtifactConfig{
+		Workload: *workloadName,
+		Seed:     *seed,
+		Mode:     *mode,
+		Duration: duration.String(),
+		Pop:      *pop,
+		Gens:     *gens,
+	}
+	if *mode == string(loadgen.OpenLoop) {
+		cfg.Rate = *rate
+	} else {
+		cfg.Clients = *clients
+	}
+
+	var runs []*loadgen.Result
+	if *addr != "" {
+		base := *addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		cfg.Addr = base
+		c := client.New(base)
+		if err := c.Health(ctx); err != nil {
+			fatal(fmt.Errorf("daemon at %s not healthy: %w", base, err))
+		}
+		for _, spec := range specs {
+			r, err := runOne(ctx, c, spec)
+			if err != nil {
+				fatal(err)
+			}
+			runs = append(runs, r)
+		}
+	} else {
+		cfg.Workers = *workers
+		cfg.QueueDepth = *queue
+		lab, bundle, err := buildBundle(*workloadName, *loadModels)
+		if err != nil {
+			fatal(err)
+		}
+		for _, spec := range specs {
+			r, err := selfServe(ctx, lab, bundle, *workloadName, *workers, *queue, spec)
+			if err != nil {
+				fatal(err)
+			}
+			runs = append(runs, r)
+		}
+	}
+
+	art := &loadgen.Artifact{
+		BenchID:     *benchID,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Config:      cfg,
+		Runs:        runs,
+	}
+	if *baseline != "" {
+		if base, err := loadgen.LoadArtifact(*baseline); err == nil {
+			art.ApplyBaseline(base)
+		} else if !os.IsNotExist(err) {
+			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
+		}
+	}
+	if *out != "" {
+		if err := art.WriteArtifact(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dvfsload: wrote %s\n", *out)
+	}
+}
+
+// runOne executes one mix and prints its summary line.
+func runOne(ctx context.Context, c *client.Client, spec loadgen.Spec) (*loadgen.Result, error) {
+	fmt.Printf("dvfsload: mix %-5s %s ", spec.Mix.Name, spec.Mode)
+	if spec.Mode == loadgen.OpenLoop {
+		fmt.Printf("rate=%g/s ", spec.Rate)
+	} else {
+		fmt.Printf("clients=%d ", spec.Clients)
+	}
+	fmt.Printf("for %s...\n", spec.Duration)
+	res, err := (&loadgen.Runner{Client: c, Spec: spec}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("mix %s: %w", spec.Mix.Name, err)
+	}
+	o := res.Overall
+	fmt.Printf("dvfsload:   qps=%.1f p50=%.2fms p90=%.2fms p99=%.2fms completed=%d rejects=%d errors=%d max_queue=%d\n",
+		res.QPS, float64(o.P50Ms), float64(o.P90Ms), float64(o.P99Ms),
+		o.Completed, o.Rejects, o.Errors, res.MaxQueueDepth)
+	return res, nil
+}
+
+// selfServe boots a fresh in-process daemon, runs the mix against it
+// over a loopback listener, and drains it.
+func selfServe(ctx context.Context, lab *experiments.Lab, bundle *traceio.ModelBundle,
+	workloadName string, workers, queue int, spec loadgen.Spec) (*loadgen.Result, error) {
+	srv := server.New(server.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		Lab:        lab,
+		Bundles:    map[string]*traceio.ModelBundle{workloadName: bundle},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	//lint:allow goleak serve goroutine exits on the Close below, within this function's lifetime
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		drain, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(drain)
+		_ = srv.Shutdown(drain)
+		_ = httpSrv.Close()
+	}()
+	return runOne(ctx, client.New("http://"+ln.Addr().String()), spec)
+}
+
+// buildBundle loads the model bundle from disk or fits it in-process.
+func buildBundle(workloadName, path string) (*experiments.Lab, *traceio.ModelBundle, error) {
+	lab := experiments.NewLab()
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		b, err := traceio.ReadModels(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load models %s: %w", path, err)
+		}
+		return lab, b, nil
+	}
+	fmt.Printf("dvfsload: fitting %s models in-process (use -load-models to skip)\n", workloadName)
+	m, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, err := lab.BuildModels(m, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := ms.Bundle()
+	if err != nil {
+		return nil, nil, err
+	}
+	return lab, b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvfsload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,275 @@
+// Package loadgen is the deterministic load generator behind
+// cmd/dvfsload: it replays mixed request streams against a live dvfsd
+// and measures QPS, latency percentiles, rejects and queue-depth
+// curves (DESIGN.md §11). Every scaling PR is judged by the artifacts
+// it emits.
+//
+// Determinism contract: the request schedule — arrival offsets,
+// request classes, and the exact SearchSpec of every submission — is a
+// pure function of the Spec (seed, mix, mode, rate, duration). Two
+// runs with the same Spec issue byte-identical request streams, so
+// QPS/latency deltas between builds measure the server, not the
+// generator. What is NOT deterministic is the measured timings — that
+// is the point.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/traceio"
+)
+
+// Mode selects how load is offered.
+type Mode string
+
+const (
+	// OpenLoop offers requests at a fixed arrival rate regardless of
+	// how fast the daemon answers — the regime that exposes queue
+	// growth and saturation (rejects) when offered load exceeds
+	// capacity.
+	OpenLoop Mode = "open"
+	// ClosedLoop runs N concurrent clients, each submitting its next
+	// request only after the previous one finished — throughput
+	// self-limits to the daemon's capacity, exposing per-request
+	// latency under steady concurrency.
+	ClosedLoop Mode = "closed"
+)
+
+// Class is the traffic class of one request.
+type Class string
+
+const (
+	// ClassHot resubmits the identical spec: after the first
+	// completion every repeat is a strategy-cache hit.
+	ClassHot Class = "hot"
+	// ClassCold perturbs the GA seed per request, making every cache
+	// key unique: each submission runs a full search.
+	ClassCold Class = "cold"
+	// ClassAsync is a cold submit followed by a poll chain until the
+	// job reaches a terminal state — the 202+poll contract end to end.
+	ClassAsync Class = "async"
+)
+
+// Mix is a workload composition: relative weights of the traffic
+// classes in the request stream.
+type Mix struct {
+	Name  string `json:"name"`
+	Hot   int    `json:"hot"`
+	Cold  int    `json:"cold"`
+	Async int    `json:"async"`
+}
+
+func (m Mix) total() int { return m.Hot + m.Cold + m.Async }
+
+func (m Mix) validate() error {
+	if m.Hot < 0 || m.Cold < 0 || m.Async < 0 || m.total() == 0 {
+		return fmt.Errorf("loadgen: mix %q weights hot=%d cold=%d async=%d must be non-negative and not all zero",
+			m.Name, m.Hot, m.Cold, m.Async)
+	}
+	return nil
+}
+
+// BuiltinMixes are the three canonical mixes every BENCH_6 artifact
+// covers: pure cache-hot, pure cache-cold, and a mixed stream with
+// async submit-then-poll chains.
+func BuiltinMixes() []Mix {
+	return []Mix{
+		{Name: "hot", Hot: 1},
+		{Name: "cold", Cold: 1},
+		{Name: "mixed", Hot: 5, Cold: 3, Async: 2},
+	}
+}
+
+// MixByName resolves a built-in mix.
+func MixByName(name string) (Mix, error) {
+	for _, m := range BuiltinMixes() {
+		if m.Name == strings.ToLower(strings.TrimSpace(name)) {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, 3)
+	for _, m := range BuiltinMixes() {
+		names = append(names, m.Name)
+	}
+	return Mix{}, fmt.Errorf("loadgen: unknown mix %q (available: %s)", name, strings.Join(names, ", "))
+}
+
+// Spec fully determines a load run's request schedule.
+type Spec struct {
+	Mix  Mix
+	Mode Mode
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64
+	// Clients is the closed-loop concurrency.
+	Clients int
+	// Duration bounds the offered load window.
+	Duration time.Duration
+	// Seed drives the class sequence; the request schedule is a pure
+	// function of the Spec.
+	Seed int64
+	// Workload is the registry workload submitted.
+	Workload string
+	// Search is the base SearchSpec; hot requests submit it verbatim,
+	// cold/async requests perturb only the GA seed.
+	Search traceio.SearchSpec
+	// Poll is the async-chain poll interval.
+	Poll time.Duration
+	// Scrape is the mid-run /metrics scrape interval for queue-depth
+	// curves; 0 disables scraping.
+	Scrape time.Duration
+}
+
+// withDefaults fills the knobs a zero Spec leaves open.
+func (s Spec) withDefaults() Spec {
+	if s.Mode == "" {
+		s.Mode = OpenLoop
+	}
+	if s.Rate <= 0 {
+		s.Rate = 20
+	}
+	if s.Clients < 1 {
+		s.Clients = 4
+	}
+	if s.Duration <= 0 {
+		s.Duration = 2 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Workload == "" {
+		s.Workload = "resnet50"
+	}
+	if s.Search.Pop == 0 {
+		s.Search.Pop = 16
+	}
+	if s.Search.Gens == 0 {
+		s.Search.Gens = 8
+	}
+	if s.Search.Seed == 0 {
+		s.Search.Seed = 1
+	}
+	if s.Poll <= 0 {
+		s.Poll = 5 * time.Millisecond
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if err := s.Mix.validate(); err != nil {
+		return err
+	}
+	switch s.Mode {
+	case OpenLoop, ClosedLoop:
+	default:
+		return fmt.Errorf("loadgen: unknown mode %q (open, closed)", s.Mode)
+	}
+	return nil
+}
+
+// Request is one scheduled submission.
+type Request struct {
+	// Index is the request's position in its stream.
+	Index int
+	// Client is the stream that issues it (0 in open-loop mode).
+	Client int
+	Class  Class
+	// At is the arrival offset from run start (open-loop only).
+	At time.Duration
+	// Submit is the fully-resolved request body; cold/async carry
+	// their unique perturbed seed.
+	Submit *traceio.StrategyRequest
+}
+
+// Stream deterministically generates one client's request sequence.
+type Stream struct {
+	spec    Spec
+	client  int
+	builder client.Builder
+	rng     *rand.Rand
+	n       int
+	cold    int
+}
+
+// Stream returns client c's request stream. Streams for different
+// clients are independent and deterministic: stream c always issues
+// the same sequence for the same Spec.
+func (s Spec) Stream(c int) *Stream {
+	sp := s.withDefaults()
+	return &Stream{
+		spec:    sp,
+		client:  c,
+		builder: client.NewBuilder(sp.Workload, sp.Search),
+		// Per-client seeding keeps closed-loop schedules independent
+		// of how many requests other clients manage to issue.
+		rng: rand.New(rand.NewSource(sp.Seed + int64(c)*7919)),
+	}
+}
+
+// Next returns the stream's next request. In open-loop mode arrivals
+// are evenly spaced at the fixed rate.
+func (st *Stream) Next() Request {
+	i := st.n
+	st.n++
+	r := Request{
+		Index:  i,
+		Client: st.client,
+		Class:  st.drawClass(),
+	}
+	if st.spec.Mode == OpenLoop {
+		r.At = time.Duration(float64(i) * float64(time.Second) / st.spec.Rate)
+	}
+	switch r.Class {
+	case ClassHot:
+		r.Submit = st.builder.Request()
+	default:
+		// Unique GA seed per cold/async request: the seed enters the
+		// canonical SearchSpec hash, so each submission is a distinct
+		// cache key and forces a full search. The counter (not an rng
+		// draw) makes uniqueness provable: client streams are spaced
+		// a million seeds apart.
+		st.cold++
+		r.Submit = st.builder.WithSeed(st.spec.Search.Seed + int64(st.client+1)*1_000_000 + int64(st.cold))
+	}
+	return r
+}
+
+// drawClass picks the request class by mix weight.
+func (st *Stream) drawClass() Class {
+	m := st.spec.Mix
+	v := st.rng.Intn(m.total())
+	switch {
+	case v < m.Hot:
+		return ClassHot
+	case v < m.Hot+m.Cold:
+		return ClassCold
+	default:
+		return ClassAsync
+	}
+}
+
+// Schedule expands the open-loop request schedule: every arrival the
+// run will offer within Duration. It errors in closed-loop mode, where
+// the issue count depends on measured completions (use Stream).
+func (s Spec) Schedule() ([]Request, error) {
+	sp := s.withDefaults()
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	if sp.Mode != OpenLoop {
+		return nil, fmt.Errorf("loadgen: Schedule is open-loop only; closed-loop streams are unbounded (use Stream)")
+	}
+	n := int(sp.Rate * sp.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	st := sp.Stream(0)
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = st.Next()
+	}
+	return out, nil
+}

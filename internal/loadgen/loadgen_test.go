@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic pins the generator's core contract: the
+// full open-loop schedule — arrival offsets, class sequence, and every
+// submitted SearchSpec — is a pure function of the Spec.
+func TestScheduleDeterministic(t *testing.T) {
+	spec := Spec{
+		Mix:      Mix{Name: "mixed", Hot: 5, Cold: 3, Async: 2},
+		Mode:     OpenLoop,
+		Rate:     50,
+		Duration: 2 * time.Second,
+		Seed:     42,
+	}
+	a, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 100 {
+		t.Fatalf("schedule length %d, want rate*duration = 100", len(a))
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("same spec produced different schedules:\n%s\n%s", ja, jb)
+	}
+
+	// A different seed must actually change the stream (class order).
+	spec2 := spec
+	spec2.Seed = 43
+	c, err := spec2.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestStreamSeedsUnique proves the cache-cold guarantee: every
+// cold/async request across every client stream carries a distinct GA
+// seed, and none collides with the hot (base) seed.
+func TestStreamSeedsUnique(t *testing.T) {
+	spec := Spec{
+		Mix:  Mix{Name: "mixed", Hot: 1, Cold: 1, Async: 1},
+		Mode: ClosedLoop,
+		Seed: 7,
+	}
+	seen := map[int64]bool{1: true} // base seed (withDefaults)
+	for c := 0; c < 8; c++ {
+		st := spec.Stream(c)
+		for i := 0; i < 500; i++ {
+			r := st.Next()
+			if r.Class == ClassHot {
+				if r.Submit.Search.Seed != 1 {
+					t.Fatalf("hot request carries perturbed seed %d", r.Submit.Search.Seed)
+				}
+				continue
+			}
+			s := r.Submit.Search.Seed
+			if seen[s] {
+				t.Fatalf("client %d request %d: duplicate cold seed %d", c, i, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestMixWeights checks the class draw respects degenerate mixes and
+// that pure mixes emit only their class.
+func TestMixWeights(t *testing.T) {
+	for _, tc := range []struct {
+		mix  Mix
+		want Class
+	}{
+		{Mix{Name: "hot", Hot: 1}, ClassHot},
+		{Mix{Name: "cold", Cold: 1}, ClassCold},
+		{Mix{Name: "async", Async: 1}, ClassAsync},
+	} {
+		st := Spec{Mix: tc.mix, Seed: 3}.Stream(0)
+		for i := 0; i < 50; i++ {
+			if got := st.Next().Class; got != tc.want {
+				t.Fatalf("mix %q emitted class %q", tc.mix.Name, got)
+			}
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	m, err := MixByName(" Mixed ")
+	if err != nil || m.Name != "mixed" {
+		t.Fatalf("MixByName(mixed) = %+v, %v", m, err)
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestScheduleRejectsClosedLoop(t *testing.T) {
+	_, err := Spec{Mix: Mix{Name: "hot", Hot: 1}, Mode: ClosedLoop}.Schedule()
+	if err == nil {
+		t.Fatal("closed-loop Schedule should error")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	lat := []time.Duration{5, 1, 9, 3, 7, 2, 8, 4, 6, 10}
+	ss := make([]sample, len(lat))
+	for i, d := range lat {
+		ss[i] = sample{class: ClassHot, ok: true, latency: d * time.Millisecond}
+	}
+	st := foldClass(ss)
+	if !(st.P50Ms <= st.P90Ms && st.P90Ms <= st.P99Ms && st.P99Ms <= st.MaxMs) {
+		t.Fatalf("percentiles not monotonic: %+v", st)
+	}
+	if st.P50Ms < 4 || st.P50Ms > 6 {
+		t.Fatalf("p50 %v outside [4,6]ms for 1..10ms", st.P50Ms)
+	}
+	if st.MaxMs < 10 {
+		t.Fatalf("max %v < 10ms", st.MaxMs)
+	}
+}
+
+func TestParseGaugeInt(t *testing.T) {
+	text := "# HELP dvfsd_queue_depth Jobs waiting.\n# TYPE dvfsd_queue_depth gauge\ndvfsd_queue_depth 7\ndvfsd_jobs_running 2\n"
+	if v, ok := parseGaugeInt(text, "dvfsd_queue_depth"); !ok || v != 7 {
+		t.Fatalf("queue_depth = %d, %v", v, ok)
+	}
+	if v, ok := parseGaugeInt(text, "dvfsd_jobs_running"); !ok || v != 2 {
+		t.Fatalf("running = %d, %v", v, ok)
+	}
+	if _, ok := parseGaugeInt(text, "missing"); ok {
+		t.Fatal("missing gauge parsed")
+	}
+}
+
+// TestApplyBaseline checks the vs-seed ratio orientation: faster QPS
+// and lower p99 both land above 1.
+func TestApplyBaseline(t *testing.T) {
+	cur := &Artifact{Runs: []*Result{{Mix: "hot", QPS: 200, Overall: ClassStats{P99Ms: 5}}}}
+	base := &Artifact{Runs: []*Result{{Mix: "hot", QPS: 100, Overall: ClassStats{P99Ms: 10}}}}
+	cur.ApplyBaseline(base)
+	r := cur.Runs[0]
+	if r.QPSVsSeed < 1.99 || r.QPSVsSeed > 2.01 {
+		t.Fatalf("qps_vs_seed = %v, want 2", r.QPSVsSeed)
+	}
+	if r.P99VsSeed < 1.99 || r.P99VsSeed > 2.01 {
+		t.Fatalf("p99_vs_seed = %v, want 2", r.P99VsSeed)
+	}
+}

@@ -1,0 +1,265 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/units"
+)
+
+// ClassStats summarizes the finished logical requests of one traffic
+// class (or the whole run). Latencies are end-to-end: for async
+// chains they span submit through the terminal poll.
+type ClassStats struct {
+	Requests  int          `json:"requests"`
+	Completed int          `json:"completed"`
+	Rejects   int          `json:"rejects"`
+	Errors    int          `json:"errors"`
+	MeanMs    units.Millis `json:"mean_ms"`
+	P50Ms     units.Millis `json:"p50_ms"`
+	P90Ms     units.Millis `json:"p90_ms"`
+	P99Ms     units.Millis `json:"p99_ms"`
+	MaxMs     units.Millis `json:"max_ms"`
+}
+
+// QueueSample is one mid-run /metrics scrape.
+type QueueSample struct {
+	ElapsedMillis units.Millis `json:"t_ms"`
+	Depth         int          `json:"queue_depth"`
+	Running       int          `json:"running"`
+}
+
+// HTTPStats is the transport-level view from the client Trace hook:
+// every round trip, including each poll inside an async chain.
+type HTTPStats struct {
+	RoundTrips int `json:"round_trips"`
+	// ByCode counts responses per HTTP status; key "transport" counts
+	// requests that failed before a status arrived.
+	ByCode map[string]int `json:"by_code"`
+}
+
+// httpTally accumulates HTTPStats under the runner's mutex.
+type httpTally struct{ stats HTTPStats }
+
+func newHTTPTally() *httpTally {
+	return &httpTally{stats: HTTPStats{ByCode: map[string]int{}}}
+}
+
+func (t *httpTally) note(ri client.RequestInfo) {
+	t.stats.RoundTrips++
+	key := "transport"
+	if ri.Code != 0 {
+		key = strconv.Itoa(ri.Code)
+	}
+	t.stats.ByCode[key]++
+}
+
+// Result is the measured outcome of one load run.
+type Result struct {
+	Mix     string  `json:"mix"`
+	Mode    string  `json:"mode"`
+	Rate    float64 `json:"rate_rps,omitempty"`
+	Clients int     `json:"clients,omitempty"`
+	// ElapsedSeconds is the measured wall time from first offered
+	// request to last completion.
+	ElapsedSeconds float64 `json:"elapsed_s"`
+	// QPS is completed logical requests per elapsed second.
+	QPS     float64               `json:"qps"`
+	Overall ClassStats            `json:"overall"`
+	Classes map[string]ClassStats `json:"classes"`
+	HTTP    HTTPStats             `json:"http"`
+	// MaxQueueDepth is the deepest scraped backlog; Queue is the full
+	// saturation curve.
+	MaxQueueDepth int           `json:"max_queue_depth"`
+	Queue         []QueueSample `json:"queue,omitempty"`
+	// QPSVsSeed / P99VsSeed compare against the frozen-seed baseline
+	// (>1 means better than the baseline on both axes); zero until
+	// ApplyBaseline.
+	QPSVsSeed float64 `json:"qps_vs_seed,omitempty"`
+	P99VsSeed float64 `json:"p99_vs_seed,omitempty"`
+}
+
+// buildResult folds samples into a Result. Called with the runner's
+// mutex held.
+func buildResult(spec Spec, samples []sample, http *httpTally, queue []QueueSample, elapsed time.Duration) *Result {
+	res := &Result{
+		Mix:            spec.Mix.Name,
+		Mode:           string(spec.Mode),
+		ElapsedSeconds: elapsed.Seconds(),
+		Classes:        map[string]ClassStats{},
+		HTTP:           http.stats,
+		Queue:          queue,
+	}
+	if spec.Mode == OpenLoop {
+		res.Rate = spec.Rate
+	} else {
+		res.Clients = spec.Clients
+	}
+	byClass := map[Class][]sample{}
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s)
+	}
+	for c, ss := range byClass {
+		res.Classes[string(c)] = foldClass(ss)
+	}
+	res.Overall = foldClass(samples)
+	if elapsed > 0 {
+		res.QPS = float64(res.Overall.Completed) / elapsed.Seconds()
+	}
+	for _, q := range queue {
+		if q.Depth > res.MaxQueueDepth {
+			res.MaxQueueDepth = q.Depth
+		}
+	}
+	return res
+}
+
+func foldClass(ss []sample) ClassStats {
+	st := ClassStats{Requests: len(ss)}
+	lat := make([]time.Duration, 0, len(ss))
+	var sum time.Duration
+	for _, s := range ss {
+		switch {
+		case s.ok:
+			st.Completed++
+			lat = append(lat, s.latency)
+			sum += s.latency
+		case s.reject:
+			st.Rejects++
+		default:
+			st.Errors++
+		}
+	}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	st.MeanMs = toMillis(sum / time.Duration(len(lat)))
+	st.P50Ms = toMillis(quantile(lat, 0.50))
+	st.P90Ms = toMillis(quantile(lat, 0.90))
+	st.P99Ms = toMillis(quantile(lat, 0.99))
+	st.MaxMs = toMillis(lat[len(lat)-1])
+	return st
+}
+
+// quantile picks the nearest-rank quantile from a sorted slice; by
+// construction quantile(q1) <= quantile(q2) for q1 <= q2.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func toMillis(d time.Duration) units.Millis {
+	return units.Millis(float64(d) / float64(time.Millisecond))
+}
+
+func millisSince(start time.Time) units.Millis {
+	return toMillis(time.Since(start))
+}
+
+// parseGaugeInt extracts an unlabelled integer gauge from Prometheus
+// exposition text.
+func parseGaugeInt(text, name string) (int, bool) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			return 0, false
+		}
+		return int(v), true
+	}
+	return 0, false
+}
+
+// Artifact is the on-disk BENCH_6 schema: one run per mix plus the
+// shared configuration, mirroring the scripts/bench.sh artifacts.
+type Artifact struct {
+	BenchID     string         `json:"bench_id"`
+	GeneratedAt string         `json:"generated_at"`
+	Config      ArtifactConfig `json:"config"`
+	Runs        []*Result      `json:"runs"`
+}
+
+// ArtifactConfig records the knobs shared by every run in the
+// artifact.
+type ArtifactConfig struct {
+	Workload string  `json:"workload"`
+	Seed     int64   `json:"seed"`
+	Mode     string  `json:"mode"`
+	Rate     float64 `json:"rate_rps,omitempty"`
+	Clients  int     `json:"clients,omitempty"`
+	Duration string  `json:"duration"`
+	Pop      int     `json:"pop"`
+	Gens     int     `json:"gens"`
+	// Workers/QueueDepth describe the self-served daemon; zero when
+	// the run targeted an external daemon at Addr.
+	Workers    int    `json:"workers,omitempty"`
+	QueueDepth int    `json:"queue_depth,omitempty"`
+	Addr       string `json:"addr,omitempty"`
+}
+
+// ApplyBaseline fills each run's *_vs_seed ratios from the matching
+// mix in the frozen-seed baseline artifact. QPS ratio is current/base
+// and p99 ratio is base/current so >1 is an improvement on both.
+func (a *Artifact) ApplyBaseline(base *Artifact) {
+	byMix := map[string]*Result{}
+	for _, r := range base.Runs {
+		byMix[r.Mix] = r
+	}
+	for _, r := range a.Runs {
+		b, ok := byMix[r.Mix]
+		if !ok {
+			continue
+		}
+		if b.QPS > 0 {
+			r.QPSVsSeed = r.QPS / b.QPS
+		}
+		if r.Overall.P99Ms > 0 {
+			r.P99VsSeed = float64(b.Overall.P99Ms) / float64(r.Overall.P99Ms)
+		}
+	}
+}
+
+// LoadArtifact reads a BENCH_6-schema artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// WriteArtifact writes the artifact as indented JSON, creating parent
+// directories as needed.
+func (a *Artifact) WriteArtifact(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,202 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/traceio"
+)
+
+// Runner replays one Spec against a live dvfsd and collects the
+// measurements for a Result.
+type Runner struct {
+	// Client is the dvfsd client; the runner installs its own Trace
+	// hook on a shallow copy, leaving the caller's client untouched.
+	Client *client.Client
+	Spec   Spec
+}
+
+// sample is one finished logical request: for hot/cold the submit
+// round trip, for async the whole submit→poll→terminal chain.
+type sample struct {
+	class   Class
+	latency time.Duration
+	// ok: the request completed its contract (2xx, and for async the
+	// job reached "done"). reject: the daemon shed it with 503.
+	// Anything else counts as an error.
+	ok     bool
+	reject bool
+}
+
+// Run offers the Spec's load and returns the measured Result. It
+// blocks until the offered window has elapsed and every in-flight
+// request has completed or ctx has been cancelled.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	spec := r.Spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		http    = newHTTPTally()
+	)
+	// Shallow-copy the client so the Trace hook install is local to
+	// this run.
+	cl := *r.Client
+	cl.Trace = func(ri client.RequestInfo) {
+		mu.Lock()
+		http.note(ri)
+		mu.Unlock()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// Mid-run /metrics scraper: queue-depth and running-jobs curves
+	// are how the artifact shows saturation building and draining. It
+	// runs on its own WaitGroup: the runner waits for the request
+	// goroutines first, then cancels runCtx to stop the scraper —
+	// sharing wg would deadlock (the scraper only exits on the cancel
+	// that waits for wg).
+	var queue []QueueSample
+	var scrapeWG sync.WaitGroup
+	if spec.Scrape > 0 {
+		// The scraper gets its own un-hooked client: scrapes are
+		// control traffic, not offered load, and the final scrape is
+		// routinely cancelled mid-flight when the run ends — neither
+		// belongs in the HTTP round-trip stats.
+		scl := *r.Client
+		scl.Trace = nil
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			t := time.NewTicker(spec.Scrape)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+				}
+				text, err := scl.Metrics(runCtx)
+				if err != nil {
+					continue
+				}
+				qs := QueueSample{ElapsedMillis: millisSince(start)}
+				if v, ok := parseGaugeInt(text, "dvfsd_queue_depth"); ok {
+					qs.Depth = v
+				}
+				if v, ok := parseGaugeInt(text, "dvfsd_jobs_running"); ok {
+					qs.Running = v
+				}
+				mu.Lock()
+				queue = append(queue, qs)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	issue := func(req Request) {
+		s := r.issue(runCtx, &cl, spec, req)
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	switch spec.Mode {
+	case OpenLoop:
+		sched, err := spec.Schedule()
+		if err != nil {
+			return nil, err
+		}
+	dispatch:
+		for _, req := range sched {
+			if d := req.At - time.Since(start); d > 0 {
+				select {
+				case <-runCtx.Done():
+					break dispatch
+				case <-time.After(d):
+				}
+			}
+			if runCtx.Err() != nil {
+				break dispatch
+			}
+			wg.Add(1)
+			go func(req Request) {
+				defer wg.Done()
+				issue(req)
+			}(req)
+		}
+	case ClosedLoop:
+		deadline := start.Add(spec.Duration)
+		for c := 0; c < spec.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				st := spec.Stream(c)
+				for time.Now().Before(deadline) && runCtx.Err() == nil {
+					issue(st.Next())
+				}
+			}(c)
+		}
+	}
+
+	// Wait for in-flight chains, then stop the scraper.
+	done := make(chan struct{})
+	go func() {
+		// This waiter goroutine exits once wg drains; on ctx cancel the
+		// issue goroutines unwind promptly and wg still reaches zero.
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		cancel()
+		<-done
+	}
+	cancel()
+	scrapeWG.Wait()
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	res := buildResult(spec, samples, http, queue, elapsed)
+	return res, ctx.Err()
+}
+
+// issue executes one logical request and classifies its outcome.
+func (r *Runner) issue(ctx context.Context, cl *client.Client, spec Spec, req Request) sample {
+	s := sample{class: req.Class}
+	start := time.Now()
+	st, err := cl.Submit(ctx, req.Submit)
+	if err != nil {
+		s.latency = time.Since(start)
+		var se *client.StatusError
+		if errors.As(err, &se) && se.Code == 503 {
+			s.reject = true
+		}
+		return s
+	}
+	if req.Class == ClassAsync && !traceio.IsTerminal(st.State) {
+		// Chain the poll loop; latency covers submit→terminal.
+		st, err = cl.Wait(ctx, st.ID, spec.Poll)
+		if err != nil {
+			s.latency = time.Since(start)
+			return s
+		}
+	}
+	s.latency = time.Since(start)
+	// Hot/cold accept either the 202 ack or a 200 cache hit; async
+	// additionally requires the chain to converge on success.
+	s.ok = req.Class != ClassAsync || st.State == traceio.JobDone
+	return s
+}

@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"npudvfs/internal/experiments"
+	"npudvfs/internal/server"
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/traceio"
+	"npudvfs/internal/workload"
+)
+
+// One bundle-warmed fixture per test binary; the lab's offline
+// calibration is the expensive part.
+var (
+	fixOnce   sync.Once
+	fixLab    *experiments.Lab
+	fixBundle *traceio.ModelBundle
+	fixErr    error
+)
+
+func fixture(t *testing.T) (*experiments.Lab, *traceio.ModelBundle) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixLab = experiments.NewLab()
+		m, err := workload.ByName("resnet50")
+		if err != nil {
+			fixErr = err
+			return
+		}
+		ms, err := fixLab.BuildModels(m, true)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		b, err := ms.Bundle()
+		if err != nil {
+			fixErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := traceio.WriteModels(&buf, b); err != nil {
+			fixErr = err
+			return
+		}
+		fixBundle, fixErr = traceio.ReadModels(&buf)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixLab, fixBundle
+}
+
+// TestRunnerEndToEnd drives two seconds of mixed closed-loop load —
+// cache-hot repeats, cache-cold searches and async submit-poll chains
+// with mid-run /metrics scrapes — at an in-process daemon, then checks
+// the measured Result's invariants:
+//
+//   - the run made progress (non-zero QPS, every class represented),
+//   - nothing 5xx'd except deliberate 503 load shedding,
+//   - percentiles are monotonic,
+//   - the scraper produced a queue curve.
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2s live-load e2e; skipped in -short")
+	}
+	lab, bundle := fixture(t)
+	s := server.New(server.Config{
+		Workers:    2,
+		QueueDepth: 16,
+		Lab:        lab,
+		Bundles:    map[string]*traceio.ModelBundle{"resnet50": bundle},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	spec := Spec{
+		Mix:      Mix{Name: "mixed", Hot: 5, Cold: 3, Async: 2},
+		Mode:     ClosedLoop,
+		Clients:  3,
+		Duration: 2 * time.Second,
+		Seed:     1,
+		Poll:     2 * time.Millisecond,
+		Scrape:   50 * time.Millisecond,
+	}
+	r := &Runner{Client: client.New(ts.URL), Spec: spec}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.QPS <= 0 || res.Overall.Completed == 0 {
+		t.Fatalf("no progress: qps=%v completed=%d", res.QPS, res.Overall.Completed)
+	}
+	for _, class := range []string{"hot", "cold", "async"} {
+		cs, ok := res.Classes[class]
+		if !ok || cs.Requests == 0 {
+			t.Errorf("class %q absent from a 2s mixed run: %+v", class, res.Classes)
+		}
+	}
+	if res.Overall.Errors != 0 {
+		t.Errorf("%d errors in a healthy run: %+v", res.Overall.Errors, res.Overall)
+	}
+	for code, n := range res.HTTP.ByCode {
+		if strings.HasPrefix(code, "5") && code != "503" {
+			t.Errorf("%d responses with status %s; only 503 load shedding is allowed", n, code)
+		}
+		if code == "transport" {
+			t.Errorf("%d transport failures", n)
+		}
+	}
+	for class, cs := range res.Classes {
+		if cs.Completed == 0 {
+			continue
+		}
+		if !(cs.P50Ms <= cs.P90Ms && cs.P90Ms <= cs.P99Ms && cs.P99Ms <= cs.MaxMs) {
+			t.Errorf("class %q percentiles not monotonic: %+v", class, cs)
+		}
+	}
+	if len(res.Queue) == 0 {
+		t.Error("no queue-depth scrapes collected")
+	}
+	if res.ElapsedSeconds < 1.9 {
+		t.Errorf("elapsed %.2fs, want >= the 2s offered window", res.ElapsedSeconds)
+	}
+}
+
+// TestRunnerOpenLoopSaturation offers open-loop load far above a
+// 1-worker daemon's capacity and checks the daemon sheds it as 503
+// rejects (never errors) and the runner attributes them correctly.
+func TestRunnerOpenLoopSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-load e2e; skipped in -short")
+	}
+	lab, bundle := fixture(t)
+	s := server.New(server.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Lab:        lab,
+		Bundles:    map[string]*traceio.ModelBundle{"resnet50": bundle},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	spec := Spec{
+		Mix:      Mix{Name: "cold", Cold: 1},
+		Mode:     OpenLoop,
+		Rate:     400,
+		Duration: time.Second,
+		Seed:     1,
+		// Heavier searches so the queue actually backs up on 1 worker.
+		Search: traceio.SearchSpec{Pop: 64, Gens: 64, Seed: 1},
+	}
+	r := &Runner{Client: client.New(ts.URL), Spec: spec}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Errorf("saturation produced %d hard errors; overload must surface as 503 rejects", res.Overall.Errors)
+	}
+	if res.Overall.Completed+res.Overall.Rejects != res.Overall.Requests {
+		t.Errorf("samples unaccounted: %+v", res.Overall)
+	}
+}

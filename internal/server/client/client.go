@@ -21,6 +21,23 @@ type Client struct {
 	BaseURL string
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Trace, if set, is invoked after every HTTP round trip the client
+	// makes — including each poll inside Wait — with the request's
+	// timing and outcome. It must be safe for concurrent use; the load
+	// generator installs one to build transport-level latency and
+	// status-code distributions.
+	Trace func(RequestInfo)
+}
+
+// RequestInfo describes one completed HTTP round trip.
+type RequestInfo struct {
+	Method string
+	Path   string
+	// Code is the HTTP status, or 0 when the request failed in
+	// transport before a response arrived.
+	Code     int
+	Err      error
+	Duration time.Duration
 }
 
 // New returns a client for the daemon at baseURL.
@@ -43,6 +60,13 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("dvfsd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
 
+// trace reports one finished round trip to the Trace hook, if any.
+func (c *Client) trace(method, path string, code int, err error, start time.Time) {
+	if c.Trace != nil {
+		c.Trace(RequestInfo{Method: method, Path: path, Code: code, Err: err, Duration: time.Since(start)})
+	}
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
@@ -51,10 +75,13 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	start := time.Now()
 	resp, err := c.http().Do(req)
 	if err != nil {
+		c.trace(method, path, 0, err, start)
 		return err
 	}
+	c.trace(method, path, resp.StatusCode, nil, start)
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -108,8 +135,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*trac
 		if err != nil {
 			return nil, err
 		}
-		switch st.State {
-		case traceio.JobDone, traceio.JobFailed, traceio.JobCancelled:
+		if traceio.IsTerminal(st.State) {
 			return st, nil
 		}
 		select {
@@ -131,10 +157,13 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	start := time.Now()
 	resp, err := c.http().Do(req)
 	if err != nil {
+		c.trace(http.MethodGet, "/metrics", 0, err, start)
 		return "", err
 	}
+	c.trace(http.MethodGet, "/metrics", resp.StatusCode, nil, start)
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {

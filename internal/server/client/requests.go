@@ -1,0 +1,54 @@
+package client
+
+import (
+	"encoding/json"
+	"os"
+
+	"npudvfs/internal/traceio"
+)
+
+// Builder constructs reusable strategy requests from a base workload
+// and search spec. The zero-cost variants matter to traffic shaping:
+// Request resubmits the identical spec (a cache-hot repeat after the
+// first completion), WithSeed perturbs only the GA seed — which enters
+// the canonical SearchSpec hash, so every distinct seed is a distinct
+// cache key and forces a full search (cache-cold traffic).
+type Builder struct {
+	// Workload names a registry workload; Trace carries an inline
+	// trace instead. Exactly one must be set, mirroring the wire
+	// contract.
+	Workload string
+	Trace    json.RawMessage
+	// Base is the search spec the variants derive from.
+	Base traceio.SearchSpec
+}
+
+// NewBuilder returns a builder for a registry workload.
+func NewBuilder(workload string, base traceio.SearchSpec) Builder {
+	return Builder{Workload: workload, Base: base}
+}
+
+// NewTraceBuilder returns a builder submitting the trace file at path
+// inline.
+func NewTraceBuilder(path string, base traceio.SearchSpec) (Builder, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Builder{}, err
+	}
+	return Builder{Trace: json.RawMessage(raw), Base: base}, nil
+}
+
+// Request returns the base request. Submitting it repeatedly hits the
+// strategy cache once the first submission completes.
+func (b Builder) Request() *traceio.StrategyRequest {
+	return &traceio.StrategyRequest{Workload: b.Workload, Trace: b.Trace, Search: b.Base}
+}
+
+// WithSeed returns the base request with the GA seed replaced. Unique
+// seeds defeat the fingerprint+spec cache, making the submission
+// cache-cold.
+func (b Builder) WithSeed(seed int64) *traceio.StrategyRequest {
+	r := b.Request()
+	r.Search.Seed = seed
+	return r
+}

@@ -52,22 +52,28 @@ func (j *job) status() *traceio.JobStatus {
 	return st
 }
 
-func (j *job) setState(state string) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.state = state
-}
-
 // jobStore indexes jobs by ID and assigns sequential IDs. Completed
 // jobs are retained (they are small — results live mostly in the
 // shared cache) up to a bound, evicting the oldest terminal jobs
 // first.
+//
+// Eviction is amortized O(1): instead of rescanning insertion order on
+// every insert (O(n²) exactly when the store is full and submission
+// rate peaks), terminal jobs queue up on a FIFO of eviction candidates
+// — add for jobs born terminal (cache hits), noteTerminal when a
+// worker finishes a live one — and eviction pops from its head. Live
+// jobs never enter the FIFO, so a client can always poll a job it
+// submitted until enough later jobs complete to push it out.
 type jobStore struct {
-	mu    sync.Mutex
-	next  uint64
-	m     map[string]*job
-	order []string // insertion order, for bounded retention
-	cap   int
+	mu   sync.Mutex
+	next uint64
+	m    map[string]*job
+	// terminal holds IDs of jobs that reached a terminal state, in
+	// completion order; head indexes the next eviction candidate.
+	// Entries for already-removed IDs are skipped lazily.
+	terminal []string
+	head     int
+	cap      int
 }
 
 func newJobStore(capacity int) *jobStore {
@@ -77,38 +83,60 @@ func newJobStore(capacity int) *jobStore {
 	return &jobStore{m: make(map[string]*job), cap: capacity}
 }
 
+// add assigns the job its ID and publishes it. Callers must add a job
+// before it can reach a worker (handleSubmit enqueues only after add
+// returns): a worker mutates the job concurrently and reads j.id for
+// noteTerminal, so the ID write must happen-before the queue send.
 func (s *jobStore) add(j *job) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.next++
-	j.id = fmt.Sprintf("j%08d", s.next)
-	s.m[j.id] = j
-	s.order = append(s.order, j.id)
-	// Evict oldest terminal jobs beyond capacity; never evict live
-	// ones — a client must always be able to poll a job it submitted.
-	for len(s.m) > s.cap {
-		evicted := false
-		for i, id := range s.order {
-			cand := s.m[id]
-			if cand == nil {
-				continue
-			}
-			cand.mu.Lock()
-			terminal := cand.state == traceio.JobDone ||
-				cand.state == traceio.JobFailed || cand.state == traceio.JobCancelled
-			cand.mu.Unlock()
-			if terminal {
-				delete(s.m, id)
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			break // everything is live; let the store grow
-		}
+	id := fmt.Sprintf("j%08d", s.next)
+	j.mu.Lock()
+	j.id = id
+	terminal := traceio.IsTerminal(j.state)
+	j.mu.Unlock()
+	s.m[id] = j
+	if terminal { // cache hits are born done
+		s.terminal = append(s.terminal, id)
 	}
-	return j.id
+	s.evictLocked()
+	return id
+}
+
+// remove forgets a job that never reached a worker (queue-full
+// rejection after the ID was assigned).
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
+}
+
+// noteTerminal marks a job eligible for eviction once a worker has
+// moved it to a terminal state.
+func (s *jobStore) noteTerminal(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return
+	}
+	s.terminal = append(s.terminal, id)
+	s.evictLocked()
+}
+
+// evictLocked pops terminal jobs oldest-first until the store fits its
+// bound; if everything is live the store grows instead. The drained
+// prefix is compacted away once it dominates the slice so the FIFO's
+// memory stays proportional to retained jobs.
+func (s *jobStore) evictLocked() {
+	for len(s.m) > s.cap && s.head < len(s.terminal) {
+		delete(s.m, s.terminal[s.head])
+		s.head++
+	}
+	if s.head > 64 && s.head*2 >= len(s.terminal) {
+		s.terminal = append(s.terminal[:0], s.terminal[s.head:]...)
+		s.head = 0
+	}
 }
 
 func (s *jobStore) get(id string) (*job, bool) {

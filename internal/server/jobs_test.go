@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"npudvfs/internal/traceio"
+)
+
+func liveJob() *job   { return &job{state: traceio.JobQueued} }
+func doneJob() *job   { return &job{state: traceio.JobDone} }
+func failedJob() *job { return &job{state: traceio.JobFailed} }
+
+func storeLen(s *jobStore) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func TestJobStoreEvictsOldestTerminalFirst(t *testing.T) {
+	s := newJobStore(3)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		ids = append(ids, s.add(doneJob()))
+	}
+	if got := storeLen(s); got != 3 {
+		t.Fatalf("store size %d, want capacity 3", got)
+	}
+	for _, id := range ids[:3] {
+		if _, ok := s.get(id); ok {
+			t.Errorf("oldest terminal job %s not evicted", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, ok := s.get(id); !ok {
+			t.Errorf("recent job %s evicted", id)
+		}
+	}
+}
+
+func TestJobStoreNeverEvictsLiveJobs(t *testing.T) {
+	s := newJobStore(2)
+	var live []string
+	for i := 0; i < 5; i++ {
+		live = append(live, s.add(liveJob()))
+	}
+	// All live: the store grows past capacity rather than dropping a
+	// job a client could still poll.
+	if got := storeLen(s); got != 5 {
+		t.Fatalf("store size %d, want 5 (live jobs are never evicted)", got)
+	}
+	// A terminal insert is immediately the only candidate.
+	victim := s.add(doneJob())
+	if _, ok := s.get(victim); ok {
+		t.Error("terminal job retained while the store is over capacity with live jobs")
+	}
+	for _, id := range live {
+		if _, ok := s.get(id); !ok {
+			t.Errorf("live job %s evicted", id)
+		}
+	}
+	// Once a live job completes, noteTerminal makes it evictable.
+	j, _ := s.get(live[0])
+	j.mu.Lock()
+	j.state = traceio.JobFailed
+	j.mu.Unlock()
+	s.noteTerminal(live[0])
+	if _, ok := s.get(live[0]); ok {
+		t.Error("completed job not evicted from an over-capacity store")
+	}
+}
+
+func TestJobStoreRemoveForgetsRejectedJob(t *testing.T) {
+	s := newJobStore(4)
+	id := s.add(liveJob())
+	s.remove(id)
+	if _, ok := s.get(id); ok {
+		t.Fatalf("removed job %s still in store", id)
+	}
+	// noteTerminal for an unknown ID (evicted or removed) is a no-op.
+	s.noteTerminal(id)
+	s.noteTerminal("j99999999")
+}
+
+func TestJobStoreSequentialIDs(t *testing.T) {
+	s := newJobStore(8)
+	for i := 1; i <= 3; i++ {
+		if id := s.add(failedJob()); id != fmt.Sprintf("j%08d", i) {
+			t.Errorf("id %d: got %s", i, id)
+		}
+	}
+}
+
+// BenchmarkJobStoreAddSaturated measures add while the store sits at
+// capacity and every insert evicts — the pre-fix worst case, where a
+// front-rescan made this O(n) per insert (O(n²) across a burst) at the
+// exact moment submission rate peaks.
+func BenchmarkJobStoreAddSaturated(b *testing.B) {
+	s := newJobStore(4096)
+	for i := 0; i < 4096; i++ {
+		s.add(doneJob())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.add(doneJob())
+	}
+}

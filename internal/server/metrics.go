@@ -17,8 +17,9 @@ import (
 // would violate the repo's stdlib-only rule.
 type metrics struct {
 	mu sync.Mutex
-	// jobsTotal counts jobs by terminal state (done, failed,
-	// cancelled).
+	// jobsTotal counts jobs by outcome: terminal state (done, failed,
+	// cancelled) plus "cached" for submissions answered from the
+	// strategy cache without a search.
 	jobsTotal map[string]uint64
 	// queueDepth and running are instantaneous gauges.
 	queueDepth int
@@ -109,6 +110,17 @@ func (m *metrics) jobFinished(state string) {
 	m.jobsTotal[state]++
 }
 
+// jobCached counts a submission answered from the strategy cache. It
+// gets its own label under dvfsd_jobs_total instead of inflating
+// state="done": done must track completed searches one-to-one with
+// the search-latency histogram, or the two series disagree under
+// cache-hot traffic.
+func (m *metrics) jobCached() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal["cached"]++
+}
+
 func (m *metrics) setQueueDepth(depth int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -160,7 +172,7 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	fmt.Fprintln(w, "# HELP dvfsd_jobs_total Jobs by terminal state.")
+	fmt.Fprintln(w, "# HELP dvfsd_jobs_total Jobs by outcome: terminal search states, plus cached submissions answered without a search.")
 	fmt.Fprintln(w, "# TYPE dvfsd_jobs_total counter")
 	states := make([]string, 0, len(m.jobsTotal))
 	for s := range m.jobsTotal {

@@ -85,6 +85,10 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	workers   sync.WaitGroup
+	// drained is closed once every worker has exited; all Shutdown
+	// callers wait on it so "Shutdown returned nil" always means
+	// "daemon quiesced", not "someone else is draining".
+	drained chan struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -96,15 +100,20 @@ func New(cfg Config) *Server {
 	//lint:allow ctxflow daemon lifecycle root: New owns the process-long context that Shutdown cancels
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		lab:       cfg.Lab,
-		cache:     newStrategyCache(cfg.CacheSize),
-		jobs:      newJobStore(4 * cfg.QueueDepth),
+		cfg:   cfg,
+		lab:   cfg.Lab,
+		cache: newStrategyCache(cfg.CacheSize),
+		// Retention must cover every live job (workers + queue) plus
+		// headroom for completed ones: a bound below that lets a
+		// saturated store evict a fresh result before the submitter's
+		// first poll.
+		jobs:      newJobStore(4*cfg.QueueDepth + cfg.Workers + 1),
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
 		queue:     make(chan *job, cfg.QueueDepth),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+		drained:   make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/strategies", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -125,27 +134,30 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // searches. If ctx expires first, remaining searches are
 // force-cancelled (they unwind at the next GA generation boundary) and
 // Shutdown waits for the workers to exit before returning ctx's error.
+//
+// Shutdown is safe to call concurrently: every caller blocks on the
+// shared drain channel, so no caller returns nil while workers are
+// still running. (Previously a second call returned nil immediately,
+// and callers treating that as "daemon quiesced" raced the drain.)
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+		// The caller that flips closed owns the drain watcher.
+		go func() {
+			s.workers.Wait()
+			close(s.drained)
+		}()
 	}
-	s.closed = true
-	close(s.queue)
 	s.mu.Unlock()
 
-	drained := make(chan struct{})
-	go func() {
-		s.workers.Wait()
-		close(drained)
-	}()
 	select {
-	case <-drained:
+	case <-s.drained:
 		return nil
 	case <-ctx.Done():
 		s.cancelAll()
-		<-drained
+		<-s.drained
 		return ctx.Err()
 	}
 }
@@ -206,6 +218,9 @@ func (s *Server) runJob(j *job) {
 	if state == traceio.JobDone {
 		s.cache.Put(j.cacheKey, resp)
 	}
+	// j.id is safe to read without j.mu: it was assigned before the
+	// job was enqueued (jobStore.add happens-before the queue send).
+	s.jobs.noteTerminal(j.id)
 }
 
 // generate runs the modeling + search pipeline for one workload. It
@@ -284,7 +299,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			result:    resp,
 		}
 		s.jobs.add(j)
-		s.met.jobFinished(traceio.JobDone)
+		// Cache hits run no search: counting them as finished "done"
+		// jobs would make dvfsd_jobs_total{state="done"} disagree with
+		// the search-latency series under hot traffic. They get their
+		// own label instead.
+		s.met.jobCached()
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
@@ -305,12 +324,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
 		return
 	}
+	// Assign the ID and publish the job BEFORE the queue send: the
+	// moment j is on the queue a worker may mutate it and read j.id
+	// (noteTerminal), so enqueueing an ID-less job is a data race —
+	// and the job could finish, be seen as terminal by its own add,
+	// and be evicted before the submitter could ever poll it.
+	s.jobs.add(j)
 	select {
 	case s.queue <- j:
-		s.jobs.add(j)
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
+		s.jobs.remove(j.id)
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("queue full (%d jobs waiting); retry later", s.cfg.QueueDepth))
 		return

@@ -29,6 +29,17 @@ const (
 	JobCancelled = "cancelled"
 )
 
+// IsTerminal reports whether a job state is final: a terminal job will
+// never change state again, so pollers can stop and retention policies
+// may evict it.
+func IsTerminal(state string) bool {
+	switch state {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
 // ErrUnknownWorkload marks a request naming a workload absent from the
 // registry; the server maps it to 404 instead of the generic 400.
 var ErrUnknownWorkload = errors.New("traceio: unknown workload")

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# load_smoke.sh — bounded end-to-end smoke of the dvfsload harness.
+#
+# Fits the resnet50 model bundle once (via dvfs-run), replays the
+# three canonical request mixes for ~1 s each against fresh in-process
+# daemons, and asserts the emitted artifact is sane:
+#   1. every requested mix produced a run,
+#   2. every run made progress (non-zero QPS),
+#   3. no hard errors (503 load shedding is allowed; 5xx is not).
+# The offered-load window is what is bounded here; the model fit is a
+# fixed cost shared with serve-smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() { echo "load-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "load-smoke: building dvfsload, dvfs-run"
+go build -o "$tmp/dvfsload" ./cmd/dvfsload
+go build -o "$tmp/dvfs-run" ./cmd/dvfs-run
+
+echo "load-smoke: fitting the resnet50 model bundle"
+"$tmp/dvfs-run" -model resnet50 -pop 16 -gens 8 -seed 7 \
+    -save-models "$tmp/models.json" -no-measure >/dev/null
+
+echo "load-smoke: replaying hot,cold,mixed for 1s each (in-process daemons)"
+"$tmp/dvfsload" -load-models "$tmp/models.json" -duration 1s -clients 3 \
+    -out "$tmp/bench.json" -baseline ""
+
+for mix in hot cold mixed; do
+    grep -q "\"mix\": \"$mix\"" "$tmp/bench.json" \
+        || fail "mix $mix missing from artifact:"$'\n'"$(cat "$tmp/bench.json")"
+done
+grep -q '"qps": 0,' "$tmp/bench.json" \
+    && fail "a run made no progress:"$'\n'"$(cat "$tmp/bench.json")" || true
+grep -q '"errors": [1-9]' "$tmp/bench.json" \
+    && fail "hard errors in artifact:"$'\n'"$(cat "$tmp/bench.json")" || true
+echo "load-smoke: PASS"
