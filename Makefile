@@ -4,9 +4,9 @@
 # parallel experiment harness and the dvfsd serving layer — so a
 # race-clean run is part of "tests pass"), and finally the dvfsd
 # end-to-end smoke.
-.PHONY: verify build test vet fmt-check lint race short bench serve-smoke load-smoke load-bench
+.PHONY: verify build test vet fmt-check lint race short bench serve-smoke load-smoke cluster-smoke load-bench
 
-verify: build vet fmt-check lint test race serve-smoke load-smoke
+verify: build vet fmt-check lint test race serve-smoke load-smoke cluster-smoke
 
 build:
 	go build ./...
@@ -57,6 +57,13 @@ serve-smoke:
 # artifact (every mix present, non-zero QPS, no hard errors).
 load-smoke:
 	./scripts/load_smoke.sh
+
+# Boots a 3-node consistent-hash cluster with durable fs stores,
+# submits through a non-owner (asserting the forward and the cache
+# locality it buys), SIGKILLs the owner mid-search and asserts the
+# restarted node recovers every acknowledged job. DESIGN.md §12.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Full load benchmark: replays the canonical mixes at defaults and
 # writes results/BENCH_6.json with qps/p99 _vs_seed ratios against the

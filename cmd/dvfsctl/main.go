@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	dvfsctl [-addr http://127.0.0.1:7077] <command> [flags]
+//	dvfsctl [-addr http://127.0.0.1:7077] [-ring ring.json] <command> [flags]
 //
 // Commands:
 //
@@ -12,7 +12,15 @@
 //	fetch    print (or save) a completed job's strategy JSON
 //	bench    time repeated submissions of one request — demonstrates
 //	         the strategy cache (first run searches, the rest hit)
+//	owner    print which ring node owns a request's strategy key
+//	cluster  print the daemon's /v1/cluster status
 //	metrics  dump the daemon's /metrics text
+//
+// With -ring, submissions are routed directly to the node that owns
+// the request's strategy key (falling back to -addr if the owner is
+// unreachable); without it every request goes to -addr and the daemon
+// forwards as needed. Transient failures (connection errors, 5xx other
+// than 503 load shedding) are retried with jittered backoff.
 package main
 
 import (
@@ -25,19 +33,76 @@ import (
 	"strings"
 	"time"
 
+	"npudvfs/internal/cluster/ring"
 	"npudvfs/internal/server/client"
 	"npudvfs/internal/traceio"
 	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
+// ctl bundles the base client with the optional ring-aware peer set.
+type ctl struct {
+	base  *client.Client
+	rg    *ring.Ring
+	peers map[string]*client.Client
+}
+
+// newClient returns a retrying client for one daemon address.
+func newClient(addr string) *client.Client {
+	c := client.New(addr)
+	c.Retry = &client.Retry{Attempts: 3}
+	return c
+}
+
+// forRequest picks the client for one submission: the key owner's node
+// when a ring is loaded, else the base daemon.
+func (c *ctl) forRequest(req *traceio.StrategyRequest) *client.Client {
+	if c.rg == nil {
+		return c.base
+	}
+	key, err := req.Key()
+	if err != nil {
+		return c.base // let the daemon attribute the 4xx
+	}
+	if pc, ok := c.peers[c.rg.Owner(key).ID]; ok {
+		return pc
+	}
+	return c.base
+}
+
 func main() {
-	addr := "http://127.0.0.1:7077"
+	addr := ""
+	ringPath := ""
 	args := os.Args[1:]
-	// A single global -addr may precede the subcommand.
-	if len(args) >= 2 && (args[0] == "-addr" || args[0] == "--addr") {
-		addr = args[1]
+	// Global -addr/-ring flags may precede the subcommand, in any order.
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-addr", "--addr":
+			addr = args[1]
+		case "-ring", "--ring":
+			ringPath = args[1]
+		default:
+			goto parsed
+		}
 		args = args[2:]
+	}
+parsed:
+	var rg *ring.Ring
+	if ringPath != "" {
+		var err error
+		rg, err = ring.Load(ringPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvfsctl:", err)
+			os.Exit(1)
+		}
+	}
+	if addr == "" {
+		if rg != nil {
+			// No explicit daemon: default to the first ring member.
+			addr = rg.Nodes()[0].Addr
+		} else {
+			addr = "http://127.0.0.1:7077"
+		}
 	}
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
@@ -45,20 +110,30 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	c := client.New(addr)
+	c := &ctl{base: newClient(addr), rg: rg}
+	if rg != nil {
+		c.peers = make(map[string]*client.Client)
+		for _, n := range rg.Nodes() {
+			c.peers[n.ID] = newClient(n.Addr)
+		}
+	}
 	ctx := context.Background()
 	var err error
 	switch args[0] {
 	case "submit":
 		err = runSubmit(ctx, c, args[1:])
 	case "status":
-		err = runStatus(ctx, c, args[1:])
+		err = runStatus(ctx, c.base, args[1:])
 	case "fetch":
-		err = runFetch(ctx, c, args[1:])
+		err = runFetch(ctx, c.base, args[1:])
 	case "bench":
 		err = runBench(ctx, c, args[1:])
+	case "owner":
+		err = runOwner(c, args[1:])
+	case "cluster":
+		err = runCluster(ctx, c.base)
 	case "metrics":
-		err = runMetrics(ctx, c)
+		err = runMetrics(ctx, c.base)
 	default:
 		usage()
 	}
@@ -69,7 +144,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dvfsctl [-addr URL] {submit|status|fetch|bench|metrics} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dvfsctl [-addr URL] [-ring FILE] {submit|status|fetch|bench|owner|cluster|metrics} [flags]")
 	os.Exit(2)
 }
 
@@ -115,7 +190,7 @@ func buildRequest(workloadName, tracePath string, spec traceio.SearchSpec) (*tra
 	return req, nil
 }
 
-func runSubmit(ctx context.Context, c *client.Client, args []string) error {
+func runSubmit(ctx context.Context, c *ctl, args []string) error {
 	fs := newFlagSet("submit")
 	workloadName := fs.String("workload", "", "registry workload name")
 	tracePath := fs.String("trace", "", "workload trace JSON file (traceio format)")
@@ -129,7 +204,8 @@ func runSubmit(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := c.Submit(ctx, req)
+	cl := c.forRequest(req)
+	st, err := cl.Submit(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -141,7 +217,7 @@ func runSubmit(ctx context.Context, c *client.Client, args []string) error {
 	if !*wait && *save == "" {
 		return nil
 	}
-	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+	if st, err = cl.Wait(ctx, st.ID, 0); err != nil {
 		return err
 	}
 	return reportJob(st, *save)
@@ -215,7 +291,7 @@ func runFetch(ctx context.Context, c *client.Client, args []string) error {
 	return nil
 }
 
-func runBench(ctx context.Context, c *client.Client, args []string) error {
+func runBench(ctx context.Context, c *ctl, args []string) error {
 	fs := newFlagSet("bench")
 	workloadName := fs.String("workload", "", "registry workload name")
 	tracePath := fs.String("trace", "", "workload trace JSON file")
@@ -228,12 +304,13 @@ func runBench(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	cl := c.forRequest(req)
 	start := time.Now()
-	st, err := c.Submit(ctx, req)
+	st, err := cl.Submit(ctx, req)
 	if err != nil {
 		return err
 	}
-	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+	if st, err = cl.Wait(ctx, st.ID, 0); err != nil {
 		return err
 	}
 	if st.State != traceio.JobDone {
@@ -243,12 +320,12 @@ func runBench(ctx context.Context, c *client.Client, args []string) error {
 		time.Since(start).Round(time.Millisecond), st.Cached, st.SearchMillis)
 	for i := 0; i < *n; i++ {
 		start = time.Now()
-		hit, err := c.Submit(ctx, req)
+		hit, err := cl.Submit(ctx, req)
 		if err != nil {
 			return err
 		}
 		if hit.State != traceio.JobDone {
-			if hit, err = c.Wait(ctx, hit.ID, 0); err != nil {
+			if hit, err = cl.Wait(ctx, hit.ID, 0); err != nil {
 				return err
 			}
 		}
@@ -256,6 +333,43 @@ func runBench(ctx context.Context, c *client.Client, args []string) error {
 			i+1, time.Since(start).Round(time.Microsecond), hit.Cached)
 	}
 	return nil
+}
+
+// runOwner prints which ring node owns a request's strategy key —
+// what the smoke tests use to pick a deliberate non-owner to submit
+// through.
+func runOwner(c *ctl, args []string) error {
+	if c.rg == nil {
+		return fmt.Errorf("owner requires -ring FILE")
+	}
+	fs := newFlagSet("owner")
+	workloadName := fs.String("workload", "", "registry workload name")
+	tracePath := fs.String("trace", "", "workload trace JSON file")
+	spec := searchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := buildRequest(*workloadName, *tracePath, spec())
+	if err != nil {
+		return err
+	}
+	key, err := req.Key()
+	if err != nil {
+		return err
+	}
+	n := c.rg.Owner(key)
+	fmt.Printf("key %s\nowner: %s %s\n", key, n.ID, n.Addr)
+	return nil
+}
+
+func runCluster(ctx context.Context, c *client.Client) error {
+	st, err := c.Cluster(ctx)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(st)
 }
 
 func runMetrics(ctx context.Context, c *client.Client) error {

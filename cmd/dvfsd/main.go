@@ -8,6 +8,12 @@
 //
 //	dvfsd -addr 127.0.0.1:7077 -workers 2
 //	dvfsd -addr 127.0.0.1:0 -addr-file /tmp/dvfsd.addr -load-models resnet50.models.json
+//	dvfsd -addr 127.0.0.1:7071 -ring ring.json -node-id n1 -store /var/lib/dvfsd/n1
+//
+// With -ring and -node-id the daemon joins a consistent-hash cluster:
+// it serves the strategies the ring assigns to it and proxies the rest
+// to their owners (DESIGN.md §12). With -store it persists every
+// acknowledged job to disk and re-enqueues unfinished ones on restart.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting jobs, drains in-flight searches up to -drain, then
@@ -29,6 +35,8 @@ import (
 	"syscall"
 	"time"
 
+	"npudvfs/internal/cluster/jobstore"
+	"npudvfs/internal/cluster/ring"
 	"npudvfs/internal/experiments"
 	"npudvfs/internal/server"
 	"npudvfs/internal/traceio"
@@ -46,6 +54,9 @@ func main() {
 		"comma-separated model bundle files (dvfs-run -save-models); jobs for these workloads skip calibration and profiling")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
+	ringFile := flag.String("ring", "", "cluster ring file (ring.Save format); empty runs single-node")
+	nodeID := flag.String("node-id", "", "this daemon's ring member ID; required with -ring")
+	storeDir := flag.String("store", "", "durable job-store directory; empty keeps jobs in memory only")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -70,14 +81,42 @@ func main() {
 		fatal(err)
 	}
 
-	srv := server.New(server.Config{
+	var r *ring.Ring
+	if *ringFile != "" {
+		r, err = ring.Load(*ringFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var store jobstore.Store
+	if *storeDir != "" {
+		prefix := ""
+		if *nodeID != "" {
+			prefix = *nodeID + "-"
+		}
+		store, err = jobstore.OpenFS(*storeDir, server.Retention(*workers, *queue), prefix)
+		if err != nil {
+			fatal(err)
+		}
+		if n := len(store.Pending()); n > 0 {
+			fmt.Printf("dvfsd: recovered %d unfinished job(s) from %s\n", n, *storeDir)
+		}
+	}
+
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		Lab:            experiments.NewLab(),
 		Bundles:        bundles,
+		Ring:           r,
+		NodeID:         *nodeID,
+		Store:          store,
 	})
+	if err != nil {
+		fatal(err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -91,6 +130,9 @@ func main() {
 	}
 	fmt.Printf("dvfsd: listening on %s (%d workers, queue %d, cache %d)\n",
 		bound, *workers, *queue, *cacheSize)
+	if r != nil {
+		fmt.Printf("dvfsd: cluster node %s in a %d-node ring\n", *nodeID, r.Len())
+	}
 	for name := range bundles {
 		fmt.Printf("dvfsd: warm models loaded for %s\n", name)
 	}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"npudvfs/internal/cluster/ring"
 	"npudvfs/internal/experiments"
 	"npudvfs/internal/loadgen"
 	"npudvfs/internal/server"
@@ -34,6 +35,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "target daemon (host:port or URL); empty self-serves an in-process daemon per mix")
+	ringFile := flag.String("ring", "", "cluster ring file: route each request to its key's owner node (requires -addr for health checks and scrapes)")
 	mixes := flag.String("mixes", "hot,cold,mixed", "comma-separated mixes to run (hot, cold, mixed)")
 	mode := flag.String("mode", "closed", "load mode: open (fixed arrival rate) or closed (N concurrent clients)")
 	rate := flag.Float64("rate", 50, "open-loop arrival rate, requests/s")
@@ -91,6 +93,18 @@ func main() {
 		cfg.Clients = *clients
 	}
 
+	var rg *ring.Ring
+	if *ringFile != "" {
+		if *addr == "" {
+			fatal(fmt.Errorf("-ring requires -addr (a node for health checks and metric scrapes)"))
+		}
+		var err error
+		rg, err = ring.Load(*ringFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	var runs []*loadgen.Result
 	if *addr != "" {
 		base := *addr
@@ -103,7 +117,7 @@ func main() {
 			fatal(fmt.Errorf("daemon at %s not healthy: %w", base, err))
 		}
 		for _, spec := range specs {
-			r, err := runOne(ctx, c, spec)
+			r, err := runOne(ctx, c, rg, spec)
 			if err != nil {
 				fatal(err)
 			}
@@ -147,7 +161,7 @@ func main() {
 }
 
 // runOne executes one mix and prints its summary line.
-func runOne(ctx context.Context, c *client.Client, spec loadgen.Spec) (*loadgen.Result, error) {
+func runOne(ctx context.Context, c *client.Client, rg *ring.Ring, spec loadgen.Spec) (*loadgen.Result, error) {
 	fmt.Printf("dvfsload: mix %-5s %s ", spec.Mix.Name, spec.Mode)
 	if spec.Mode == loadgen.OpenLoop {
 		fmt.Printf("rate=%g/s ", spec.Rate)
@@ -155,7 +169,7 @@ func runOne(ctx context.Context, c *client.Client, spec loadgen.Spec) (*loadgen.
 		fmt.Printf("clients=%d ", spec.Clients)
 	}
 	fmt.Printf("for %s...\n", spec.Duration)
-	res, err := (&loadgen.Runner{Client: c, Spec: spec}).Run(ctx)
+	res, err := (&loadgen.Runner{Client: c, Spec: spec, Ring: rg}).Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("mix %s: %w", spec.Mix.Name, err)
 	}
@@ -170,12 +184,15 @@ func runOne(ctx context.Context, c *client.Client, spec loadgen.Spec) (*loadgen.
 // over a loopback listener, and drains it.
 func selfServe(ctx context.Context, lab *experiments.Lab, bundle *traceio.ModelBundle,
 	workloadName string, workers, queue int, spec loadgen.Spec) (*loadgen.Result, error) {
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:    workers,
 		QueueDepth: queue,
 		Lab:        lab,
 		Bundles:    map[string]*traceio.ModelBundle{workloadName: bundle},
 	})
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -190,7 +207,7 @@ func selfServe(ctx context.Context, lab *experiments.Lab, bundle *traceio.ModelB
 		_ = srv.Shutdown(drain)
 		_ = httpSrv.Close()
 	}()
-	return runOne(ctx, client.New("http://"+ln.Addr().String()), spec)
+	return runOne(ctx, client.New("http://"+ln.Addr().String()), nil, spec)
 }
 
 // buildBundle loads the model bundle from disk or fits it in-process.

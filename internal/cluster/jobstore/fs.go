@@ -1,0 +1,125 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"npudvfs/internal/traceio"
+)
+
+// FS is the filesystem backend: the Memory index plus one JSON file
+// per record under dir, written atomically (tmp + rename) so a crash
+// at any instant leaves either the previous record or the new one,
+// never a torn file. OpenFS scans the directory, rebuilds the index
+// and the ID sequence, and exposes the non-terminal records through
+// Pending so the daemon can re-enqueue the jobs a dead process
+// acknowledged but never finished.
+type FS struct {
+	*Memory
+	dir     string
+	pending []*Record
+}
+
+// OpenFS opens (creating if needed) a store directory. capacity and
+// idPrefix behave as in NewMemory. Stray *.tmp files — a crash between
+// write and rename — are deleted: the rename never happened, so the
+// previous record version (if any) is still authoritative. Files that
+// fail to parse are skipped, not deleted, so an operator can inspect
+// them.
+func OpenFS(dir string, capacity int, idPrefix string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: creating store dir: %w", err)
+	}
+	f := &FS{Memory: NewMemory(capacity, idPrefix), dir: dir}
+	f.Memory.persist = f.persistRecord
+	f.Memory.unlink = f.unlinkRecord
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: scanning store dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	// ID order: prefixed sequence numbers are zero-padded, so the
+	// lexicographic sort is the submission order.
+	sort.Strings(names)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID == "" {
+			continue // unparsable: leave on disk for inspection
+		}
+		if rec.ID+".json" != name {
+			continue // foreign or renamed file; not ours to index
+		}
+		f.seedLocked(&rec)
+		if !traceio.IsTerminal(rec.State) {
+			f.pending = append(f.pending, &rec)
+		}
+	}
+	f.evictLocked()
+	return f, nil
+}
+
+func (f *FS) Kind() string { return "fs" }
+
+// Pending returns the recovered non-terminal records, in ID order.
+func (f *FS) Pending() []*Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pending
+}
+
+// Dir returns the store directory.
+func (f *FS) Dir() string { return f.dir }
+
+// persistRecord writes one record file atomically. Called with the
+// index mutex held (Memory hook contract), so there is exactly one
+// writer per ID and the fixed tmp name cannot collide.
+func (f *FS) persistRecord(rec *Record) error {
+	out := rec.clone()
+	// Wall-clock stamp for operators reading the store directory; it
+	// never feeds back into scheduling or results.
+	//lint:allow detrand audited observability timestamp on the persisted record, never read back into behavior
+	out.SavedUnixNano = time.Now().UnixNano()
+	raw, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding %s: %w", rec.ID, err)
+	}
+	path := filepath.Join(f.dir, rec.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("jobstore: writing %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("jobstore: committing %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+func (f *FS) unlinkRecord(id string) {
+	_ = os.Remove(filepath.Join(f.dir, id+".json"))
+}

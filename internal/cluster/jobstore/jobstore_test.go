@@ -1,0 +1,197 @@
+package jobstore
+
+import (
+	"fmt"
+	"testing"
+
+	"npudvfs/internal/traceio"
+)
+
+func liveRec() *Record   { return &Record{State: traceio.JobQueued} }
+func doneRec() *Record   { return &Record{State: traceio.JobDone} }
+func failedRec() *Record { return &Record{State: traceio.JobFailed} }
+
+func mustAdd(t *testing.T, s Store, rec *Record) string {
+	t.Helper()
+	id, err := s.Add(rec)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	return id
+}
+
+// storeCases runs each retention-policy test against both backends:
+// the policy is backend-independent by design.
+func storeCases(t *testing.T, run func(t *testing.T, mk func(capacity int) Store)) {
+	t.Run("memory", func(t *testing.T) {
+		run(t, func(capacity int) Store { return NewMemory(capacity, "") })
+	})
+	t.Run("fs", func(t *testing.T) {
+		run(t, func(capacity int) Store {
+			s, err := OpenFS(t.TempDir(), capacity, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		})
+	})
+}
+
+func TestStoreEvictsOldestTerminalFirst(t *testing.T) {
+	storeCases(t, func(t *testing.T, mk func(int) Store) {
+		s := mk(3)
+		var ids []string
+		for i := 0; i < 6; i++ {
+			ids = append(ids, mustAdd(t, s, doneRec()))
+		}
+		for _, id := range ids[:3] {
+			if _, ok := s.Get(id); ok {
+				t.Errorf("oldest terminal job %s not evicted", id)
+			}
+		}
+		for _, id := range ids[3:] {
+			if _, ok := s.Get(id); !ok {
+				t.Errorf("recent job %s evicted", id)
+			}
+		}
+	})
+}
+
+func TestStoreNeverEvictsLiveJobs(t *testing.T) {
+	storeCases(t, func(t *testing.T, mk func(int) Store) {
+		s := mk(2)
+		var live []string
+		for i := 0; i < 5; i++ {
+			live = append(live, mustAdd(t, s, liveRec()))
+		}
+		// A terminal insert is immediately the only eviction candidate.
+		victim := mustAdd(t, s, doneRec())
+		if _, ok := s.Get(victim); ok {
+			t.Error("terminal job retained while the store is over capacity with live jobs")
+		}
+		for _, id := range live {
+			if _, ok := s.Get(id); !ok {
+				t.Errorf("live job %s evicted", id)
+			}
+		}
+		// Once a live job completes, Update makes it evictable.
+		rec, _ := s.Get(live[0])
+		done := rec.clone()
+		done.State = traceio.JobFailed
+		if err := s.Update(done); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(live[0]); ok {
+			t.Error("completed job not evicted from an over-capacity store")
+		}
+	})
+}
+
+func TestStoreRemoveForgetsRejectedJob(t *testing.T) {
+	storeCases(t, func(t *testing.T, mk func(int) Store) {
+		s := mk(4)
+		id := mustAdd(t, s, liveRec())
+		s.Remove(id)
+		if _, ok := s.Get(id); ok {
+			t.Fatalf("removed job %s still in store", id)
+		}
+		// Update for an unknown ID (evicted or removed) is a no-op.
+		gone := &Record{ID: id, State: traceio.JobDone}
+		if err := s.Update(gone); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(id); ok {
+			t.Error("Update resurrected a removed job")
+		}
+	})
+}
+
+func TestStoreSequentialIDs(t *testing.T) {
+	storeCases(t, func(t *testing.T, mk func(int) Store) {
+		s := mk(8)
+		for i := 1; i <= 3; i++ {
+			if id := mustAdd(t, s, failedRec()); id != fmt.Sprintf("j%08d", i) {
+				t.Errorf("id %d: got %s", i, id)
+			}
+		}
+	})
+}
+
+func TestStorePrefixedIDs(t *testing.T) {
+	s := NewMemory(8, "n2-")
+	if id := mustAdd(t, s, liveRec()); id != "n2-j00000001" {
+		t.Errorf("prefixed id: got %s", id)
+	}
+}
+
+func TestUpdateDoesNotDoubleEnterTerminalFIFO(t *testing.T) {
+	s := NewMemory(2, "")
+	a := mustAdd(t, s, liveRec())
+	b := mustAdd(t, s, liveRec())
+	// Finish job a and re-persist it twice: it must hold exactly one
+	// FIFO slot, so job b (finished later) is evicted after a, not
+	// before.
+	for i := 0; i < 3; i++ {
+		rec, _ := s.Get(a)
+		done := rec.clone()
+		done.State = traceio.JobDone
+		if err := s.Update(done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recB, _ := s.Get(b)
+	doneB := recB.clone()
+	doneB.State = traceio.JobDone
+	if err := s.Update(doneB); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2, both terminal: nothing over capacity yet.
+	for i := 0; i < 2; i++ {
+		mustAdd(t, s, doneRec())
+	}
+	if _, ok := s.Get(a); ok {
+		t.Error("job a should be the first eviction")
+	}
+	if s.len() != 2 {
+		t.Errorf("store retains %d records, want capacity 2", s.len())
+	}
+}
+
+func TestGetReturnsSnapshotNotAlias(t *testing.T) {
+	s := NewMemory(4, "")
+	id := mustAdd(t, s, liveRec())
+	rec, _ := s.Get(id)
+	// Mutating the caller's record after Add/Update must not reach the
+	// store (Add clones).
+	outside := &Record{ID: id, State: traceio.JobRunning}
+	if err := s.Update(outside); err != nil {
+		t.Fatal(err)
+	}
+	outside.State = "mangled"
+	got, _ := s.Get(id)
+	if got.State != traceio.JobRunning {
+		t.Errorf("stored state %q leaked a caller mutation", got.State)
+	}
+	if rec.State != traceio.JobQueued {
+		t.Errorf("earlier snapshot mutated: %q", rec.State)
+	}
+}
+
+// BenchmarkMemoryAddSaturated measures add while the store sits at
+// capacity and every insert evicts — the worst case at peak submission
+// rate, which must stay amortized O(1).
+func BenchmarkMemoryAddSaturated(b *testing.B) {
+	s := NewMemory(4096, "")
+	for i := 0; i < 4096; i++ {
+		if _, err := s.Add(doneRec()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(doneRec()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package ring implements the deterministic consistent-hash ring that
+// shards dvfsd's strategy keyspace across cluster nodes. Keys are the
+// strategy-cache keys (trace fingerprint + canonical SearchSpec hash,
+// traceio.CacheKey), so every resubmission of a workload lands on the
+// node whose LRU cache and model bundles are already hot for it —
+// horizontal scale-out compounds with, instead of defeating, the
+// single-node cache wins.
+//
+// Determinism contract (the cluster analogue of the repo's
+// byte-identical-at-any-worker-count gates): a ring is a pure function
+// of its ring file. Ownership must not depend on node enumeration
+// order, map iteration, or the process that built the ring — every
+// peer that loads the same file answers Owner identically, and
+// Marshal emits byte-identical files on every node. Virtual-node
+// points are derived from SHA-256 of "ring-v1|<node-id>|<replica>",
+// so adding a node moves only the keyspace arcs that the new node's
+// points claim (verified by Rebalance and the package tests).
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one dvfsd instance on the ring.
+type Node struct {
+	// ID names the node. It prefixes the node's job IDs ("n1-j00000001")
+	// and must be unique on the ring; allowed characters are letters,
+	// digits, '.', '_' and '-'.
+	ID string `json:"id"`
+	// Addr is the node's base URL, e.g. "http://127.0.0.1:7071".
+	Addr string `json:"addr"`
+}
+
+// DefaultVNodes is the virtual-node count used when a ring file leaves
+// vnodes unset: enough points that a 3–10 node ring balances within a
+// few percent, small enough that building a ring is microseconds.
+const DefaultVNodes = 64
+
+// FileVersion is the only ring-file schema version this package reads
+// and writes.
+const FileVersion = 1
+
+// File is the ring-file wire format. All peers of one cluster load the
+// identical file; Marshal emits it in canonical form (nodes sorted by
+// ID, stable field order) so the file is byte-identical no matter
+// which node wrote it.
+type File struct {
+	Version int    `json:"version"`
+	VNodes  int    `json:"vnodes"`
+	Nodes   []Node `json:"nodes"`
+}
+
+// point is one virtual node: a position on the 64-bit hash circle
+// claimed by a physical node.
+type point struct {
+	hash    uint64
+	node    int32 // index into Ring.nodes (sorted by ID)
+	replica int32
+}
+
+// Ring maps keys to owner nodes. Build one with New or Load; a Ring is
+// immutable and safe for concurrent use.
+type Ring struct {
+	vnodes int
+	nodes  []Node // sorted by ID
+	points []point
+	index  map[string]int // node ID → index into nodes
+}
+
+// New builds a ring over the given nodes. vnodes <= 0 selects
+// DefaultVNodes. The input slice may be in any order: the ring sorts
+// nodes by ID before deriving points, so enumeration order cannot leak
+// into ownership.
+func New(nodes []Node, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := make([]Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	index := make(map[string]int, len(sorted))
+	for i, n := range sorted {
+		if err := validateID(n.ID); err != nil {
+			return nil, err
+		}
+		if n.Addr == "" {
+			return nil, fmt.Errorf("ring: node %q has no addr", n.ID)
+		}
+		if _, dup := index[n.ID]; dup {
+			return nil, fmt.Errorf("ring: duplicate node id %q", n.ID)
+		}
+		index[n.ID] = i
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  sorted,
+		points: make([]point, 0, len(sorted)*vnodes),
+		index:  index,
+	}
+	for i, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			h := hash64("ring-v1|" + n.ID + "|" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, node: int32(i), replica: int32(v)})
+		}
+	}
+	// Tie-break equal hashes by (node, replica): nodes are already in
+	// ID order, so the sort is a pure function of the node set.
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.replica < b.replica
+	})
+	return r, nil
+}
+
+func validateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("ring: node with empty id")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("ring: node id %q contains %q; allowed are letters, digits, '.', '_', '-'", id, c)
+		}
+	}
+	return nil
+}
+
+// hash64 is the ring's point and key hash: the first 8 bytes of
+// SHA-256, big-endian. SHA-256 keeps point derivation identical across
+// architectures and Go versions (no hash/maphash per-process seeds).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node that owns key: the node whose first point at
+// or clockwise after the key's hash position claims the arc.
+func (r *Ring) Owner(key string) Node {
+	return r.nodes[r.points[r.search(hash64(key))].node]
+}
+
+// ownerAt resolves the owner of an arbitrary hash position (used by
+// Rebalance, which walks arc boundaries rather than keys).
+func (r *Ring) ownerAt(h uint64) Node {
+	return r.nodes[r.points[r.search(h)].node]
+}
+
+// search returns the index of the first point with hash >= h, wrapping
+// to 0 past the end of the circle.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Replicas returns up to n distinct nodes in preference order for key:
+// the owner first, then the nodes whose points follow clockwise. With
+// n >= Len() this is a deterministic full failover order for the key.
+func (r *Ring) Replicas(key string, n int) []Node {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]Node, 0, n)
+	seen := make(map[int32]bool, n)
+	start := r.search(hash64(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// Lookup resolves a node by ID.
+func (r *Ring) Lookup(id string) (Node, bool) {
+	i, ok := r.index[id]
+	if !ok {
+		return Node{}, false
+	}
+	return r.nodes[i], true
+}
+
+// Nodes returns the ring's nodes sorted by ID.
+func (r *Ring) Nodes() []Node {
+	out := make([]Node, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per physical node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Move is one directed keyspace transfer computed by Rebalance.
+type Move struct {
+	From string
+	To   string
+	// Fraction is the share of the whole keyspace (0..1) whose
+	// ownership moves From → To.
+	Fraction float64
+}
+
+// Rebalance analytically compares two rings and returns the keyspace
+// that changes owner, aggregated per (from, to) node pair and sorted
+// by (From, To). It walks the merged arc boundaries of both rings —
+// ownership is constant between adjacent points — so the result is
+// exact, not sampled. A well-behaved topology change (adding one node
+// to n) moves only ~1/(n+1) of the keyspace, all of it To the new
+// node; anything else indicates a broken hash or tie-break.
+func Rebalance(from, to *Ring) []Move {
+	bounds := make([]uint64, 0, len(from.points)+len(to.points))
+	for _, p := range from.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range to.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	// Deduplicate: equal boundaries delimit zero-width arcs.
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+
+	type pair struct{ from, to string }
+	width := make(map[pair]uint64)
+	for i, b := range bounds {
+		// The arc (prev, b] has constant ownership in both rings; its
+		// width is b-prev, which as uint64 arithmetic also handles the
+		// wrap-around arc ending at bounds[0].
+		prev := bounds[(i+len(bounds)-1)%len(bounds)]
+		w := b - prev
+		if len(bounds) == 1 {
+			// A single distinct boundary means the whole circle is one
+			// arc; b-prev would be 0.
+			w = ^uint64(0)
+		}
+		f := from.ownerAt(b)
+		t := to.ownerAt(b)
+		if f.ID != t.ID {
+			width[pair{f.ID, t.ID}] += w
+		}
+	}
+	moves := make([]Move, 0, len(width))
+	for p, w := range width {
+		moves = append(moves, Move{From: p.from, To: p.to, Fraction: float64(w) / (1 << 64)})
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].From != moves[j].From {
+			return moves[i].From < moves[j].From
+		}
+		return moves[i].To < moves[j].To
+	})
+	return moves
+}
+
+// MovedFraction sums Rebalance: the total share of the keyspace whose
+// owner differs between the two rings.
+func MovedFraction(from, to *Ring) float64 {
+	total := 0.0
+	for _, m := range Rebalance(from, to) {
+		total += m.Fraction
+	}
+	return total
+}
+
+// Parse builds a ring from ring-file bytes, rejecting unknown fields
+// and schema versions so peers cannot silently disagree about the
+// topology they loaded.
+func Parse(data []byte) (*Ring, error) {
+	var f File
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("ring: parsing ring file: %w", err)
+	}
+	if f.Version != FileVersion {
+		return nil, fmt.Errorf("ring: unsupported ring file version %d (want %d)", f.Version, FileVersion)
+	}
+	return New(f.Nodes, f.VNodes)
+}
+
+// Load reads and parses a ring file.
+func Load(path string) (*Ring, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Marshal renders the canonical ring file: version, explicit vnodes,
+// nodes sorted by ID. Two rings with the same topology marshal to
+// byte-identical files regardless of how either was constructed.
+func (r *Ring) Marshal() ([]byte, error) {
+	f := File{Version: FileVersion, VNodes: r.vnodes, Nodes: r.Nodes()}
+	b, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Save writes the canonical ring file.
+func (r *Ring) Save(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

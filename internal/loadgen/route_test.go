@@ -1,0 +1,50 @@
+package loadgen
+
+import (
+	"testing"
+
+	"npudvfs/internal/cluster/ring"
+	"npudvfs/internal/server/client"
+	"npudvfs/internal/traceio"
+)
+
+func TestRouteFollowsRingOwner(t *testing.T) {
+	rg, err := ring.New([]ring.Node{
+		{ID: "n1", Addr: "http://127.0.0.1:7071"},
+		{ID: "n2", Addr: "http://127.0.0.1:7072"},
+	}, ring.DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := client.New("http://base")
+	peers := map[string]*client.Client{
+		"n1": client.New("http://127.0.0.1:7071"),
+		"n2": client.New("http://127.0.0.1:7072"),
+	}
+	req := &traceio.StrategyRequest{
+		Workload: "resnet50",
+		Search:   traceio.SearchSpec{Pop: 16, Gens: 8, Seed: 1},
+	}
+	key, err := req.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rg.Owner(key).ID
+	got := route(base, peers, rg, req)
+	if got != peers[want] {
+		t.Errorf("route picked %s, want owner %s (%s)", got.BaseURL, want, peers[want].BaseURL)
+	}
+	// No ring: base client, untouched.
+	if route(base, peers, nil, req) != base {
+		t.Error("route without a ring must return the base client")
+	}
+	// Unresolvable request: base client (the daemon attributes the 4xx).
+	bad := &traceio.StrategyRequest{}
+	if route(base, peers, rg, bad) != base {
+		t.Error("route with an unresolvable request must fall back to the base client")
+	}
+	// Owner missing from the peer set: base client.
+	if route(base, map[string]*client.Client{}, rg, req) != base {
+		t.Error("route with no peer for the owner must fall back to the base client")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"npudvfs/internal/cluster/ring"
 	"npudvfs/internal/server/client"
 	"npudvfs/internal/traceio"
 )
@@ -17,6 +18,28 @@ type Runner struct {
 	// hook on a shallow copy, leaving the caller's client untouched.
 	Client *client.Client
 	Spec   Spec
+	// Ring, when set, routes each request to the ring owner of its
+	// strategy key — the same routing dvfsd itself performs — so the
+	// generator measures owner-local latency instead of proxy hops.
+	// Requests whose owner is unknown fall back to Client. The /metrics
+	// scraper still targets Client only.
+	Ring *ring.Ring
+}
+
+// route picks the client that should carry one request: the key
+// owner's peer when a ring is configured, else the base client.
+func route(base *client.Client, peers map[string]*client.Client, rg *ring.Ring, req *traceio.StrategyRequest) *client.Client {
+	if rg == nil || req == nil {
+		return base
+	}
+	key, err := req.Key()
+	if err != nil {
+		return base // the daemon will answer 4xx; let it attribute the error
+	}
+	if pc, ok := peers[rg.Owner(key).ID]; ok {
+		return pc
+	}
+	return base
 }
 
 // sample is one finished logical request: for hot/cold the submit
@@ -52,6 +75,16 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		mu.Lock()
 		http.note(ri)
 		mu.Unlock()
+	}
+	// Ring mode: one traced peer client per node, so each request can
+	// be issued straight to its key's owner.
+	peers := make(map[string]*client.Client)
+	if r.Ring != nil {
+		for _, n := range r.Ring.Nodes() {
+			pc := cl
+			pc.BaseURL = n.Addr
+			peers[n.ID] = &pc
+		}
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -105,7 +138,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 
 	issue := func(req Request) {
-		s := r.issue(runCtx, &cl, spec, req)
+		s := r.issue(runCtx, route(&cl, peers, r.Ring, req.Submit), spec, req)
 		mu.Lock()
 		samples = append(samples, s)
 		mu.Unlock()

@@ -71,12 +71,15 @@ func TestRunnerEndToEnd(t *testing.T) {
 		t.Skip("2s live-load e2e; skipped in -short")
 	}
 	lab, bundle := fixture(t)
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		Workers:    2,
 		QueueDepth: 16,
 		Lab:        lab,
 		Bundles:    map[string]*traceio.ModelBundle{"resnet50": bundle},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -146,12 +149,15 @@ func TestRunnerOpenLoopSaturation(t *testing.T) {
 		t.Skip("live-load e2e; skipped in -short")
 	}
 	lab, bundle := fixture(t)
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		Workers:    1,
 		QueueDepth: 1,
 		Lab:        lab,
 		Bundles:    map[string]*traceio.ModelBundle{"resnet50": bundle},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

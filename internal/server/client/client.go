@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
 	"time"
 
 	"npudvfs/internal/traceio"
@@ -22,11 +24,82 @@ type Client struct {
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
 	// Trace, if set, is invoked after every HTTP round trip the client
-	// makes — including each poll inside Wait — with the request's
-	// timing and outcome. It must be safe for concurrent use; the load
-	// generator installs one to build transport-level latency and
-	// status-code distributions.
+	// makes — including each poll inside Wait and each retry attempt —
+	// with the request's timing and outcome. It must be safe for
+	// concurrent use; the load generator installs one to build
+	// transport-level latency and status-code distributions.
 	Trace func(RequestInfo)
+	// Retry, if set, retries transient failures (transport errors and
+	// retryable 5xx responses) with bounded jittered backoff. Nil means
+	// no retries — every attempt is surfaced, which the load generator
+	// depends on to attribute failures.
+	Retry *Retry
+}
+
+// Retry is a bounded exponential-backoff policy. 503 is deliberately
+// NOT retried: dvfsd answers 503 for queue-full load shedding, and
+// hammering a saturated daemon defeats the shedding.
+type Retry struct {
+	// Attempts is the total number of tries (default 3 when Retry is
+	// non-nil).
+	Attempts int
+	// Base is the first backoff delay (default 100ms); each retry
+	// doubles it up to Cap (default 2s).
+	Base time.Duration
+	Cap  time.Duration
+	// Seed seeds the jitter stream so callers that need reproducible
+	// schedules (frozen-seed methodology) get one; 0 uses seed 1.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// backoff returns the jittered delay before retry attempt n (0-based):
+// a uniformly random fraction of min(Base·2ⁿ, Cap), so synchronized
+// clients desynchronize instead of re-colliding.
+func (r *Retry) backoff(n int) time.Duration {
+	r.once.Do(func() {
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		// Explicit seeded source (never the process-global RNG): the
+		// jitter stream is reproducible for a fixed Retry.Seed.
+		r.rng = rand.New(rand.NewSource(seed))
+	})
+	base := r.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cp := r.Cap
+	if cp <= 0 {
+		cp = 2 * time.Second
+	}
+	d := base << uint(n)
+	if d > cp || d <= 0 {
+		d = cp
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(d)) + 1)
+}
+
+func (r *Retry) attempts() int {
+	if r.Attempts < 1 {
+		return 3
+	}
+	return r.Attempts
+}
+
+// retryable reports whether a failed attempt should be retried:
+// transport errors and 5xx responses, except 503 (load shedding).
+func retryable(code int, err error) bool {
+	if code == 0 {
+		return err != nil // transport failure, no response arrived
+	}
+	return code >= 500 && code != http.StatusServiceUnavailable
 }
 
 // RequestInfo describes one completed HTTP round trip.
@@ -67,10 +140,45 @@ func (c *Client) trace(method, path string, code int, err error, start time.Time
 	}
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+// do runs one API call, retrying transient failures when c.Retry is
+// set. body is a byte slice — not a Reader — so every attempt replays
+// it from the start.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := 1
+	if c.Retry != nil {
+		attempts = c.Retry.attempts()
+	}
+	var lastErr error
+	for n := 0; n < attempts; n++ {
+		if n > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.Retry.backoff(n - 1)):
+			}
+		}
+		code, err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(code, err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// doOnce runs a single attempt and returns the HTTP status code (0 on
+// transport failure) alongside the error.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -79,25 +187,25 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	resp, err := c.http().Do(req)
 	if err != nil {
 		c.trace(method, path, 0, err, start)
-		return err
+		return 0, err
 	}
 	c.trace(method, path, resp.StatusCode, nil, start)
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return resp.StatusCode, err
 	}
 	if resp.StatusCode >= 400 {
 		var e traceio.ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return &StatusError{Code: resp.StatusCode, Message: e.Error}
+			return resp.StatusCode, &StatusError{Code: resp.StatusCode, Message: e.Error}
 		}
-		return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+		return resp.StatusCode, &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, nil
 	}
-	return json.Unmarshal(raw, out)
+	return resp.StatusCode, json.Unmarshal(raw, out)
 }
 
 // Submit posts a strategy request and returns the job it created (or
@@ -108,7 +216,7 @@ func (c *Client) Submit(ctx context.Context, req *traceio.StrategyRequest) (*tra
 		return nil, err
 	}
 	var st traceio.JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/strategies", bytes.NewReader(body), &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/strategies", body, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -149,6 +257,16 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*trac
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Cluster fetches the daemon's cluster status: node identity, store
+// backend and ring view.
+func (c *Client) Cluster(ctx context.Context) (*traceio.ClusterStatus, error) {
+	var st traceio.ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Metrics returns the raw Prometheus exposition text.

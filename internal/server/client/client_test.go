@@ -1,0 +1,150 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky answers failCode for the first failN requests, then 200.
+func flaky(failN int32, failCode int) (*httptest.Server, *int32) {
+	var n int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&n, 1) <= failN {
+			w.WriteHeader(failCode)
+			w.Write([]byte(`{"error": "transient"}`))
+			return
+		}
+		w.Write([]byte(`{"status": "ok"}`))
+	}))
+	return ts, &n
+}
+
+func TestRetryRecoversFrom5xx(t *testing.T) {
+	ts, hits := flaky(2, http.StatusBadGateway)
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &Retry{Attempts: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health after 2 transient 502s: %v", err)
+	}
+	if got := atomic.LoadInt32(hits); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	ts, hits := flaky(99, http.StatusInternalServerError)
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &Retry{Attempts: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := c.Health(ctx)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("want the final 500 surfaced, got %v", err)
+	}
+	if got := atomic.LoadInt32(hits); got != 3 {
+		t.Errorf("server saw %d requests, want exactly Attempts=3", got)
+	}
+}
+
+func TestRetryDoesNotRetry503LoadShedding(t *testing.T) {
+	ts, hits := flaky(99, http.StatusServiceUnavailable)
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &Retry{Attempts: 5, Base: time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := c.Health(ctx)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want the 503 surfaced immediately, got %v", err)
+	}
+	if got := atomic.LoadInt32(hits); got != 1 {
+		t.Errorf("server saw %d requests; 503 load shedding must not be retried", got)
+	}
+}
+
+func TestRetryDoesNotRetry4xx(t *testing.T) {
+	ts, hits := flaky(99, http.StatusNotFound)
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &Retry{Attempts: 5, Base: time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("404 did not surface")
+	}
+	if got := atomic.LoadInt32(hits); got != 1 {
+		t.Errorf("server saw %d requests; client errors must not be retried", got)
+	}
+}
+
+func TestRetryRecoversFromTransportError(t *testing.T) {
+	// A listener that is closed before the first attempt: connection
+	// refused is a transport error and must be retried. The test server
+	// is started on the same port for the later attempts — racing that
+	// rebind is fragile, so instead verify the cheap property: with no
+	// server at all, the client makes exactly Attempts connection tries.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	c := New(url)
+	var tries int32
+	c.Trace = func(ri RequestInfo) { atomic.AddInt32(&tries, 1) }
+	c.Retry = &Retry{Attempts: 3, Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health against a closed listener succeeded")
+	}
+	if got := atomic.LoadInt32(&tries); got != 3 {
+		t.Errorf("client made %d connection attempts, want 3", got)
+	}
+}
+
+func TestNoRetryByDefault(t *testing.T) {
+	ts, hits := flaky(99, http.StatusBadGateway)
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("502 did not surface")
+	}
+	if got := atomic.LoadInt32(hits); got != 1 {
+		t.Errorf("server saw %d requests; a nil Retry must mean exactly one attempt", got)
+	}
+}
+
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		r := &Retry{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: seed}
+		var out []time.Duration
+		for i := 0; i < 6; i++ {
+			out = append(out, r.backoff(i))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff stream not reproducible for a fixed seed: %v vs %v", a, b)
+		}
+	}
+	// Delays are jittered within (0, min(Base·2ⁿ, Cap)].
+	caps := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, d := range a {
+		if d <= 0 || d > caps[i]*time.Millisecond {
+			t.Errorf("backoff(%d) = %v outside (0, %v]", i, d, caps[i]*time.Millisecond)
+		}
+	}
+}

@@ -1,147 +1,65 @@
 package server
 
 import (
-	"fmt"
-	"sync"
+	"strings"
 	"time"
 
+	"npudvfs/internal/cluster/jobstore"
 	"npudvfs/internal/traceio"
 	"npudvfs/internal/units"
 	"npudvfs/internal/workload"
 )
 
 // job is one strategy-generation request moving through the queue.
-// All mutable fields are guarded by mu; the HTTP handlers read
-// through status() while a worker advances the state machine
-// queued → running → done | failed | cancelled.
+// Every field is set before the queue send and never mutated after:
+// the job's mutable state — the queued → running → terminal machine —
+// lives in the job store (internal/cluster/jobstore), which is what
+// the HTTP handlers read. That split is what makes the fs backend
+// possible: each state transition is one store Update, and a record on
+// disk is always a complete, serveable snapshot.
 type job struct {
-	mu sync.Mutex
-
 	id       string
 	workload string
 	cacheKey string
 	spec     traceio.SearchSpec
-	// model is the resolved workload; set at submission, read by the
-	// worker, never mutated after.
+	// model is the resolved workload; set at submission (or recovery),
+	// read by the worker.
 	model *workload.Model
-
-	state     string
-	cached    bool
-	err       error
+	// req is the original submission body, persisted with the record so
+	// a restarted daemon can re-resolve and re-run the job.
+	req       *traceio.StrategyRequest
 	submitted time.Time
-	queueDur  time.Duration
-	searchDur time.Duration
-	result    *traceio.StrategyResponse
 }
 
-func (j *job) status() *traceio.JobStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	st := &traceio.JobStatus{
-		ID:           j.id,
-		State:        j.state,
-		Workload:     j.workload,
-		Cached:       j.cached,
-		QueueMillis:  units.Millis(float64(j.queueDur) / float64(time.Millisecond)),
-		SearchMillis: units.Millis(float64(j.searchDur) / float64(time.Millisecond)),
-		Result:       j.result,
+// jobStatus reads one job's current status from the store.
+func (s *Server) jobStatus(id string) (*traceio.JobStatus, bool) {
+	rec, ok := s.store.Get(id)
+	if !ok {
+		return nil, false
 	}
-	if j.err != nil {
-		st.Error = j.err.Error()
-	}
-	return st
+	return rec.Status(), true
 }
 
-// jobStore indexes jobs by ID and assigns sequential IDs. Completed
-// jobs are retained (they are small — results live mostly in the
-// shared cache) up to a bound, evicting the oldest terminal jobs
-// first.
-//
-// Eviction is amortized O(1): instead of rescanning insertion order on
-// every insert (O(n²) exactly when the store is full and submission
-// rate peaks), terminal jobs queue up on a FIFO of eviction candidates
-// — add for jobs born terminal (cache hits), noteTerminal when a
-// worker finishes a live one — and eviction pops from its head. Live
-// jobs never enter the FIFO, so a client can always poll a job it
-// submitted until enough later jobs complete to push it out.
-type jobStore struct {
-	mu   sync.Mutex
-	next uint64
-	m    map[string]*job
-	// terminal holds IDs of jobs that reached a terminal state, in
-	// completion order; head indexes the next eviction candidate.
-	// Entries for already-removed IDs are skipped lazily.
-	terminal []string
-	head     int
-	cap      int
-}
-
-func newJobStore(capacity int) *jobStore {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &jobStore{m: make(map[string]*job), cap: capacity}
-}
-
-// add assigns the job its ID and publishes it. Callers must add a job
-// before it can reach a worker (handleSubmit enqueues only after add
-// returns): a worker mutates the job concurrently and reads j.id for
-// noteTerminal, so the ID write must happen-before the queue send.
-func (s *jobStore) add(j *job) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.next++
-	id := fmt.Sprintf("j%08d", s.next)
-	j.mu.Lock()
-	j.id = id
-	terminal := traceio.IsTerminal(j.state)
-	j.mu.Unlock()
-	s.m[id] = j
-	if terminal { // cache hits are born done
-		s.terminal = append(s.terminal, id)
-	}
-	s.evictLocked()
-	return id
-}
-
-// remove forgets a job that never reached a worker (queue-full
-// rejection after the ID was assigned).
-func (s *jobStore) remove(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.m, id)
-}
-
-// noteTerminal marks a job eligible for eviction once a worker has
-// moved it to a terminal state.
-func (s *jobStore) noteTerminal(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.m[id]; !ok {
-		return
-	}
-	s.terminal = append(s.terminal, id)
-	s.evictLocked()
-}
-
-// evictLocked pops terminal jobs oldest-first until the store fits its
-// bound; if everything is live the store grows instead. The drained
-// prefix is compacted away once it dominates the slice so the FIFO's
-// memory stays proportional to retained jobs.
-func (s *jobStore) evictLocked() {
-	for len(s.m) > s.cap && s.head < len(s.terminal) {
-		delete(s.m, s.terminal[s.head])
-		s.head++
-	}
-	if s.head > 64 && s.head*2 >= len(s.terminal) {
-		s.terminal = append(s.terminal[:0], s.terminal[s.head:]...)
-		s.head = 0
+// storeUpdate persists a state transition, counting (but not
+// propagating) durability errors: the record is always current in
+// memory, so a full disk degrades persistence, not serving.
+func (s *Server) storeUpdate(rec *jobstore.Record) {
+	if err := s.store.Update(rec); err != nil {
+		s.met.storeError()
 	}
 }
 
-func (s *jobStore) get(id string) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.m[id]
-	return j, ok
+// millis converts a measured duration to the wire unit.
+func millis(d time.Duration) units.Millis {
+	return units.Millis(float64(d) / float64(time.Millisecond))
+}
+
+// nodePrefix extracts the node ID from a cluster job ID
+// ("n1-j00000042" → "n1"). Single-node IDs ("j00000042") have none.
+func nodePrefix(id string) string {
+	i := strings.LastIndex(id, "-j")
+	if i <= 0 {
+		return ""
+	}
+	return id[:i]
 }

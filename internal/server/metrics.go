@@ -38,6 +38,13 @@ type metrics struct {
 	gaGens      uint64
 	gaCacheHits uint64
 	gaJobs      map[string]gaJobStats
+	// Cluster instrumentation: forwards by direction ("out" proxied to
+	// the owner, "in" received from a peer, "fallback" owner unreachable
+	// and served locally), job-store durability errors, and the number
+	// of unfinished jobs recovered at boot.
+	forwards      map[string]uint64
+	storeErrors   uint64
+	recoveredJobs int
 }
 
 // gaJobStats is the last finished search's GA throughput for one
@@ -79,7 +86,26 @@ func newMetrics() *metrics {
 		jobsTotal:    make(map[string]uint64),
 		stageSeconds: make(map[string]*histogram),
 		gaJobs:       make(map[string]gaJobStats),
+		forwards:     make(map[string]uint64),
 	}
+}
+
+func (m *metrics) forward(direction string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.forwards[direction]++
+}
+
+func (m *metrics) storeError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.storeErrors++
+}
+
+func (m *metrics) setRecovered(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recoveredJobs = n
 }
 
 // observeGA records one finished search's GA counters: cumulative
@@ -200,6 +226,24 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	fmt.Fprintln(w, "# HELP dvfsd_cache_entries Strategies currently cached.")
 	fmt.Fprintln(w, "# TYPE dvfsd_cache_entries gauge")
 	fmt.Fprintf(w, "dvfsd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintln(w, "# HELP dvfsd_cluster_forwards_total Proxied submissions/polls: out to the key owner, in from a peer, fallback served locally with the owner unreachable.")
+	fmt.Fprintln(w, "# TYPE dvfsd_cluster_forwards_total counter")
+	dirs := make([]string, 0, len(m.forwards))
+	for d := range m.forwards {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		fmt.Fprintf(w, "dvfsd_cluster_forwards_total{direction=%q} %d\n", d, m.forwards[d])
+	}
+
+	fmt.Fprintln(w, "# HELP dvfsd_store_errors_total Job-store persistence failures (records stay serveable from memory).")
+	fmt.Fprintln(w, "# TYPE dvfsd_store_errors_total counter")
+	fmt.Fprintf(w, "dvfsd_store_errors_total %d\n", m.storeErrors)
+	fmt.Fprintln(w, "# HELP dvfsd_store_recovered_jobs Unfinished jobs recovered from the store at boot and re-enqueued.")
+	fmt.Fprintln(w, "# TYPE dvfsd_store_recovered_jobs gauge")
+	fmt.Fprintf(w, "dvfsd_store_recovered_jobs %d\n", m.recoveredJobs)
 
 	fmt.Fprintln(w, "# HELP dvfsd_ga_evaluations_total Individuals evaluated by the GA across all searches.")
 	fmt.Fprintln(w, "# TYPE dvfsd_ga_evaluations_total counter")

@@ -11,24 +11,42 @@
 // same trace and search spec the served strategy is byte-identical to
 // the batch path's — and byte-identical across resubmissions whether
 // they hit the cache or re-run the search.
+//
+// Cluster mode (DESIGN.md §12): given a consistent-hash ring and a
+// node ID, the daemon owns the slice of the strategy keyspace the ring
+// assigns it. Submissions for keys it does not own are proxied to the
+// owner (one hop, loop-guarded by the X-Dvfsd-Forwarded header), so
+// every node is a full front end while each strategy is computed and
+// cached on exactly one node. The determinism contract makes routing a
+// pure optimization: any node serves byte-identical strategies, the
+// ring only concentrates cache hits.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"npudvfs/internal/cluster/jobstore"
+	"npudvfs/internal/cluster/ring"
 	"npudvfs/internal/core"
 	"npudvfs/internal/experiments"
 	"npudvfs/internal/ga"
 	"npudvfs/internal/traceio"
 	"npudvfs/internal/workload"
 )
+
+// ForwardHeader marks a proxied request so the receiving node serves
+// it locally instead of forwarding again: routing is at most one hop,
+// even with disagreeing ring files. The value is the sending node's ID.
+const ForwardHeader = "X-Dvfsd-Forwarded"
 
 // Config sizes the service.
 type Config struct {
@@ -49,6 +67,19 @@ type Config struct {
 	// (dvfsd -load-models): jobs for these workloads skip calibration
 	// and fit-frequency profiling.
 	Bundles map[string]*traceio.ModelBundle
+
+	// Ring is the cluster topology; nil runs single-node. When set,
+	// NodeID must name a ring member and submissions whose strategy key
+	// hashes to another node are proxied to it.
+	Ring *ring.Ring
+	// NodeID identifies this daemon in the ring and prefixes its job
+	// IDs ("n1-j00000001") so IDs are unique — and routable — cluster
+	// wide.
+	NodeID string
+	// Store is the durable job index; nil means an in-process memory
+	// store sized by Retention (single-node behavior, jobs die with the
+	// process). An fs store makes acknowledged jobs survive restarts.
+	Store jobstore.Store
 }
 
 func (c *Config) fillDefaults() {
@@ -69,15 +100,27 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Retention is the job-store bound for a daemon with the given worker
+// pool and queue: every live job (workers + queue) plus headroom for
+// completed ones. A bound below this lets a saturated store evict a
+// fresh result before the submitter's first poll.
+func Retention(workers, queueDepth int) int {
+	return 4*queueDepth + workers + 1
+}
+
 // Server is the dvfsd service. Create with New, expose via Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg   Config
-	lab   *experiments.Lab
-	cache *strategyCache
-	jobs  *jobStore
-	met   *metrics
-	mux   *http.ServeMux
+	cfg    Config
+	lab    *experiments.Lab
+	cache  *strategyCache
+	store  jobstore.Store
+	met    *metrics
+	mux    *http.ServeMux
+	ring   *ring.Ring
+	nodeID string
+	// peers issues proxied requests to other ring nodes.
+	peers *http.Client
 
 	queue chan *job
 	// baseCtx parents every job context; cancelAll force-cancels
@@ -85,6 +128,14 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	workers   sync.WaitGroup
+	// stopping is closed when Shutdown begins; it unblocks the recovery
+	// goroutine's queue sends so shutdown never deadlocks behind a full
+	// queue.
+	stopping chan struct{}
+	// requeueDone is closed once the recovery goroutine has stopped
+	// sending; the queue may only be closed after it (a send on a
+	// closed channel panics).
+	requeueDone chan struct{}
 	// drained is closed once every worker has exited; all Shutdown
 	// callers wait on it so "Shutdown returned nil" always means
 	// "daemon quiesced", not "someone else is draining".
@@ -94,36 +145,115 @@ type Server struct {
 	closed bool
 }
 
-// New starts the worker pool and returns the service.
-func New(cfg Config) *Server {
+// New starts the worker pool — re-enqueuing any unfinished jobs the
+// store recovered from a previous process — and returns the service.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if cfg.Ring != nil {
+		if cfg.NodeID == "" {
+			return nil, errors.New("server: cluster mode requires a node ID")
+		}
+		if _, ok := cfg.Ring.Lookup(cfg.NodeID); !ok {
+			return nil, fmt.Errorf("server: node %q is not a ring member", cfg.NodeID)
+		}
+	}
+	store := cfg.Store
+	if store == nil {
+		prefix := ""
+		if cfg.NodeID != "" {
+			prefix = cfg.NodeID + "-"
+		}
+		store = jobstore.NewMemory(Retention(cfg.Workers, cfg.QueueDepth), prefix)
+	}
 	//lint:allow ctxflow daemon lifecycle root: New owns the process-long context that Shutdown cancels
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:   cfg,
-		lab:   cfg.Lab,
-		cache: newStrategyCache(cfg.CacheSize),
-		// Retention must cover every live job (workers + queue) plus
-		// headroom for completed ones: a bound below that lets a
-		// saturated store evict a fresh result before the submitter's
-		// first poll.
-		jobs:      newJobStore(4*cfg.QueueDepth + cfg.Workers + 1),
-		met:       newMetrics(),
-		mux:       http.NewServeMux(),
-		queue:     make(chan *job, cfg.QueueDepth),
-		baseCtx:   ctx,
-		cancelAll: cancel,
-		drained:   make(chan struct{}),
+		cfg:         cfg,
+		lab:         cfg.Lab,
+		cache:       newStrategyCache(cfg.CacheSize),
+		store:       store,
+		met:         newMetrics(),
+		mux:         http.NewServeMux(),
+		ring:        cfg.Ring,
+		nodeID:      cfg.NodeID,
+		peers:       &http.Client{Timeout: 30 * time.Second},
+		queue:       make(chan *job, cfg.QueueDepth),
+		baseCtx:     ctx,
+		cancelAll:   cancel,
+		stopping:    make(chan struct{}),
+		requeueDone: make(chan struct{}),
+		drained:     make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/strategies", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	pending := store.Pending()
+	s.met.setRecovered(len(pending))
+	if len(pending) == 0 {
+		close(s.requeueDone)
+	} else {
+		go s.requeue(pending)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// requeue feeds recovered jobs back into the queue: the jobs a dead
+// process acknowledged with 202 but never finished. Sends block until
+// a worker frees queue space (recovered jobs may outnumber the queue)
+// and abort on shutdown.
+func (s *Server) requeue(pending []*jobstore.Record) {
+	defer close(s.requeueDone)
+	for _, rec := range pending {
+		if rec.Request == nil {
+			s.failRecovered(rec, errors.New("recovered job has no request body"))
+			continue
+		}
+		m, err := rec.Request.Resolve()
+		if err != nil {
+			s.failRecovered(rec, err)
+			continue
+		}
+		j := &job{
+			id:        rec.ID,
+			workload:  rec.Workload,
+			cacheKey:  rec.CacheKey,
+			spec:      rec.Request.Search,
+			model:     m,
+			req:       rec.Request,
+			submitted: time.Now(),
+		}
+		// A record recovered mid-run shows queued again until a worker
+		// picks it up — pollers see a consistent restart of the machine,
+		// not a job stuck "running" in a process that no longer exists.
+		s.storeUpdate(&jobstore.Record{
+			ID: rec.ID, State: traceio.JobQueued, Workload: rec.Workload,
+			CacheKey: rec.CacheKey, Request: rec.Request,
+		})
+		select {
+		case s.queue <- j:
+		case <-s.stopping:
+			return
+		}
+	}
+}
+
+// failRecovered marks a recovered record that cannot be re-run (no
+// request body, or the workload no longer resolves) as failed, so its
+// submitter polls a terminal answer instead of a job frozen in queued.
+func (s *Server) failRecovered(rec *jobstore.Record, err error) {
+	s.storeUpdate(&jobstore.Record{
+		ID: rec.ID, State: traceio.JobFailed, Workload: rec.Workload,
+		CacheKey: rec.CacheKey,
+		Error:    fmt.Sprintf("not recoverable after restart: %v", err),
+	})
+	s.met.jobFinished(traceio.JobFailed)
 }
 
 // Handler returns the HTTP surface, suitable for http.Server and
@@ -143,10 +273,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
-		// The caller that flips closed owns the drain watcher.
+		close(s.stopping)
+		// The caller that flips closed owns the drain watcher. The
+		// queue closes only after the recovery goroutine has stopped
+		// sending on it.
 		go func() {
+			<-s.requeueDone
+			close(s.queue)
 			s.workers.Wait()
+			_ = s.store.Close()
 			close(s.drained)
 		}()
 	}
@@ -171,27 +306,27 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one search under the job's deadline.
+// runJob executes one search under the job's deadline, persisting each
+// state transition.
 func (s *Server) runJob(j *job) {
-	j.mu.Lock()
-	j.state = traceio.JobRunning
-	j.queueDur = time.Since(j.submitted)
-	spec := j.spec
-	m := j.model
-	j.mu.Unlock()
-	s.met.observeStage("queue", j.queueDur.Seconds())
+	queueDur := time.Since(j.submitted)
+	s.storeUpdate(&jobstore.Record{
+		ID: j.id, State: traceio.JobRunning, Workload: j.workload,
+		CacheKey: j.cacheKey, Request: j.req, QueueMillis: millis(queueDur),
+	})
+	s.met.observeStage("queue", queueDur.Seconds())
 	s.met.runningDelta(1)
 	defer s.met.runningDelta(-1)
 
 	timeout := s.cfg.DefaultTimeout
-	if spec.TimeoutMillis > 0 {
-		timeout = time.Duration(spec.TimeoutMillis) * time.Millisecond
+	if j.spec.TimeoutMillis > 0 {
+		timeout = time.Duration(j.spec.TimeoutMillis) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
 
 	start := time.Now()
-	resp, gaRes, modelDur, err := s.generate(ctx, m, spec)
+	resp, gaRes, modelDur, err := s.generate(ctx, j.model, j.spec)
 	searchDur := time.Since(start)
 	s.met.observeStage("model", modelDur.Seconds())
 	s.met.observeStage("search", (searchDur - modelDur).Seconds())
@@ -199,28 +334,28 @@ func (s *Server) runJob(j *job) {
 		s.met.observeGA(j.workload, gaRes, (searchDur - modelDur).Seconds())
 	}
 
-	j.mu.Lock()
-	j.searchDur = searchDur
+	// Terminal records drop the request body: there is nothing left to
+	// re-run, and results dominate the record size already.
+	rec := &jobstore.Record{
+		ID: j.id, Workload: j.workload, CacheKey: j.cacheKey,
+		QueueMillis: millis(queueDur), SearchMillis: millis(searchDur),
+	}
 	switch {
 	case err == nil:
-		j.state = traceio.JobDone
-		j.result = resp
+		rec.State = traceio.JobDone
+		rec.Result = resp
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		j.state = traceio.JobCancelled
-		j.err = err
+		rec.State = traceio.JobCancelled
+		rec.Error = err.Error()
 	default:
-		j.state = traceio.JobFailed
-		j.err = err
+		rec.State = traceio.JobFailed
+		rec.Error = err.Error()
 	}
-	state := j.state
-	j.mu.Unlock()
-	s.met.jobFinished(state)
-	if state == traceio.JobDone {
+	s.met.jobFinished(rec.State)
+	if rec.State == traceio.JobDone {
 		s.cache.Put(j.cacheKey, resp)
 	}
-	// j.id is safe to read without j.mu: it was assigned before the
-	// job was enqueued (jobStore.add happens-before the queue send).
-	s.jobs.noteTerminal(j.id)
+	s.storeUpdate(rec)
 }
 
 // generate runs the modeling + search pipeline for one workload. It
@@ -267,10 +402,17 @@ func (s *Server) generate(ctx context.Context, m *workload.Model, spec traceio.S
 }
 
 // handleSubmit is POST /v1/strategies. A cache hit answers 200 with an
-// already-done job; otherwise the job is queued and answered 202.
+// already-done job; otherwise the job is queued and answered 202 — on
+// this node if it owns the strategy key (or there is no ring), else on
+// the owner via a single loop-guarded proxy hop.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req traceio.StrategyRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -287,35 +429,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	key := traceio.CacheKey(traceio.Fingerprint(m.Trace), req.Search)
 
+	if s.ring != nil {
+		if r.Header.Get(ForwardHeader) != "" {
+			// Already proxied once: serve locally regardless of what our
+			// ring file says, so disagreeing topologies degrade to an
+			// extra hop, never a loop.
+			s.met.forward("in")
+		} else if owner := s.ring.Owner(key); owner.ID != s.nodeID {
+			if s.proxy(w, owner, "POST", "/v1/strategies", raw) {
+				return
+			}
+			// Owner unreachable: serve locally. The strategy is
+			// byte-identical anywhere; only cache locality suffers.
+			s.met.forward("fallback")
+		}
+	}
+
 	if resp, ok := s.cache.Get(key); ok {
 		s.met.cacheHit(true)
-		j := &job{
-			workload:  m.Name,
-			cacheKey:  key,
-			spec:      req.Search,
-			state:     traceio.JobDone,
-			cached:    true,
-			submitted: time.Now(),
-			result:    resp,
+		rec := &jobstore.Record{
+			State: traceio.JobDone, Workload: m.Name, CacheKey: key,
+			Cached: true, Result: resp,
 		}
-		s.jobs.add(j)
+		if _, err := s.store.Add(rec); err != nil {
+			s.met.storeError()
+		}
 		// Cache hits run no search: counting them as finished "done"
 		// jobs would make dvfsd_jobs_total{state="done"} disagree with
 		// the search-latency series under hot traffic. They get their
 		// own label instead.
 		s.met.jobCached()
-		writeJSON(w, http.StatusOK, j.status())
+		writeJSON(w, http.StatusOK, rec.Status())
 		return
 	}
 	s.met.cacheHit(false)
 
-	j := &job{
-		workload:  m.Name,
-		cacheKey:  key,
-		spec:      req.Search,
-		model:     m,
-		state:     traceio.JobQueued,
-		submitted: time.Now(),
+	rec := &jobstore.Record{
+		State: traceio.JobQueued, Workload: m.Name, CacheKey: key, Request: &req,
 	}
 
 	s.mu.Lock()
@@ -324,35 +474,101 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
 		return
 	}
-	// Assign the ID and publish the job BEFORE the queue send: the
-	// moment j is on the queue a worker may mutate it and read j.id
-	// (noteTerminal), so enqueueing an ID-less job is a data race —
-	// and the job could finish, be seen as terminal by its own add,
-	// and be evicted before the submitter could ever poll it.
-	s.jobs.add(j)
+	// Assign the ID and publish the record BEFORE the queue send: the
+	// moment the job is on the queue a worker may finish it and persist
+	// a terminal transition, so an unpublished record would drop the
+	// result — and the submitter could never poll the ID it was
+	// acknowledged with.
+	id, addErr := s.store.Add(rec)
+	if addErr != nil {
+		s.met.storeError()
+	}
+	j := &job{
+		id: id, workload: m.Name, cacheKey: key, spec: req.Search,
+		model: m, req: &req, submitted: time.Now(),
+	}
 	select {
 	case s.queue <- j:
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
-		s.jobs.remove(j.id)
+		s.store.Remove(id)
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("queue full (%d jobs waiting); retry later", s.cfg.QueueDepth))
 		return
 	}
 	s.met.setQueueDepth(len(s.queue))
-	writeJSON(w, http.StatusAccepted, j.status())
+	writeJSON(w, http.StatusAccepted, rec.Status())
 }
 
-// handleJob is GET /v1/jobs/{id}.
+// handleJob is GET /v1/jobs/{id}. In cluster mode, IDs carry their
+// node prefix, so polls for jobs another node accepted are proxied to
+// it.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.jobs.get(id)
+	if s.ring != nil && r.Header.Get(ForwardHeader) == "" {
+		if nid := nodePrefix(id); nid != "" && nid != s.nodeID {
+			if n, ok := s.ring.Lookup(nid); ok && s.proxy(w, n, "GET", "/v1/jobs/"+id, nil) {
+				return
+			}
+			// Unknown node or unreachable: fall through to the local
+			// store, which answers 404 unless this node served the job
+			// as a fallback.
+		}
+	}
+	st, ok := s.jobStatus(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, st)
+}
+
+// proxy forwards a request to a peer node and relays its response
+// verbatim. Returns false on transport failure — the caller falls back
+// to serving locally — and true once any response (success or error)
+// has been relayed.
+func (s *Server) proxy(w http.ResponseWriter, n ring.Node, method, path string, body []byte) bool {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, strings.TrimRight(n.Addr, "/")+path, rd)
+	if err != nil {
+		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(ForwardHeader, s.nodeID)
+	resp, err := s.peers.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	s.met.forward("out")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// handleCluster is GET /v1/cluster: this node's identity, store
+// backend, and view of the ring.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	st := traceio.ClusterStatus{
+		Node:  s.nodeID,
+		Store: s.store.Kind(),
+	}
+	if s.ring != nil {
+		st.VNodes = s.ring.VNodes()
+		for _, n := range s.ring.Nodes() {
+			st.Nodes = append(st.Nodes, traceio.ClusterNode{
+				ID: n.ID, Addr: n.Addr, Self: n.ID == s.nodeID,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

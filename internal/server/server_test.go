@@ -76,7 +76,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Bundles == nil {
 		cfg.Bundles = map[string]*traceio.ModelBundle{"resnet50": bundle}
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -302,10 +305,13 @@ func TestQueueFullRejects(t *testing.T) {
 	lab, bundle := fixture(t)
 	// No workers can make progress quickly: one worker, deep search,
 	// queue depth 1.
-	s := New(Config{
+	s, err := New(Config{
 		Workers: 1, QueueDepth: 1, Lab: lab,
 		Bundles: map[string]*traceio.ModelBundle{"resnet50": bundle},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -405,10 +411,13 @@ func waitForGoroutines(t *testing.T, base int) {
 func TestShutdownDrainsWithoutLeak(t *testing.T) {
 	lab, bundle := fixture(t)
 	base := goroutineBaseline()
-	s := New(Config{
+	s, err := New(Config{
 		Workers: 2, Lab: lab,
 		Bundles: map[string]*traceio.ModelBundle{"resnet50": bundle},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	var ids []string
 	for i := 0; i < 4; i++ {
@@ -425,11 +434,11 @@ func TestShutdownDrainsWithoutLeak(t *testing.T) {
 		t.Fatalf("graceful shutdown: %v", err)
 	}
 	for _, id := range ids {
-		j, ok := s.jobs.get(id)
+		st, ok := s.jobStatus(id)
 		if !ok {
 			t.Fatalf("job %s evicted before completion", id)
 		}
-		if st := j.status(); st.State != traceio.JobDone {
+		if st.State != traceio.JobDone {
 			t.Errorf("job %s after drain: %q (%s), want done", id, st.State, st.Error)
 		}
 	}
@@ -444,10 +453,13 @@ func TestShutdownDrainsWithoutLeak(t *testing.T) {
 func TestShutdownDeadlineForceCancels(t *testing.T) {
 	lab, bundle := fixture(t)
 	base := goroutineBaseline()
-	s := New(Config{
+	s, err := New(Config{
 		Workers: 1, QueueDepth: 4, Lab: lab,
 		Bundles: map[string]*traceio.ModelBundle{"resnet50": bundle},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	var ids []string
 	for i := 0; i < 3; i++ {
@@ -462,19 +474,17 @@ func TestShutdownDeadlineForceCancels(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
-	err := s.Shutdown(ctx)
-	if err == nil {
+	if err := s.Shutdown(ctx); err == nil {
 		t.Fatal("shutdown under load with a 100ms deadline reported a clean drain")
 	}
 	// Workers have exited (Shutdown waited for them even on the error
 	// path); every job must be terminal and the deep searches
 	// cancelled, not abandoned mid-run.
 	for _, id := range ids {
-		j, ok := s.jobs.get(id)
+		st, ok := s.jobStatus(id)
 		if !ok {
 			t.Fatalf("job %s missing", id)
 		}
-		st := j.status()
 		switch st.State {
 		case traceio.JobDone, traceio.JobCancelled:
 		default:

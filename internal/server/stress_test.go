@@ -158,10 +158,13 @@ func TestSubmitPollMetricsConcurrentStress(t *testing.T) {
 // returned" as "daemon quiesced" raced the drain.
 func TestConcurrentShutdownWaits(t *testing.T) {
 	lab, bundle := fixture(t)
-	s := New(Config{
+	s, err := New(Config{
 		Workers: 1, Lab: lab,
 		Bundles: map[string]*traceio.ModelBundle{"resnet50": bundle},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -171,10 +174,10 @@ func TestConcurrentShutdownWaits(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: code %d", code)
 	}
-	j, ok := s.jobs.get(st.ID)
-	if !ok {
+	if _, ok := s.jobStatus(st.ID); !ok {
 		t.Fatalf("job %s not in store", st.ID)
 	}
+	jobID := st.ID
 
 	const callers = 3
 	states := make(chan string, callers)
@@ -194,7 +197,12 @@ func TestConcurrentShutdownWaits(t *testing.T) {
 			}
 			// The moment any Shutdown call returns nil, the daemon
 			// must be quiesced: no worker is still mutating jobs.
-			states <- j.status().State
+			js, ok := s.jobStatus(jobID)
+			if !ok {
+				states <- "missing"
+				return
+			}
+			states <- js.State
 		}(i)
 	}
 	wg.Wait()

@@ -170,6 +170,18 @@ func CacheKey(fingerprint string, s SearchSpec) string {
 	return fingerprint + ":" + s.ConfigHash()
 }
 
+// Key resolves the request and returns its strategy key — the cache
+// key on the server and the consistent-hash routing key in a cluster.
+// Ring-aware clients derive it locally to pick the owning node before
+// submitting.
+func (r *StrategyRequest) Key() (string, error) {
+	m, err := r.Resolve()
+	if err != nil {
+		return "", err
+	}
+	return CacheKey(Fingerprint(m.Trace), r.Search), nil
+}
+
 // PredictedDeltas reports the model-predicted effect of a strategy
 // against the fixed-maximum-frequency baseline. These come from the
 // same evaluator the GA scored with (Sect. 6.3), not from measured
@@ -224,6 +236,24 @@ type JobStatus struct {
 	SearchMillis units.Millis `json:"search_ms"`
 	// Result is set once State is done.
 	Result *StrategyResponse `json:"result,omitempty"`
+}
+
+// ClusterNode is one ring member as reported by GET /v1/cluster.
+type ClusterNode struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Self marks the node answering the request.
+	Self bool `json:"self,omitempty"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster: the answering node's
+// identity, its job-store backend, and its view of the ring. A
+// single-node daemon reports an empty node ID and no ring.
+type ClusterStatus struct {
+	Node   string        `json:"node"`
+	Store  string        `json:"store"`
+	VNodes int           `json:"vnodes,omitempty"`
+	Nodes  []ClusterNode `json:"nodes,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx API response.

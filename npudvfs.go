@@ -292,8 +292,10 @@ type (
 )
 
 // NewServer starts the service's worker pool; expose it with
-// (*Server).Handler and stop it with (*Server).Shutdown.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// (*Server).Handler and stop it with (*Server).Shutdown. It errors on
+// an inconsistent cluster configuration (a node ID absent from the
+// ring).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // NewClient returns a client for the daemon at baseURL.
 func NewClient(baseURL string) *Client { return client.New(baseURL) }

@@ -1,0 +1,43 @@
+// Command freeports prints N free loopback TCP ports, one per line.
+//
+// The cluster smoke script needs the ring file written before any
+// daemon boots, so node addresses must be fixed up front — unlike the
+// single-node smokes, which let dvfsd pick port 0 and read it back.
+// All listeners stay open until every port is collected, so the
+// returned set is duplicate-free; the usual bind race after release is
+// acceptable for a smoke test.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintln(os.Stderr, "usage: freeports [N]")
+			os.Exit(2)
+		}
+		n = v
+	}
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeports:", err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}
