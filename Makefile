@@ -4,7 +4,7 @@
 # parallel experiment harness and the dvfsd serving layer — so a
 # race-clean run is part of "tests pass"), and finally the dvfsd
 # end-to-end smoke.
-.PHONY: verify build test vet fmt-check lint race short bench serve-smoke load-smoke cluster-smoke load-bench
+.PHONY: verify build test vet fmt-check lint lint-fast race short bench serve-smoke load-smoke cluster-smoke load-bench
 
 verify: build vet fmt-check lint test race serve-smoke load-smoke cluster-smoke
 
@@ -18,13 +18,25 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# dvfslint enforces the determinism & concurrency contracts
-# (DESIGN.md §9): seeded randomness only, tolerance-based float
-# comparison, ctx-cancellable searches, paired locks, tracked
-# goroutines. Run a subset with e.g.:
+# dvfslint enforces the determinism, concurrency and serving/cluster
+# contracts (DESIGN.md §9): seeded randomness only, tolerance-based
+# float comparison, ctx-cancellable searches, paired locks, tracked
+# goroutines, dimensional safety, and the interprocedural serving
+# rules (errsink, atomicwrite, respclose, metricflow). Results are
+# cached per package under .cache/dvfslint, keyed by file content and
+# transitive dependency hashes, so a warm run only re-analyzes what
+# changed. Run a subset with e.g.:
 #   go run ./cmd/dvfslint -rules detrand,floateq
 lint:
-	go run ./cmd/dvfslint
+	go run ./cmd/dvfslint -cache .cache/dvfslint
+
+# Changed-packages-only lint for local iteration: diffs the working
+# tree against HEAD, maps changed .go files to their package dirs and
+# analyzes just those (dependencies still type-check for facts, and
+# the warm cache makes that near-free). Full `make lint` remains the
+# gate.
+lint-fast:
+	./scripts/lint_fast.sh
 
 test:
 	go test ./...

@@ -4,12 +4,22 @@
 //
 // Usage:
 //
-//	dvfslint [-rules detrand,floateq] [-dir path] [-list] [packages]
+//	dvfslint [-rules detrand,errsink] [-dir path] [-format text|json|sarif|github]
+//	         [-cache dir] [-only dir1,dir2] [-list] [packages]
 //
 // The optional packages argument is accepted for familiarity ("./...")
 // but the tool always analyzes the whole module containing -dir (or
-// the working directory). Exit status: 0 clean, 1 findings, 2 usage or
-// load errors. Suppress a finding with an in-tree justification:
+// the working directory); -only restricts analysis and output to the
+// listed package directories (dependencies are still type-checked as
+// needed). -cache enables the content-hash per-package result cache:
+// a warm run re-analyzes only packages whose sources — or whose
+// dependencies' sources — changed. -format selects plain text
+// (default), a JSON array, SARIF 2.1.0 for code-scanning upload, or
+// GitHub ::error workflow commands for inline PR annotations; all
+// formats are byte-identical at any -j.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. Suppress a
+// finding with an in-tree justification:
 //
 //	//lint:allow <rule> <reason>
 //
@@ -28,22 +38,31 @@ import (
 
 func main() {
 	var (
-		rules   = flag.String("rules", "all", "comma-separated rule subset to run (e.g. detrand,floateq), or all")
-		dir     = flag.String("dir", ".", "directory inside the module to analyze")
-		list    = flag.Bool("list", false, "list available rules and exit")
-		workers = flag.Int("j", 0, "worker-pool size for package analysis (0 = min(GOMAXPROCS, 8))")
+		rules    = flag.String("rules", "all", "comma-separated rule subset to run (e.g. detrand,errsink), or all")
+		dir      = flag.String("dir", ".", "directory inside the module to analyze")
+		list     = flag.Bool("list", false, "list available rules and exit")
+		workers  = flag.Int("j", 0, "worker-pool size for package analysis (0 = min(GOMAXPROCS, 8))")
+		format   = flag.String("format", "text", "output format: text, json, sarif, or github")
+		cacheDir = flag.String("cache", "", "directory for the per-package result cache (empty = no cache)")
+		only     = flag.String("only", "", "comma-separated package directories to analyze (empty = whole module)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dvfslint [-rules r1,r2] [-dir path] [-j n] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dvfslint [-rules r1,r2] [-dir path] [-j n] [-format f] [-cache dir] [-only d1,d2] [-list] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	switch *format {
+	case "text", "json", "sarif", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "dvfslint: unknown -format %q (want text, json, sarif, or github)\n", *format)
+		os.Exit(2)
 	}
 	analyzers, err := lint.SelectAnalyzers(*rules)
 	if err != nil {
@@ -55,17 +74,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags, err := lint.RunAllWorkers(root, analyzers, *workers)
+	opts := lint.Options{Workers: *workers, CacheDir: *cacheDir}
+	if strings.TrimSpace(*only) != "" {
+		for _, d := range strings.Split(*only, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				opts.OnlyDirs = append(opts.OnlyDirs, d)
+			}
+		}
+		if opts.OnlyDirs == nil {
+			opts.OnlyDirs = []string{}
+		}
+	}
+	diags, err := lint.RunAllOpts(root, analyzers, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		// Report paths relative to the module root for stable output.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	// Report paths relative to the module root for stable output.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	switch *format {
+	case "json":
+		err = lint.EncodeJSON(os.Stdout, diags)
+	case "sarif":
+		err = lint.EncodeSARIF(os.Stdout, analyzers, diags)
+	case "github":
+		err = lint.EncodeGitHub(os.Stdout, diags)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dvfslint: %d finding(s)\n", len(diags))

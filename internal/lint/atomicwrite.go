@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AtomicWrite guards the jobstore's crash-safety contract: every
+// record reaching disk must go through the audited tmp→rename sequence
+// (write to "<path>.tmp", then os.Rename onto the final name), so a
+// crash mid-write can never leave a torn JSON file where recovery
+// expects a record. Any direct create/write to a final path inside
+// internal/cluster/jobstore is a finding, as is delegating the write to
+// a helper outside the package that the fact store summarizes as
+// WritesFinalPath — the audit boundary must stay inside jobstore.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "jobstore writes must use the audited tmp+rename sequence; no direct final-path creates/writes",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !isInternalPkg(p.ImportPath) || pkgBase(p.ImportPath) != "jobstore" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAtomicWrites(p, fd, report)
+		}
+	}
+}
+
+func checkAtomicWrites(p *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	tmp := tmpDerived(p, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		kind, arg := finalWriteKind(p, fn, call)
+		switch kind {
+		case "write":
+			if !tmpDerivedExpr(p, arg, tmp) {
+				report(call.Pos(), "%s writes final path %s directly — stage to a .tmp file and os.Rename it into place", calleeLabel(fn), renderExpr(p, arg))
+			}
+		case "rename":
+			// The destination of a rename is the final path by design;
+			// what must be tmp-derived is the source.
+			if !tmpDerivedExpr(p, call.Args[0], tmp) {
+				report(call.Pos(), "os.Rename source %s is not a .tmp staging path — the write before it was not atomic", renderExpr(p, call.Args[0]))
+			}
+		case "":
+			// A module-internal helper outside jobstore that performs
+			// final-path writes moves the persistence audit out of this
+			// package; the summary comes from the fact store.
+			path := funcPkgPath(fn)
+			if isInternalPkg(path) && pkgBase(path) != "jobstore" && p.Facts.Lookup(fn).WritesFinalPath {
+				report(call.Pos(), "%s performs a final-path write outside jobstore — keep persistence inside the audited tmp+rename sequence", calleeLabel(fn))
+			}
+		}
+		return true
+	})
+}

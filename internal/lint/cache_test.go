@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Cache tests run against a small synthetic module so entries can be
+// invalidated by editing files without touching the real tree. The
+// module has one interprocedural errsink finding: internal/server
+// discards the error of internal/fsio.Commit, which wraps os.Rename.
+
+const cacheTestGoMod = "module tmpmod\n\ngo 1.22\n"
+
+const cacheTestFsio = `package fsio
+
+import "os"
+
+func Commit(src, dst string) error {
+	return os.Rename(src, dst)
+}
+`
+
+const cacheTestServer = `package server
+
+import "tmpmod/internal/fsio"
+
+func publish(a, b string) {
+	_ = fsio.Commit(a, b)
+}
+`
+
+func writeCacheTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod":                cacheTestGoMod,
+		"internal/fsio/fsio.go": cacheTestFsio,
+		"internal/server/s.go":  cacheTestServer,
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+	return root
+}
+
+// TestCacheWarmRunIdentical: a warm run must reproduce the cold run's
+// diagnostics exactly, and must actually populate the cache directory.
+func TestCacheWarmRunIdentical(t *testing.T) {
+	root := writeCacheTestModule(t)
+	cacheDir := filepath.Join(root, ".cache")
+	opts := Options{CacheDir: cacheDir}
+	cold, err := RunAllOpts(root, []*Analyzer{ErrSink}, opts)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(cold) != 1 || cold[0].Rule != "errsink" || !strings.Contains(cold[0].Message, "fsio.Commit") {
+		t.Fatalf("cold run = %v, want one interprocedural errsink finding", cold)
+	}
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir not populated: %v entries, err %v", len(ents), err)
+	}
+	warm, err := RunAllOpts(root, []*Analyzer{ErrSink}, opts)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm run diverged:\ncold: %v\nwarm: %v", cold, warm)
+	}
+}
+
+// TestCacheInvalidatesDependents: editing a dependency must invalidate
+// its dependents' entries — the dep's key feeds into theirs — and the
+// dependents must re-analyze against fresh facts. Here the edit makes
+// fsio.Commit stop wrapping an os call, so the server package's
+// discard stops being a finding.
+func TestCacheInvalidatesDependents(t *testing.T) {
+	root := writeCacheTestModule(t)
+	opts := Options{CacheDir: filepath.Join(root, ".cache")}
+	cold, err := RunAllOpts(root, []*Analyzer{ErrSink}, opts)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(cold) != 1 {
+		t.Fatalf("cold run = %v, want one finding", cold)
+	}
+	edited := `package fsio
+
+import "errors"
+
+func Commit(src, dst string) error {
+	return errors.New("unimplemented: " + src + dst)
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "internal", "fsio", "fsio.go"), []byte(edited), 0o644); err != nil {
+		t.Fatalf("edit dep: %v", err)
+	}
+	after, err := RunAllOpts(root, []*Analyzer{ErrSink}, opts)
+	if err != nil {
+		t.Fatalf("run after edit: %v", err)
+	}
+	if len(after) != 0 {
+		t.Fatalf("stale cache survived a dependency edit: %v", after)
+	}
+}
+
+// TestCacheRuleSetKeyed: entries are keyed by the selected rule set, so
+// a -rules subset can never serve another subset's results.
+func TestCacheRuleSetKeyed(t *testing.T) {
+	root := writeCacheTestModule(t)
+	opts := Options{CacheDir: filepath.Join(root, ".cache")}
+	if diags, err := RunAllOpts(root, []*Analyzer{DetRand}, opts); err != nil || len(diags) != 0 {
+		t.Fatalf("detrand-only run: %v, %v", diags, err)
+	}
+	diags, err := RunAllOpts(root, []*Analyzer{ErrSink}, opts)
+	if err != nil || len(diags) != 1 {
+		t.Fatalf("errsink run after detrand warmed the cache = %v, %v; want the finding", diags, err)
+	}
+}
+
+// TestOnlyDirsScoping: OnlyDirs restricts analysis and output to the
+// listed package directories; everything else is at most type-checked.
+func TestOnlyDirsScoping(t *testing.T) {
+	root := writeCacheTestModule(t)
+	diags, err := RunAllOpts(root, []*Analyzer{ErrSink}, Options{OnlyDirs: []string{"internal/fsio"}})
+	if err != nil {
+		t.Fatalf("only fsio: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope findings reported: %v", diags)
+	}
+	diags, err = RunAllOpts(root, []*Analyzer{ErrSink}, Options{OnlyDirs: []string{"internal/server"}})
+	if err != nil {
+		t.Fatalf("only server: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "fsio.Commit") {
+		t.Fatalf("scoped run = %v, want the interprocedural finding (dep still type-checked for facts)", diags)
+	}
+}

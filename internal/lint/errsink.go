@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrSink flags discarded errors whose provenance reaches an os/io/net
+// operation — directly, or interprocedurally through module-internal
+// helpers summarized as DerivesIOError in the fact store. A dropped
+// I/O error hides a failed write, a failed rename, or a broken socket;
+// in the serving layer (see CHANGES.md PR 6) exactly this class of
+// silent failure has produced bugs a stress run had to find. Defers are
+// exempt by construction: `defer f.Close()` on a read path is the
+// idiomatic cleanup and has no caller to report to.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "no discarded errors with os/io/net provenance in the serving/cluster packages (interprocedural through helpers)",
+	Run:  runErrSink,
+}
+
+// errSinkPkgs are the package basenames in scope: the serving and
+// cluster layers, where a dropped I/O error means silent data loss.
+var errSinkPkgs = map[string]bool{
+	"server":   true,
+	"client":   true,
+	"jobstore": true,
+	"ring":     true,
+}
+
+func runErrSink(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !isInternalPkg(p.ImportPath) || !errSinkPkgs[pkgBase(p.ImportPath)] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrSinks(p, fd, report)
+		}
+	}
+}
+
+// checkErrSinks walks one function body for the three discard shapes:
+// a bare statement call, a blank-identifier assignment, and a dead
+// assignment (error stored but never read again).
+func checkErrSinks(p *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	named := namedResults(p, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if fn, ok := ioErrCall(p, call); ok {
+					report(call.Pos(), "error from %s discarded by bare call — handle it or annotate with //lint:allow errsink", calleeLabel(fn))
+				}
+			}
+		case *ast.AssignStmt:
+			checkErrAssign(p, fd, s, named, report)
+		}
+		return true
+	})
+}
+
+// checkErrAssign flags blank discards and dead stores of I/O-derived
+// errors in one assignment.
+func checkErrAssign(p *Package, fd *ast.FuncDecl, s *ast.AssignStmt, named map[types.Object]bool, report func(pos token.Pos, format string, args ...any)) {
+	call, ok := singleCallRHS(s)
+	if !ok {
+		return
+	}
+	fn, ok := ioErrCall(p, call)
+	if !ok {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	// Map result positions to LHS expressions; with one RHS call the
+	// arities match (or it's `x := f()` destructuring).
+	if len(s.Lhs) != sig.Results().Len() && sig.Results().Len() > 1 {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !types.Identical(sig.Results().At(i).Type(), errorType) {
+			continue
+		}
+		var lhs ast.Expr
+		if len(s.Lhs) == sig.Results().Len() {
+			lhs = s.Lhs[i]
+		} else {
+			lhs = s.Lhs[0]
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return // stored into a field/index: assume live
+		}
+		if id.Name == "_" {
+			report(s.Pos(), "error from %s discarded as _ — handle it or annotate with //lint:allow errsink", calleeLabel(fn))
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil || named[obj] {
+			return // named results flow out through bare returns
+		}
+		if !usedAfter(p, fd.Body, s, obj) {
+			report(s.Pos(), "error from %s assigned to %s but never read — dead store hides the failure", calleeLabel(fn), id.Name)
+		}
+		return
+	}
+}
+
+// ioErrCall resolves call to its callee when that callee returns an
+// error with I/O provenance.
+func ioErrCall(p *Package, call *ast.CallExpr) (*types.Func, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	if _, hasErr := hasErrorResult(sig); !hasErr {
+		return nil, false
+	}
+	if !ioErrorSource(fn, p.Facts) {
+		return nil, false
+	}
+	return fn, true
+}
+
+// calleeLabel renders a callee for messages as "pkg.Func" or
+// "pkg.Type.Method".
+func calleeLabel(fn *types.Func) string {
+	base := pkgBase(funcPkgPath(fn))
+	if named := recvNamed(fn); named != nil {
+		return base + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	if base == "" {
+		return fn.Name()
+	}
+	return base + "." + fn.Name()
+}
+
+// namedResults collects the named result objects of fd (and nothing
+// else): assigning an error into a named result is publication, not a
+// dead store, because a bare `return` carries it out with no Uses
+// entry for the flow scan to see.
+func namedResults(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// usedAfter reports whether obj is read anywhere in body after the
+// assignment stmt (position-ordered: any Uses occurrence past the
+// statement's end, including inside closures declared later).
+func usedAfter(p *Package, body *ast.BlockStmt, stmt ast.Stmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= stmt.End() {
+			return true
+		}
+		if p.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Tests for the fact-based interprocedural analyzers (errsink,
+// atomicwrite, respclose, metricflow): golden true-positive +
+// allowlisted cases per analyzer, cross-package fact propagation, and
+// the PR 4 engine guarantees (unknown rules, unused directives) for
+// the four new rules.
+
+// loadTestPkgWithDeps mounts several testdata packages on one Loader
+// (so facts propagate between them) and returns the package loaded
+// last. mounts maps testdata/src names to synthetic import paths;
+// target selects which import path to load and return — its
+// dependencies load implicitly through the import graph.
+func loadTestPkgWithDeps(t *testing.T, mounts map[string]string, target string) *Package {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for name, importPath := range mounts {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatalf("abs: %v", err)
+		}
+		ld.Mount(importPath, dir)
+	}
+	p, err := ld.Load(target)
+	if err != nil {
+		t.Fatalf("load %s: %v", target, err)
+	}
+	return p
+}
+
+func TestErrSinkGolden(t *testing.T) {
+	p := loadTestPkg(t, "errsink", "npudvfs/internal/server")
+	checkGolden(t, p, []*Analyzer{ErrSink})
+}
+
+// TestErrSinkScoped: the same file outside the serving/cluster
+// packages produces no errsink findings (the allow directive correctly
+// surfaces as unused there).
+func TestErrSinkScoped(t *testing.T) {
+	p := loadTestPkg(t, "errsink", "npudvfs/internal/ga")
+	for _, d := range Run(p, []*Analyzer{ErrSink}) {
+		if d.Rule == "errsink" {
+			t.Errorf("errsink fired outside its scoped packages: %s", d)
+		} else if d.Rule != "directive" || !strings.Contains(d.Message, "unused directive") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestErrSinkCrossPackage pins interprocedural propagation across a
+// package boundary: fsio.Commit wraps os.Rename in one package, and
+// discarding its error in another is flagged through the fact store.
+func TestErrSinkCrossPackage(t *testing.T) {
+	p := loadTestPkgWithDeps(t, map[string]string{
+		"errsinkdep": "npudvfs/internal/fsio",
+		"errsinkx":   "npudvfs/internal/cluster/jobstore",
+	}, "npudvfs/internal/cluster/jobstore")
+	checkGolden(t, p, []*Analyzer{ErrSink})
+}
+
+func TestAtomicWriteGolden(t *testing.T) {
+	p := loadTestPkg(t, "atomicwrite", "npudvfs/internal/cluster/jobstore")
+	checkGolden(t, p, []*Analyzer{AtomicWrite})
+}
+
+// TestAtomicWriteScopedToJobstore: direct writes anywhere else are out
+// of scope.
+func TestAtomicWriteScopedToJobstore(t *testing.T) {
+	p := loadTestPkg(t, "rawwrite", "npudvfs/internal/rawwrite")
+	if diags := Run(p, []*Analyzer{AtomicWrite}); len(diags) != 0 {
+		t.Fatalf("atomicwrite fired outside jobstore: %v", diags)
+	}
+}
+
+// TestAtomicWriteCrossPackage: a final-path write delegated to a
+// helper outside jobstore is flagged at the jobstore call site via the
+// WritesFinalPath fact.
+func TestAtomicWriteCrossPackage(t *testing.T) {
+	p := loadTestPkgWithDeps(t, map[string]string{
+		"rawwrite":     "npudvfs/internal/rawwrite",
+		"atomicwritex": "npudvfs/internal/cluster/jobstore",
+	}, "npudvfs/internal/cluster/jobstore")
+	checkGolden(t, p, []*Analyzer{AtomicWrite})
+}
+
+func TestRespCloseGolden(t *testing.T) {
+	p := loadTestPkg(t, "respclose", "npudvfs/internal/server/client")
+	checkGolden(t, p, []*Analyzer{RespClose})
+}
+
+// TestRespCloseScoped: responses outside server/client are someone
+// else's contract.
+func TestRespCloseScoped(t *testing.T) {
+	p := loadTestPkg(t, "respclose", "npudvfs/internal/loadgen")
+	for _, d := range Run(p, []*Analyzer{RespClose}) {
+		if d.Rule == "respclose" {
+			t.Errorf("respclose fired outside server/client: %s", d)
+		}
+	}
+}
+
+// TestRespCloseCrossPackage: a closer helper in another package
+// discharges the obligation via its ClosesBody fact; a response from a
+// cross-package fetcher still leaks if never closed.
+func TestRespCloseCrossPackage(t *testing.T) {
+	p := loadTestPkgWithDeps(t, map[string]string{
+		"respdep":    "npudvfs/internal/httpx",
+		"respclosex": "npudvfs/internal/server",
+	}, "npudvfs/internal/server")
+	checkGolden(t, p, []*Analyzer{RespClose})
+}
+
+func TestMetricFlowGolden(t *testing.T) {
+	p := loadTestPkg(t, "metricflow", "npudvfs/internal/server")
+	checkGolden(t, p, []*Analyzer{MetricFlow})
+}
+
+// TestMetricFlowRequiresMetricsStruct: without a metrics struct +
+// render method the analyzer stays silent, so unrelated server files
+// are never misread.
+func TestMetricFlowRequiresMetricsStruct(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/server", "plain.go", `package server
+
+func plain() int { return 1 }
+`)
+	if diags := Run(p, []*Analyzer{MetricFlow}); len(diags) != 0 {
+		t.Fatalf("metricflow fired without a metrics struct: %v", diags)
+	}
+}
+
+// TestNewRulesSelectable: each new analyzer resolves by name and lists
+// a doc string (the -rules/-list contract).
+func TestNewRulesSelectable(t *testing.T) {
+	for _, rule := range []string{"errsink", "atomicwrite", "respclose", "metricflow"} {
+		as, err := SelectAnalyzers(rule)
+		if err != nil || len(as) != 1 || as[0].Name != rule {
+			t.Fatalf("SelectAnalyzers(%q) = %v, %v", rule, as, err)
+		}
+		if as[0].Doc == "" {
+			t.Fatalf("analyzer %q has no doc string", rule)
+		}
+	}
+}
+
+// TestNewRulesUnusedAllow: the unused-directive guarantee holds for
+// the new rules — a no-op exemption is a finding when its rule runs,
+// and silent when it doesn't.
+func TestNewRulesUnusedAllow(t *testing.T) {
+	for _, rule := range []string{"errsink", "atomicwrite", "respclose", "metricflow"} {
+		src := "package server\n\n//lint:allow " + rule + " stale exemption kept for the engine test\nfunc ok() int {\n\treturn 1\n}\n"
+		p := mountSource(t, "npudvfs/internal/server", "stale.go", src)
+		diags := Run(p, Analyzers())
+		if len(diags) != 1 || diags[0].Rule != "directive" || !strings.Contains(diags[0].Message, rule) {
+			t.Fatalf("rule %s: got %v, want one unused-directive finding", rule, diags)
+		}
+		if diags := Run(p, []*Analyzer{DetRand}); len(diags) != 0 {
+			t.Fatalf("rule %s: unused directive reported under -rules detrand: %v", rule, diags)
+		}
+	}
+}

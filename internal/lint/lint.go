@@ -1,20 +1,34 @@
 // Package lint is dvfslint: a project-specific static-analysis suite,
 // built entirely on the stdlib go/ast + go/types toolchain, that
 // mechanically enforces the repository's determinism, concurrency and
-// dimensional-safety contracts (DESIGN.md §9). It ships six analyzers:
+// dimensional-safety contracts (DESIGN.md §9). It ships ten analyzers:
 //
-//	detrand    — no process-global math/rand or wall-clock reads in
-//	             deterministic packages
-//	floateq    — no float ==/!= outside internal/stats tolerance helpers
-//	ctxflow    — no root contexts minted in internal/*; exported
-//	             generation/spec loops must accept a context.Context
-//	lockpair   — every mutex Lock/RLock pairs with an Unlock/RUnlock in
-//	             the same function
-//	goleak     — every `go` statement must be tracked by a WaitGroup, a
-//	             result channel, or internal/pool
-//	unitcheck  — no raw-float64 physical quantities in the typed
-//	             packages, no cross-unit arithmetic laundered through
-//	             float64, no bare frequency literals outside internal/vf
+//	detrand     — no process-global math/rand or wall-clock reads in
+//	              deterministic packages
+//	floateq     — no float ==/!= outside internal/stats tolerance helpers
+//	ctxflow     — no root contexts minted in internal/*; exported
+//	              generation/spec loops must accept a context.Context
+//	lockpair    — every mutex Lock/RLock pairs with an Unlock/RUnlock in
+//	              the same function
+//	goleak      — every `go` statement must be tracked by a WaitGroup, a
+//	              result channel, or internal/pool
+//	unitcheck   — no raw-float64 physical quantities in the typed
+//	              packages, no cross-unit arithmetic laundered through
+//	              float64, no bare frequency literals outside internal/vf
+//	errsink     — no discarded errors with os/io/net provenance in the
+//	              serving/cluster packages (interprocedural: a helper
+//	              wrapping os.Rename taints its callers)
+//	atomicwrite — jobstore persistence must go through the audited
+//	              tmp→rename sequence; no direct final-path writes
+//	respclose   — every *http.Response in server/client reaches
+//	              Body.Close (or a summarized closer) on all paths
+//	metricflow  — rendered metrics have writers and vice versa;
+//	              HELP/TYPE/emit lines pair; label values come from one
+//	              declared set
+//
+// The last four are interprocedural: they consume per-function
+// summaries from a fact store filled bottom-up along the import DAG at
+// load time (facts.go).
 //
 // A diagnostic is suppressed only by an explicit justification on the
 // flagged line (or the line above):
@@ -59,7 +73,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak, UnitCheck}
+	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak, UnitCheck, ErrSink, AtomicWrite, RespClose, MetricFlow}
 }
 
 // SelectAnalyzers resolves a comma-separated rule list ("" or "all"

@@ -35,6 +35,13 @@ type Package struct {
 	Pkg *types.Package
 	// Info carries the type-checker's fact tables for the files.
 	Info *types.Info
+	// Module is the module path of the owning Loader, so analyzers can
+	// distinguish module-internal callees without a Loader handle.
+	Module string
+	// Facts is the Loader-wide interprocedural fact store (see
+	// facts.go); summaries of this package's functions and of every
+	// dependency are present by the time analyzers run.
+	Facts *Facts
 }
 
 // sharedFset and stdImporter are process-wide so repeated Loader
@@ -60,8 +67,9 @@ type Loader struct {
 	// Module is the module path from go.mod.
 	Module string
 
-	mu   sync.Mutex
-	pkgs map[string]*Package // by import path
+	mu    sync.Mutex
+	pkgs  map[string]*Package // by import path
+	facts *Facts              // interprocedural summaries, filled at load time
 	// extra maps import paths to directories outside the normal
 	// module layout (used by tests to mount testdata packages under
 	// synthetic import paths).
@@ -78,7 +86,7 @@ func NewLoader(root string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Loader{Root: root, Module: mod, pkgs: map[string]*Package{}, extra: map[string]string{}}, nil
+	return &Loader{Root: root, Module: mod, pkgs: map[string]*Package{}, extra: map[string]string{}, facts: NewFacts()}, nil
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing
@@ -292,7 +300,14 @@ func (l *Loader) checkParsed(importPath, dir string, files []*ast.File) (*Packag
 	if err != nil {
 		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
 	}
-	return &Package{ImportPath: importPath, Dir: dir, Files: files, Fset: sharedFset, Pkg: pkg, Info: info}, nil
+	p := &Package{ImportPath: importPath, Dir: dir, Files: files, Fset: sharedFset, Pkg: pkg, Info: info, Module: l.Module, Facts: l.facts}
+	// Summarize this package's functions immediately: type-checking a
+	// package forces its module-internal imports through the Loader
+	// first (and the parallel driver schedules along the import DAG),
+	// so facts flow bottom-up and are complete before any dependent —
+	// or this package's own analyzers — consume them.
+	computePackageFacts(p, l.facts)
+	return p, nil
 }
 
 // loaderImporter routes module-internal imports back through the

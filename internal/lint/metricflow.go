@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MetricFlow keeps the hand-rolled Prometheus exposition in
+// internal/server/metrics.go and its writers consistent: every series
+// the render method emits must have a writer, every written field must
+// reach a render line, every `# TYPE` must pair with a `# HELP` and at
+// least one emit line, and the label values written into a map-backed
+// family (jobs_total{state=…}) must come from one declared package
+// -level set (`var <field>Labels = []string{…}`) so a typo'd label
+// can't silently fork a series. Label values are resolved
+// interprocedurally: a writer method that keys a map field by a
+// parameter carries a LabelKeyField fact, and its call sites'
+// constant arguments are checked against the declared set.
+var MetricFlow = &Analyzer{
+	Name: "metricflow",
+	Doc:  "rendered metrics need writers (and vice versa); HELP/TYPE/emit lines pair up; label values come from a declared set",
+	Run:  runMetricFlow,
+}
+
+func runMetricFlow(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !isInternalPkg(p.ImportPath) || pkgBase(p.ImportPath) != "server" {
+		return
+	}
+	st, render := findMetricsStruct(p)
+	if st == nil || render == nil {
+		return
+	}
+	checkExposition(p, render, report)
+	checkFieldFlow(p, st, render, report)
+	checkLabelSets(p, st, report)
+}
+
+// findMetricsStruct locates the `metrics` struct declaration and its
+// render method in the package.
+func findMetricsStruct(p *Package) (*ast.StructType, *ast.FuncDecl) {
+	var st *ast.StructType
+	var render *ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "metrics" {
+						continue
+					}
+					if s, ok := ts.Type.(*ast.StructType); ok {
+						st = s
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Name.Name == "render" && decl.Recv != nil && decl.Body != nil {
+					if named := recvNamed(declFuncObj(p, decl)); named != nil && named.Obj().Name() == "metrics" {
+						render = decl
+					}
+				}
+			}
+		}
+	}
+	return st, render
+}
+
+func declFuncObj(p *Package, fd *ast.FuncDecl) *types.Func {
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// expoLine is one recognized string literal in render: a HELP/TYPE
+// header or a series emit.
+type expoLine struct {
+	name string
+	kind string // TYPE only: counter/gauge/histogram
+	pos  token.Pos
+}
+
+// checkExposition parses render's string literals into HELP/TYPE/emit
+// sets and cross-checks them: a TYPE without HELP or without any emit
+// line is a dead declaration, an emit without TYPE is an undeclared
+// series (histogram families may emit _bucket/_sum/_count under the
+// declared base name).
+func checkExposition(p *Package, render *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	helps := map[string]token.Pos{}
+	var typeLines []expoLine
+	var emits []expoLine
+	ast.Inspect(render.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		tv, ok := p.Info.Types[lit]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		s := constant.StringVal(tv.Value)
+		switch {
+		case strings.HasPrefix(s, "# HELP "):
+			if name, _, ok := strings.Cut(strings.TrimPrefix(s, "# HELP "), " "); ok && name != "" {
+				helps[name] = lit.Pos()
+			}
+		case strings.HasPrefix(s, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(s, "# TYPE "))
+			if len(fields) == 2 {
+				typeLines = append(typeLines, expoLine{name: fields[0], kind: fields[1], pos: lit.Pos()})
+			}
+		default:
+			if name, ok := emitSeriesName(s); ok {
+				emits = append(emits, expoLine{name: name, pos: lit.Pos()})
+			}
+		}
+		return true
+	})
+	kinds := map[string]string{}
+	for _, t := range typeLines {
+		kinds[t.name] = t.kind
+	}
+	emitted := map[string]bool{}
+	for _, e := range emits {
+		emitted[baseSeriesName(e.name, kinds)] = true
+	}
+	for _, t := range typeLines {
+		if _, ok := helps[t.name]; !ok {
+			report(t.pos, "metric %s has a TYPE line but no HELP line", t.name)
+		}
+		if !emitted[t.name] {
+			report(t.pos, "metric %s is declared (# TYPE) but no series line is ever emitted", t.name)
+		}
+	}
+	for _, e := range emits {
+		if _, ok := kinds[baseSeriesName(e.name, kinds)]; !ok {
+			report(e.pos, "series %s is emitted without a # TYPE declaration", e.name)
+		}
+	}
+}
+
+// emitSeriesName extracts the metric name from an emit format string
+// ("dvfsd_jobs_total{state=%q} %d\n" → dvfsd_jobs_total). Only
+// prometheus-shaped names (snake_case identifier followed by a label
+// block or a space) qualify, so unrelated literals in render are
+// ignored.
+func emitSeriesName(s string) (string, bool) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	name := s[:i]
+	if i == 0 || !strings.Contains(name, "_") {
+		return "", false
+	}
+	if i >= len(s) || (s[i] != '{' && s[i] != ' ') {
+		return "", false
+	}
+	return name, true
+}
+
+// baseSeriesName folds histogram family suffixes back onto the
+// declared base name.
+func baseSeriesName(name string, kinds map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && kinds[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// checkFieldFlow verifies every metric-bearing field of the metrics
+// struct is written somewhere outside render and read inside it.
+func checkFieldFlow(p *Package, st *ast.StructType, render *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	fields := map[types.Object]*ast.Ident{}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil || isSyncType(obj.Type()) {
+				continue
+			}
+			fields[obj] = name
+		}
+	}
+	readInRender := map[types.Object]bool{}
+	ast.Inspect(render.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if obj := p.Info.Uses[sel.Sel]; obj != nil {
+				readInRender[obj] = true
+			}
+		}
+		return true
+	})
+	written := map[types.Object]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				if s == render {
+					return false
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if obj := writtenField(p, lhs); obj != nil {
+						written[obj] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if obj := writtenField(p, s.X); obj != nil {
+					written[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	names := make([]string, 0, len(fields))
+	byName := map[string]types.Object{}
+	for obj := range fields {
+		names = append(names, obj.Name())
+		byName[obj.Name()] = obj
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		obj := byName[name]
+		id := fields[obj]
+		if written[obj] && !readInRender[obj] {
+			report(id.Pos(), "metrics field %s is written but never rendered — the series is invisible", name)
+		}
+		if !written[obj] && readInRender[obj] {
+			report(id.Pos(), "metrics field %s is rendered but has no writer — the series is forever zero", name)
+		}
+	}
+}
+
+// writtenField resolves an assignment/incdec target to the metrics
+// struct field it mutates: `m.field`, `m.field[k]`.
+func writtenField(p *Package, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}
+
+func isSyncType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// labelObservation is one statically resolvable label value written
+// into a map-backed metric field.
+type labelObservation struct {
+	field string
+	value string
+	pos   token.Pos
+}
+
+// checkLabelSets collects every constant label value flowing into the
+// metrics struct's map fields — direct `m.field["x"]++` writes plus,
+// via LabelKeyField facts, constant arguments at call sites of writer
+// methods — and checks them against the declared package-level
+// `var <field>Labels = []string{…}` set.
+func checkLabelSets(p *Package, st *ast.StructType, report func(pos token.Pos, format string, args ...any)) {
+	mapFields := map[string]bool{}
+	fieldPos := map[string]token.Pos{}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Map); ok {
+				mapFields[name.Name] = true
+				fieldPos[name.Name] = name.Pos()
+			}
+		}
+	}
+	if len(mapFields) == 0 {
+		return
+	}
+	var obs []labelObservation
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				// Direct keyed write/read on a metrics map field with a
+				// constant key.
+				if obj := writtenField(p, x); obj != nil && mapFields[obj.Name()] {
+					if v, ok := constString(p, x.Index); ok {
+						obs = append(obs, labelObservation{field: obj.Name(), value: v, pos: x.Index.Pos()})
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(p, x)
+				if fn == nil {
+					return true
+				}
+				for idx, field := range p.Facts.Lookup(fn).LabelKeyField {
+					if !mapFields[field] || idx < 0 || idx >= len(x.Args) {
+						continue
+					}
+					if v, ok := constString(p, x.Args[idx]); ok {
+						obs = append(obs, labelObservation{field: field, value: v, pos: x.Args[idx].Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	declared := declaredLabelSets(p)
+	seenMissing := map[string]bool{}
+	for _, o := range obs {
+		set, ok := declared[o.field]
+		if !ok {
+			if !seenMissing[o.field] {
+				seenMissing[o.field] = true
+				report(fieldPos[o.field], "label values for %s are written (e.g. %q) but no declared set `var %sLabels = []string{…}` exists", o.field, o.value, o.field)
+			}
+			continue
+		}
+		if !set[o.value] {
+			report(o.pos, "label value %q for %s is not in the declared %sLabels set", o.value, o.field, o.field)
+		}
+	}
+}
+
+// constString resolves e to a constant string value when possible.
+func constString(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// declaredLabelSets finds package-level `var <field>Labels =
+// []string{…}` declarations and returns field → allowed values.
+func declaredLabelSets(p *Package) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					field, ok := strings.CutSuffix(name.Name, "Labels")
+					if !ok || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					set := map[string]bool{}
+					for _, el := range cl.Elts {
+						if v, ok := constString(p, el); ok {
+							set[v] = true
+						}
+					}
+					out[field] = set
+				}
+			}
+		}
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -25,8 +26,30 @@ type pkgNode struct {
 	dir        string
 	files      []*ast.File
 	dependents []int // packages importing this one
+	deps       []int // packages this one imports
 	blocking   int   // unfinished module-internal imports
 	skip       bool  // a dependency failed; don't attempt this package
+
+	key        string       // content-hash cache key ("" when caching is off)
+	cached     []Diagnostic // cache-hit diagnostics
+	hit        bool         // cached is valid
+	analyze    bool         // run analyzers on this package
+	typeNeeded bool         // type-check (for facts/types) even without analyzing
+	selected   bool         // this package's diagnostics belong in the output
+}
+
+// Options configures a whole-module lint run.
+type Options struct {
+	// Workers bounds the pool; <= 0 selects min(GOMAXPROCS, 8).
+	Workers int
+	// CacheDir enables the content-hash result cache (see cache.go);
+	// "" runs cold.
+	CacheDir string
+	// OnlyDirs restricts analysis and output to the packages rooted at
+	// these directories (absolute or module-root-relative); nil means
+	// the whole module. Out-of-scope dependencies are still
+	// type-checked when an in-scope package needs their facts.
+	OnlyDirs []string
 }
 
 // defaultLintWorkers bounds the pool when the caller passes 0.
@@ -44,6 +67,15 @@ func defaultLintWorkers() int {
 // RunAllWorkers is RunAll with an explicit worker-pool bound;
 // workers <= 0 selects min(GOMAXPROCS, 8).
 func RunAllWorkers(root string, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	return RunAllOpts(root, analyzers, Options{Workers: workers})
+}
+
+// RunAllOpts runs the analyzers over the module with caching and
+// directory scoping (see Options). Output is byte-identical to a cold
+// sequential run over the same scope at any worker count: the cache
+// stores final per-package diagnostics keyed by a content hash that
+// covers every input that could change them.
+func RunAllOpts(root string, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	ld, err := NewLoader(root)
 	if err != nil {
 		return nil, err
@@ -68,11 +100,15 @@ func RunAllWorkers(root string, analyzers []*Analyzer, workers int) ([]Diagnosti
 		for _, dep := range moduleImports(ld.Module, nodes[i].files) {
 			if j, ok := index[dep]; ok && j != i {
 				nodes[j].dependents = append(nodes[j].dependents, i)
+				nodes[i].deps = append(nodes[i].deps, j)
 				nodes[i].blocking++
 			}
 		}
 	}
 	if err := checkAcyclic(nodes); err != nil {
+		return nil, err
+	}
+	if err := planNodes(ld, nodes, analyzers, opts); err != nil {
 		return nil, err
 	}
 
@@ -94,6 +130,7 @@ func RunAllWorkers(root string, analyzers []*Analyzer, workers int) ([]Diagnosti
 	if len(nodes) == 0 {
 		close(ready)
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = defaultLintWorkers()
 	}
@@ -111,13 +148,23 @@ func RunAllWorkers(root string, analyzers []*Analyzer, workers int) ([]Diagnosti
 				var err error
 				// skip is written before this node's enqueue (under mu)
 				// and read after the channel receive, so no lock needed.
-				if !n.skip {
+				switch {
+				case n.skip:
+				case n.analyze, n.typeNeeded:
+					// Analyzing, or an in-scope dependent needs this
+					// package's types and facts recomputed.
 					p, e := ld.loadParsed(n.importPath, n.dir, n.files)
-					if e != nil {
+					switch {
+					case e != nil:
 						err = e
-					} else {
+					case n.analyze:
 						diags = Run(p, analyzers)
+						cachePut(opts.CacheDir, n.key, diags)
+					case n.selected && n.hit:
+						diags = n.cached
 					}
+				case n.selected && n.hit:
+					diags = n.cached
 				}
 				mu.Lock()
 				results[idx] = diags
@@ -152,6 +199,123 @@ func RunAllWorkers(root string, analyzers []*Analyzer, workers int) ([]Diagnosti
 		out = append(out, r...)
 	}
 	return out, nil
+}
+
+// planNodes decides, per package, whether to analyze, serve from
+// cache, or merely type-check: cache keys are computed in dependency
+// order (a package's key folds in its deps' keys, so an edited helper
+// invalidates exactly its dependents), hits are looked up, OnlyDirs
+// scoping is applied, and typeNeeded is propagated from every package
+// that will analyze down through its transitive dependencies — a
+// cache hit skips analysis, but a stale dependent still needs the
+// dependency's types and facts recomputed.
+func planNodes(ld *Loader, nodes []pkgNode, analyzers []*Analyzer, opts Options) error {
+	only, err := resolveOnlyDirs(ld.Root, opts.OnlyDirs)
+	if err != nil {
+		return err
+	}
+	for i := range nodes {
+		nodes[i].selected = only == nil || only[filepath.Clean(nodes[i].dir)]
+	}
+	order := topoOrder(nodes)
+	if opts.CacheDir != "" {
+		ruleNames := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			ruleNames[i] = a.Name
+		}
+		for _, i := range order {
+			n := &nodes[i]
+			depKeys := make([]string, 0, len(n.deps))
+			usable := true
+			for _, d := range n.deps {
+				if nodes[d].key == "" {
+					usable = false // dep unhashable: don't trust this entry
+					break
+				}
+				depKeys = append(depKeys, nodes[d].key)
+			}
+			if !usable {
+				continue
+			}
+			files, err := listGoFiles(n.dir)
+			if err != nil {
+				continue
+			}
+			if key, err := cacheKey(ld.Root, n.importPath, ruleNames, files, depKeys); err == nil {
+				n.key = key
+			}
+		}
+	}
+	for i := range nodes {
+		n := &nodes[i]
+		if n.key != "" {
+			n.cached, n.hit = cacheGet(opts.CacheDir, n.key)
+		}
+		n.analyze = n.selected && !n.hit
+	}
+	// Reverse dependency order: every dependent is visited before its
+	// deps, so one pass reaches the transitive closure.
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if nodes[i].analyze || nodes[i].typeNeeded {
+			for _, d := range nodes[i].deps {
+				nodes[d].typeNeeded = true
+			}
+		}
+	}
+	return nil
+}
+
+// resolveOnlyDirs normalizes the OnlyDirs filter to cleaned absolute
+// paths (entries may be absolute or module-root-relative); nil input
+// means no filter. Entries that match no package are ignored — callers
+// feed raw `git diff` directories here.
+func resolveOnlyDirs(root string, dirs []string) (map[string]bool, error) {
+	if dirs == nil {
+		return nil, nil
+	}
+	out := map[string]bool{}
+	for _, d := range dirs {
+		if d == "" {
+			continue
+		}
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(root, d)
+		}
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		out[filepath.Clean(abs)] = true
+	}
+	return out, nil
+}
+
+// topoOrder returns the node indices in dependency order (every
+// package after all of its imports). The graph is acyclic by the time
+// this runs (checkAcyclic); ties are broken by index, which is sorted
+// import-path order, so the result is deterministic.
+func topoOrder(nodes []pkgNode) []int {
+	blocking := make([]int, len(nodes))
+	var queue []int
+	for i := range nodes {
+		blocking[i] = len(nodes[i].deps)
+		if blocking[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, d := range nodes[i].dependents {
+			if blocking[d]--; blocking[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	return order
 }
 
 // moduleImports extracts the module-internal import paths of a

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 )
@@ -48,5 +49,27 @@ func TestRunAllWorkersDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("parallel output diverged from sequential:\nseq: %v\npar: %v", seq, par)
+	}
+	// The machine-readable encodings must be byte-identical too — CI
+	// uploads the SARIF, so a schedule-dependent byte would churn every
+	// artifact diff.
+	var seqJSON, parJSON, seqSARIF, parSARIF bytes.Buffer
+	if err := EncodeJSON(&seqJSON, seq); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	if err := EncodeJSON(&parJSON, par); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Fatalf("JSON output diverged between -j 1 and -j 8")
+	}
+	if err := EncodeSARIF(&seqSARIF, Analyzers(), seq); err != nil {
+		t.Fatalf("EncodeSARIF: %v", err)
+	}
+	if err := EncodeSARIF(&parSARIF, Analyzers(), par); err != nil {
+		t.Fatalf("EncodeSARIF: %v", err)
+	}
+	if !bytes.Equal(seqSARIF.Bytes(), parSARIF.Bytes()) {
+		t.Fatalf("SARIF output diverged between -j 1 and -j 8")
 	}
 }

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RespClose enforces the forwarding-path resource contract: every
+// *http.Response obtained in internal/server (the proxy path) and
+// internal/server/client must have its Body closed on all control-flow
+// paths, or be explicitly handed off (returned, stored, or passed to a
+// helper the fact store summarizes as closing it). A leaked body pins
+// a connection and, under the cluster's forwarding fan-out, exhausts
+// the transport pool long before a stress test notices.
+//
+// The analysis is per-function and intentionally conservative about
+// ownership: a response that escapes (assigned into a struct, sent on
+// a channel, returned) is assumed tracked elsewhere; error-guard
+// branches between the call and the close are recognized and skipped.
+var RespClose = &Analyzer{
+	Name: "respclose",
+	Doc:  "every *http.Response in server/client must reach Body.Close (or a summarized closer) on all paths",
+	Run:  runRespClose,
+}
+
+var respClosePkgs = map[string]bool{
+	"server": true,
+	"client": true,
+}
+
+func runRespClose(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !isInternalPkg(p.ImportPath) || !respClosePkgs[pkgBase(p.ImportPath)] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			respCloseScopes(p, fd.Body, report)
+		}
+	}
+}
+
+// respCloseScopes analyzes body and every function literal inside it as
+// independent scopes (a closure owns the responses it binds).
+func respCloseScopes(p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	respCloseBlocks(p, body, report)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			respCloseBlocks(p, lit.Body, report)
+		}
+		return true
+	})
+}
+
+// respCloseBlocks walks every statement list in the scope (without
+// crossing into nested function literals) looking for response
+// bindings, and checks each binding against the statements that follow
+// it in its own block.
+func respCloseBlocks(p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	var walk func(b *ast.BlockStmt)
+	seen := map[*ast.BlockStmt]bool{}
+	walk = func(b *ast.BlockStmt) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for i, stmt := range b.List {
+			if as, ok := stmt.(*ast.AssignStmt); ok {
+				checkRespBinding(p, as, b.List[i+1:], report)
+			}
+			// Recurse into nested blocks of this statement, skipping
+			// function literals (separate scopes).
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.BlockStmt:
+					walk(x)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walk(body)
+}
+
+// checkRespBinding inspects one assignment; when it binds a
+// *http.Response from a call, the remainder of the block must
+// discharge the close obligation.
+func checkRespBinding(p *Package, as *ast.AssignStmt, rest []ast.Stmt, report func(pos token.Pos, format string, args ...any)) {
+	call, ok := singleCallRHS(as)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if len(as.Lhs) != sig.Results().Len() {
+		return
+	}
+	var respObj, errObj types.Object
+	for i := 0; i < sig.Results().Len(); i++ {
+		rt := sig.Results().At(i).Type()
+		id, isIdent := as.Lhs[i].(*ast.Ident)
+		if isHTTPResponsePtr(rt) {
+			if !isIdent {
+				return // bound into a field: tracked elsewhere
+			}
+			if id.Name == "_" {
+				report(as.Pos(), "*http.Response from %s discarded as _ — its Body is never closed", calleeLabel(fn))
+				return
+			}
+			respObj = identObj(p, id)
+		} else if types.Identical(rt, errorType) && isIdent && id.Name != "_" {
+			errObj = identObj(p, id)
+		}
+	}
+	if respObj == nil {
+		return
+	}
+
+	satisfied, reported := false, false
+	for _, stmt := range rest {
+		if stmtDischargesResp(p, stmt, respObj) {
+			satisfied = true
+			break
+		}
+		if isErrGuard(p, stmt, respObj, errObj) {
+			continue
+		}
+		for _, ret := range deepReturns(stmt) {
+			report(ret.Pos(), "return leaves %s without Body.Close on this path", respObj.Name())
+			reported = true
+		}
+		if _, isRet := stmt.(*ast.ReturnStmt); isRet {
+			break // statements past a top-level return are unreachable
+		}
+	}
+	if !satisfied && !reported {
+		report(as.Pos(), "*http.Response %s from %s is never closed in this function", respObj.Name(), calleeLabel(fn))
+	}
+}
+
+func identObj(p *Package, id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// isBareObj reports whether e is (modulo parens) an identifier
+// resolving to obj.
+func isBareObj(p *Package, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && identObj(p, id) == obj
+}
+
+// stmtDischargesResp reports whether stmt (deeply, including closures —
+// a close inside a defer or goroutine still closes) discharges the
+// obligation for respObj: a direct resp.Body.Close(), a call to a
+// function summarized as closing it, a return of the bare response, or
+// an ownership escape (assignment, composite literal, channel send).
+func stmtDischargesResp(p *Package, stmt ast.Stmt, respObj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if callClosesResp(p, x, respObj) {
+				found = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if isBareObj(p, res, respObj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if isBareObj(p, rhs, respObj) {
+					found = true // resp aliased/stored: ownership moved
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if isBareObj(p, e, respObj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if isBareObj(p, x.Value, respObj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callClosesResp reports whether the call closes respObj's body:
+// resp.Body.Close() itself, a method on resp with a ClosesBody
+// receiver fact, resp passed at a ClosesBody parameter, or resp.Body
+// passed at a ClosesCloser parameter.
+func callClosesResp(p *Package, call *ast.CallExpr, respObj types.Object) bool {
+	// resp.Body.Close()
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" && isBareObj(p, inner.X, respObj) {
+			return true
+		}
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	fact := p.Facts.Lookup(fn)
+	if fact.ClosesBody == nil && fact.ClosesCloser == nil {
+		return false
+	}
+	if fact.ClosesBody[-1] {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isBareObj(p, sel.X, respObj) {
+			return true
+		}
+	}
+	for i, arg := range call.Args {
+		if fact.ClosesBody[i] && isBareObj(p, arg, respObj) {
+			return true
+		}
+		if fact.ClosesCloser[i] {
+			if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok && sel.Sel.Name == "Body" && isBareObj(p, sel.X, respObj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isErrGuard recognizes the idiomatic error check between a call and
+// the deferred close: an if statement whose condition reads the error
+// bound alongside the response and whose body never touches the
+// response.
+func isErrGuard(p *Package, stmt ast.Stmt, respObj, errObj types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || errObj == nil {
+		return false
+	}
+	condUsesErr, bodyUsesResp := false, false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(p, id) == errObj {
+			condUsesErr = true
+		}
+		return true
+	})
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(p, id) == respObj {
+			bodyUsesResp = true
+		}
+		return true
+	})
+	return condUsesErr && !bodyUsesResp
+}
+
+// deepReturns collects the return statements inside stmt, not crossing
+// into function literals.
+func deepReturns(stmt ast.Stmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,59 @@
+// Golden input for the atomicwrite analyzer (mounted as
+// npudvfs/internal/cluster/jobstore): every create/write to a final
+// path must go through the tmp→rename sequence.
+package jobstore
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// persistGood is the audited sequence: stage to ".tmp", rename onto
+// the final name.
+func persistGood(path string, raw []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// persistJoin stages via filepath.Join with a .tmp final element.
+func persistJoin(dir, name string, raw []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
+}
+
+func persistBad(path string, raw []byte) error {
+	return os.WriteFile(path, raw, 0o644) // want atomicwrite `writes final path path directly`
+}
+
+func renameBad(src, dst string) error {
+	return os.Rename(src, dst) // want atomicwrite `source src is not a .tmp staging path`
+}
+
+func createBad(path string) (*os.File, error) {
+	return os.Create(path) // want atomicwrite `writes final path path directly`
+}
+
+func openWriteBad(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want atomicwrite `writes final path path directly`
+}
+
+// openRead never writes; read-only opens are out of scope.
+func openRead(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// readBack and cleanup use primitives outside the write set.
+func readBack(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func allowedDirect(path string, raw []byte) error {
+	//lint:allow atomicwrite audited non-record sidecar file; torn writes are tolerated by its reader
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,11 @@
+// Cross-package golden input for atomicwrite (mounted as
+// npudvfs/internal/cluster/jobstore): delegating a record write to a
+// helper outside the package moves the persistence audit out of
+// jobstore, which the WritesFinalPath fact makes visible here.
+package jobstore
+
+import "npudvfs/internal/rawwrite"
+
+func persistVia(path string, raw []byte) error {
+	return rawwrite.Dump(path, raw) // want atomicwrite `final-path write outside jobstore`
+}

@@ -1,0 +1,67 @@
+// Golden input for the errsink analyzer (mounted as
+// npudvfs/internal/server): errors with os/io/net provenance may not
+// be discarded by bare call, blank assignment, or dead store —
+// including through in-package helpers that wrap the I/O call.
+package server
+
+import (
+	"io"
+	"os"
+)
+
+// renameInto wraps an os call: the fixpoint marks it DerivesIOError,
+// so discarding its result is as bad as discarding os.Rename's.
+func renameInto(src, dst string) error {
+	return os.Rename(src, dst)
+}
+
+func bareDrop(path string) {
+	os.Remove(path) // want errsink `error from os.Remove discarded by bare call`
+}
+
+func blankDrop(dst io.Writer, src io.Reader) {
+	_, _ = io.Copy(dst, src) // want errsink `error from io.Copy discarded as _`
+}
+
+func helperDrop(a, b string) {
+	_ = renameInto(a, b) // want errsink `error from server.renameInto discarded as _`
+}
+
+func deadAssign(path string) error {
+	err := os.Remove(path)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(path + "2") // want errsink `assigned to err but never read`
+	return nil
+}
+
+// namedResult publishes the error through a bare return: assigning a
+// named result is not a dead store.
+func namedResult(path string) (err error) {
+	err = os.Remove(path)
+	return
+}
+
+func allowedDrop(path string) {
+	//lint:allow errsink audited best-effort cleanup; nothing to do on failure
+	_ = os.Remove(path)
+}
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferredClose is the idiomatic cleanup: defers are exempt by
+// construction.
+func deferredClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

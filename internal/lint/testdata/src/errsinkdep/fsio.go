@@ -1,0 +1,12 @@
+// Dependency package for the cross-package errsink golden test
+// (mounted as npudvfs/internal/fsio): Commit wraps os.Rename, so the
+// fact store summarizes it as DerivesIOError and dependents that
+// discard its error are flagged.
+package fsio
+
+import "os"
+
+// Commit atomically publishes a staged file.
+func Commit(src, dst string) error {
+	return os.Rename(src, dst)
+}

@@ -1,0 +1,15 @@
+// Cross-package golden input for errsink (mounted as
+// npudvfs/internal/cluster/jobstore, importing the fsio test package):
+// the I/O provenance of fsio.Commit crosses the package boundary
+// through the fact store.
+package jobstore
+
+import "npudvfs/internal/fsio"
+
+func publish(src, dst string) {
+	_ = fsio.Commit(src, dst) // want errsink `error from fsio.Commit discarded as _`
+}
+
+func publishChecked(src, dst string) error {
+	return fsio.Commit(src, dst)
+}

@@ -1,0 +1,86 @@
+// Golden input for the metricflow analyzer (mounted as
+// npudvfs/internal/server): rendered metrics need writers and vice
+// versa, HELP/TYPE/emit lines pair up, and label values come from the
+// declared package-level sets.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+var reqTotalLabels = []string{"get", "post"}
+
+type metrics struct {
+	mu       sync.Mutex
+	served   uint64
+	orphan   uint64 // want metricflow `written but never rendered`
+	ghost    uint64 // want metricflow `rendered but has no writer`
+	reqTotal map[string]uint64
+	byKind   map[string]uint64 // want metricflow `label values for byKind`
+}
+
+func (m *metrics) bump() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.served++
+}
+
+func (m *metrics) stray() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.orphan++
+}
+
+// hit keys reqTotal by its parameter: the LabelKeyField fact makes
+// every call site's constant argument checkable against the set.
+func (m *metrics) hit(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reqTotal[method]++
+}
+
+func (m *metrics) oops() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reqTotal["oops"]++ // want metricflow `not in the declared reqTotalLabels set`
+}
+
+// kindConst writes a constant key into byKind, which has no declared
+// label set — reported once at the field declaration above.
+func (m *metrics) kindConst() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byKind["x"]++
+}
+
+func record(m *metrics) {
+	m.hit("get")
+	m.hit("bogus") // want metricflow `not in the declared reqTotalLabels set`
+}
+
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP srv_served_total Requests served.")
+	fmt.Fprintln(w, "# TYPE srv_served_total counter")
+	fmt.Fprintf(w, "srv_served_total %d\n", m.served)
+
+	fmt.Fprintln(w, "# HELP srv_ghost_total Declared and rendered but never written.")
+	fmt.Fprintln(w, "# TYPE srv_ghost_total counter")
+	fmt.Fprintf(w, "srv_ghost_total %d\n", m.ghost)
+
+	fmt.Fprintln(w, "# HELP srv_req_total Requests by method.")
+	fmt.Fprintln(w, "# TYPE srv_req_total counter")
+	for k, v := range m.reqTotal {
+		fmt.Fprintf(w, "srv_req_total{method=%q} %d\n", k, v)
+	}
+
+	for k, v := range m.byKind {
+		fmt.Fprintf(w, "srv_by_kind_total{kind=%q} %d\n", k, v) // want metricflow `without a # TYPE declaration`
+	}
+
+	fmt.Fprintln(w, "# TYPE srv_dead_total counter") // want metricflow `no HELP line` metricflow `no series line is ever emitted`
+}

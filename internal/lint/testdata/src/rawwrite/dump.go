@@ -1,0 +1,11 @@
+// Dependency package for the cross-package atomicwrite golden test
+// (mounted as npudvfs/internal/rawwrite): Dump writes a final path
+// directly, so the fact store summarizes it as WritesFinalPath.
+package rawwrite
+
+import "os"
+
+// Dump writes raw bytes straight to path, non-atomically.
+func Dump(path string, raw []byte) error {
+	return os.WriteFile(path, raw, 0o644)
+}

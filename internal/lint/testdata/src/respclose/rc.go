@@ -1,0 +1,136 @@
+// Golden input for the respclose analyzer (mounted as
+// npudvfs/internal/server/client): every *http.Response must reach
+// Body.Close — or an explicit handoff — on all control-flow paths.
+package client
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+// drain closes its argument; callers handing a body to it are covered
+// by the ClosesCloser fact.
+func drain(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, rc)
+	rc.Close()
+}
+
+// finish closes the response's body; callers passing a response are
+// covered by the ClosesBody fact.
+func finish(resp *http.Response) {
+	resp.Body.Close()
+}
+
+func record(int) {}
+
+func leakNoClose(u string) (int, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil // want respclose `return leaves resp without Body.Close`
+}
+
+// leakEndOfFunc drops the response on the floor with no return at all.
+func leakEndOfFunc(u string) {
+	resp, err := http.Get(u) // want respclose `never closed in this function`
+	if err != nil {
+		return
+	}
+	record(resp.StatusCode)
+}
+
+func leakEarlyReturn(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errors.New("unexpected status") // want respclose `return leaves resp without Body.Close`
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func okDefer(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func okDirectClose(u string) (int, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	code := resp.StatusCode
+	resp.Body.Close()
+	return code, nil
+}
+
+// okReturned transfers ownership to the caller.
+func okReturned(u string) (*http.Response, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// okHandoff stores the response; whoever owns the struct owns the
+// close obligation.
+type pending struct {
+	resp *http.Response
+}
+
+func okHandoff(u string) (*pending, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	return &pending{resp: resp}, nil
+}
+
+// okDrainHelper discharges through the in-package ClosesCloser fact.
+func okDrainHelper(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	drain(resp.Body)
+	return nil
+}
+
+// okFinishHelper discharges through the in-package ClosesBody fact.
+func okFinishHelper(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	finish(resp)
+	return nil
+}
+
+func blankResp(u string) error {
+	_, err := http.Get(u) // want respclose `discarded as _`
+	return err
+}
+
+func allowedLeak(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 500 {
+		//lint:allow respclose audited: the connection is abandoned deliberately so the transport drops it
+		return errors.New("server error")
+	}
+	defer resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,28 @@
+// Cross-package golden input for respclose (mounted as
+// npudvfs/internal/server, importing the httpx test package): the
+// ClosesBody fact of httpx.Discard crosses the package boundary.
+package server
+
+import (
+	"net/http"
+
+	"npudvfs/internal/httpx"
+)
+
+func okCrossClose(c *http.Client, u string) (int, error) {
+	resp, err := httpx.Fetch(c, u)
+	if err != nil {
+		return 0, err
+	}
+	code := resp.StatusCode
+	httpx.Discard(resp)
+	return code, nil
+}
+
+func leakCross(c *http.Client, u string) {
+	resp, err := httpx.Fetch(c, u) // want respclose `never closed in this function`
+	if err != nil {
+		return
+	}
+	_ = resp.StatusCode
+}

@@ -1,0 +1,22 @@
+// Dependency package for the cross-package respclose golden test
+// (mounted as npudvfs/internal/httpx): Discard carries a ClosesBody
+// fact that dependents' call sites consume; Fetch returns an open
+// response whose close obligation transfers to the caller.
+package httpx
+
+import (
+	"io"
+	"net/http"
+)
+
+// Discard drains and closes the response body so the connection can be
+// reused.
+func Discard(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Fetch returns the open response; the caller owns Body.Close.
+func Fetch(c *http.Client, u string) (*http.Response, error) {
+	return c.Get(u)
+}

@@ -8,6 +8,18 @@ import (
 	"sync"
 
 	"npudvfs/internal/ga"
+	"npudvfs/internal/traceio"
+)
+
+// Declared label sets, enforced by dvfslint's metricflow analyzer:
+// every statically-known label value written into the map-backed
+// families below must be a member, so a typo'd state or direction
+// can't silently fork a new series. Dynamic values (recovered record
+// states, workload names) are exempt by construction.
+var (
+	jobsTotalLabels    = []string{traceio.JobDone, traceio.JobFailed, traceio.JobCancelled, "cached"}
+	forwardsLabels     = []string{"out", "in", "fallback"}
+	stageSecondsLabels = []string{"queue", "model", "search"}
 )
 
 // metrics is dvfsd's hand-rolled instrumentation, rendered in the
@@ -45,6 +57,9 @@ type metrics struct {
 	forwards      map[string]uint64
 	storeErrors   uint64
 	recoveredJobs int
+	// relayErrors counts proxied responses whose body relay to the
+	// client broke mid-copy (status already sent, so not retryable).
+	relayErrors uint64
 }
 
 // gaJobStats is the last finished search's GA throughput for one
@@ -94,6 +109,12 @@ func (m *metrics) forward(direction string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.forwards[direction]++
+}
+
+func (m *metrics) relayError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.relayErrors++
 }
 
 func (m *metrics) storeError() {
@@ -237,6 +258,10 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	for _, d := range dirs {
 		fmt.Fprintf(w, "dvfsd_cluster_forwards_total{direction=%q} %d\n", d, m.forwards[d])
 	}
+
+	fmt.Fprintln(w, "# HELP dvfsd_relay_errors_total Proxied responses whose body relay broke mid-copy after the status line was sent.")
+	fmt.Fprintln(w, "# TYPE dvfsd_relay_errors_total counter")
+	fmt.Fprintf(w, "dvfsd_relay_errors_total %d\n", m.relayErrors)
 
 	fmt.Fprintln(w, "# HELP dvfsd_store_errors_total Job-store persistence failures (records stay serveable from memory).")
 	fmt.Fprintln(w, "# TYPE dvfsd_store_errors_total counter")

@@ -549,7 +549,11 @@ func (s *Server) proxy(w http.ResponseWriter, n ring.Node, method, path string, 
 	s.met.forward("out")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is already on the wire, so the caller can't be
+		// retried here — but a torn relay must be visible to operators.
+		s.met.relayError()
+	}
 	return true
 }
 
@@ -585,6 +589,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
+	//lint:allow errsink the response writer is the only channel back to the client; an encode failure has nowhere else to go
 	_ = enc.Encode(v)
 }
 

@@ -17,12 +17,30 @@ benchtime="${1:-2s}"
 out=results/BENCH_5.json
 seed=results/BENCH_5_SEED.json
 
+# Lint wall-clock: time a cold (empty cache) and a warm (fully cached)
+# dvfslint pass over the module. The pair is the cache's whole value
+# proposition, so the benchmark artifact records both. A prebuilt
+# binary keeps `go run` compilation out of the measurement.
+lintbin=$(mktemp -d)/dvfslint
+lintcache=$(mktemp -d)
+trap 'rm -rf "$(dirname "$lintbin")" "$lintcache"' EXIT
+go build -o "$lintbin" ./cmd/dvfslint
+t0=$(date +%s%N)
+"$lintbin" -cache "$lintcache" >/dev/null
+t1=$(date +%s%N)
+"$lintbin" -cache "$lintcache" >/dev/null
+t2=$(date +%s%N)
+lint_cold_ms=$(( (t1 - t0) / 1000000 ))
+lint_warm_ms=$(( (t2 - t1) / 1000000 ))
+echo "dvfslint: cold ${lint_cold_ms}ms, warm ${lint_warm_ms}ms"
+
 raw=$(go test -run '^$' \
     -bench 'BenchmarkScore$|BenchmarkGAGeneration$|BenchmarkGASearch$|BenchmarkExecutorRun$' \
     -benchmem -benchtime "$benchtime" .)
 echo "$raw"
 
-echo "$raw" | awk -v seedfile="$seed" '
+echo "$raw" | awk -v seedfile="$seed" \
+    -v lintcold="$lint_cold_ms" -v lintwarm="$lint_warm_ms" '
 BEGIN {
     nseed = 0
     if ((getline line < seedfile) >= 0) {
@@ -87,7 +105,9 @@ END {
         }
         printf "}%s\n", (b < nb ? "," : "")
     }
-    printf "  }\n}\n"
+    printf "  },\n"
+    printf "  \"lint\": {\"cold_ms\": %d, \"warm_ms\": %d}\n", lintcold, lintwarm
+    printf "}\n"
 }' > "$out"
 
 echo "wrote $out"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# lint_fast.sh — changed-packages-only dvfslint for local iteration.
+#
+# Collects every .go file that differs from HEAD (staged, unstaged and
+# untracked), maps them to their package directories, and runs dvfslint
+# with -only over just that set. Dependencies of the changed packages
+# are still loaded and type-checked so interprocedural facts stay
+# correct, and the shared content-hash cache (.cache/dvfslint) makes
+# the untouched part of the graph near-free. With no changed Go files
+# there is nothing to lint and the script exits 0 immediately.
+#
+# This is a convenience for tight edit/lint loops; `make lint` (the
+# whole module) remains the CI gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+changed=$( (git diff --name-only HEAD -- '*.go';
+            git ls-files --others --exclude-standard -- '*.go') | sort -u)
+
+if [ -z "$changed" ]; then
+    echo "lint-fast: no changed Go files"
+    exit 0
+fi
+
+dirs=$(echo "$changed" | while read -r f; do
+    # A deleted file still appears in the diff; lint the directory only
+    # if it still holds sources.
+    d=$(dirname "$f")
+    [ -d "$d" ] && echo "$d"
+done | sort -u | paste -sd, -)
+
+if [ -z "$dirs" ]; then
+    echo "lint-fast: changed files' directories no longer exist"
+    exit 0
+fi
+
+echo "lint-fast: $dirs"
+go run ./cmd/dvfslint -cache .cache/dvfslint -only "$dirs"
