@@ -23,7 +23,9 @@
 //
 //	//lint:allow <rule> <reason>
 //
-// on the flagged line or the line above (see DESIGN.md §9).
+// on the flagged line or the line above (see DESIGN.md §9). -rules list
+// (or -list) prints every registered rule with its one-line contract
+// and exits 0.
 package main
 
 import (
@@ -36,15 +38,39 @@ import (
 	"npudvfs/internal/lint"
 )
 
+// timingsJSON renders the per-analyzer wall-clock totals as one
+// compact JSON object line, keyed in execution order (scripts/bench.sh
+// embeds it verbatim into the BENCH artifact). A rule that never ran —
+// everything served from cache — reports 0.
+func timingsJSON(analyzers []*lint.Analyzer, tm *lint.Timings) string {
+	ns := tm.NanosByRule()
+	parts := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		parts[i] = fmt.Sprintf("%q:%d", a.Name, ns[a.Name])
+	}
+	return "{" + strings.Join(parts, ",") + "}\n"
+}
+
+// rulesListing renders one line per registered analyzer, in the
+// canonical execution order: the name, then its one-line contract.
+func rulesListing() string {
+	var b strings.Builder
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(&b, "%-11s %s\n", a.Name, a.Doc)
+	}
+	return b.String()
+}
+
 func main() {
 	var (
-		rules    = flag.String("rules", "all", "comma-separated rule subset to run (e.g. detrand,errsink), or all")
+		rules    = flag.String("rules", "all", "comma-separated rule subset to run (e.g. detrand,errsink), all, or list to print the registered rules")
 		dir      = flag.String("dir", ".", "directory inside the module to analyze")
 		list     = flag.Bool("list", false, "list available rules and exit")
 		workers  = flag.Int("j", 0, "worker-pool size for package analysis (0 = min(GOMAXPROCS, 8))")
 		format   = flag.String("format", "text", "output format: text, json, sarif, or github")
 		cacheDir = flag.String("cache", "", "directory for the per-package result cache (empty = no cache)")
 		only     = flag.String("only", "", "comma-separated package directories to analyze (empty = whole module)")
+		timings  = flag.String("timings", "", "file to write per-analyzer wall-clock totals as one-line JSON (empty = don't)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dvfslint [-rules r1,r2] [-dir path] [-j n] [-format f] [-cache dir] [-only d1,d2] [-list] [packages]\n")
@@ -52,10 +78,8 @@ func main() {
 	}
 	flag.Parse()
 
-	if *list {
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
-		}
+	if *list || *rules == "list" {
+		fmt.Print(rulesListing())
 		return
 	}
 	switch *format {
@@ -75,6 +99,9 @@ func main() {
 		os.Exit(2)
 	}
 	opts := lint.Options{Workers: *workers, CacheDir: *cacheDir}
+	if *timings != "" {
+		opts.Timings = lint.NewTimings()
+	}
 	if strings.TrimSpace(*only) != "" {
 		for _, d := range strings.Split(*only, ",") {
 			if d = strings.TrimSpace(d); d != "" {
@@ -89,6 +116,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *timings != "" {
+		if werr := os.WriteFile(*timings, []byte(timingsJSON(analyzers, opts.Timings)), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(2)
+		}
 	}
 	// Report paths relative to the module root for stable output.
 	for i := range diags {

@@ -65,6 +65,7 @@ func OpenFS(dir string, capacity int, idPrefix string) (*FS, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, name := range names {
+		//lint:allow lockorder startup-only: OpenFS seeds the index before the store is shared, nothing contends yet
 		raw, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			continue
@@ -81,6 +82,7 @@ func OpenFS(dir string, capacity int, idPrefix string) (*FS, error) {
 			f.pending = append(f.pending, &rec)
 		}
 	}
+	//lint:allow lockorder startup-only: recovery eviction runs before the store is shared
 	f.evictLocked()
 	return f, nil
 }

@@ -160,6 +160,8 @@ func (t *Table) PredictSums(sums []float64) Prediction {
 }
 
 // Predict computes the prediction for an assignment from scratch.
+//
+//lint:hotpath
 func (t *Table) Predict(ind []int) Prediction {
 	var sums [Quad]float64
 	t.InitSums(ind, sums[:])
@@ -184,6 +186,8 @@ func (t *Table) ScoreSums(sums []float64) float64 {
 // Score returns the Eq. 17 fitness of an assignment. It is exactly
 // InitSums followed by ScoreSums, so whole-vector and sum-based
 // scoring of the same gene vector are bit-identical.
+//
+//lint:hotpath
 func (t *Table) Score(ind []int) float64 {
 	var sums [Quad]float64
 	t.InitSums(ind, sums[:])

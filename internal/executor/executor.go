@@ -154,8 +154,10 @@ func (e *Executor) viewAt(scale float64) scaledView {
 		v = cached
 	} else {
 		if e.scaled == nil {
+			//lint:allow allocfree cache-miss path: the view cache is built once per distinct uncore scale, then every walk hits it
 			e.scaled = make(map[float64]scaledView)
 		}
+		//lint:allow allocfree cache-miss path: one insert per distinct uncore scale, amortized to zero across runs
 		e.scaled[scale] = v
 	}
 	e.mu.Unlock()
@@ -296,120 +298,156 @@ func (e *Executor) Run(trace []op.Spec, strat *core.Strategy, th *thermal.State,
 	view := e.viewAt(scale)
 
 	res := &Result{}
-	now := 0.0
-	// Monotone cursors over the plan, which is ordered by targetOp with
-	// non-decreasing triggerOp (strategy points are strictly ascending
-	// and the anticipated dispatch times inherit the timeline's order).
-	// [applyLo, dispatchHi) is the in-flight window — dispatched but
-	// not yet all applied — and every scan below touches only it, so
-	// Run is O(ops+plan) instead of rescanning the whole plan per
-	// operator. The window stays tiny (switch spacing is the FAI,
-	// actuation latency ~1 ms), but applied entries need not be
-	// contiguous under jitter, so applyLo only advances over the
-	// applied prefix.
-	applyLo, dispatchHi, syncCur := 0, 0, 0
-	// applyEffects applies every pending effect up to time t, in plan
-	// index order (the order the seed implementation applied them).
-	applyEffects := func(t float64) {
-		for j := applyLo; j < dispatchHi; j++ {
-			p := &plan[j]
-			if !p.applied && p.effectTime <= t {
-				if !stats.Approx(p.freqMHz, freq) {
-					freq = p.freqMHz
-					res.Switches++
-				}
-				view = e.viewAt(p.uncoreScale)
-				p.applied = true
-			}
-		}
-		for applyLo < dispatchHi && plan[applyLo].applied {
-			applyLo++
-		}
+	c := runCursor{
+		e: e, plan: plan, opt: opt, jitter: jitter, th: th, res: res,
+		freq: freq, view: view,
 	}
-	integrate := func(s *op.Spec, dur float64) {
-		if dur <= 0 {
-			return
-		}
-		deltaT := float64(th.DeltaT())
-		soc := view.ground.SoCPower(s, freq, deltaT)
-		coreP := view.ground.AICorePower(s, freq, deltaT)
-		res.EnergySoCJ += soc * dur * 1e-6
-		res.EnergyCoreJ += coreP * dur * 1e-6
-		th.Step(units.Micros(dur), units.Watt(soc))
+	c.walk(trace)
+	res.TimeMicros = c.now
+	if c.now > 0 {
+		res.MeanSoCW = res.EnergySoCJ * 1e6 / c.now
+		res.MeanCoreW = res.EnergyCoreJ * 1e6 / c.now
 	}
+	res.EndTempC = float64(th.TempC())
+	return res, nil
+}
 
+// runCursor is the per-run mutable state of Run's cursor walk. It used
+// to live in closures inside Run; hoisting it onto one stack value
+// keeps the GA's hardware-in-the-loop scoring loop closure-free (each
+// capture was a heap allocation per Run) and gives the //lint:hotpath
+// gate a root to hold. The cursors applyLo/dispatchHi/syncCur are
+// monotone over the plan, which is ordered by targetOp with
+// non-decreasing triggerOp (strategy points are strictly ascending and
+// the anticipated dispatch times inherit the timeline's order).
+// [applyLo, dispatchHi) is the in-flight window — dispatched but not
+// yet all applied — and every scan below touches only it, so the walk
+// is O(ops+plan) instead of rescanning the whole plan per operator.
+// The window stays tiny (switch spacing is the FAI, actuation latency
+// ~1 ms), but applied entries need not be contiguous under jitter, so
+// applyLo only advances over the applied prefix.
+type runCursor struct {
+	e      *Executor
+	plan   []pendingSwitch
+	opt    Options
+	jitter *rand.Rand
+	th     *thermal.State
+	res    *Result
+
+	freq float64
+	view scaledView
+	now  float64
+
+	applyLo    int
+	dispatchHi int
+	syncCur    int
+}
+
+// applyEffects applies every pending effect up to time t, in plan
+// index order (the order the seed implementation applied them).
+func (c *runCursor) applyEffects(t float64) {
+	for j := c.applyLo; j < c.dispatchHi; j++ {
+		p := &c.plan[j]
+		if !p.applied && p.effectTime <= t {
+			if !stats.Approx(p.freqMHz, c.freq) {
+				c.freq = p.freqMHz
+				c.res.Switches++
+			}
+			c.view = c.e.viewAt(p.uncoreScale)
+			p.applied = true
+		}
+	}
+	for c.applyLo < c.dispatchHi && c.plan[c.applyLo].applied {
+		c.applyLo++
+	}
+}
+
+// integrate accrues energy and thermal state over dur at the current
+// frequency/view (s == nil integrates an idle stall).
+func (c *runCursor) integrate(s *op.Spec, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	deltaT := float64(c.th.DeltaT())
+	soc := c.view.ground.SoCPower(s, c.freq, deltaT)
+	coreP := c.view.ground.AICorePower(s, c.freq, deltaT)
+	c.res.EnergySoCJ += soc * dur * 1e-6
+	c.res.EnergyCoreJ += coreP * dur * 1e-6
+	c.th.Step(units.Micros(dur), units.Watt(soc))
+}
+
+// walk runs the cursor over the trace: dispatch, event-wait stalls,
+// effect application and mid-op frequency splitting, exactly in the
+// seed implementation's float op order (the reference oracle pins the
+// output bit-for-bit).
+//
+//lint:hotpath
+func (c *runCursor) walk(trace []op.Spec) {
 	for i := range trace {
 		s := &trace[i]
 		// Dispatch SetFreq operators triggered by this op's start
 		// (plan entries are ordered by trigger, so the cursor never
 		// backtracks).
-		for dispatchHi < len(plan) && plan[dispatchHi].triggerOp <= i {
-			p := &plan[dispatchHi]
+		for c.dispatchHi < len(c.plan) && c.plan[c.dispatchHi].triggerOp <= i {
+			p := &c.plan[c.dispatchHi]
 			p.dispatched = true
-			p.effectTime = now + p.offsetMicros +
-				opt.SetFreqLatencyMicros + opt.ExtraDelayMicros
-			if jitter != nil {
-				p.effectTime += jitter.Float64() * opt.DelayJitterMicros
+			p.effectTime = c.now + p.offsetMicros +
+				c.opt.SetFreqLatencyMicros + c.opt.ExtraDelayMicros
+			if c.jitter != nil {
+				p.effectTime += c.jitter.Float64() * c.opt.DelayJitterMicros
 			}
-			dispatchHi++
+			c.dispatchHi++
 		}
 		// Event Wait: before the target op of a synchronized switch
 		// starts, its frequency change must have completed. targetOps
 		// are strictly ascending (validated), so a cursor finds the at
 		// most one entry targeting this op.
-		if opt.Sync {
-			for syncCur < len(plan) && plan[syncCur].targetOp < i {
-				syncCur++
+		if c.opt.Sync {
+			for c.syncCur < len(c.plan) && c.plan[c.syncCur].targetOp < i {
+				c.syncCur++
 			}
-			if syncCur < len(plan) {
-				p := &plan[syncCur]
-				if p.targetOp == i && p.dispatched && !p.applied && p.effectTime > now {
-					stall := p.effectTime - now
-					integrate(nil, stall) // idle while stalled
-					res.StallMicros += stall
-					now = p.effectTime
+			if c.syncCur < len(c.plan) {
+				p := &c.plan[c.syncCur]
+				if p.targetOp == i && p.dispatched && !p.applied && p.effectTime > c.now {
+					stall := p.effectTime - c.now
+					c.integrate(nil, stall) // idle while stalled
+					c.res.StallMicros += stall
+					c.now = p.effectTime
 				}
 			}
 		}
-		applyEffects(now)
+		c.applyEffects(c.now)
 
 		// Execute the operator, splitting at any mid-op frequency
 		// effect: the remaining work continues at the new frequency.
 		remaining := 1.0
 		for remaining > 1e-12 {
-			dur := view.chip.Time(s, freq) * remaining
+			dur := c.view.chip.Time(s, c.freq) * remaining
 			if dur <= 0 {
 				break
 			}
 			// Find the earliest pending effect inside (now, now+dur);
 			// only the in-flight window can hold one.
-			cut := now + dur
+			cut := c.now + dur
 			found := false
-			for j := applyLo; j < dispatchHi; j++ {
-				p := &plan[j]
-				if !p.applied && p.effectTime > now && p.effectTime < cut {
+			for j := c.applyLo; j < c.dispatchHi; j++ {
+				p := &c.plan[j]
+				if !p.applied && p.effectTime > c.now && p.effectTime < cut {
 					cut = p.effectTime
 					found = true
 				}
 			}
-			seg := cut - now
-			integrate(s, seg)
+			seg := cut - c.now
+			c.integrate(s, seg)
 			remaining -= remaining * (seg / dur)
-			now = cut
+			c.now = cut
 			if found {
-				applyEffects(now)
+				c.applyEffects(c.now)
 			} else {
 				break
 			}
 		}
 	}
-	res.TimeMicros = now
-	if now > 0 {
-		res.MeanSoCW = res.EnergySoCJ * 1e6 / now
-		res.MeanCoreW = res.EnergyCoreJ * 1e6 / now
-	}
-	res.EndTempC = float64(th.TempC())
-	return res, nil
 }
 
 // FixedStrategy returns a strategy that pins the whole iteration to

@@ -391,6 +391,8 @@ type runState struct {
 // order (pick a, pick b, crossover roll, k, then per child the
 // mutation roll and burst draws) is fixed — tests pin same-seed
 // trajectories to it.
+//
+//lint:hotpath
 func (r *runState) breed(pop, next []scored, spare *scored) {
 	for i := 0; i < r.cfg.Elitism; i++ {
 		dst := &next[i]
@@ -474,6 +476,8 @@ func (r *runState) mutate(c *scored) {
 // serially on the generation-loop goroutine: a delta score is tens of
 // nanoseconds, far below fan-out cost, and serial execution keeps the
 // result trivially independent of Config.Workers.
+//
+//lint:hotpath
 func (r *runState) scoreIncremental(slots []scored, refresh bool) {
 	for i := range slots {
 		c := &slots[i]
@@ -659,11 +663,16 @@ func scoreBatch(p Problem, pop []scored, todo []int, workers int) {
 // score order, where an in-place insertion sort degenerates to O(n²)
 // moves of the wide population slots. All scratch is reused across
 // generations.
+//
+//lint:hotpath
 func (r *runState) sortByScore(pop []scored) {
 	n := len(pop)
 	if cap(r.perm) < n {
+		//lint:allow allocfree grow-once scratch: sized to the population on first use, reused every generation after
 		r.perm = make([]int32, n)
+		//lint:allow allocfree grow-once scratch: sized to the population on first use, reused every generation after
 		r.permTmp = make([]int32, n)
+		//lint:allow allocfree grow-once scratch: sized to the population on first use, reused every generation after
 		r.slotTmp = make([]scored, n)
 	}
 	perm, tmp := r.perm[:n], r.permTmp[:n]
@@ -712,6 +721,7 @@ func (r *runState) sortByScore(pop []scored) {
 func buildPrefixInto(prefix []float64, pop []scored, sel Selection) []float64 {
 	n := len(pop)
 	if cap(prefix) < n {
+		//lint:allow allocfree grow-once scratch: the caller hands back the same prefix slice every generation
 		prefix = make([]float64, n)
 	}
 	prefix = prefix[:n]

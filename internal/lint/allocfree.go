@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// AllocFree proves allocation-freedom for the scoring hot path. A
+// function annotated //lint:hotpath (on the line above its declaration,
+// conventionally the last line of its doc comment) becomes a root: the
+// analyzer walks every module-internal callee reachable from it through
+// the Callees fact edges and reports each allocation site — composite
+// literals escaping to the heap, make/new, append growth, map writes,
+// string concatenation/conversion, value-to-interface boxing, closure
+// captures, defer in loops, go statements, and forbidden callees
+// (fmt.*, log.*, time.Now). Sites in the package under analysis are
+// reported in place; an allocating callee in another package is
+// reported once at the call edge, with the first allocation it reaches
+// named so the finding is actionable. Cold-prologue escapes are audited
+// with //lint:allow allocfree <reason>, same as every other rule.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "functions marked //lint:hotpath must not allocate, transitively through every module-internal callee",
+	Run:  runAllocFree,
+}
+
+const hotpathDirective = "//lint:hotpath"
+
+// hotpathRoots returns the functions annotated //lint:hotpath in file
+// order, and reports directives that are malformed or not attached to a
+// function declaration.
+func hotpathRoots(p *Package, report func(pos token.Pos, format string, args ...any)) []declFn {
+	var roots []declFn
+	for _, f := range p.Files {
+		// Collect the file's directive lines, then match them against
+		// its function declarations.
+		type directive struct {
+			pos  token.Pos
+			line int
+			used bool
+		}
+		var dirs []*directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, hotpathDirective)
+				if !ok {
+					continue
+				}
+				if strings.TrimSpace(rest) != "" {
+					report(c.Pos(), "malformed directive %q: want exactly %s on the line above a function declaration", c.Text, hotpathDirective)
+					continue
+				}
+				dirs = append(dirs, &directive{pos: c.Pos(), line: p.Fset.Position(c.Pos()).Line})
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			declLine := p.Fset.Position(fd.Name.Pos()).Line
+			for _, dir := range dirs {
+				if dir.line == declLine || dir.line == declLine-1 {
+					dir.used = true
+					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						roots = append(roots, declFn{fn: fn, decl: fd})
+					}
+				}
+			}
+		}
+		for _, dir := range dirs {
+			if !dir.used {
+				report(dir.pos, "%s directive is not attached to a function declaration (it must sit on the line above one)", hotpathDirective)
+			}
+		}
+	}
+	return roots
+}
+
+func runAllocFree(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	roots := hotpathRoots(p, report)
+	if len(roots) == 0 {
+		return
+	}
+	store := p.Facts
+	visited := map[*types.Func]bool{}
+	type siteKey struct {
+		pos  token.Pos
+		what string
+	}
+	reported := map[siteKey]bool{}
+	var walk func(fn *types.Func, root string)
+	walk = func(fn *types.Func, root string) {
+		if fn == nil || visited[fn] {
+			return
+		}
+		visited[fn] = true
+		fact := store.Lookup(fn)
+		local := fn.Pkg() == p.Pkg
+		for _, site := range fact.AllocSites {
+			if !local {
+				continue
+			}
+			key := siteKey{site.Pos, site.What}
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			report(site.Pos, "%s on the //lint:hotpath path rooted at %s", site.What, root)
+		}
+		for _, c := range fact.Callees {
+			cf := store.Lookup(c.Fn)
+			if c.Fn.Pkg() == p.Pkg {
+				walk(c.Fn, root)
+				continue
+			}
+			// Cross-package edge: report at the call site (which is in
+			// this package, so the finding is suppressible here), once.
+			if !cf.Allocates {
+				continue
+			}
+			if !local {
+				// The edge position belongs to another package's file;
+				// the allocation will have been reported when that
+				// package was analyzed. Still mark visited above so the
+				// walk terminates.
+				continue
+			}
+			key := siteKey{c.Pos, c.Fn.FullName()}
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			report(c.Pos, "hot path rooted at %s calls %s, which allocates (%s)",
+				root, calleeDisplay(c.Fn), allocReason(p, c.Fn, store, map[*types.Func]bool{}))
+		}
+	}
+	for _, r := range roots {
+		walk(r.fn, r.fn.Name())
+	}
+}
+
+// calleeDisplay renders a callee as pkg.Func or pkg.Type.Method.
+func calleeDisplay(fn *types.Func) string {
+	name := fn.Name()
+	if named := recvNamed(fn); named != nil {
+		name = named.Obj().Name() + "." + name
+	}
+	if fn.Pkg() != nil {
+		return pkgBase(fn.Pkg().Path()) + "." + name
+	}
+	return name
+}
+
+// allocReason names the first allocation a function reaches, as a
+// breadcrumb for cross-package findings: either one of its own sites
+// ("make allocates at fs.go:42") or a further call chain.
+func allocReason(p *Package, fn *types.Func, store *Facts, seen map[*types.Func]bool) string {
+	if seen[fn] || len(seen) > 4 {
+		return "allocation via recursion"
+	}
+	seen[fn] = true
+	fact := store.Lookup(fn)
+	if len(fact.AllocSites) > 0 {
+		s := fact.AllocSites[0]
+		pos := p.Fset.Position(s.Pos)
+		return s.What + " at " + filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+	}
+	for _, c := range fact.Callees {
+		if store.Lookup(c.Fn).Allocates {
+			return "calls " + calleeDisplay(c.Fn) + ": " + allocReason(p, c.Fn, store, seen)
+		}
+	}
+	return "allocation site not localized"
+}

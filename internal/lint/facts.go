@@ -45,6 +45,43 @@ type FuncFact struct {
 	// struct map field the parameter is used to key. Consumed by
 	// metricflow to resolve label values at call sites.
 	LabelKeyField map[int]string
+
+	// --- performance-contract facts (hotfacts.go) ---
+
+	// AllocSites are the function's direct allocation sites (hot-path
+	// allocation classes, forbidden calls included). Consumed by
+	// allocfree, which reports them when the function is reachable from
+	// a //lint:hotpath root in the package under analysis.
+	AllocSites []AllocSite
+	// Callees are the module-internal functions this one calls
+	// statically (including dynamic calls through unexported func-typed
+	// struct fields, resolved in the field's declaring package). The
+	// interprocedural walk and the fixpoint propagation both run over
+	// this edge list.
+	Callees []CalleeRef
+	// Allocates: the function (or anything it reaches through Callees)
+	// has at least one AllocSite. Cross-package allocfree findings are
+	// reported at the call edge via this bit.
+	Allocates bool
+	// Acquires are the lock IDs ("pkg.Type.field") the function
+	// acquires directly; AllAcquires closes the set over Callees.
+	Acquires    []string
+	AllAcquires []string
+	// Blocks are the blocking-operation kinds (channel send/recv, Wait,
+	// sleep, network, file I/O) the function can reach, closed over
+	// Callees. Consumed by lockorder's held-lock blocking rule.
+	Blocks []string
+	// HeldEdges are direct lock-order edges observed in the body:
+	// [held, acquired] pairs. HeldCallees are module-internal calls made
+	// while holding a lock; the analyzer expands them against the
+	// callee's AllAcquires to complete the global graph.
+	HeldEdges   [][2]string
+	HeldCallees []HeldCallee
+	// LockParamCalls maps func-typed parameter indices to the lock IDs
+	// held when the function invokes that parameter, so a callback
+	// passed from another package contributes its acquisitions to the
+	// graph at the pass site.
+	LockParamCalls map[int][]string
 }
 
 // Facts is a concurrency-safe store of function summaries shared by all
@@ -52,11 +89,15 @@ type FuncFact struct {
 type Facts struct {
 	mu sync.RWMutex
 	m  map[*types.Func]FuncFact
+	// fields maps unexported func-typed struct fields (fieldFuncKey) to
+	// the functions assigned to them in their declaring package, for
+	// resolving dynamic calls like jobstore's persist/unlink hooks.
+	fields map[string][]*types.Func
 }
 
 // NewFacts returns an empty fact store.
 func NewFacts() *Facts {
-	return &Facts{m: map[*types.Func]FuncFact{}}
+	return &Facts{m: map[*types.Func]FuncFact{}, fields: map[string][]*types.Func{}}
 }
 
 // Lookup returns the summary for fn (zero value when unknown or when
@@ -131,11 +172,14 @@ var errorType = types.Universe.Lookup("error").Type()
 // label keys) are computed once; propagation facts (DerivesIOError,
 // WritesFinalPath) iterate to a fixpoint so in-package helper chains
 // and mutual recursion converge.
+// declFn pairs a declared function with its type object for the fact
+// passes.
+type declFn struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+}
+
 func computePackageFacts(p *Package, store *Facts) {
-	type declFn struct {
-		fn   *types.Func
-		decl *ast.FuncDecl
-	}
 	var fns []declFn
 	for _, f := range p.Files {
 		for _, d := range f.Decls {
@@ -175,6 +219,7 @@ func computePackageFacts(p *Package, store *Facts) {
 			store.put(df.fn, fact)
 		}
 	}
+	computeHotFacts(p, fns, store)
 }
 
 // derivesIOError reports whether fn (with body decl) has an error

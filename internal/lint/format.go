@@ -132,7 +132,8 @@ func EncodeSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
 func EncodeGitHub(w io.Writer, diags []Diagnostic) error {
 	for _, d := range diags {
 		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=dvfslint [%s]::%s\n",
-			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, githubEscape(d.Message))
+			githubEscapeProp(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+			githubEscapeProp(d.Rule), githubEscape(d.Message))
 		if err != nil {
 			return err
 		}
@@ -143,5 +144,14 @@ func EncodeGitHub(w io.Writer, diags []Diagnostic) error {
 // githubEscape applies the workflow-command data escaping rules.
 func githubEscape(s string) string {
 	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// githubEscapeProp applies the stricter property escaping rules:
+// property values additionally escape the ',' and ':' delimiters, so a
+// comma in a file path cannot smuggle an extra key=value pair into the
+// command.
+func githubEscapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
 	return r.Replace(s)
 }

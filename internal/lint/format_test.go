@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+// TestEncodeGitHubGolden pins the workflow-command rendering byte for
+// byte: one ::error line per finding, data escaping (%, CR, LF) on the
+// message, and the stricter property escaping (plus ',' and ':') on
+// the file path, so a hostile or merely unusual path cannot inject
+// extra properties into the command.
+func TestEncodeGitHubGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:     token.Position{Filename: "internal/ga/ga.go", Line: 12, Column: 3},
+			Rule:    "detrand",
+			Message: "global rand.Float64 in a deterministic package",
+		},
+		{
+			Pos:     token.Position{Filename: "odd,name:v2.go", Line: 7, Column: 1},
+			Rule:    "floateq",
+			Message: "x == y is 100% exact\r\nuse stats.Approx instead",
+		},
+	}
+	var b bytes.Buffer
+	if err := EncodeGitHub(&b, diags); err != nil {
+		t.Fatalf("EncodeGitHub: %v", err)
+	}
+	want := "::error file=internal/ga/ga.go,line=12,col=3,title=dvfslint [detrand]::global rand.Float64 in a deterministic package\n" +
+		"::error file=odd%2Cname%3Av2.go,line=7,col=1,title=dvfslint [floateq]::x == y is 100%25 exact%0D%0Ause stats.Approx instead\n"
+	if got := b.String(); got != want {
+		t.Errorf("EncodeGitHub output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestEncodeGitHubEmpty: no findings means no output at all — an empty
+// annotation stream, not an empty command.
+func TestEncodeGitHubEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := EncodeGitHub(&b, nil); err != nil {
+		t.Fatalf("EncodeGitHub: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("EncodeGitHub(nil) wrote %q, want nothing", b.String())
+	}
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the performance-contract analyzers (allocfree, lockorder):
+// golden fixtures per allocation class and blocking kind, cross-package
+// fact propagation (allocating callees, two-package lock cycles,
+// held-callback edges), directive handling, and package scoping.
+
+func TestAllocFreeGolden(t *testing.T) {
+	p := loadTestPkg(t, "allocfree", "npudvfs/internal/hot")
+	checkGolden(t, p, []*Analyzer{AllocFree})
+}
+
+// TestAllocFreeNoRoots: without a //lint:hotpath directive the analyzer
+// is silent, whatever the package allocates.
+func TestAllocFreeNoRoots(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/server", "cold.go", `package server
+
+func cold() []int {
+	return make([]int, 100)
+}
+`)
+	if diags := Run(p, []*Analyzer{AllocFree}); len(diags) != 0 {
+		t.Fatalf("allocfree fired without a hotpath root: %v", diags)
+	}
+}
+
+// TestHotpathDirectiveErrors: a directive with trailing text and a
+// directive not sitting above a function declaration are findings, not
+// silent no-ops — and neither turns its neighbor into a root.
+func TestHotpathDirectiveErrors(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/server", "dir.go", `package server
+
+//lint:hotpath with trailing words
+func a() []int { return make([]int, 1) }
+
+//lint:hotpath
+var hooks []func()
+`)
+	diags := Run(p, []*Analyzer{AllocFree})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed directive") {
+		t.Errorf("first diagnostic %q does not flag the malformed directive", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "not attached to a function declaration") {
+		t.Errorf("second diagnostic %q does not flag the dangling directive", diags[1].Message)
+	}
+}
+
+// TestAllocFreeCrossPackage: an allocating callee in another package is
+// reported at the call edge with a breadcrumb naming the allocation,
+// and an allocation-free cross-package callee is not reported.
+func TestAllocFreeCrossPackage(t *testing.T) {
+	p := loadTestPkgWithDeps(t, map[string]string{
+		"hotpathdep": "npudvfs/internal/coldtab",
+		"hotpathx":   "npudvfs/internal/evalx",
+	}, "npudvfs/internal/evalx")
+	checkGolden(t, p, []*Analyzer{AllocFree})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	p := loadTestPkg(t, "lockorder", "npudvfs/internal/server")
+	checkGolden(t, p, []*Analyzer{LockOrder})
+}
+
+// TestLockOrderScoped: the same file outside the serving/search
+// packages produces no lockorder findings (its allow directive
+// correctly surfaces as unused there).
+func TestLockOrderScoped(t *testing.T) {
+	p := loadTestPkg(t, "lockorder", "npudvfs/internal/telemetry")
+	for _, d := range Run(p, []*Analyzer{LockOrder}) {
+		if d.Rule == "lockorder" {
+			t.Errorf("lockorder fired outside its scoped packages: %s", d)
+		} else if d.Rule != "directive" || !strings.Contains(d.Message, "unused directive") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestLockOrderCrossPackage: a two-package lock-order cycle closed
+// through a held-callback edge, a callback self-deadlock, and a held
+// channel send, all resolved through the fact store.
+func TestLockOrderCrossPackage(t *testing.T) {
+	p := loadTestPkgWithDeps(t, map[string]string{
+		"lockorderdep": "npudvfs/internal/cluster/ring",
+		"lockorderx":   "npudvfs/internal/pool",
+	}, "npudvfs/internal/pool")
+	checkGolden(t, p, []*Analyzer{LockOrder})
+}

@@ -1,7 +1,8 @@
 // Package lint is dvfslint: a project-specific static-analysis suite,
 // built entirely on the stdlib go/ast + go/types toolchain, that
 // mechanically enforces the repository's determinism, concurrency and
-// dimensional-safety contracts (DESIGN.md §9). It ships ten analyzers:
+// dimensional-safety contracts (DESIGN.md §9). It ships twelve
+// analyzers:
 //
 //	detrand     — no process-global math/rand or wall-clock reads in
 //	              deterministic packages
@@ -25,10 +26,15 @@
 //	metricflow  — rendered metrics have writers and vice versa;
 //	              HELP/TYPE/emit lines pair; label values come from one
 //	              declared set
+//	allocfree   — functions marked //lint:hotpath must not allocate,
+//	              transitively through every module-internal callee
+//	lockorder   — no lock-order cycles across the module's lock graph;
+//	              no blocking ops (channel, Wait, network, store I/O)
+//	              while holding a serving-path mutex
 //
-// The last four are interprocedural: they consume per-function
+// The last six are interprocedural: they consume per-function
 // summaries from a fact store filled bottom-up along the import DAG at
-// load time (facts.go).
+// load time (facts.go, hotfacts.go).
 //
 // A diagnostic is suppressed only by an explicit justification on the
 // flagged line (or the line above):
@@ -46,6 +52,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, printed as "file:line: [rule] message".
@@ -73,7 +80,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak, UnitCheck, ErrSink, AtomicWrite, RespClose, MetricFlow}
+	return []*Analyzer{DetRand, FloatEq, CtxFlow, LockPair, GoLeak, UnitCheck, ErrSink, AtomicWrite, RespClose, MetricFlow, AllocFree, LockOrder}
 }
 
 // SelectAnalyzers resolves a comma-separated rule list ("" or "all"
@@ -154,6 +161,12 @@ func parseAllows(p *Package, f *ast.File, report func(pos token.Pos, format stri
 // suppression, and returns the surviving diagnostics sorted by
 // position.
 func Run(p *Package, analyzers []*Analyzer) []Diagnostic {
+	return runTimed(p, analyzers, nil)
+}
+
+// runTimed is Run with an optional per-analyzer wall-clock
+// accumulator (nil skips the clock reads entirely).
+func runTimed(p *Package, analyzers []*Analyzer, tm *Timings) []Diagnostic {
 	var diags []Diagnostic
 	collect := func(rule string) func(pos token.Pos, format string, args ...any) {
 		return func(pos token.Pos, format string, args ...any) {
@@ -196,7 +209,13 @@ func Run(p *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	for _, a := range analyzers {
+		if tm == nil {
+			a.Run(p, collect(a.Name))
+			continue
+		}
+		start := time.Now()
 		a.Run(p, collect(a.Name))
+		tm.Add(a.Name, time.Since(start))
 	}
 	out := diags[:0]
 	for _, d := range diags {

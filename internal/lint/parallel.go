@@ -50,6 +50,9 @@ type Options struct {
 	// the whole module. Out-of-scope dependencies are still
 	// type-checked when an in-scope package needs their facts.
 	OnlyDirs []string
+	// Timings, when non-nil, accumulates per-analyzer wall-clock time
+	// across every analyzed package (cache hits charge nothing).
+	Timings *Timings
 }
 
 // defaultLintWorkers bounds the pool when the caller passes 0.
@@ -158,7 +161,7 @@ func RunAllOpts(root string, analyzers []*Analyzer, opts Options) ([]Diagnostic,
 					case e != nil:
 						err = e
 					case n.analyze:
-						diags = Run(p, analyzers)
+						diags = runTimed(p, analyzers, opts.Timings)
 						cachePut(opts.CacheDir, n.key, diags)
 					case n.selected && n.hit:
 						diags = n.cached

@@ -1,0 +1,61 @@
+// Golden input for allocfree: one //lint:hotpath root exercising every
+// allocation class the scanner knows, a helper whose sites are
+// attributed to the root through the callee walk, an audited
+// cold-prologue escape, a panic-argument guard (terminal path, never
+// flagged), and a cold function free to allocate because no root
+// reaches it.
+package hot
+
+import "fmt"
+
+type view struct{ scale float64 }
+
+func box(v any) bool { return v != nil }
+
+// helper is reachable from the root: its sites are reported in place.
+func helper(m map[string]int) {
+	m["hit"]++ // want allocfree `map write may allocate`
+}
+
+// recur pins walk termination on recursive callee edges.
+func recur(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return recur(n - 1)
+}
+
+//lint:hotpath
+func root(xs []int, m map[string]int, s string) float64 {
+	if s == "" {
+		panic(fmt.Sprintf("empty input %d", len(xs))) // terminal path: not flagged
+	}
+	//lint:allow allocfree cold warm-up table, built on the first call only
+	warm := make([]float64, 4)
+	v := &view{scale: warm[0]}         // want allocfree `composite literal escapes to the heap`
+	xs = append(xs, 1)                 // want allocfree `append may grow its backing array`
+	tmp := make([]int, 8)              // want allocfree `make allocates`
+	q := new(view)                     // want allocfree `new allocates`
+	s += "suffix"                      // want allocfree `string concatenation allocates`
+	raw := []byte(s)                   // want allocfree `string conversion allocates`
+	ys := []int{len(raw)}              // want allocfree `slice literal allocates`
+	mm := map[string]int{}             // want allocfree `map literal allocates`
+	f := func() int { return len(xs) } // want allocfree `function literal captures xs (closure allocates)`
+	g := func() int { return 1 }       // want allocfree `function literal allocates`
+	go recur(1)                        // want allocfree `go statement spawns a goroutine`
+	for i := 0; i < len(ys); i++ {
+		defer recur(0) // want allocfree `defer inside a loop allocates per iteration`
+	}
+	_ = fmt.Sprint(s) // want allocfree `call to fmt.Sprint is forbidden on the hot path` allocfree `value of type string boxed into interface parameter`
+	if box(len(mm)) { // want allocfree `value of type int boxed into interface parameter`
+		helper(m)
+	}
+	return v.scale + q.scale + float64(tmp[0]+ys[0]+f()+g())
+}
+
+// coldSetup allocates freely: no //lint:hotpath root reaches it.
+func coldSetup() []view {
+	vs := make([]view, 0, 8)
+	vs = append(vs, view{scale: 1})
+	return vs
+}

@@ -1,0 +1,18 @@
+// Cross-package dependency for the allocfree golden test (mounted as
+// npudvfs/internal/coldtab): Grow allocates, Sum does not. The facts
+// propagate to the importing package's hot-path walk.
+package coldtab
+
+// Grow appends, which may reallocate the backing array.
+func Grow(xs []float64) []float64 {
+	return append(xs, 0)
+}
+
+// Sum is allocation-free: calling it from a hot path is fine.
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,14 @@
+// Cross-package golden input for allocfree (mounted as
+// npudvfs/internal/evalx, importing the coldtab test package): an
+// allocating callee in another package is reported once at the call
+// edge, with the first allocation it reaches named; an allocation-free
+// cross-package callee is not.
+package evalx
+
+import "npudvfs/internal/coldtab"
+
+//lint:hotpath
+func Score(xs []float64) float64 {
+	xs = coldtab.Grow(xs) // want allocfree `calls coldtab.Grow, which allocates`
+	return coldtab.Sum(xs)
+}

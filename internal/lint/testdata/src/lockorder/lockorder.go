@@ -1,0 +1,158 @@
+// Golden input for lockorder (mounted as npudvfs/internal/server):
+// every blocking-op kind while holding a serving mutex, a self-
+// deadlock, a same-package lock-order cycle, the early-exit-release
+// shape (the region continues past an if that unlocks and returns),
+// and the clean patterns the sweep must not flag — select with
+// default, goroutine bodies, double RLock, audited allows.
+package server
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type Server struct {
+	mu  sync.Mutex
+	emu sync.Mutex
+	q   chan int
+	wg  sync.WaitGroup
+	n   int
+}
+
+func (s *Server) send() {
+	s.mu.Lock()
+	s.q <- 1 // want lockorder `channel send while holding server.Server.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) recv() {
+	s.mu.Lock()
+	<-s.q // want lockorder `channel receive while holding server.Server.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) wait() {
+	s.mu.Lock()
+	s.wg.Wait() // want lockorder `sync Wait while holding server.Server.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) nap() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockorder `time.Sleep while holding server.Server.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) probe(addr string) {
+	s.mu.Lock()
+	c, err := net.Dial("tcp", addr) // want lockorder `network call to net.Dial while holding server.Server.mu`
+	s.mu.Unlock()
+	if err == nil {
+		_ = c.Close()
+	}
+}
+
+func (s *Server) pick() {
+	s.mu.Lock()
+	select { // want lockorder `blocking select while holding server.Server.mu`
+	case <-s.q:
+	case s.q <- 1:
+	}
+	s.mu.Unlock()
+}
+
+// poll is clean: a select with a default never blocks.
+func (s *Server) poll() {
+	s.mu.Lock()
+	select {
+	case <-s.q:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// submit pins the early-exit-release shape: the unlock inside the
+// terminating if branch ends only that branch's region, so the write
+// below still happens under the lock.
+func (s *Server) submit(rec []byte) {
+	s.mu.Lock()
+	if len(rec) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	_ = os.WriteFile("rec.json", rec, 0o644) // want lockorder `file I/O (os.WriteFile) while holding server.Server.mu`
+	s.mu.Unlock()
+}
+
+// persist blocks on disk but holds nothing itself; checkpoint reaches
+// it with the mutex held, so the finding lands on the call edge.
+func (s *Server) persist() {
+	_ = os.WriteFile("state.json", nil, 0o644)
+}
+
+func (s *Server) checkpoint() {
+	s.mu.Lock()
+	s.persist() // want lockorder `call to server.Server.persist may perform file I/O (os.WriteFile) while holding server.Server.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want lockorder `server.Server.mu acquired while already held — self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// cycleAB and cycleBA disagree on acquisition order: each side of the
+// cycle is reported where the second lock is taken.
+func (s *Server) cycleAB() {
+	s.mu.Lock()
+	s.emu.Lock() // want lockorder `forms a lock-order cycle`
+	s.n++
+	s.emu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Server) cycleBA() {
+	s.emu.Lock()
+	s.mu.Lock() // want lockorder `forms a lock-order cycle`
+	s.n++
+	s.mu.Unlock()
+	s.emu.Unlock()
+}
+
+// spawn is clean: the goroutine body runs after Unlock may already
+// have happened; it is not part of the held region.
+func (s *Server) spawn() {
+	s.mu.Lock()
+	go func() {
+		s.q <- 1
+	}()
+	s.mu.Unlock()
+}
+
+// auditedFlush carries a reviewed exemption.
+func (s *Server) auditedFlush() {
+	s.mu.Lock()
+	//lint:allow lockorder boot-time flush: nothing contends for the lock yet
+	_ = os.Remove("state.json")
+	s.mu.Unlock()
+}
+
+type stats struct {
+	rmu sync.RWMutex
+	n   int
+}
+
+// read is clean: a second RLock of the same RWMutex is legal.
+func (t *stats) read() int {
+	t.rmu.RLock()
+	a := t.n
+	t.rmu.RLock()
+	b := t.n
+	t.rmu.RUnlock()
+	t.rmu.RUnlock()
+	return a + b
+}

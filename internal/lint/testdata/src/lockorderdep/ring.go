@@ -1,0 +1,28 @@
+// Cross-package dependency for the lockorder golden test (mounted as
+// npudvfs/internal/cluster/ring): Observe acquires the table mutex,
+// and Each invokes its callback parameter while holding it — the
+// LockParamCalls fact the importing package's cycle check consumes.
+package ring
+
+import "sync"
+
+type Table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Observe acquires ring.Table.mu.
+func (t *Table) Observe() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+// Each invokes fn for every slot while holding ring.Table.mu.
+func (t *Table) Each(fn func(int)) {
+	t.mu.Lock()
+	for i := 0; i < t.n; i++ {
+		fn(i)
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,49 @@
+// Cross-package golden input for lockorder (mounted as
+// npudvfs/internal/pool, importing the ring test package): grab
+// establishes pool.Pool.mu → ring.Table.mu in the module-wide graph,
+// broadcast's callback closes the cycle in the other direction through
+// ring.Each's held-callback fact, and reEach self-deadlocks by
+// re-entering the table lock from inside the callback.
+package pool
+
+import (
+	"sync"
+
+	"npudvfs/internal/cluster/ring"
+)
+
+type Pool struct {
+	mu  sync.Mutex
+	tab *ring.Table
+	q   chan int
+}
+
+// grab nests the table lock inside the pool lock: the graph edge the
+// broadcast callback below turns into a cycle.
+func (p *Pool) grab() {
+	p.mu.Lock()
+	p.tab.Observe()
+	p.mu.Unlock()
+}
+
+func (p *Pool) notify() {
+	p.mu.Lock()
+	p.q <- 1 // want lockorder `channel send while holding pool.Pool.mu`
+	p.mu.Unlock()
+}
+
+// broadcast passes Each a callback that takes the pool lock; Each
+// invokes it holding ring.Table.mu, the reverse of grab's order.
+func (p *Pool) broadcast() {
+	p.tab.Each(func(int) { // want lockorder `forms a lock-order cycle`
+		p.mu.Lock()
+		p.mu.Unlock()
+	})
+}
+
+// reEach re-acquires the table lock from inside the callback.
+func (p *Pool) reEach() {
+	p.tab.Each(func(int) { // want lockorder `which ring.Table.Each holds when invoking it — self-deadlock`
+		p.tab.Observe()
+	})
+}

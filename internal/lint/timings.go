@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"sync"
+	"time"
+)
+
+// Timings accumulates per-analyzer wall-clock time across packages and
+// workers — the breakdown scripts/bench.sh records next to the
+// cold/warm lint wall-clock, so a newly expensive analyzer is visible
+// in the benchmark artifact rather than hiding inside the total.
+// Attach one via Options.Timings. Only analyzer execution is charged:
+// parsing, type-checking, fact computation, and cache hits fall outside
+// every bucket, so a fully warm run reports near-zero for each rule.
+type Timings struct {
+	mu sync.Mutex
+	ns map[string]int64
+}
+
+// NewTimings returns an empty accumulator safe for concurrent use.
+func NewTimings() *Timings { return &Timings{ns: map[string]int64{}} }
+
+// Add charges d to rule's bucket.
+func (t *Timings) Add(rule string, d time.Duration) {
+	t.mu.Lock()
+	t.ns[rule] += int64(d)
+	t.mu.Unlock()
+}
+
+// NanosByRule returns a copy of the accumulated buckets, in
+// nanoseconds.
+func (t *Timings) NanosByRule() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.ns))
+	for k, v := range t.ns {
+		out[k] = v
+	}
+	return out
+}

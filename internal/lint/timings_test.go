@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimingsCollected: running the full suite with an accumulator
+// attached produces a bucket for every analyzer (possibly zero — an
+// analyzer that bails on scope still gets charged its check), and
+// Run's nil path stays clock-free.
+func TestTimingsCollected(t *testing.T) {
+	p := mountSource(t, "npudvfs/internal/server", "tm.go", `package server
+
+func tick() int { return 1 }
+`)
+	tm := NewTimings()
+	runTimed(p, Analyzers(), tm)
+	ns := tm.NanosByRule()
+	for _, a := range Analyzers() {
+		if _, ok := ns[a.Name]; !ok {
+			t.Errorf("no timing bucket for analyzer %q", a.Name)
+		}
+	}
+	if len(ns) != len(Analyzers()) {
+		t.Errorf("got %d buckets, want %d", len(ns), len(Analyzers()))
+	}
+}
+
+func TestTimingsAccumulate(t *testing.T) {
+	tm := NewTimings()
+	tm.Add("detrand", 2*time.Millisecond)
+	tm.Add("detrand", 3*time.Millisecond)
+	if got := tm.NanosByRule()["detrand"]; got != int64(5*time.Millisecond) {
+		t.Errorf("detrand bucket = %dns, want %dns", got, int64(5*time.Millisecond))
+	}
+	// The snapshot is a copy: mutating it must not leak back.
+	snap := tm.NanosByRule()
+	snap["detrand"] = 0
+	if got := tm.NanosByRule()["detrand"]; got != int64(5*time.Millisecond) {
+		t.Errorf("snapshot mutation leaked into the accumulator: %d", got)
+	}
+}

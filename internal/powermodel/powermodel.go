@@ -338,10 +338,24 @@ func (m *Model) OpPowerAt(key string, f units.MHz, deltaT units.Celsius) (core, 
 func SolveDeltaTLinear(k units.CelsiusPerWatt, p0 units.Watt, slopeWPerC float64) units.Celsius {
 	gain := float64(k) * slopeWPerC
 	if gain >= 1 {
-		dt, _ := SolveDeltaT(k, func(deltaT units.Celsius) units.Watt {
-			return units.Watt(float64(p0) + slopeWPerC*float64(deltaT))
-		})
-		return dt
+		// Inline the SolveDeltaT rounds for the affine P_soc instead of
+		// passing a closure: this branch is reachable from the scoring
+		// hot path, and the closure capture was its only allocation.
+		// Same maxIters/tol and the same float op order, so the
+		// divergent-case behaviour is bit-identical.
+		const (
+			maxIters = 16
+			tol      = 1e-6
+		)
+		var deltaT units.Celsius
+		for i := 0; i < maxIters; i++ {
+			next := k.Times(units.Watt(float64(p0) + slopeWPerC*float64(deltaT)))
+			if math.Abs(float64(next-deltaT)) < tol {
+				return next
+			}
+			deltaT = next
+		}
+		return deltaT
 	}
 	return units.Celsius(float64(k) * float64(p0) / (1 - gain))
 }

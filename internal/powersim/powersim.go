@@ -15,7 +15,6 @@
 package powersim
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -99,20 +98,45 @@ func Default(chip *npu.Chip) *Ground {
 	}
 }
 
-// hash01 maps a string deterministically to [0, 1).
-func hash01(key string) float64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return float64(h.Sum64()>>11) / float64(1<<53)
+// FNV-1a, inlined so the ground-truth model stays allocation-free on
+// the executor's hot path: hash/fnv costs a []byte conversion and a
+// hash.Hash64 box per call. fnvString folds s into h byte-for-byte
+// exactly as hash/fnv's sum64a does, so the values are unchanged.
+const fnvOffset64 = 14695981039346656037
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hash01 maps an FNV state deterministically to [0, 1).
+func hash01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// specHash folds the operator's model identity — the same Name["/"
+// Shape] string Spec.Key returns — without building it: FNV is
+// byte-sequential, so folding the parts equals hashing the
+// concatenation.
+func specHash(s *op.Spec) uint64 {
+	h := fnvString(fnvOffset64, s.Name)
+	if s.Shape != "" {
+		h = fnvString(h, "/")
+		h = fnvString(h, s.Shape)
+	}
+	return h
 }
 
 // kindFactor gives each operator type/shape a stable activity
 // multiplier in [0.7, 1.3].
-func kindFactor(key string) float64 { return 0.7 + 0.6*hash01(key) }
+func kindFactor(s *op.Spec) float64 { return 0.7 + 0.6*hash01(specHash(s)) }
 
 // driftCoef gives each operator a stable frequency drift in
 // [-1, 1] (scaled by DriftFrac when applied).
-func driftCoef(key string) float64 { return 2*hash01(key+"/drift") - 1 }
+func driftCoef(s *op.Spec) float64 {
+	return 2*hash01(fnvString(specHash(s), "/drift")) - 1
+}
 
 // Activity returns the operator's switching-activity level: how much
 // of the chip toggles per cycle while it runs. Compute pipelines
@@ -126,7 +150,7 @@ func (g *Ground) Activity(s *op.Spec) float64 {
 	core := r[op.Cube] + r[op.Vector] + r[op.Scalar] + r[op.MTE1]
 	mem := r[op.MTE2] + r[op.MTE3]
 	act := core + 0.35*mem
-	return act * kindFactor(s.Key())
+	return act * kindFactor(s)
 }
 
 // Alpha returns the operator's true activity coefficient α (Eq. 13) at
@@ -135,7 +159,7 @@ func (g *Ground) Activity(s *op.Spec) float64 {
 func (g *Ground) Alpha(s *op.Spec, fMHz float64) float64 {
 	base := g.AlphaScale * g.Activity(s)
 	span := float64(g.Chip.Curve.Max() - g.Chip.Curve.Min())
-	drift := g.DriftFrac * driftCoef(s.Key()) * (fMHz - g.RefMHz) / span
+	drift := g.DriftFrac * driftCoef(s) * (fMHz - g.RefMHz) / span
 	return base * (1 + drift)
 }
 

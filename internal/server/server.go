@@ -469,8 +469,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
 		return
 	}
@@ -478,7 +479,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// moment the job is on the queue a worker may finish it and persist
 	// a terminal transition, so an unpublished record would drop the
 	// result — and the submitter could never poll the ID it was
-	// acknowledged with.
+	// acknowledged with. The store write is disk I/O on the fs backend,
+	// so it must not happen under s.mu (lockorder); instead the closed
+	// check is repeated under the lock before the send, and a record
+	// published during a shutdown race is removed again.
 	id, addErr := s.store.Add(rec)
 	if addErr != nil {
 		s.met.storeError()
@@ -486,6 +490,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		id: id, workload: m.Name, cacheKey: key, spec: req.Search,
 		model: m, req: &req, submitted: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.store.Remove(id)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
 	}
 	select {
 	case s.queue <- j:

@@ -25,13 +25,17 @@ lintbin=$(mktemp -d)/dvfslint
 lintcache=$(mktemp -d)
 trap 'rm -rf "$(dirname "$lintbin")" "$lintcache"' EXIT
 go build -o "$lintbin" ./cmd/dvfslint
+linttimings="$lintcache/timings.json"
 t0=$(date +%s%N)
-"$lintbin" -cache "$lintcache" >/dev/null
+"$lintbin" -cache "$lintcache" -timings "$linttimings" >/dev/null
 t1=$(date +%s%N)
 "$lintbin" -cache "$lintcache" >/dev/null
 t2=$(date +%s%N)
 lint_cold_ms=$(( (t1 - t0) / 1000000 ))
 lint_warm_ms=$(( (t2 - t1) / 1000000 ))
+# Per-analyzer wall-clock breakdown of the cold pass, as one compact
+# JSON object emitted by dvfslint -timings.
+lint_analyzer_ns=$(tr -d '\n' < "$linttimings")
 echo "dvfslint: cold ${lint_cold_ms}ms, warm ${lint_warm_ms}ms"
 
 raw=$(go test -run '^$' \
@@ -40,7 +44,8 @@ raw=$(go test -run '^$' \
 echo "$raw"
 
 echo "$raw" | awk -v seedfile="$seed" \
-    -v lintcold="$lint_cold_ms" -v lintwarm="$lint_warm_ms" '
+    -v lintcold="$lint_cold_ms" -v lintwarm="$lint_warm_ms" \
+    -v lintns="$lint_analyzer_ns" '
 BEGIN {
     nseed = 0
     if ((getline line < seedfile) >= 0) {
@@ -106,7 +111,8 @@ END {
         printf "}%s\n", (b < nb ? "," : "")
     }
     printf "  },\n"
-    printf "  \"lint\": {\"cold_ms\": %d, \"warm_ms\": %d}\n", lintcold, lintwarm
+    if (lintns == "") lintns = "{}"
+    printf "  \"lint\": {\"cold_ms\": %d, \"warm_ms\": %d, \"analyzer_ns\": %s}\n", lintcold, lintwarm, lintns
     printf "}\n"
 }' > "$out"
 
