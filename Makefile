@@ -47,16 +47,19 @@ race:
 short:
 	go test -short ./...
 
-# Runs the four hot-path benchmarks and writes results/BENCH_5.json
-# (with speedup_vs_seed ratios against the frozen baseline in
-# results/BENCH_5_SEED.json). See DESIGN.md §10 for how to read it.
+# Runs the hot-path benchmarks (including the island-engine scaling
+# curve) and writes results/BENCH_10.json with speedup_vs_seed ratios
+# against the frozen baseline in results/BENCH_5_SEED.json. On hosts
+# with ≥4 cores it also asserts the 1->4 worker scaling floor. See
+# DESIGN.md §10 and §13 for how to read it.
 bench:
 	./scripts/bench.sh
 
 # Every benchmark in the repo, once each — the CI smoke that they
-# still compile and run.
+# still compile and run — plus the cheap perf-contract assertions
+# (BenchmarkGASearch must stay allocation-free).
 bench-smoke:
-	go test -run '^$$' -bench . -benchtime 1x ./...
+	./scripts/bench_smoke.sh
 
 # Boots dvfsd on a random port, submits the quickstart trace through
 # dvfsctl, asserts the served strategy matches the batch path and that

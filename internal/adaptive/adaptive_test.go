@@ -1,10 +1,12 @@
 package adaptive
 
 import (
+	"context"
 	"testing"
 
 	"npudvfs/internal/core"
 	"npudvfs/internal/executor"
+	"npudvfs/internal/ga"
 	"npudvfs/internal/npu"
 	"npudvfs/internal/powersim"
 	"npudvfs/internal/thermal"
@@ -160,5 +162,59 @@ func TestClosedLoopConvergesUnderTarget(t *testing.T) {
 func TestAdjustmentString(t *testing.T) {
 	if None.String() != "none" || Raised.String() != "raised" || Lowered.String() != "lowered" {
 		t.Error("adjustment names wrong")
+	}
+}
+
+// seekProblem rewards matching a target vector — a stand-in for the
+// DVFS assignment problem with a known optimum.
+type seekProblem struct {
+	target  []int
+	alleles int
+}
+
+func (p *seekProblem) Genes() int     { return len(p.target) }
+func (p *seekProblem) Alleles() int   { return p.alleles }
+func (p *seekProblem) Seeds() [][]int { return nil }
+func (p *seekProblem) Score(ind []int) float64 {
+	s := 0.0
+	for i, g := range ind {
+		if g == p.target[i] {
+			s++
+		}
+	}
+	return s
+}
+
+func TestReoptimizeWarmSeedsFromPreviousPopulation(t *testing.T) {
+	p := &seekProblem{target: []int{1, 3, 0, 2, 4, 1, 2, 0, 3, 4, 2, 1}, alleles: 5}
+	cfg := ga.DefaultConfig()
+	cfg.PopSize = 40
+	cfg.Generations = 120
+	cfg.Islands = 2
+
+	first, err := Reoptimize(context.Background(), p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Population) != cfg.PopSize {
+		t.Fatalf("cold Reoptimize captured %d individuals, want %d", len(first.Population), cfg.PopSize)
+	}
+
+	// The warm restart must start where the previous search ended: its
+	// generation-0 best can never fall below the previous best score.
+	cfg.Generations = 10
+	second, err := Reoptimize(context.Background(), p, cfg, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.History[0] < first.BestScore {
+		t.Fatalf("warm restart History[0] = %v below previous best %v", second.History[0], first.BestScore)
+	}
+	if len(second.Population) != cfg.PopSize {
+		t.Fatalf("warm Reoptimize captured %d individuals, want %d", len(second.Population), cfg.PopSize)
+	}
+
+	if _, err := Reoptimize(context.Background(), nil, cfg, first); err == nil {
+		t.Fatal("nil problem accepted")
 	}
 }

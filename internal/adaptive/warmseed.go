@@ -1,0 +1,41 @@
+package adaptive
+
+import (
+	"context"
+	"fmt"
+
+	"npudvfs/internal/ga"
+)
+
+// Reoptimize runs a fresh GA search warm-seeded from a previous
+// result's captured final population. The ratchet in Controller is
+// the cheap correction — when drift persists (model error, thermal
+// environment change) the right fix is a re-search, and seeding the
+// islands with the previous population's survivors starts it from the
+// converged region instead of from random vectors: generation 0 is
+// already at least as good as the previous best.
+//
+// The returned result always carries its own final population
+// (CapturePopulation is forced on), so repeated re-optimizations
+// chain: each hands its survivors to the next. Warm vectors are dealt
+// round-robin across the islands, so every island starts near the
+// previous optimum while still diverging on its own RNG stream. A nil
+// prev (or one captured without a population) degrades to a cold
+// search.
+func Reoptimize(ctx context.Context, p ga.Problem, cfg ga.Config, prev *ga.Result) (*ga.Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("adaptive: nil problem")
+	}
+	cfg.CapturePopulation = true
+	if prev != nil {
+		warm := make([][]int, 0, len(prev.Population)+1)
+		if len(prev.Best) == p.Genes() {
+			warm = append(warm, prev.Best)
+		}
+		for _, row := range prev.Population {
+			warm = append(warm, row)
+		}
+		cfg.WarmStart = warm
+	}
+	return ga.RunContext(ctx, p, cfg)
+}

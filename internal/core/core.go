@@ -207,22 +207,30 @@ type problem struct {
 
 	baselineIdx int // grid index of the baseline frequency
 	priorIdx    int // grid index of the prior LFC frequency
+
+	// seeds is built once: the GA engine copies seed vectors into its
+	// population, so repeat Engine.Run calls on a cached problem stay
+	// allocation-free.
+	seeds [][]int
 }
 
 func (p *problem) Genes() int   { return len(p.stages) }
 func (p *problem) Alleles() int { return len(p.grid) }
 
 func (p *problem) Seeds() [][]int {
-	baseline := make([]int, len(p.stages))
-	prior := make([]int, len(p.stages))
-	for i := range p.stages {
-		baseline[i] = p.baselineIdx
-		prior[i] = p.baselineIdx
-		if !p.stages[i].Sensitive {
-			prior[i] = p.priorIdx
+	if p.seeds == nil {
+		baseline := make([]int, len(p.stages))
+		prior := make([]int, len(p.stages))
+		for i := range p.stages {
+			baseline[i] = p.baselineIdx
+			prior[i] = p.baselineIdx
+			if !p.stages[i].Sensitive {
+				prior[i] = p.priorIdx
+			}
 		}
+		p.seeds = [][]int{baseline, prior}
 	}
-	return [][]int{baseline, prior}
+	return p.seeds
 }
 
 // predict computes iteration time, mean powers and the self-consistent
@@ -249,6 +257,16 @@ func (p *problem) UpdateSums(sums []float64, gene, oldAllele, newAllele int) {
 	p.tab.UpdateSums(sums, gene, oldAllele, newAllele)
 }
 func (p *problem) ScoreSums(sums []float64) float64 { return p.tab.ScoreSums(sums) }
+
+// Batch scoring hooks (ga.BatchScorer / ga.BatchPartialScorer): whole
+// cohorts sweep the SoA table gene-major, bit-identical to the
+// per-candidate paths.
+func (p *problem) ScoreBatch(genes []int, count int, scores []float64) {
+	p.tab.ScoreBatch(genes, count, scores)
+}
+func (p *problem) InitSumsBatch(genes []int, count int, sums []float64) {
+	p.tab.InitSumsBatch(genes, count, sums)
+}
 
 // Generate runs the full strategy-generation pipeline of Fig. 1 on a
 // profiled iteration and returns the strategy, the stage list and the
@@ -413,6 +431,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	}
 	p.tab.PerBaseline = 1 / float64(basePred.TimeMicros)
 	p.tab.PerLB = p.tab.PerBaseline * (1 - cfg.PerfLossTarget*guard)
+	p.Seeds() // build the seed vectors now: the problem is immutable (and trivially concurrency-safe) once returned
 	return p, nil
 }
 

@@ -132,6 +132,10 @@ type problem struct {
 	baselineIdx int // allele of (f_max, scale 1)
 	priorLFCIdx int // prior allele for LFC stages
 	priorHFCIdx int // prior allele for HFC stages
+
+	// seeds is built once: the GA engine copies seed vectors, so
+	// repeat searches on a cached problem stay allocation-free.
+	seeds [][]int
 }
 
 func (p *problem) alleleOf(freqIdx, scaleIdx int) int { return freqIdx*len(p.scales) + scaleIdx }
@@ -144,17 +148,20 @@ func (p *problem) Genes() int   { return len(p.stages) }
 func (p *problem) Alleles() int { return len(p.grid) * len(p.scales) }
 
 func (p *problem) Seeds() [][]int {
-	baseline := make([]int, len(p.stages))
-	prior := make([]int, len(p.stages))
-	for i := range p.stages {
-		baseline[i] = p.baselineIdx
-		if p.stages[i].Sensitive {
-			prior[i] = p.priorHFCIdx
-		} else {
-			prior[i] = p.priorLFCIdx
+	if p.seeds == nil {
+		baseline := make([]int, len(p.stages))
+		prior := make([]int, len(p.stages))
+		for i := range p.stages {
+			baseline[i] = p.baselineIdx
+			if p.stages[i].Sensitive {
+				prior[i] = p.priorHFCIdx
+			} else {
+				prior[i] = p.priorLFCIdx
+			}
 		}
+		p.seeds = [][]int{baseline, prior}
 	}
-	return [][]int{baseline, prior}
+	return p.seeds
 }
 
 func (p *problem) predict(ind []int) core.Prediction {
@@ -177,6 +184,16 @@ func (p *problem) UpdateSums(sums []float64, gene, oldAllele, newAllele int) {
 	p.tab.UpdateSums(sums, gene, oldAllele, newAllele)
 }
 func (p *problem) ScoreSums(sums []float64) float64 { return p.tab.ScoreSums(sums) }
+
+// Batch scoring hooks (ga.BatchScorer / ga.BatchPartialScorer): whole
+// cohorts sweep the SoA table gene-major, bit-identical to the
+// per-candidate paths.
+func (p *problem) ScoreBatch(genes []int, count int, scores []float64) {
+	p.tab.ScoreBatch(genes, count, scores)
+}
+func (p *problem) InitSumsBatch(genes []int, count int, sums []float64) {
+	p.tab.InitSumsBatch(genes, count, sums)
+}
 
 // Generate searches (core frequency, uncore scale) pairs per stage.
 func Generate(in Input, cfg Config) (*core.Strategy, []preprocess.Stage, *ga.Result, error) {
@@ -294,6 +311,7 @@ func buildProblem(in Input, cfg Config, stages []preprocess.Stage) (*problem, er
 	}
 	p.tab.PerBaseline = 1 / float64(basePred.TimeMicros)
 	p.tab.PerLB = p.tab.PerBaseline * (1 - cfg.PerfLossTarget*guard)
+	p.Seeds() // build the seed vectors now: the problem is immutable (and trivially concurrency-safe) once returned
 	return p, nil
 }
 

@@ -168,6 +168,78 @@ func (t *Table) Predict(ind []int) Prediction {
 	return t.PredictSums(sums[:])
 }
 
+// batchTile is the number of candidates a batch walk accumulates at
+// once. The tile's accumulator block (batchTile×Quad float64, 2 KB)
+// lives on the stack and stays L1-resident across the whole
+// gene-major sweep, so each table row loaded from memory is reused
+// batchTile times instead of once — the entire point of the batch
+// entry points below.
+const batchTile = 64
+
+// InitSumsBatch fills count partial-sum quadruples (candidate c's
+// sums at sums[c*Quad : (c+1)*Quad]) from full walks of count
+// candidates stored back to back in genes (candidate c at
+// genes[c*stages : (c+1)*stages]). The walk is gene-major within a
+// tile: for each stage, the stage's row of the SoA table is applied
+// to every candidate in the tile before moving on, turning the
+// per-candidate pointer chase into contiguous passes over the table.
+// Each candidate still accumulates in ascending gene order with one
+// independent accumulator per quantity, so every quadruple is
+// bit-identical to a per-candidate InitSums walk (ga.BatchPartialScorer
+// contract).
+//
+//lint:hotpath
+func (t *Table) InitSumsBatch(genes []int, count int, sums []float64) {
+	for base := 0; base < count; base += batchTile {
+		m := count - base
+		if m > batchTile {
+			m = batchTile
+		}
+		var acc [batchTile * Quad]float64
+		t.accumTile(genes[base*t.stages:], m, &acc)
+		copy(sums[base*Quad:(base+m)*Quad], acc[:m*Quad])
+	}
+}
+
+// ScoreBatch writes the Eq. 17 fitness of count candidates (stored
+// back to back in genes, as in InitSumsBatch) into scores[:count].
+// Each score is bit-identical to Score of the same vector
+// (ga.BatchScorer contract): the tile accumulation reproduces
+// InitSums exactly and the mapping is the same ScoreSums.
+//
+//lint:hotpath
+func (t *Table) ScoreBatch(genes []int, count int, scores []float64) {
+	for base := 0; base < count; base += batchTile {
+		m := count - base
+		if m > batchTile {
+			m = batchTile
+		}
+		var acc [batchTile * Quad]float64
+		t.accumTile(genes[base*t.stages:], m, &acc)
+		for c := 0; c < m; c++ {
+			scores[base+c] = t.ScoreSums(acc[c*Quad : (c+1)*Quad])
+		}
+	}
+}
+
+// accumTile accumulates the quadruples of m candidates (m ≤
+// batchTile) into acc, sweeping gene-major: stage s's table row is
+// reused across all m candidates while it is hot.
+func (t *Table) accumTile(genes []int, m int, acc *[batchTile * Quad]float64) {
+	stages := t.stages
+	for s := 0; s < stages; s++ {
+		row := t.vals[s*t.stride:]
+		for c := 0; c < m; c++ {
+			cell := row[genes[c*stages+s]*Quad:]
+			a := acc[c*Quad : c*Quad+Quad]
+			a[SumTime] += cell[SumTime]
+			a[SumSocE] += cell[SumSocE]
+			a[SumCoreE] += cell[SumCoreE]
+			a[SumVT] += cell[SumVT]
+		}
+	}
+}
+
 // ScoreSums maps accumulated sums to the Eq. 17 fitness.
 func (t *Table) ScoreSums(sums []float64) float64 {
 	pred := t.PredictSums(sums)

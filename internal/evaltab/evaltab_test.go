@@ -170,3 +170,45 @@ func TestScoreEq17Branches(t *testing.T) {
 		t.Errorf("penalized score = %g, want %g", tab.Score([]int{0}), want)
 	}
 }
+
+// TestBatchMatchesScalarBitIdentical pins the ga.BatchScorer /
+// ga.BatchPartialScorer contracts: the gene-major tiled sweep must
+// reproduce the scalar InitSums walk and Score bit for bit, for every
+// candidate, across tile boundaries (the cohort spans two full tiles
+// plus a ragged tail) and at the empty and single-candidate edges.
+func TestBatchMatchesScalarBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const stages, alleles = 17, 6
+	tab := New(stages, alleles)
+	fill(tab, rng)
+	tab.K = 0.09
+	tab.GammaSoC = 0.4
+	tab.GammaCore = 0.15
+	tab.TemperatureAware = true
+	tab.PerBaseline = 1.0 / 300
+	tab.PerLB = 0.95 / 300
+
+	for _, count := range []int{0, 1, 63, 64, 65, 150} {
+		genes := make([]int, count*stages)
+		for i := range genes {
+			genes[i] = rng.Intn(alleles)
+		}
+		scores := make([]float64, count)
+		sums := make([]float64, count*Quad)
+		tab.ScoreBatch(genes, count, scores)
+		tab.InitSumsBatch(genes, count, sums)
+		one := make([]float64, Quad)
+		for c := 0; c < count; c++ {
+			ind := genes[c*stages : (c+1)*stages]
+			if got, want := scores[c], tab.Score(ind); got != want {
+				t.Fatalf("count %d candidate %d: ScoreBatch = %g, Score = %g (must be bit-identical)", count, c, got, want)
+			}
+			tab.InitSums(ind, one)
+			for q := 0; q < Quad; q++ {
+				if got, want := sums[c*Quad+q], one[q]; got != want {
+					t.Fatalf("count %d candidate %d sum %d: InitSumsBatch = %g, InitSums = %g", count, c, q, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package ga
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// scoreCache memoizes sanitized fitness values by gene vector, so
+// individuals recurring across generations (elites' children,
+// converged populations) skip re-simulation. Each island owns one
+// cache, accessed only from that island's goroutine — cache
+// contention is fixed by construction, not by locking. Entries carry
+// the generation that last used them; when the map exceeds cap,
+// whole generation cohorts are evicted oldest-first (see maybeEvict).
+type scoreCache struct {
+	m         map[string]*cacheEntry
+	cap       int // entry bound; 0 = unbounded
+	evictions int
+}
+
+type cacheEntry struct {
+	score float64
+	gen   int // generation that last hit or inserted this entry
+}
+
+func newScoreCache(capCfg int) *scoreCache {
+	c := &scoreCache{m: make(map[string]*cacheEntry)}
+	switch {
+	case capCfg == 0:
+		c.cap = DefaultScoreCacheCap
+	case capCfg > 0:
+		c.cap = capCfg
+	}
+	return c
+}
+
+// maybeEvict drops the oldest generation cohorts once the map exceeds
+// cap, keeping the most recently used generations intact — entries
+// touched in the current generation always survive, so the cap is
+// soft by at most one generation's novel vectors. The outcome depends
+// only on the generation stamps, never on map iteration order, so
+// same-seed runs evict identically.
+func (c *scoreCache) maybeEvict(gen int) {
+	if c.cap <= 0 || len(c.m) <= c.cap {
+		return
+	}
+	counts := make([]int, gen+1)
+	for _, e := range c.m {
+		counts[e.gen]++
+	}
+	kept := counts[gen]
+	cutoff := gen
+	for g := gen - 1; g >= 0; g-- {
+		if kept+counts[g] > c.cap {
+			break
+		}
+		kept += counts[g]
+		cutoff = g
+	}
+	for k, e := range c.m {
+		if e.gen < cutoff {
+			delete(c.m, k)
+			c.evictions++
+		}
+	}
+}
+
+// appendGeneKey encodes a gene vector as compact varint bytes into
+// dst for cache lookup, reusing dst's capacity.
+func appendGeneKey(dst []byte, genes []int) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	for _, g := range genes {
+		n := binary.PutUvarint(tmp[:], uint64(g))
+		dst = append(dst, tmp[:n]...)
+	}
+	return dst
+}
+
+// scoreBatch runs Score for the given cohort indices across a worker
+// pool — the scoring path for single-island searches over problems
+// without a batch entry point. Each worker only writes the entries it
+// drew from the channel, so no two goroutines touch the same element
+// and results are independent of scheduling.
+func scoreBatch(p Problem, cohort []scored, todo []int, workers int) {
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, i := range todo {
+			cohort[i].score = sanitize(p.Score(cohort[i].genes))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(todo))
+	for _, i := range todo {
+		ch <- i
+	}
+	close(ch)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				cohort[i].score = sanitize(p.Score(cohort[i].genes))
+			}
+		}()
+	}
+	wg.Wait()
+}

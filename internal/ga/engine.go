@@ -1,0 +1,474 @@
+package ga
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Island-model defaults: migration runs every DefaultMigrationEvery
+// generations, each island sending its DefaultMigrants best
+// individuals to its ring successor. The cadence is coarse enough
+// that islands diverge usefully between exchanges (the whole point of
+// the model) and fine enough that a breakthrough on one island
+// reaches all of them within a small fraction of a 600-generation
+// search.
+const (
+	DefaultMigrationEvery = 16
+	DefaultMigrants       = 2
+)
+
+// maxDefaultIslands caps the GOMAXPROCS-derived default island count:
+// past ~8 islands the paper-scale population (200) splits thin enough
+// that per-island selection pressure starts to degrade convergence.
+const maxDefaultIslands = 8
+
+// minDefaultIslandPop is the smallest per-island population the
+// default will create; below ~32 individuals an island's rank
+// selection has too few distinct ranks to search usefully.
+const minDefaultIslandPop = 32
+
+// DefaultIslands returns the island count used when Config.Islands is
+// zero: one island per core up to maxDefaultIslands, but never so
+// many that islands fall under minDefaultIslandPop individuals. The
+// default deliberately derives from GOMAXPROCS, never from
+// Config.Workers — worker count must not change trajectories (the
+// determinism contract), while GOMAXPROCS only changes them across
+// machines, where fixing Config.Islands explicitly restores full
+// portability.
+func DefaultIslands(popSize int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultIslands {
+		n = maxDefaultIslands
+	}
+	if c := popSize / minDefaultIslandPop; c < n {
+		n = c
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Engine is a reusable search instance: one validated (Problem,
+// Config) pair with every island slab, scratch buffer and cache
+// preallocated. Run may be called repeatedly — each call re-seeds and
+// reproduces byte-identical results — and allocates nothing in steady
+// state on the incremental path, which is what makes per-request
+// re-searches on the dvfsd serving path cheap. An Engine is not safe
+// for concurrent Run calls.
+type Engine struct {
+	p   Problem
+	ps  PartialScorer
+	bs  BatchScorer
+	bps BatchPartialScorer
+	inc bool
+	cfg Config
+
+	n       int
+	alleles int
+	sumN    int
+	workers int
+	// fanout: single-island searches over problems without a batch
+	// entry point score cohorts across the worker pool; multi-island
+	// searches parallelize across islands instead.
+	fanout bool
+	// segEvery is the barrier cadence: islands run independently for
+	// segEvery generations, then synchronize for history aggregation,
+	// staleness and migration.
+	segEvery int
+	migrants int
+
+	islands     []island
+	history     []float64
+	best        []int
+	islandEvals []int
+	migrations  int
+
+	// Migration staging: gather-then-scatter through these slabs so
+	// the exchange is simultaneous (no island sees a half-migrated
+	// neighbor).
+	migGenes  []int
+	migScores []float64
+	migSums   []float64
+
+	// Final-population capture (Config.CapturePopulation).
+	popRows  [][]int
+	popGenes []int
+
+	res Result
+}
+
+// New validates the configuration and builds a reusable Engine.
+func New(p Problem, cfg Config) (*Engine, error) {
+	n, alleles := p.Genes(), p.Alleles()
+	if n <= 0 {
+		return nil, fmt.Errorf("ga: problem has %d genes", n)
+	}
+	if alleles <= 0 {
+		return nil, fmt.Errorf("ga: problem has %d alleles", alleles)
+	}
+	if cfg.PopSize < 2 {
+		return nil, fmt.Errorf("ga: population size %d too small", cfg.PopSize)
+	}
+	if cfg.Generations <= 0 {
+		return nil, fmt.Errorf("ga: %d generations", cfg.Generations)
+	}
+	if cfg.Elitism < 0 || cfg.Elitism >= cfg.PopSize {
+		return nil, fmt.Errorf("ga: elitism %d incompatible with population %d", cfg.Elitism, cfg.PopSize)
+	}
+	for _, w := range cfg.WarmStart {
+		if len(w) != n {
+			return nil, fmt.Errorf("ga: warm-start individual of length %d, want %d", len(w), n)
+		}
+	}
+
+	nIsl := cfg.Islands
+	switch {
+	case nIsl < 0:
+		return nil, fmt.Errorf("ga: island count %d", cfg.Islands)
+	case nIsl == 0:
+		nIsl = DefaultIslands(cfg.PopSize)
+		// The default never errors: shrink until every island can hold
+		// its elites plus at least one bred pair.
+		for nIsl > 1 && cfg.PopSize/nIsl <= cfg.Elitism+1 {
+			nIsl--
+		}
+	case nIsl > cfg.PopSize/2:
+		return nil, fmt.Errorf("ga: %d islands cannot split population %d (2 individuals per island minimum)", nIsl, cfg.PopSize)
+	}
+	minSize := cfg.PopSize / nIsl
+	if nIsl > 1 && cfg.Elitism >= minSize {
+		return nil, fmt.Errorf("ga: elitism %d incompatible with island size %d", cfg.Elitism, minSize)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	e := &Engine{
+		p:       p,
+		cfg:     cfg,
+		n:       n,
+		alleles: alleles,
+		workers: workers,
+	}
+	if ps, ok := p.(PartialScorer); ok && !cfg.ExactRescore && ps.SumCount() > 0 {
+		e.ps = ps
+		e.inc = true
+		e.sumN = ps.SumCount()
+		if bps, ok := p.(BatchPartialScorer); ok {
+			e.bps = bps
+		}
+	}
+	if bs, ok := p.(BatchScorer); ok {
+		e.bs = bs
+	}
+	e.fanout = nIsl == 1 && workers > 1 && e.bs == nil
+
+	segEvery := cfg.MigrationEvery
+	switch {
+	case segEvery == 0:
+		segEvery = DefaultMigrationEvery
+	case segEvery < 0:
+		segEvery = DefaultMigrationEvery // barriers still run; migration is disabled below
+	}
+	e.segEvery = segEvery
+	migrants := cfg.Migrants
+	if migrants == 0 {
+		migrants = DefaultMigrants
+	}
+	if m := minSize / 2; migrants > m {
+		migrants = m
+	}
+	if migrants < 0 || cfg.MigrationEvery < 0 || nIsl == 1 {
+		migrants = 0
+	}
+	e.migrants = migrants
+
+	e.islands = make([]island, nIsl)
+	rem := cfg.PopSize % nIsl
+	for i := range e.islands {
+		size := cfg.PopSize / nIsl
+		if i < rem {
+			size++
+		}
+		e.islands[i].init(e, i, size)
+	}
+	e.history = make([]float64, 0, cfg.Generations+1)
+	e.best = make([]int, n)
+	e.islandEvals = make([]int, nIsl)
+	if migrants > 0 {
+		e.migGenes = make([]int, nIsl*migrants*n)
+		e.migScores = make([]float64, nIsl*migrants)
+		if e.inc {
+			e.migSums = make([]float64, nIsl*migrants*e.sumN)
+		}
+	}
+	if cfg.CapturePopulation {
+		e.popRows = make([][]int, cfg.PopSize)
+		e.popGenes = make([]int, cfg.PopSize*n)
+	}
+	return e, nil
+}
+
+// Run executes the search under ctx and returns the engine-owned
+// result: Best, History, IslandEvaluations and Population alias
+// engine slabs, valid until the next Run call. Callers that need a
+// caller-owned result use Result.Clone (RunContext does). Repeat
+// calls reproduce byte-identical results: the RNG streams re-seed,
+// the caches clear, and the populations re-initialize from scratch.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	gens := e.cfg.Generations
+	nIsl := len(e.islands)
+	for i := range e.islands {
+		e.islands[i].reset(e)
+	}
+	e.history = e.history[:0]
+	e.migrations = 0
+
+	// Initial population: problem seeds then warm-start vectors,
+	// dealt round-robin across islands (overflowing to the next
+	// island with space, dropped once all are full — the single-
+	// population engine truncated at PopSize the same way), then each
+	// island fills its remainder from its own RNG stream.
+	idx := 0
+	for _, s := range e.p.Seeds() {
+		if len(s) != e.n {
+			return nil, fmt.Errorf("ga: seed of length %d, want %d", len(s), e.n)
+		}
+		e.place(idx, s)
+		idx++
+	}
+	for _, w := range e.cfg.WarmStart {
+		e.place(idx, w) // length-validated in New
+		idx++
+	}
+	for i := range e.islands {
+		isl := &e.islands[i]
+		isl.fillRandom(e)
+		isl.scoreInitial(e)
+		isl.evals += isl.size
+		isl.rank()
+		isl.hist[0] = isl.sc[isl.perm[0]]
+	}
+	e.history = append(e.history, e.globalBest(0))
+
+	stale, stopped := 0, false
+	done := 0
+	for done < gens && !stopped {
+		segEnd := done + 1
+		if nIsl > 1 {
+			segEnd = done + e.segEvery - done%e.segEvery
+			if segEnd > gens {
+				segEnd = gens
+			}
+		}
+		if err := e.runSegment(ctx, done+1, segEnd); err != nil {
+			return nil, err
+		}
+		// Barrier: aggregate the per-island convergence series in
+		// fixed island order and evaluate staleness. With one island
+		// the segment is one generation, preserving exact per-
+		// generation StaleLimit semantics; with several, a mid-
+		// segment trigger stops at the segment end (the bred
+		// generations stay in History).
+		for g := done + 1; g <= segEnd; g++ {
+			b := e.globalBest(g)
+			e.history = append(e.history, b)
+			if e.cfg.StaleLimit > 0 && !stopped {
+				if b <= e.history[len(e.history)-2] {
+					stale++
+					if stale >= e.cfg.StaleLimit {
+						stopped = true
+					}
+				} else {
+					stale = 0
+				}
+			}
+		}
+		done = segEnd
+		if !stopped && done < gens && e.migrants > 0 && done%e.segEvery == 0 {
+			e.migrate()
+		}
+	}
+	return e.assemble(), nil
+}
+
+// place copies one initial individual into the population,
+// round-robin by arrival index across islands.
+func (e *Engine) place(idx int, vec []int) {
+	nIsl := len(e.islands)
+	for probe := 0; probe < nIsl; probe++ {
+		isl := &e.islands[(idx+probe)%nIsl]
+		if isl.filled < isl.size {
+			copy(isl.pop[isl.filled].genes, vec)
+			isl.filled++
+			return
+		}
+	}
+}
+
+// runSegment advances every island through generations (from..to],
+// fanning islands over the worker pool. Islands never touch shared
+// state mid-segment, so the fan-out is lock-free and scheduling-
+// independent; with one worker (or one island) it degenerates to an
+// inline loop with zero goroutine overhead.
+func (e *Engine) runSegment(ctx context.Context, from, to int) error {
+	w := e.workers
+	if w > len(e.islands) {
+		w = len(e.islands)
+	}
+	if w <= 1 {
+		for i := range e.islands {
+			e.islands[i].runGens(ctx, e, from, to)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(e.islands) {
+						return
+					}
+					e.islands[i].runGens(ctx, e, from, to)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range e.islands {
+		if err := e.islands[i].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrate exchanges elites over the fixed ring topology: island i's
+// top-migrants individuals replace the worst slots of island
+// (i+1) mod N. Gather-then-scatter through the staging slabs makes
+// the exchange simultaneous and order-free; re-ranking afterwards
+// restores every island's permutation. Runs on the coordinator
+// between segments — the only cross-island data motion in a search.
+//
+//lint:hotpath
+func (e *Engine) migrate() {
+	n, m, sumN := e.n, e.migrants, e.sumN
+	nIsl := len(e.islands)
+	for i := range e.islands {
+		isl := &e.islands[i]
+		for j := 0; j < m; j++ {
+			src := &isl.pop[isl.perm[j]]
+			copy(e.migGenes[(i*m+j)*n:(i*m+j+1)*n], src.genes)
+			e.migScores[i*m+j] = src.score
+			if e.inc {
+				copy(e.migSums[(i*m+j)*sumN:(i*m+j+1)*sumN], src.sums)
+			}
+		}
+	}
+	for i := range e.islands {
+		dst := &e.islands[(i+1)%nIsl]
+		for j := 0; j < m; j++ {
+			slot := &dst.pop[dst.perm[dst.size-m+j]]
+			copy(slot.genes, e.migGenes[(i*m+j)*n:(i*m+j+1)*n])
+			slot.score = e.migScores[i*m+j]
+			if e.inc {
+				copy(slot.sums, e.migSums[(i*m+j)*sumN:(i*m+j+1)*sumN])
+			}
+		}
+	}
+	e.migrations += nIsl * m
+	for i := range e.islands {
+		e.islands[i].rank()
+	}
+}
+
+// globalBest returns the best score across islands after generation g
+// (a fixed-order reduction; ties keep the first island).
+func (e *Engine) globalBest(g int) float64 {
+	b := e.islands[0].hist[g]
+	for i := 1; i < len(e.islands); i++ {
+		if e.islands[i].hist[g] > b {
+			b = e.islands[i].hist[g]
+		}
+	}
+	return b
+}
+
+// assemble builds the engine-owned Result from the final island
+// states; every reduction runs in ascending island order with
+// first-island-wins ties, so the outcome is independent of worker
+// scheduling.
+func (e *Engine) assemble() *Result {
+	win := 0
+	bestScore := e.islands[0].sc[e.islands[0].perm[0]]
+	for i := 1; i < len(e.islands); i++ {
+		if s := e.islands[i].sc[e.islands[i].perm[0]]; s > bestScore {
+			win, bestScore = i, s
+		}
+	}
+	wisl := &e.islands[win]
+	copy(e.best, wisl.pop[wisl.perm[0]].genes)
+
+	evals, hits, evict := 0, 0, 0
+	for i := range e.islands {
+		isl := &e.islands[i]
+		e.islandEvals[i] = isl.evals
+		evals += isl.evals
+		hits += isl.hits
+		if isl.cache != nil {
+			evict += isl.cache.evictions
+		}
+	}
+	cacheCap := 0
+	if e.islands[0].cache != nil {
+		cacheCap = e.islands[0].cache.cap
+	}
+	e.res = Result{
+		Best:              e.best,
+		BestScore:         bestScore,
+		History:           e.history,
+		Evaluations:       evals,
+		Generations:       len(e.history) - 1,
+		CacheHits:         hits,
+		CacheCap:          cacheCap,
+		CacheEvictions:    evict,
+		Islands:           len(e.islands),
+		Migrations:        e.migrations,
+		IslandEvaluations: e.islandEvals,
+	}
+	if e.cfg.CapturePopulation {
+		k := 0
+		for i := range e.islands {
+			isl := &e.islands[i]
+			for r := 0; r < isl.size; r++ {
+				row := e.popGenes[k*e.n : (k+1)*e.n : (k+1)*e.n]
+				copy(row, isl.pop[isl.perm[r]].genes)
+				e.popRows[k] = row
+				k++
+			}
+		}
+		e.res.Population = e.popRows
+	}
+	return &e.res
+}
+
+// migrationGens returns the generations at which migration fires for
+// a search of gens generations at cadence every — the fixed schedule
+// the golden determinism test pins. Migration never fires at the
+// final generation (there is nothing left to breed from it).
+func migrationGens(gens, every int) []int {
+	var out []int
+	for g := every; g < gens; g += every {
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,35 +1,40 @@
 // Package ga implements the genetic-algorithm search used for DVFS
 // strategy generation (Sect. 6.3): individuals are integer gene
 // vectors (one frequency index per candidate stage), selection is
-// score-proportional, crossover swaps the last k genes of two parents,
-// and mutation rewrites a random gene with a random allele.
+// score-based, crossover swaps the last k genes of two parents, and
+// mutation rewrites a random burst of genes.
 //
-// Scoring is parallelized across a worker pool, mirroring the paper's
-// use of multiprocessing to evaluate tens of thousands of strategies
-// in minutes (Sect. 8.1). Problem implementations must therefore be
-// safe for concurrent Score calls.
+// The engine is an island model: the population is partitioned into N
+// islands (Config.Islands), each with its own RNG stream, score cache
+// and recycled gene/partial-sum slabs, so islands share no mutable
+// state on the hot path and run on the worker pool without locks.
+// Islands exchange their elite individuals over a fixed ring topology
+// at a fixed generation cadence (Config.MigrationEvery), so the whole
+// trajectory — including every migration — is a pure function of the
+// config and the problem, byte-identical at any worker count (the
+// determinism contract; see DESIGN.md §13).
 //
-// The engine is allocation-free in steady state: the two generations
-// live in preallocated double buffers whose gene (and partial-sum)
-// slices are recycled, and the selection prefix and cache-key scratch
-// buffers are reused across generations. Problems implementing
-// PartialScorer additionally get incremental (delta) scoring — a child
-// produced by tail-swap crossover or a mutation burst inherits its
-// parent's partial sums and applies O(changed genes) updates instead
-// of an O(genes) re-walk (Config.ExactRescore restores full
-// re-scoring). Neither engine choice changes the stochastic
-// trajectory: the RNG draw sequence is identical across scoring modes
-// and worker counts, so equal seeds reproduce runs.
+// Scoring is batched per cohort: problems implementing BatchScorer
+// (the evaltab-backed evaluators) score a whole slice of candidates in
+// gene-major sweeps over the SoA table instead of per-candidate
+// pointer chases. Problems implementing PartialScorer additionally get
+// incremental (delta) scoring — a child produced by crossover or a
+// mutation burst inherits a parent's partial sums and applies
+// O(changed genes) updates instead of an O(genes) re-walk
+// (Config.ExactRescore restores full re-scoring). Neither engine
+// choice changes the stochastic trajectory: the RNG draw sequence is
+// identical across scoring modes and worker counts, so equal seeds
+// reproduce runs.
+//
+// Run and RunContext are one-shot conveniences; callers re-searching
+// the same problem shape (the dvfsd serving path, the adaptive
+// re-optimizer) should hold an Engine, whose Run reuses every slab
+// across searches and allocates nothing in steady state.
 package ga
 
 import (
 	"context"
-	"encoding/binary"
-	"fmt"
 	"math"
-	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Problem defines the search space and objective.
@@ -49,7 +54,8 @@ type Problem interface {
 	Score(individual []int) float64
 	// Seeds returns individuals to include in the first generation
 	// (the paper seeds the baseline all-max-frequency individual and
-	// a prior LFC/HFC individual). May be nil.
+	// a prior LFC/HFC individual). May be nil. The engine copies the
+	// vectors, so implementations may return shared storage.
 	Seeds() [][]int
 }
 
@@ -59,7 +65,7 @@ type Problem interface {
 // vector: InitSums fills the vector with a full walk in ascending
 // gene order, UpdateSums adjusts it for one gene change in O(1), and
 // ScoreSums maps it to the fitness, with ScoreSums∘InitSums ≡ Score
-// bit-identically. The engine then scores a child by copying its
+// bit-identically. The engine then scores a child by copying a
 // parent's sums and applying one delta per changed gene; the result
 // may differ from a full re-walk by floating-point reassociation
 // only, and the engine re-walks every individual at a fixed
@@ -79,6 +85,31 @@ type PartialScorer interface {
 	UpdateSums(sums []float64, gene, oldAllele, newAllele int)
 	// ScoreSums maps accumulated sums to the fitness.
 	ScoreSums(sums []float64) float64
+}
+
+// BatchScorer is an optional Problem extension for cohort scoring:
+// ScoreBatch evaluates count candidates stored back to back in genes
+// (candidate c occupies genes[c*Genes() : (c+1)*Genes()]) and writes
+// their fitnesses to scores[:count]. Each score must be bit-identical
+// to Score of the same vector — the engine mixes the two paths freely
+// (cache representatives go through ScoreBatch, and the equivalence
+// tests diff them). The evaltab-backed problems implement this with
+// gene-major sweeps over the SoA table, amortizing each table row
+// across the whole cohort.
+type BatchScorer interface {
+	Problem
+	ScoreBatch(genes []int, count int, scores []float64)
+}
+
+// BatchPartialScorer is the batch form of PartialScorer.InitSums:
+// InitSumsBatch fills count partial-sum vectors (candidate c's sums
+// occupy sums[c*SumCount() : (c+1)*SumCount()]) from full walks of
+// count candidates stored back to back in genes. Results must be
+// bit-identical to per-candidate InitSums — the engine uses it for
+// the periodic drift-bounding re-walks of whole cohorts.
+type BatchPartialScorer interface {
+	PartialScorer
+	InitSumsBatch(genes []int, count int, sums []float64)
 }
 
 // Selection picks the parent-selection scheme. All schemes are
@@ -109,16 +140,21 @@ type Config struct {
 	MutationRate  float64
 	CrossoverRate float64
 	// Elitism is how many of the best individuals survive unchanged
-	// into the next generation, making the best score monotone.
+	// into the next generation of each island, making each island's
+	// best score (and hence the global History) monotone.
 	Elitism int
 	// Seed drives all stochastic choices; equal seeds reproduce runs.
 	Seed int64
-	// Workers bounds scoring concurrency; 0 means GOMAXPROCS.
+	// Workers bounds scoring/breeding concurrency; 0 means GOMAXPROCS.
+	// The worker count never changes results — only wall-clock.
 	Workers int
 	// Selection picks the parent-selection scheme.
 	Selection Selection
 	// StaleLimit, when positive, stops the search early after this
 	// many consecutive generations without best-score improvement.
+	// With more than one island, staleness is evaluated at migration
+	// barriers, so the search may overrun the limit by up to
+	// MigrationEvery-1 generations before stopping.
 	StaleLimit int
 	// NoScoreCache disables the gene-vector score memoization. The
 	// cache is correct whenever Score is a pure function of the gene
@@ -132,15 +168,39 @@ type Config struct {
 	// the escape hatch for validating the delta path and for problems
 	// whose sums drift faster than the engine's refresh cadence.
 	ExactRescore bool
-	// ScoreCacheCap bounds the memoized score cache: 0 means
+	// ScoreCacheCap bounds each island's memoized score cache: 0 means
 	// DefaultScoreCacheCap, a negative value means unbounded, and a
-	// positive value is the entry cap. Long dvfsd-hosted searches on
-	// thousand-stage traces would otherwise grow the memoization map
-	// without limit.
+	// positive value is the per-island entry cap. Long dvfsd-hosted
+	// searches on thousand-stage traces would otherwise grow the
+	// memoization maps without limit.
 	ScoreCacheCap int
+	// Islands is the number of islands the population is partitioned
+	// into. 0 derives a default from GOMAXPROCS and PopSize (see
+	// DefaultIslands) — deliberately never from Workers, so changing
+	// the worker count alone can never change the trajectory. Fixing
+	// Islands explicitly makes results machine-independent as well.
+	Islands int
+	// MigrationEvery is the fixed generation cadence at which islands
+	// exchange elites (and the barrier cadence for history/staleness
+	// aggregation). 0 means DefaultMigrationEvery; negative disables
+	// migration. Irrelevant with one island.
+	MigrationEvery int
+	// Migrants is how many elite individuals each island sends to its
+	// ring successor per migration. 0 means DefaultMigrants; negative
+	// disables migration. Clamped to half the smallest island.
+	Migrants int
+	// WarmStart seeds the first generation with previous-search
+	// individuals (e.g. Result.Population from a prior run),
+	// distributed round-robin across islands after Problem.Seeds().
+	// The engine copies the vectors. Length-validated like seeds.
+	WarmStart [][]int
+	// CapturePopulation asks the engine to return the final population
+	// (island-major, best-first per island) in Result.Population, for
+	// warm-starting a later search.
+	CapturePopulation bool
 }
 
-// DefaultScoreCacheCap is the score-cache entry bound when
+// DefaultScoreCacheCap is the per-island score-cache entry bound when
 // Config.ScoreCacheCap is zero. At the paper's production settings a
 // search evaluates 200 + 600·198 ≈ 120k individuals; 16k entries keep
 // the recent generations (where nearly all repeats come from, via
@@ -160,48 +220,63 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result reports the outcome of a search. Best and History are
-// defensive copies owned by the caller; mutating them cannot corrupt
-// any state the search (or a Problem retaining individuals) still
-// references.
+// Result reports the outcome of a search. Results returned by Run and
+// RunContext are defensive copies owned by the caller; results
+// returned by Engine.Run alias engine-owned storage (see Engine.Run).
 type Result struct {
-	// Best is the fittest individual found.
+	// Best is the fittest individual found across all islands.
 	Best []int
 	// BestScore is its fitness.
 	BestScore float64
-	// History records the best score after each generation — the
-	// convergence series of Fig. 17.
+	// History records the best score across islands after each
+	// generation — the convergence series of Fig. 17.
 	History []float64
 	// Evaluations counts individuals evaluated (including cache hits),
-	// the paper's "strategies assessed" number.
+	// the paper's "strategies assessed" number, summed over islands in
+	// island order.
 	Evaluations int
 	// Generations counts generations actually run (equal to
 	// Config.Generations unless StaleLimit stopped the search early).
 	Generations int
 	// CacheHits counts evaluations served from the memoized score
-	// cache; Evaluations-CacheHits is the number of actual Score
-	// calls. CacheHits/Evaluations is the cache hit rate. Always zero
-	// under incremental scoring, which bypasses the cache.
+	// caches, summed over islands in island order (a deterministic
+	// reduction: each island's count is exact regardless of worker
+	// scheduling). Evaluations-CacheHits is the number of actual Score
+	// calls. Always zero under incremental scoring, which bypasses the
+	// cache.
 	CacheHits int
-	// CacheCap is the entry bound the score cache ran under; 0 when
-	// the cache was disabled (NoScoreCache), bypassed (incremental
-	// scoring) or unbounded (negative ScoreCacheCap).
+	// CacheCap is the per-island entry bound the score caches ran
+	// under; 0 when the cache was disabled (NoScoreCache), bypassed
+	// (incremental scoring) or unbounded (negative ScoreCacheCap).
 	CacheCap int
 	// CacheEvictions counts entries dropped by the generation-stamped
-	// eviction policy to hold CacheCap.
+	// eviction policy to hold CacheCap, summed in island order.
 	CacheEvictions int
+	// Islands is the island count the search ran with.
+	Islands int
+	// Migrations counts individuals transferred between islands.
+	Migrations int
+	// IslandEvaluations is Evaluations split per island.
+	IslandEvaluations []int
+	// Population is the final population (island-major, best-first
+	// per island), only when Config.CapturePopulation is set — the
+	// warm-start input for a follow-up search.
+	Population [][]int
 }
 
-// scored is one population slot. genes and sums point into the
-// engine's preallocated double buffers and are recycled every
-// generation; resync marks a slot whose sums must be rebuilt by a
-// full InitSums walk before scoring (set when a crossover rewrote
-// more than half the genes, where deltas cost more than a re-walk).
-type scored struct {
-	genes  []int
-	score  float64
-	sums   []float64
-	resync bool
+// Clone returns a deep copy of the result, sharing no storage.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Best = append([]int(nil), r.Best...)
+	c.History = append([]float64(nil), r.History...)
+	c.IslandEvaluations = append([]int(nil), r.IslandEvaluations...)
+	if r.Population != nil {
+		c.Population = make([][]int, len(r.Population))
+		for i, ind := range r.Population {
+			c.Population[i] = append([]int(nil), ind...)
+		}
+	}
+	return &c
 }
 
 // sumRefreshEvery is the generation cadence at which incremental
@@ -226,345 +301,28 @@ func Run(p Problem, cfg Config) (*Result, error) {
 // (so errors.Is against context.Canceled / context.DeadlineExceeded
 // works) and no Result: partial populations are not exposed because
 // callers treat Best as a complete search product.
+//
+// RunContext builds a fresh Engine per call and deep-copies the
+// result, so the returned Result is caller-owned. Repeat searchers
+// should hold an Engine instead.
 func RunContext(ctx context.Context, p Problem, cfg Config) (*Result, error) {
-	n, alleles := p.Genes(), p.Alleles()
-	if n <= 0 {
-		return nil, fmt.Errorf("ga: problem has %d genes", n)
+	e, err := New(p, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if alleles <= 0 {
-		return nil, fmt.Errorf("ga: problem has %d alleles", alleles)
+	res, err := e.Run(ctx)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.PopSize < 2 {
-		return nil, fmt.Errorf("ga: population size %d too small", cfg.PopSize)
-	}
-	if cfg.Generations <= 0 {
-		return nil, fmt.Errorf("ga: %d generations", cfg.Generations)
-	}
-	if cfg.Elitism < 0 || cfg.Elitism >= cfg.PopSize {
-		return nil, fmt.Errorf("ga: elitism %d incompatible with population %d", cfg.Elitism, cfg.PopSize)
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	r := &runState{
-		p:       p,
-		cfg:     cfg,
-		n:       n,
-		alleles: alleles,
-		workers: workers,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}
-	if ps, ok := p.(PartialScorer); ok && !cfg.ExactRescore && ps.SumCount() > 0 {
-		r.ps = ps
-		r.inc = true
-	}
-
-	// Double-buffered population: parent and child generations live in
-	// two slab-backed slot arrays whose gene (and partial-sum) slices
-	// are recycled every generation, so breeding allocates nothing in
-	// steady state. The one spare slot absorbs the discarded second
-	// child of the final pair when PopSize-Elitism is odd — it is bred
-	// and mutated like any child so the RNG draw sequence matches the
-	// historical implementation, then dropped unscored.
-	sumN := 0
-	if r.inc {
-		sumN = r.ps.SumCount()
-	}
-	slots := 2*cfg.PopSize + 1
-	geneBlock := make([]int, slots*n)
-	var sumBlock []float64
-	if r.inc {
-		sumBlock = make([]float64, slots*sumN)
-	}
-	buf := make([]scored, slots)
-	for i := range buf {
-		buf[i].genes = geneBlock[i*n : (i+1)*n : (i+1)*n]
-		if r.inc {
-			buf[i].sums = sumBlock[i*sumN : (i+1)*sumN : (i+1)*sumN]
-		}
-	}
-	pop, next, spare := buf[:cfg.PopSize], buf[cfg.PopSize:2*cfg.PopSize], &buf[2*cfg.PopSize]
-
-	// First generation: seeds plus random individuals.
-	filled := 0
-	for _, s := range p.Seeds() {
-		if len(s) != n {
-			return nil, fmt.Errorf("ga: seed of length %d, want %d", len(s), n)
-		}
-		copy(pop[filled].genes, s)
-		filled++
-		if filled == cfg.PopSize {
-			break
-		}
-	}
-	for ; filled < cfg.PopSize; filled++ {
-		g := pop[filled].genes
-		for i := range g {
-			g[i] = r.rng.Intn(alleles)
-		}
-	}
-
-	if !cfg.NoScoreCache && !r.inc {
-		r.cache = newScoreCache(cfg.ScoreCacheCap)
-		r.repByKey = make(map[string]int)
-		r.keys = make([][]byte, cfg.PopSize)
-	}
-
-	res := &Result{History: make([]float64, 0, cfg.Generations+1)}
-	if r.inc {
-		r.scoreIncremental(pop, true)
-	} else {
-		res.CacheHits += r.scoreAll(pop, 0)
-	}
-	res.Evaluations += len(pop)
-
-	stale := 0
-	for gen := 0; gen < cfg.Generations; gen++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("ga: search cancelled at generation %d/%d: %w", gen, cfg.Generations, err)
-		}
-		r.sortByScore(pop)
-		res.History = append(res.History, pop[0].score)
-		if cfg.StaleLimit > 0 && gen > 0 {
-			if pop[0].score <= res.History[len(res.History)-2] {
-				stale++
-				if stale >= cfg.StaleLimit {
-					break
-				}
-			} else {
-				stale = 0
-			}
-		}
-
-		r.breed(pop, next, spare)
-		// Elites keep their scores; score the rest.
-		children := next[cfg.Elitism:]
-		if r.inc {
-			r.scoreIncremental(children, (gen+1)%sumRefreshEvery == 0)
-		} else {
-			res.CacheHits += r.scoreAll(children, gen+1)
-		}
-		res.Evaluations += len(children)
-		pop, next = next, pop
-	}
-	r.sortByScore(pop)
-	res.History = append(res.History, pop[0].score)
-	res.Best = append([]int(nil), pop[0].genes...)
-	res.BestScore = pop[0].score
-	res.History = append([]float64(nil), res.History...)
-	res.Generations = len(res.History) - 1
-	if r.cache != nil {
-		res.CacheCap = r.cache.cap
-		res.CacheEvictions = r.cache.evictions
-	}
-	return res, nil
-}
-
-// runState bundles the engine's per-run scratch so the generation loop
-// reuses every buffer: the selection prefix, the cache-key bytes, the
-// representative index sets and the worker todo list.
-type runState struct {
-	p       Problem
-	ps      PartialScorer
-	inc     bool // incremental scoring active
-	cfg     Config
-	n       int
-	alleles int
-	workers int
-	rng     *rand.Rand
-
-	cache    *scoreCache
-	keys     [][]byte
-	reps     []int
-	todo     []int
-	repByKey map[string]int
-	prefix   []float64
-	perm     []int32  // sortByScore: index permutation
-	permTmp  []int32  // sortByScore: merge scratch
-	slotTmp  []scored // sortByScore: permutation-apply scratch
-}
-
-// breed fills next from pop: elites first, then score-selected pairs
-// recombined by tail-swap crossover and burst mutation. The RNG draw
-// order (pick a, pick b, crossover roll, k, then per child the
-// mutation roll and burst draws) is fixed — tests pin same-seed
-// trajectories to it.
-//
-//lint:hotpath
-func (r *runState) breed(pop, next []scored, spare *scored) {
-	for i := 0; i < r.cfg.Elitism; i++ {
-		dst := &next[i]
-		copy(dst.genes, pop[i].genes)
-		dst.score = pop[i].score
-		if r.inc {
-			copy(dst.sums, pop[i].sums)
-			dst.resync = false
-		}
-	}
-	r.prefix = buildPrefixInto(r.prefix, pop, r.cfg.Selection)
-	for made := r.cfg.Elitism; made < len(next); made += 2 {
-		a := pick(pop, r.prefix, r.cfg.Selection, r.rng)
-		b := pick(pop, r.prefix, r.cfg.Selection, r.rng)
-		childA := &next[made]
-		childB := spare
-		if made+1 < len(next) {
-			childB = &next[made+1]
-		}
-		r.beginChild(childA, a)
-		r.beginChild(childB, b)
-		if r.rng.Float64() < r.cfg.CrossoverRate && r.n > 1 {
-			// Swap the last k genes (Sect. 6.3.3).
-			k := 1 + r.rng.Intn(r.n-1)
-			r.crossTail(childA, childB, k)
-		}
-		r.mutate(childA)
-		r.mutate(childB)
-	}
-}
-
-// beginChild initializes a child slot as a copy of its parent.
-func (r *runState) beginChild(dst, parent *scored) {
-	copy(dst.genes, parent.genes)
-	if r.inc {
-		copy(dst.sums, parent.sums)
-		dst.resync = false
-	}
-}
-
-// crossTail swaps the last k genes of two children (each initialized
-// to one parent), applying partial-sum deltas per differing gene when
-// incremental scoring is on. When the tail covers more than half the
-// genes, deltas cost more than a fresh walk, so the children are
-// marked for resync instead.
-func (r *runState) crossTail(a, b *scored, k int) {
-	useDelta := r.inc && 2*k <= r.n
-	if r.inc && !useDelta {
-		a.resync, b.resync = true, true
-	}
-	for i := r.n - k; i < r.n; i++ {
-		ga, gb := a.genes[i], b.genes[i]
-		if ga != gb && useDelta {
-			r.ps.UpdateSums(a.sums, i, ga, gb)
-			r.ps.UpdateSums(b.sums, i, gb, ga)
-		}
-		a.genes[i], b.genes[i] = gb, ga
-	}
-}
-
-// mutate rewrites a small burst of random genes; single-gene steps
-// converge too slowly on thousand-stage problems.
-func (r *runState) mutate(c *scored) {
-	if r.rng.Float64() >= r.cfg.MutationRate {
-		return
-	}
-	burst := 1 + r.rng.Intn(3)
-	for m := 0; m < burst; m++ {
-		idx := r.rng.Intn(r.n)
-		val := r.rng.Intn(r.alleles)
-		if r.inc && !c.resync && c.genes[idx] != val {
-			r.ps.UpdateSums(c.sums, idx, c.genes[idx], val)
-		}
-		c.genes[idx] = val
-	}
-}
-
-// scoreIncremental scores slots from their partial sums, rebuilding
-// the sums with a full InitSums walk where marked (or for every slot
-// when refresh is set — the periodic drift-bounding re-walk). Runs
-// serially on the generation-loop goroutine: a delta score is tens of
-// nanoseconds, far below fan-out cost, and serial execution keeps the
-// result trivially independent of Config.Workers.
-//
-//lint:hotpath
-func (r *runState) scoreIncremental(slots []scored, refresh bool) {
-	for i := range slots {
-		c := &slots[i]
-		if refresh || c.resync {
-			r.ps.InitSums(c.genes, c.sums)
-			c.resync = false
-		}
-		c.score = sanitize(r.ps.ScoreSums(c.sums))
-	}
-}
-
-// scoreCache memoizes sanitized fitness values by gene vector, so
-// individuals recurring across generations (elites' children,
-// converged populations) skip re-simulation. Accessed only from the
-// generation loop's goroutine; workers never touch it. Entries carry
-// the generation that last used them; when the map exceeds cap,
-// whole generation cohorts are evicted oldest-first (see maybeEvict).
-type scoreCache struct {
-	m         map[string]*cacheEntry
-	cap       int // entry bound; 0 = unbounded
-	evictions int
-}
-
-type cacheEntry struct {
-	score float64
-	gen   int // generation that last hit or inserted this entry
-}
-
-func newScoreCache(capCfg int) *scoreCache {
-	c := &scoreCache{m: make(map[string]*cacheEntry)}
-	switch {
-	case capCfg == 0:
-		c.cap = DefaultScoreCacheCap
-	case capCfg > 0:
-		c.cap = capCfg
-	}
-	return c
-}
-
-// maybeEvict drops the oldest generation cohorts once the map exceeds
-// cap, keeping the most recently used generations intact — entries
-// touched in the current generation always survive, so the cap is
-// soft by at most one generation's novel vectors. The outcome depends
-// only on the generation stamps, never on map iteration order, so
-// same-seed runs evict identically.
-func (c *scoreCache) maybeEvict(gen int) {
-	if c.cap <= 0 || len(c.m) <= c.cap {
-		return
-	}
-	counts := make([]int, gen+1)
-	for _, e := range c.m {
-		counts[e.gen]++
-	}
-	kept := counts[gen]
-	cutoff := gen
-	for g := gen - 1; g >= 0; g-- {
-		if kept+counts[g] > c.cap {
-			break
-		}
-		kept += counts[g]
-		cutoff = g
-	}
-	for k, e := range c.m {
-		if e.gen < cutoff {
-			delete(c.m, k)
-			c.evictions++
-		}
-	}
-}
-
-// appendGeneKey encodes a gene vector as compact varint bytes into
-// dst for cache lookup, reusing dst's capacity.
-func appendGeneKey(dst []byte, genes []int) []byte {
-	var tmp [binary.MaxVarintLen64]byte
-	for _, g := range genes {
-		n := binary.PutUvarint(tmp[:], uint64(g))
-		dst = append(dst, tmp[:n]...)
-	}
-	return dst
+	return res.Clone(), nil
 }
 
 // sanitize maps NaN fitness to -Inf. A NaN score (e.g. an infeasible
 // individual whose predicted time divides by zero) would otherwise
 // poison the selection prefix sums: every comparison against NaN is
-// false, so the binary search in pick degenerates to a single index
-// and the population collapses onto it. -Inf orders correctly (worst)
-// under sort and all selection schemes.
+// false, so the selection search degenerates to a single index and
+// the population collapses onto it. -Inf orders correctly (worst)
+// under ranking and all selection schemes.
 func sanitize(score float64) float64 {
 	if math.IsNaN(score) {
 		return math.Inf(-1)
@@ -572,215 +330,9 @@ func sanitize(score float64) float64 {
 	return score
 }
 
-// scoreAll evaluates fitness concurrently, memoizing through the
-// cache (nil disables memoization), and reports how many individuals
-// were served without a Score call. Within one batch, duplicate gene
-// vectors are scored once; across batches the cache carries scores
-// between generations. gen stamps touched entries for eviction.
-func (r *runState) scoreAll(pop []scored, gen int) (hits int) {
-	if r.cache == nil {
-		r.todo = r.todo[:0]
-		for i := range pop {
-			r.todo = append(r.todo, i)
-		}
-		scoreBatch(r.p, pop, r.todo, r.workers)
-		return 0
-	}
-	// Partition into cache hits, one representative per novel gene
-	// vector, and duplicates of a representative. Lookups through
-	// m[string(bytes)] compile to zero-copy map probes; a key string
-	// is only materialized once per novel vector.
-	keys := r.keys[:len(pop)]
-	r.reps = r.reps[:0]
-	clear(r.repByKey)
-	for i := range pop {
-		keys[i] = appendGeneKey(keys[i][:0], pop[i].genes)
-		if e, ok := r.cache.m[string(keys[i])]; ok {
-			pop[i].score = e.score
-			e.gen = gen // refresh the stamp so hot entries survive eviction
-			hits++
-			continue
-		}
-		if _, ok := r.repByKey[string(keys[i])]; !ok {
-			r.repByKey[string(keys[i])] = i
-			r.reps = append(r.reps, i)
-		}
-	}
-	scoreBatch(r.p, pop, r.reps, r.workers)
-	// Insert the representatives, reusing the interned map keys; the
-	// cache contents are independent of this map's iteration order.
-	for k, i := range r.repByKey {
-		r.cache.m[k] = &cacheEntry{score: pop[i].score, gen: gen}
-	}
-	// Fill duplicates from the representatives just scored.
-	for i := range pop {
-		rep, ok := r.repByKey[string(keys[i])]
-		if ok && rep != i {
-			pop[i].score = pop[rep].score
-			hits++
-		}
-	}
-	r.cache.maybeEvict(gen)
-	return hits
-}
-
-// scoreBatch runs Score for the given population indices across the
-// worker pool. Each worker only writes the scored entries it drew from
-// the channel, so no two goroutines touch the same element.
-func scoreBatch(p Problem, pop []scored, todo []int, workers int) {
-	if workers > len(todo) {
-		workers = len(todo)
-	}
-	if workers <= 1 {
-		for _, i := range todo {
-			pop[i].score = sanitize(p.Score(pop[i].genes))
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int, len(todo))
-	for _, i := range todo {
-		ch <- i
-	}
-	close(ch)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				pop[i].score = sanitize(p.Score(pop[i].genes))
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// sortByScore orders pop descending by score, stably (equal scores
-// keep their prior relative order — the exact permutation the
-// historical insertion sort produced, which same-seed trajectory
-// tests pin). It merge-sorts an index permutation and applies it with
-// one pass of struct moves: freshly scored children are in random
-// score order, where an in-place insertion sort degenerates to O(n²)
-// moves of the wide population slots. All scratch is reused across
-// generations.
-//
-//lint:hotpath
-func (r *runState) sortByScore(pop []scored) {
-	n := len(pop)
-	if cap(r.perm) < n {
-		//lint:allow allocfree grow-once scratch: sized to the population on first use, reused every generation after
-		r.perm = make([]int32, n)
-		//lint:allow allocfree grow-once scratch: sized to the population on first use, reused every generation after
-		r.permTmp = make([]int32, n)
-		//lint:allow allocfree grow-once scratch: sized to the population on first use, reused every generation after
-		r.slotTmp = make([]scored, n)
-	}
-	perm, tmp := r.perm[:n], r.permTmp[:n]
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	// Bottom-up stable merge: on equal scores the left run wins,
-	// preserving original order.
-	for width := 1; width < n; width *= 2 {
-		for lo := 0; lo < n-width; lo += 2 * width {
-			mid, hi := lo+width, lo+2*width
-			if hi > n {
-				hi = n
-			}
-			i, j, k := lo, mid, lo
-			for i < mid && j < hi {
-				if pop[perm[j]].score > pop[perm[i]].score {
-					tmp[k] = perm[j]
-					j++
-				} else {
-					tmp[k] = perm[i]
-					i++
-				}
-				k++
-			}
-			copy(tmp[k:hi], perm[i:mid])
-			copy(tmp[k+mid-i:hi], perm[j:hi])
-			copy(perm[lo:hi], tmp[lo:hi])
-		}
-	}
-	slots := r.slotTmp[:n]
-	for i, p := range perm {
-		slots[i] = pop[p]
-	}
-	copy(pop, slots)
-}
-
-// buildPrefixInto computes cumulative selection weights for the chosen
-// scheme into prefix's storage (grown once, reused every generation).
-// pop is sorted descending by score when this is called.
-// RankSelection weights fall quadratically with rank, which keeps
-// pressure even when compliant individuals' raw scores differ by
-// fractions of a percent — the steady state of the power-minimization
-// objective. RouletteSelection shifts scores to be non-negative and
-// weights proportionally. TournamentSelection needs no prefix.
-func buildPrefixInto(prefix []float64, pop []scored, sel Selection) []float64 {
-	n := len(pop)
-	if cap(prefix) < n {
-		//lint:allow allocfree grow-once scratch: the caller hands back the same prefix slice every generation
-		prefix = make([]float64, n)
-	}
-	prefix = prefix[:n]
-	switch sel {
-	case RouletteSelection:
-		// The shift baseline is the worst finite score: sanitized
-		// (NaN → -Inf) individuals get weight 0 rather than dragging
-		// the baseline to -Inf and turning every weight into Inf/NaN.
-		minScore := math.Inf(1)
-		for _, s := range pop {
-			if !math.IsInf(s.score, 0) && s.score < minScore {
-				minScore = s.score
-			}
-		}
-		if math.IsInf(minScore, 1) {
-			minScore = 0 // no finite scores at all
-		}
-		sum := 0.0
-		for i, s := range pop {
-			if !math.IsInf(s.score, -1) {
-				sum += s.score - minScore + 1e-12
-			}
-			prefix[i] = sum
-		}
-		return prefix
-	case TournamentSelection:
-		return prefix[:0]
-	default: // RankSelection
-		sum := 0.0
-		for i := range pop {
-			w := float64(n-i) * float64(n-i)
-			sum += w
-			prefix[i] = sum
-		}
-		return prefix
-	}
-}
-
-// pick selects a parent under the chosen scheme.
-func pick(pop []scored, prefix []float64, sel Selection, rng *rand.Rand) *scored {
-	if sel == TournamentSelection {
-		best := rng.Intn(len(pop))
-		for i := 0; i < 2; i++ {
-			if c := rng.Intn(len(pop)); pop[c].score > pop[best].score {
-				best = c
-			}
-		}
-		return &pop[best]
-	}
-	total := prefix[len(prefix)-1]
-	x := rng.Float64() * total
-	lo, hi := 0, len(prefix)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if prefix[mid] < x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return &pop[lo]
-}
+// Compile-time relationships between the optional Problem extensions.
+var (
+	_ Problem       = PartialScorer(nil)
+	_ Problem       = BatchScorer(nil)
+	_ PartialScorer = BatchPartialScorer(nil)
+)

@@ -1,0 +1,563 @@
+package ga
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// scored is one population slot. genes and sums point into the
+// island's preallocated double buffers and are recycled every
+// generation; row is the slot's fixed slab row index, which never
+// changes because ranking permutes an index array instead of moving
+// slots — that is what keeps each generation's children a contiguous
+// slab range the batch scorers can sweep.
+type scored struct {
+	genes []int
+	score float64
+	sums  []float64
+	row   int32
+}
+
+// rankInvQ is the resolution of the rank-selection inverse-CDF hint
+// table: the unit interval is split into rankInvQ buckets, each
+// holding the first rank whose cumulative weight reaches the bucket
+// boundary, so a pick is one table load plus an expected
+// size/rankInvQ-step linear advance instead of a binary search.
+const rankInvQ = 1024
+
+// island is one independent sub-population. Everything an island
+// touches while breeding and scoring — populations, RNG, score cache,
+// scratch — is island-owned, so islands run concurrently with no
+// locks and no false sharing, and results cannot depend on worker
+// scheduling. Only migration (on the coordinator, between segments)
+// reaches across islands.
+type island struct {
+	id    int
+	size  int
+	elite int
+	rng   splitmix
+
+	// buf backs both generations plus the spare slot: pop and next
+	// are its halves (swapped every generation), spare is the last
+	// slot. The spare absorbs the discarded second child of the final
+	// pair when size-elite is odd — bred and mutated like any child
+	// so the RNG draw sequence is independent of parity, then dropped
+	// unscored.
+	buf   []scored
+	pop   []scored
+	next  []scored
+	spare *scored
+
+	geneBlock []int
+	sumBlock  []float64
+
+	// perm is the ranking permutation: perm[r] is the pop slot of the
+	// rank-r individual (descending score, ties to the lower slot).
+	// sc is a flat copy of the slot scores (indexed by slot); key,
+	// keyTmp and radixHist are the radix sort's slabs — see rank.
+	perm      []int32
+	permTmp   []int32
+	sc        []float64
+	key       []uint64
+	keyTmp    []uint64
+	radixHist []int32
+
+	// Rank selection's quadratic weights depend only on rank, so the
+	// prefix sums and the inverse-CDF hint table are built once.
+	// Roulette weights depend on scores; prefix is its per-generation
+	// scratch, in ranked order.
+	rankPrefix []float64
+	rankTotal  float64
+	rankInv    []int32
+	prefix     []float64
+
+	// Cohort-scoring scratch (non-incremental path): the memo cache
+	// partition buffers and the gather matrix batch scoring reads
+	// cache representatives through.
+	cache    *scoreCache
+	keys     [][]byte
+	reps     []int
+	todo     []int
+	repByKey map[string]int
+	gather   []int
+	bscores  []float64
+
+	hist   []float64 // best score after each generation, indexed by generation
+	filled int       // initial-population slots filled so far
+	evals  int
+	hits   int
+	err    error
+}
+
+// init allocates the island's slabs and scratch for its share of the
+// population. Called once per Engine; Run-to-Run state is restored by
+// reset.
+func (isl *island) init(e *Engine, id, size int) {
+	isl.id, isl.size, isl.elite = id, size, e.cfg.Elitism
+	n := e.n
+	slots := 2*size + 1
+	isl.geneBlock = make([]int, slots*n)
+	if e.inc {
+		isl.sumBlock = make([]float64, slots*e.sumN)
+	}
+	isl.buf = make([]scored, slots)
+	for i := range isl.buf {
+		isl.buf[i].genes = isl.geneBlock[i*n : (i+1)*n : (i+1)*n]
+		if e.inc {
+			isl.buf[i].sums = isl.sumBlock[i*e.sumN : (i+1)*e.sumN : (i+1)*e.sumN]
+		}
+		isl.buf[i].row = int32(i)
+	}
+	isl.perm = make([]int32, size)
+	isl.permTmp = make([]int32, size)
+	isl.sc = make([]float64, size)
+	isl.key = make([]uint64, size)
+	isl.keyTmp = make([]uint64, size)
+	isl.radixHist = make([]int32, 256)
+	isl.hist = make([]float64, e.cfg.Generations+1)
+
+	switch e.cfg.Selection {
+	case RouletteSelection:
+		isl.prefix = make([]float64, size)
+	case TournamentSelection:
+		// Tournament compares sc directly; no prefix needed.
+	default: // RankSelection
+		isl.rankPrefix = make([]float64, size)
+		sum := 0.0
+		for i := 0; i < size; i++ {
+			w := float64(size-i) * float64(size-i)
+			sum += w
+			isl.rankPrefix[i] = sum
+		}
+		isl.rankTotal = sum
+		// rankInv[q] is the smallest rank whose cumulative weight
+		// reaches q/rankInvQ of the total — a lower bound for the
+		// answer of any pick landing in bucket q.
+		isl.rankInv = make([]int32, rankInvQ)
+		q := 0
+		for r := 0; r < size; r++ {
+			for q < rankInvQ && float64(q)*sum/rankInvQ <= isl.rankPrefix[r] {
+				isl.rankInv[q] = int32(r)
+				q++
+			}
+		}
+		for ; q < rankInvQ; q++ {
+			isl.rankInv[q] = int32(size - 1)
+		}
+	}
+
+	if !e.inc {
+		if !e.cfg.NoScoreCache {
+			isl.cache = newScoreCache(e.cfg.ScoreCacheCap)
+			isl.repByKey = make(map[string]int)
+			isl.keys = make([][]byte, size)
+		}
+		isl.todo = make([]int, 0, size)
+		isl.reps = make([]int, 0, size)
+		if e.bs != nil {
+			isl.gather = make([]int, size*n)
+			isl.bscores = make([]float64, size)
+		}
+	}
+}
+
+// reset restores the island to its pre-search state so Engine.Run
+// reproduces byte-identical results on reuse: RNG re-seeded, buffers
+// re-oriented, caches and counters cleared.
+func (isl *island) reset(e *Engine) {
+	isl.rng = newSplitmix(e.cfg.Seed, isl.id)
+	isl.pop, isl.next = isl.buf[:isl.size], isl.buf[isl.size:2*isl.size]
+	isl.spare = &isl.buf[2*isl.size]
+	isl.filled = 0
+	isl.evals = 0
+	isl.hits = 0
+	isl.err = nil
+	if isl.cache != nil {
+		clear(isl.cache.m)
+		isl.cache.evictions = 0
+	}
+}
+
+// fillRandom completes the initial population with uniform random
+// individuals after seeds and warm-start vectors were placed.
+func (isl *island) fillRandom(e *Engine) {
+	for ; isl.filled < isl.size; isl.filled++ {
+		g := isl.pop[isl.filled].genes
+		for i := range g {
+			g[i] = isl.rng.Intn(e.alleles)
+		}
+	}
+}
+
+// scoreInitial scores generation zero.
+func (isl *island) scoreInitial(e *Engine) {
+	if e.inc {
+		isl.scoreIncremental(e, isl.pop, true)
+		return
+	}
+	isl.hits += isl.scoreCohort(e, isl.pop, 0)
+}
+
+// runGens advances the island through breeding steps (from..to]. On
+// context cancellation it records the error and stops; the coordinator
+// surfaces it after the segment barrier.
+func (isl *island) runGens(ctx context.Context, e *Engine, from, to int) {
+	for g := from; g <= to; g++ {
+		if err := ctx.Err(); err != nil {
+			isl.err = fmt.Errorf("ga: search cancelled at generation %d/%d: %w", g-1, e.cfg.Generations, err)
+			return
+		}
+		isl.breed(e)
+		children := isl.next[isl.elite:]
+		if e.inc {
+			isl.scoreIncremental(e, children, g%sumRefreshEvery == 0)
+		} else {
+			isl.hits += isl.scoreCohort(e, children, g)
+		}
+		isl.evals += len(children)
+		isl.pop, isl.next = isl.next, isl.pop
+		isl.rank()
+		isl.hist[g] = isl.sc[isl.perm[0]]
+	}
+}
+
+// breed fills next from pop: elites first, then score-selected pairs
+// recombined by tail-swap crossover and burst mutation. The RNG draw
+// order (pick a, pick b, crossover roll, k, then per child the
+// mutation roll and burst draws) is fixed — tests pin same-seed
+// trajectories to it. Crossover children are assembled gene-by-gene
+// from their two parents (head from one, tail from the other) with
+// the shorter segment treated as replaced: the incremental path
+// starts from the longer parent's sums and applies at most genes/2
+// deltas per child, never a full re-walk.
+//
+//lint:hotpath
+func (isl *island) breed(e *Engine) {
+	n := e.n
+	for i := 0; i < isl.elite; i++ {
+		isl.copySlot(e, &isl.next[i], &isl.pop[isl.perm[i]])
+	}
+	if e.cfg.Selection == RouletteSelection {
+		isl.buildRoulettePrefix()
+	}
+	for made := isl.elite; made < isl.size; made += 2 {
+		pa := isl.pickParent(e)
+		pb := isl.pickParent(e)
+		childA := &isl.next[made]
+		childB := isl.spare
+		if made+1 < isl.size {
+			childB = &isl.next[made+1]
+		}
+		k := 0
+		if isl.rng.Float64() < e.cfg.CrossoverRate && n > 1 {
+			// Swap the last k genes (Sect. 6.3.3).
+			k = 1 + isl.rng.Intn(n-1)
+		}
+		if 2*k <= n {
+			isl.makeChild(e, childA, pa, pb, n-k, n)
+			isl.makeChild(e, childB, pb, pa, n-k, n)
+		} else {
+			isl.makeChild(e, childA, pb, pa, 0, n-k)
+			isl.makeChild(e, childB, pa, pb, 0, n-k)
+		}
+		isl.mutate(e, childA)
+		isl.mutate(e, childB)
+	}
+}
+
+// copySlot initializes dst as a copy of src (genes, score, sums).
+func (isl *island) copySlot(e *Engine, dst, src *scored) {
+	copy(dst.genes, src.genes)
+	dst.score = src.score
+	if e.inc {
+		copy(dst.sums, src.sums)
+	}
+}
+
+// makeChild builds dst as base with genes [lo, hi) replaced from
+// other, writing every child gene exactly once (no copy-then-swap
+// traffic). Under incremental scoring dst's sums start from base's
+// and take one delta per differing gene in ascending order — callers
+// pick base so that hi-lo is the short side, bounding the deltas at
+// n/2 per child. dst.score is left stale: children are always
+// rescored after breeding.
+func (isl *island) makeChild(e *Engine, dst, base, other *scored, lo, hi int) {
+	copy(dst.genes[:lo], base.genes[:lo])
+	copy(dst.genes[hi:], base.genes[hi:])
+	if !e.inc {
+		copy(dst.genes[lo:hi], other.genes[lo:hi])
+		return
+	}
+	if ds, bs := dst.sums, base.sums; len(ds) == 4 && len(bs) == 4 {
+		// The evaltab quadruple: an inline copy dodges a memmove call
+		// per child on the dominant problem shape.
+		ds[0], ds[1], ds[2], ds[3] = bs[0], bs[1], bs[2], bs[3]
+	} else {
+		copy(ds, bs)
+	}
+	for i := lo; i < hi; i++ {
+		g := other.genes[i]
+		dst.genes[i] = g
+		if bg := base.genes[i]; bg != g {
+			e.ps.UpdateSums(dst.sums, i, bg, g)
+		}
+	}
+}
+
+// mutate rewrites a small burst of random genes; single-gene steps
+// converge too slowly on thousand-stage problems.
+func (isl *island) mutate(e *Engine, c *scored) {
+	if isl.rng.Float64() >= e.cfg.MutationRate {
+		return
+	}
+	burst := 1 + isl.rng.Intn(3)
+	for m := 0; m < burst; m++ {
+		idx := isl.rng.Intn(e.n)
+		val := isl.rng.Intn(e.alleles)
+		if e.inc && c.genes[idx] != val {
+			e.ps.UpdateSums(c.sums, idx, c.genes[idx], val)
+		}
+		c.genes[idx] = val
+	}
+}
+
+// rank rebuilds the ranking permutation over pop: perm[r] becomes the
+// slot of the rank-r individual, descending by score with ties to the
+// lower slot index. It is an LSD radix sort: each score is mapped to
+// a uint64 key whose ascending order is descending score order
+// (sign-aware monotone float bits, complemented), the key-building
+// sweep also ORs up a difference mask, and any pass whose byte is
+// constant across the population — most of the high bytes, since
+// fitness values share sign and exponent — is skipped outright. A
+// comparison sort loses here because fitness order is essentially
+// random, so about half its compares mispredict; radix scatter has no
+// data-dependent branches at all. The sort is stable (equal scores
+// keep ascending slot order) and no slot is physically moved — the
+// slab rows, and with them the batch-scoring contiguity, are
+// permanent.
+//
+//lint:hotpath
+func (isl *island) rank() {
+	n := isl.size
+	pop, sc, hist := isl.pop, isl.sc, isl.radixHist
+	key, keyAlt := isl.key, isl.keyTmp
+	perm, permAlt := isl.perm, isl.permTmp
+	var k0, diff uint64
+	for i := 0; i < n; i++ {
+		s := pop[i].score
+		sc[i] = s
+		b := math.Float64bits(s)
+		k := ^(b ^ (uint64(int64(b)>>63) | 1<<63))
+		key[i] = k
+		perm[i] = int32(i)
+		if i == 0 {
+			k0 = k
+		}
+		diff |= k ^ k0
+	}
+	h := hist[:256:256]
+	for d := 0; d < 8; d++ {
+		shift := uint(d * 8)
+		if diff>>shift&0xff == 0 {
+			continue // every key shares this byte
+		}
+		clear(h)
+		for i := 0; i < n; i++ {
+			h[int(key[i]>>shift&0xff)]++
+		}
+		ofs := int32(0)
+		for b := range h {
+			c := h[b]
+			h[b] = ofs
+			ofs += c
+		}
+		for i := 0; i < n; i++ {
+			k := key[i]
+			slot := &h[int(k>>shift&0xff)]
+			j := *slot
+			*slot = j + 1
+			keyAlt[j] = k
+			permAlt[j] = perm[i]
+		}
+		key, keyAlt = keyAlt, key
+		perm, permAlt = permAlt, perm
+	}
+	if &perm[0] != &isl.perm[0] {
+		copy(isl.perm, perm)
+	}
+}
+
+// buildRoulettePrefix computes cumulative proportional weights in
+// ranked order. The shift baseline is the worst finite score:
+// sanitized (NaN → -Inf) individuals get weight 0 rather than
+// dragging the baseline to -Inf and turning every weight into
+// Inf/NaN.
+func (isl *island) buildRoulettePrefix() {
+	minScore := math.Inf(1)
+	for _, s := range isl.sc {
+		if !math.IsInf(s, 0) && s < minScore {
+			minScore = s
+		}
+	}
+	if math.IsInf(minScore, 1) {
+		minScore = 0 // no finite scores at all
+	}
+	sum := 0.0
+	for i := 0; i < isl.size; i++ {
+		s := isl.sc[isl.perm[i]]
+		if !math.IsInf(s, -1) {
+			sum += s - minScore + 1e-12
+		}
+		isl.prefix[i] = sum
+	}
+}
+
+// pickParent selects a parent under the configured scheme. Rank
+// selection is O(1): one inverse-CDF table load plus a short linear
+// advance (the table entry is a provable lower bound for the target
+// rank), replacing the per-pick binary search.
+func (isl *island) pickParent(e *Engine) *scored {
+	switch e.cfg.Selection {
+	case TournamentSelection:
+		best := isl.rng.Intn(isl.size)
+		for i := 0; i < 2; i++ {
+			if c := isl.rng.Intn(isl.size); isl.sc[c] > isl.sc[best] {
+				best = c
+			}
+		}
+		return &isl.pop[best]
+	case RouletteSelection:
+		total := isl.prefix[isl.size-1]
+		x := isl.rng.Float64() * total
+		lo, hi := 0, isl.size-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if isl.prefix[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &isl.pop[isl.perm[lo]]
+	default: // RankSelection
+		u := isl.rng.Float64()
+		x := u * isl.rankTotal
+		r := int(isl.rankInv[int(u*rankInvQ)])
+		for r < isl.size-1 && isl.rankPrefix[r] < x {
+			r++
+		}
+		return &isl.pop[isl.perm[r]]
+	}
+}
+
+// scoreIncremental scores slots from their partial sums. When refresh
+// is set (generation zero and every sumRefreshEvery generations
+// after), the sums are rebuilt by full walks first — through the
+// batch kernel when the problem provides one, sweeping the cohort's
+// contiguous slab rows gene-major — bounding the delta path's
+// floating-point drift. Runs on the island's goroutine; a delta score
+// is tens of nanoseconds, far below fan-out cost.
+//
+//lint:hotpath
+func (isl *island) scoreIncremental(e *Engine, cohort []scored, refresh bool) {
+	if refresh {
+		if e.bps != nil {
+			base, cnt := int(cohort[0].row), len(cohort)
+			e.bps.InitSumsBatch(
+				isl.geneBlock[base*e.n:(base+cnt)*e.n],
+				cnt,
+				isl.sumBlock[base*e.sumN:(base+cnt)*e.sumN])
+		} else {
+			for i := range cohort {
+				e.ps.InitSums(cohort[i].genes, cohort[i].sums)
+			}
+		}
+	}
+	for i := range cohort {
+		cohort[i].score = sanitize(e.ps.ScoreSums(cohort[i].sums))
+	}
+}
+
+// scoreCohort evaluates fitness for a cohort through the island's
+// memo cache (when enabled), reporting how many individuals were
+// served without a Score call. Within one cohort, duplicate gene
+// vectors are scored once; across generations the cache carries
+// scores. gen stamps touched entries for eviction.
+func (isl *island) scoreCohort(e *Engine, cohort []scored, gen int) (hits int) {
+	if isl.cache == nil {
+		isl.todo = isl.todo[:0]
+		for i := range cohort {
+			isl.todo = append(isl.todo, i)
+		}
+		isl.scoreSlots(e, cohort, isl.todo)
+		return 0
+	}
+	// Partition into cache hits, one representative per novel gene
+	// vector, and duplicates of a representative. Lookups through
+	// m[string(bytes)] compile to zero-copy map probes; a key string
+	// is only materialized once per novel vector.
+	keys := isl.keys[:len(cohort)]
+	isl.reps = isl.reps[:0]
+	clear(isl.repByKey)
+	for i := range cohort {
+		keys[i] = appendGeneKey(keys[i][:0], cohort[i].genes)
+		if ent, ok := isl.cache.m[string(keys[i])]; ok {
+			cohort[i].score = ent.score
+			ent.gen = gen // refresh the stamp so hot entries survive eviction
+			hits++
+			continue
+		}
+		if _, ok := isl.repByKey[string(keys[i])]; !ok {
+			isl.repByKey[string(keys[i])] = i
+			isl.reps = append(isl.reps, i)
+		}
+	}
+	isl.scoreSlots(e, cohort, isl.reps)
+	// Insert the representatives, reusing the interned map keys; the
+	// cache contents are independent of this map's iteration order.
+	for k, i := range isl.repByKey {
+		isl.cache.m[k] = &cacheEntry{score: cohort[i].score, gen: gen}
+	}
+	// Fill duplicates from the representatives just scored.
+	for i := range cohort {
+		rep, ok := isl.repByKey[string(keys[i])]
+		if ok && rep != i {
+			cohort[i].score = cohort[rep].score
+			hits++
+		}
+	}
+	isl.cache.maybeEvict(gen)
+	return hits
+}
+
+// scoreSlots scores the given cohort indices: through the problem's
+// batch entry point when it has one (gathering the indices into one
+// contiguous matrix), else per-candidate Score calls — fanned out
+// over the worker pool when this island is the whole population,
+// serial otherwise (multi-island runs parallelize across islands
+// instead).
+func (isl *island) scoreSlots(e *Engine, cohort []scored, todo []int) {
+	if len(todo) == 0 {
+		return
+	}
+	if e.bs != nil {
+		g := isl.gather[:len(todo)*e.n]
+		for j, i := range todo {
+			copy(g[j*e.n:(j+1)*e.n], cohort[i].genes)
+		}
+		sc := isl.bscores[:len(todo)]
+		e.bs.ScoreBatch(g, len(todo), sc)
+		for j, i := range todo {
+			cohort[i].score = sanitize(sc[j])
+		}
+		return
+	}
+	if e.fanout {
+		scoreBatch(e.p, cohort, todo, e.workers)
+		return
+	}
+	for _, i := range todo {
+		cohort[i].score = sanitize(e.p.Score(cohort[i].genes))
+	}
+}

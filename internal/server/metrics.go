@@ -46,10 +46,15 @@ type metrics struct {
 	// finished searches, plus per-workload gauges reflecting the most
 	// recent job (the operator-facing "how fast is the search engine
 	// right now" view).
-	gaEvals     uint64
-	gaGens      uint64
-	gaCacheHits uint64
-	gaJobs      map[string]gaJobStats
+	gaEvals      uint64
+	gaGens       uint64
+	gaCacheHits  uint64
+	gaMigrations uint64
+	// gaIslands is the island count of the most recently finished
+	// search — the fan-out the engine actually chose (it defaults from
+	// GOMAXPROCS when the spec leaves it unset).
+	gaIslands int
+	gaJobs    map[string]gaJobStats
 	// Cluster instrumentation: forwards by direction ("out" proxied to
 	// the owner, "in" received from a peer, "fallback" owner unreachable
 	// and served locally), job-store durability errors, and the number
@@ -63,11 +68,14 @@ type metrics struct {
 }
 
 // gaJobStats is the last finished search's GA throughput for one
-// workload.
+// workload. islandEvalsPerSec is indexed by island id; islands run
+// concurrently over the worker pool, so each island's rate is its
+// evaluation count over the same search wall time.
 type gaJobStats struct {
-	evalsPerSec  float64
-	cacheHitRate float64
-	generations  int
+	evalsPerSec       float64
+	cacheHitRate      float64
+	generations       int
+	islandEvalsPerSec []float64
 }
 
 // stageBuckets spans sub-millisecond cache bookkeeping to multi-minute
@@ -141,9 +149,15 @@ func (m *metrics) observeGA(workload string, res *ga.Result, searchSeconds float
 	m.gaEvals += uint64(res.Evaluations)
 	m.gaGens += uint64(res.Generations)
 	m.gaCacheHits += uint64(res.CacheHits)
+	m.gaMigrations += uint64(res.Migrations)
+	m.gaIslands = res.Islands
 	st := gaJobStats{generations: res.Generations}
 	if searchSeconds > 0 {
 		st.evalsPerSec = float64(res.Evaluations) / searchSeconds
+		st.islandEvalsPerSec = make([]float64, len(res.IslandEvaluations))
+		for i, ev := range res.IslandEvaluations {
+			st.islandEvalsPerSec[i] = float64(ev) / searchSeconds
+		}
 	}
 	if res.Evaluations > 0 {
 		st.cacheHitRate = float64(res.CacheHits) / float64(res.Evaluations)
@@ -279,6 +293,12 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	fmt.Fprintln(w, "# HELP dvfsd_ga_score_cache_hits_total GA score-cache hits across all searches.")
 	fmt.Fprintln(w, "# TYPE dvfsd_ga_score_cache_hits_total counter")
 	fmt.Fprintf(w, "dvfsd_ga_score_cache_hits_total %d\n", m.gaCacheHits)
+	fmt.Fprintln(w, "# HELP dvfsd_ga_migrations_total Individuals exchanged over the island ring across all searches.")
+	fmt.Fprintln(w, "# TYPE dvfsd_ga_migrations_total counter")
+	fmt.Fprintf(w, "dvfsd_ga_migrations_total %d\n", m.gaMigrations)
+	fmt.Fprintln(w, "# HELP dvfsd_ga_islands Island count of the last finished search.")
+	fmt.Fprintln(w, "# TYPE dvfsd_ga_islands gauge")
+	fmt.Fprintf(w, "dvfsd_ga_islands %d\n", m.gaIslands)
 
 	workloads := make([]string, 0, len(m.gaJobs))
 	for wl := range m.gaJobs {
@@ -299,6 +319,13 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	fmt.Fprintln(w, "# TYPE dvfsd_job_ga_generations gauge")
 	for _, wl := range workloads {
 		fmt.Fprintf(w, "dvfsd_job_ga_generations{workload=%q} %d\n", wl, m.gaJobs[wl].generations)
+	}
+	fmt.Fprintln(w, "# HELP dvfsd_job_ga_island_evals_per_sec Per-island GA evaluations per second of the last finished search.")
+	fmt.Fprintln(w, "# TYPE dvfsd_job_ga_island_evals_per_sec gauge")
+	for _, wl := range workloads {
+		for i, rate := range m.gaJobs[wl].islandEvalsPerSec {
+			fmt.Fprintf(w, "dvfsd_job_ga_island_evals_per_sec{workload=%q,island=\"%d\"} %g\n", wl, i, rate)
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP dvfsd_stage_seconds Per-stage job latency.")

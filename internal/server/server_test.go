@@ -261,6 +261,12 @@ func TestSubmitCompletesAndCacheHitOnResubmit(t *testing.T) {
 		`dvfsd_job_ga_evals_per_sec{workload="resnet50"}`,
 		`dvfsd_job_ga_score_cache_hit_rate{workload="resnet50"}`,
 		`dvfsd_job_ga_generations{workload="resnet50"}`,
+		// Island-model instrumentation: per-island throughput of the
+		// last search (island 0 always exists) plus the fan-out gauge
+		// and the ring-exchange counter.
+		`dvfsd_job_ga_island_evals_per_sec{workload="resnet50",island="0"}`,
+		"\ndvfsd_ga_islands ",
+		"\ndvfsd_ga_migrations_total ",
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("metrics missing %q:\n%s", want, m)
@@ -282,10 +288,11 @@ func TestSubmitCompletesAndCacheHitOnResubmit(t *testing.T) {
 
 func TestDeadlineCancelsJob(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	// A full-size search under a 1 ms deadline: the GA observes the
-	// expired context at a generation boundary and the job lands in
-	// state cancelled, not failed.
-	code, st := submit(t, ts, `{"workload": "resnet50", "search": {"pop": 200, "gens": 600, "timeout_ms": 1}}`)
+	// A deep search under a 1 ms deadline (far deeper than the island
+	// engine can finish in a millisecond): the GA observes the expired
+	// context at a generation boundary and the job lands in state
+	// cancelled, not failed.
+	code, st := submit(t, ts, `{"workload": "resnet50", "search": {"pop": 200, "gens": 50000, "timeout_ms": 1}}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: code %d, want 202", code)
 	}

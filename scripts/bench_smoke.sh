@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — CI benchmark smoke: every benchmark in the repo
+# compiles and runs for one iteration, and the perf contracts that are
+# cheap to check at 1x are asserted:
+#
+#   - BenchmarkGASearch reports 0 allocs/op: the Engine-reuse serving
+#     path must stay GC-quiet (DESIGN.md §13). A regression here is a
+#     correctness-of-intent bug long before it is a latency bug.
+#
+# Wall-clock-dependent floors (the 2x search speedup, the 1->4 worker
+# scaling) are asserted by scripts/bench.sh, which measures properly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench . -benchtime 1x -benchmem ./... 2>&1) || {
+    echo "$out"
+    exit 1
+}
+echo "$out"
+
+line=$(echo "$out" | grep -E '^BenchmarkGASearch(-[0-9]+)?[[:space:]]' | head -1)
+if [ -z "$line" ]; then
+    echo "bench-smoke: BenchmarkGASearch missing from benchmark output" >&2
+    exit 1
+fi
+allocs=$(echo "$line" | awk '{for (i = 1; i < NF; i++) if ($(i + 1) == "allocs/op") print $i}')
+if [ "$allocs" != "0" ]; then
+    echo "bench-smoke: BenchmarkGASearch reports $allocs allocs/op, want 0 (Engine reuse contract)" >&2
+    exit 1
+fi
+echo "bench-smoke: BenchmarkGASearch allocation-free"
